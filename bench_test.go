@@ -1,0 +1,148 @@
+package lclgrid_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	lclgrid "lclgrid"
+	"lclgrid/internal/experiments"
+	"lclgrid/internal/sat"
+	"lclgrid/internal/tiles"
+)
+
+// The benchmarks below regenerate every table/figure of the paper, one
+// benchmark per experiment id (see DESIGN.md's per-experiment index).
+// Run `go test -bench=. -benchmem` to print the paper-vs-measured tables;
+// verbose tables go to stderr once per benchmark.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var exp experiments.Experiment
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			exp = e
+		}
+	}
+	if exp.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	// Print the table once for the record, then benchmark silently.
+	fmt.Fprintf(os.Stderr, "--- %s: %s ---\n", exp.ID, exp.Title)
+	if err := exp.Run(os.Stderr); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1CycleClassification(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2TileEnumeration(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3Synthesis4Colouring(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4SynthesisOrientation(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5VertexColouringThreshold(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6EdgeColouringThreshold(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7OrientationClassification(b *testing.B) {
+	benchExperiment(b, "E7")
+}
+func BenchmarkE8RoundScaling(b *testing.B)             { benchExperiment(b, "E8") }
+func BenchmarkE9Undecidability(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10ThreeColouringInvariant(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11OrientationInvariant(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12CornerCoordination(b *testing.B)      { benchExperiment(b, "E12") }
+
+// --- Component micro-benchmarks -------------------------------------------
+
+func BenchmarkTileEnumerationK3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tiles.Count(3, 7, 5) != 2079 {
+			b.Fatal("tile count drifted")
+		}
+	}
+}
+
+func BenchmarkAnchorsK3(b *testing.B) {
+	g := lclgrid.Square(64)
+	ids := lclgrid.PermutedIDs(g.N(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r lclgrid.Rounds
+		lclgrid.Anchors(g, 3, lclgrid.L1, ids, &r)
+	}
+}
+
+func BenchmarkNormalForm4ColouringApply(b *testing.B) {
+	alg, err := lclgrid.Synthesize(lclgrid.VertexColoring(4, 2), 3, 7, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := lclgrid.Square(56)
+	ids := lclgrid.PermutedIDs(g.N(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := alg.Run(g, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGlobalBaseline3Colouring(b *testing.B) {
+	p := lclgrid.VertexColoring(3, 2)
+	g := lclgrid.Square(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := lclgrid.SolveGlobal(p, g); !ok {
+			b.Fatal("unsolvable")
+		}
+	}
+}
+
+func BenchmarkCycleSynthesisMIS(b *testing.B) {
+	p := lclgrid.CycleMIS()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Synthesize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSATPigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.NewSolver(6 * 5)
+		v := func(p, h int) int { return p*5 + h }
+		for p := 0; p < 6; p++ {
+			lits := make([]sat.Lit, 5)
+			for h := 0; h < 5; h++ {
+				lits[h] = sat.Pos(v(p, h))
+			}
+			s.AddClause(lits...)
+		}
+		for h := 0; h < 5; h++ {
+			for p1 := 0; p1 < 6; p1++ {
+				for p2 := p1 + 1; p2 < 6; p2++ {
+					s.AddClause(sat.Neg(v(p1, h)), sat.Neg(v(p2, h)))
+				}
+			}
+		}
+		if s.Solve() {
+			b.Fatal("PHP(6,5) must be UNSAT")
+		}
+	}
+}
+
+func BenchmarkFourColorDirect(b *testing.B) {
+	g := lclgrid.Square(128)
+	ids := lclgrid.PermutedIDs(g.N(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r lclgrid.Rounds
+		if _, _, err := lclgrid.FourColor(g, ids, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command lclgrid is the command-line front end of the reproduction:
+//
+//	lclgrid experiments [-id E3]     regenerate the paper's tables/figures
+//	lclgrid classify -problem 4col   run the one-sided classification oracle
+//	lclgrid synth -problem 4col -k 3 synthesize a normal-form algorithm
+//	lclgrid run -problem 4col -n 28  synthesize, run on an n×n torus, verify
+//	lclgrid table                    print the Theorem 22 orientation table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	lclgrid "lclgrid"
+	"lclgrid/internal/experiments"
+	"lclgrid/internal/orient"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "synth":
+		err = cmdSynth(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "table":
+		err = cmdTable()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lclgrid:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <experiments|classify|synth|run|table> [flags]")
+}
+
+func problemByName(name string) (*lclgrid.Problem, error) {
+	switch {
+	case strings.HasSuffix(name, "edgecol"):
+		var k int
+		if _, err := fmt.Sscanf(name, "%dedgecol", &k); err != nil {
+			return nil, fmt.Errorf("bad problem %q", name)
+		}
+		return lclgrid.EdgeColoring(k, 2).Problem, nil
+	case strings.HasSuffix(name, "col"):
+		var k int
+		if _, err := fmt.Sscanf(name, "%dcol", &k); err != nil {
+			return nil, fmt.Errorf("bad problem %q", name)
+		}
+		return lclgrid.VertexColoring(k, 2), nil
+	case name == "mis":
+		return lclgrid.MIS(2).Problem, nil
+	case name == "matching":
+		return lclgrid.MaximalMatching(2).Problem, nil
+	case name == "is":
+		return lclgrid.IndependentSet(2), nil
+	case strings.HasPrefix(name, "orient"):
+		var x []int
+		for _, ch := range name[len("orient"):] {
+			if ch < '0' || ch > '4' {
+				return nil, fmt.Errorf("bad orientation spec %q", name)
+			}
+			x = append(x, int(ch-'0'))
+		}
+		return lclgrid.XOrientation(x, 2).Problem, nil
+	default:
+		return nil, fmt.Errorf("unknown problem %q (try 4col, 5edgecol, mis, matching, is, orient134)", name)
+	}
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	id := fs.String("id", "", "run a single experiment id (e.g. E3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, e := range experiments.All() {
+		if *id != "" && e.ID != *id {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	name := fs.String("problem", "4col", "problem name")
+	maxK := fs.Int("maxk", 3, "largest anchor power to try")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := problemByName(*name)
+	if err != nil {
+		return err
+	}
+	res := lclgrid.ClassifyOracle(p, *maxK)
+	fmt.Printf("%s: %s\n", p, res.Class)
+	for _, a := range res.Attempts {
+		fmt.Printf("  k=%d window %dx%d tiles=%d success=%v\n", a.K, a.H, a.W, a.NumTiles, a.Success)
+	}
+	return nil
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	name := fs.String("problem", "4col", "problem name")
+	k := fs.Int("k", 3, "anchor power")
+	h := fs.Int("h", 0, "window height (0 = paper default)")
+	w := fs.Int("w", 0, "window width (0 = paper default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := problemByName(*name)
+	if err != nil {
+		return err
+	}
+	if *h == 0 || *w == 0 {
+		*h, *w = lclgrid.DefaultWindow(*k)
+	}
+	alg, err := lclgrid.Synthesize(p, *k, *h, *w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synthesized %s: k=%d window %dx%d tiles=%d decisions=%d conflicts=%d\n",
+		p.Name(), alg.K, alg.H, alg.W, alg.Graph.NumTiles(),
+		alg.SolverStats.Decisions, alg.SolverStats.Conflicts)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("problem", "4col", "problem name")
+	k := fs.Int("k", 3, "anchor power")
+	n := fs.Int("n", 28, "torus side")
+	seed := fs.Int64("seed", 1, "identifier seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := problemByName(*name)
+	if err != nil {
+		return err
+	}
+	h, w := lclgrid.DefaultWindow(*k)
+	alg, err := lclgrid.Synthesize(p, *k, h, w)
+	if err != nil {
+		return err
+	}
+	g := lclgrid.Square(*n)
+	out, rounds, err := alg.Run(g, lclgrid.PermutedIDs(g.N(), *seed))
+	if err != nil {
+		return err
+	}
+	if err := p.Verify(g, out); err != nil {
+		return fmt.Errorf("output failed verification: %w", err)
+	}
+	fmt.Printf("%s on %d×%d torus: verified, %d rounds (log*(n²)=%d)\n",
+		p.Name(), *n, *n, rounds.Total(), lclgrid.LogStar(*n**n))
+	return nil
+}
+
+func cmdTable() error {
+	fmt.Println("Theorem 22: X-orientation classification")
+	for _, row := range orient.Table() {
+		fmt.Printf("X=%-12v %s\n", row.X, row.Class)
+	}
+	return nil
+}

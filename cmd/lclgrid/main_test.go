@@ -1,0 +1,59 @@
+package main
+
+import "testing"
+
+func TestProblemByName(t *testing.T) {
+	tests := []struct {
+		name   string
+		labels int
+		ok     bool
+	}{
+		{"4col", 4, true},
+		{"3col", 3, true},
+		{"5edgecol", 120, true},
+		{"mis", 16, true},
+		{"matching", 5, true},
+		{"is", 2, true},
+		{"orient134", 9, true}, // C(4,1)+C(4,3)+C(4,4) labels
+		{"orient2", 6, true},   // C(4,2) labels
+		{"nope", 0, false},
+		{"orient9", 0, false},
+	}
+	for _, tt := range tests {
+		p, err := problemByName(tt.name)
+		if tt.ok != (err == nil) {
+			t.Errorf("%s: err = %v, ok want %v", tt.name, err, tt.ok)
+			continue
+		}
+		if err == nil && p.K() != tt.labels {
+			t.Errorf("%s: K = %d, want %d", tt.name, p.K(), tt.labels)
+		}
+	}
+}
+
+func TestCmdTable(t *testing.T) {
+	if err := cmdTable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdClassify(t *testing.T) {
+	if err := cmdClassify([]string{"-problem", "is", "-maxk", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdSynth(t *testing.T) {
+	if err := cmdSynth([]string{"-problem", "5col", "-k", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSynth([]string{"-problem", "3col", "-k", "1"}); err == nil {
+		t.Error("3-colouring synthesis at k=1 should fail")
+	}
+}
+
+func TestCmdRun(t *testing.T) {
+	if err := cmdRun([]string{"-problem", "5col", "-k", "1", "-n", "16"}); err != nil {
+		t.Fatal(err)
+	}
+}

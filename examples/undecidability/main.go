@@ -1,0 +1,69 @@
+// Undecidability: the §6 gadget L_M. For a machine that halts, the
+// Θ(log* n)-style tiling (anchors + quadrant types + execution table)
+// exists and verifies; for a machine that loops, every anchored labelling
+// is rejected and only the Θ(n) 3-colouring escape remains — which is why
+// deciding Θ(log* n) vs Θ(n) on grids is undecidable (Theorem 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lclgrid "lclgrid"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lm"
+)
+
+func main() {
+	halting := lclgrid.HaltingWriter(2)
+	p := lclgrid.LM(halting)
+	n := lm.TileSize(2) * 2
+	g := grid.Square(n)
+
+	labels, err := p.SolveLattice(g, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Verify(g, labels); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine %q halts in 2 steps: P2 labelling built and verified on %d×%d\n",
+		halting.Name, n, n)
+
+	// Draw the type structure of one tile (A = anchor; the execution
+	// table of M sits NE of each anchor on S/W/SW-typed nodes).
+	fmt.Println("\ntile types around the first anchor (rows north to south):")
+	for y := 13; y >= 0; y-- {
+		for x := 0; x < 14; x++ {
+			l := labels[g.At(x, y)]
+			mark := fmt.Sprintf("%-3s", l.Q)
+			if l.Cell != nil {
+				mark = fmt.Sprintf("%d%-2s", l.Cell.Sym, markHead(l))
+			}
+			fmt.Print(mark)
+		}
+		fmt.Println()
+	}
+
+	looper := lclgrid.RightLooper()
+	lp := lclgrid.LM(looper)
+	if err := lp.Verify(g, labels); err != nil {
+		fmt.Printf("\nmachine %q never halts: the same anchored labelling is rejected:\n  %v\n",
+			looper.Name, err)
+	}
+	p1, rounds, err := lp.SolveP1(grid.Square(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lp.Verify(grid.Square(9), p1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("only escape: P1 3-colouring, inherently Θ(n) (%d rounds on 9×9)\n", rounds.Total())
+}
+
+func markHead(l lm.Label) string {
+	if l.Cell.HasHead {
+		return "H"
+	}
+	return " "
+}

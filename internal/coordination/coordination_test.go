@@ -1,0 +1,205 @@
+package coordination
+
+import (
+	"math/rand"
+	"testing"
+
+	"lclgrid/internal/core"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+)
+
+func TestMakeGreedyAndCheck(t *testing.T) {
+	g := grid.Square(9)
+	// (x+y) mod 3 colouring, shifted to 1..3; it is already greedy, and
+	// MakeGreedy must keep it proper.
+	colors := make([]int, g.N())
+	for v := range colors {
+		x, y := g.XY(v)
+		colors[v] = (x+y)%3 + 1
+	}
+	if err := IsGreedy3Coloring(g, colors); err != nil {
+		t.Fatalf("diagonal colouring should be greedy: %v", err)
+	}
+	greedy := MakeGreedy(g, colors)
+	if err := IsGreedy3Coloring(g, greedy); err != nil {
+		t.Fatalf("MakeGreedy broke the colouring: %v", err)
+	}
+}
+
+func TestMakeGreedyFixesLazyColoring(t *testing.T) {
+	// Recolour a diagonal colouring by swapping colours 1→3: many nodes
+	// now lack smaller-colour neighbours; MakeGreedy must repair it.
+	g := grid.Square(6)
+	colors := make([]int, g.N())
+	for v := range colors {
+		x, y := g.XY(v)
+		colors[v] = []int{3, 2, 1}[(x+y)%3]
+	}
+	greedy := MakeGreedy(g, colors)
+	if err := IsGreedy3Coloring(g, greedy); err != nil {
+		t.Fatalf("not greedy after MakeGreedy: %v", err)
+	}
+}
+
+// TestThreeColoringInvariant verifies the §9 machinery (Lemmas 12 and 14)
+// on sampled greedy 3-colourings: the row sums of the auxiliary graph are
+// equal on every row, bounded by n/2, and odd for odd n.
+func TestThreeColoringInvariant(t *testing.T) {
+	for _, n := range []int{6, 9, 12} {
+		g := grid.Square(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 5; trial++ {
+			colors, ok := RandomThreeColoring(g, rng)
+			if !ok {
+				t.Fatalf("n=%d: no 3-colouring found", n)
+			}
+			greedy := MakeGreedy(g, colors)
+			if err := IsGreedy3Coloring(g, greedy); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			aux := BuildAux(g, greedy)
+			s, err := aux.Invariant()
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			if n%2 == 1 && s%2 == 0 {
+				t.Fatalf("n=%d: even invariant %d on odd torus", n, s)
+			}
+		}
+	}
+}
+
+func TestInvariantOddTorusNonZero(t *testing.T) {
+	// On odd tori the invariant is odd, hence non-zero: the colouring
+	// carries Ω(n) bits of global coordination (the heart of Thm 9).
+	g := grid.Square(9)
+	rng := rand.New(rand.NewSource(7))
+	colors, ok := RandomThreeColoring(g, rng)
+	if !ok {
+		t.Fatal("no colouring")
+	}
+	aux := BuildAux(g, MakeGreedy(g, colors))
+	s, err := aux.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == 0 {
+		t.Error("invariant must be odd (non-zero) on an odd torus")
+	}
+}
+
+func TestAuxGraphDegrees(t *testing.T) {
+	// Every colour-3 node has in-degree = out-degree ∈ {1, 2} in H
+	// (§9: "each node has either in-degree 1 and out-degree 1, or
+	// in-degree 2 and out-degree 2").
+	g := grid.Square(9)
+	rng := rand.New(rand.NewSource(3))
+	colors, ok := RandomThreeColoring(g, rng)
+	if !ok {
+		t.Fatal("no colouring")
+	}
+	greedy := MakeGreedy(g, colors)
+	aux := BuildAux(g, greedy)
+	for v := 0; v < g.N(); v++ {
+		if greedy[v] != 3 {
+			if len(aux.Out[v]) != 0 || len(aux.In[v]) != 0 {
+				t.Fatalf("non-colour-3 node %d has H edges", v)
+			}
+			continue
+		}
+		if len(aux.Out[v]) != len(aux.In[v]) {
+			t.Fatalf("node %d: in-degree %d != out-degree %d", v, len(aux.In[v]), len(aux.Out[v]))
+		}
+		if d := len(aux.Out[v]); d > 2 {
+			t.Fatalf("node %d: H degree %d > 2", v, d)
+		}
+	}
+}
+
+// TestOrient034Invariant verifies the Theorem 25 vertical-edge invariant
+// on a solver-generated {0,3,4}-orientation.
+func TestOrient034Invariant(t *testing.T) {
+	op := lcl.XOrientation([]int{0, 3, 4}, 2)
+	for _, n := range []int{4, 6} {
+		g := grid.Square(n)
+		sol, ok := core.SolveGlobal(op.Problem, g)
+		if !ok {
+			t.Fatalf("n=%d: no {0,3,4}-orientation found", n)
+		}
+		if err := op.Verify(g, sol); err != nil {
+			t.Fatal(err)
+		}
+		o := lcl.OrientationFromLabels(op, g, sol)
+		if _, err := Orient034Invariant(o); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestOrient034InvariantRejectsWrongX(t *testing.T) {
+	g := grid.Square(4)
+	o := lcl.NewOrientation(g) // in-degree 2 everywhere
+	if _, err := Orient034Invariant(o); err == nil {
+		t.Error("expected error for non-{0,3,4} orientation")
+	}
+}
+
+func TestRectGraph(t *testing.T) {
+	r := Rect{W: 4, H: 3}
+	if r.N() != 12 {
+		t.Fatal("N wrong")
+	}
+	if r.Degree(0) != 2 {
+		t.Error("corner degree should be 2")
+	}
+	if r.Degree(r.at(1, 0)) != 3 {
+		t.Error("border degree should be 3")
+	}
+	if r.Degree(r.at(1, 1)) != 4 {
+		t.Error("interior degree should be 4")
+	}
+	if len(r.Corners()) != 4 {
+		t.Error("4 corners expected")
+	}
+	// Degree must match the number of valid Neighbor indices, and all
+	// neighbours must be at grid distance 1.
+	for v := 0; v < r.N(); v++ {
+		for i := 0; i < r.Degree(v); i++ {
+			u := r.Neighbor(v, i)
+			x1, y1 := r.xy(v)
+			x2, y2 := r.xy(u)
+			if abs(x1-x2)+abs(y1-y2) != 1 {
+				t.Fatalf("neighbor %d of %d not adjacent", u, v)
+			}
+		}
+	}
+	var _ local.Graph = r
+}
+
+// TestProposition28 checks the corner ball-size formula C(r+2, 2).
+func TestProposition28(t *testing.T) {
+	for _, m := range []int{5, 8, 13} {
+		for rad := 0; rad < m; rad++ {
+			want := (rad + 1) * (rad + 2) / 2
+			if got := CornerBallSize(m, rad); got != want {
+				t.Fatalf("m=%d r=%d: ball=%d want C(r+2,2)=%d", m, rad, got, want)
+			}
+		}
+	}
+}
+
+// TestCornerSightRadiusIsSqrtN checks the Θ(√n) scaling of Theorem 27:
+// the corner sees another corner at radius m-1 < 2√n for n = m² nodes.
+func TestCornerSightRadiusIsSqrtN(t *testing.T) {
+	for _, m := range []int{4, 9, 16, 25} {
+		rad := CornerSightRadius(m)
+		if rad != m-1 {
+			t.Fatalf("m=%d: sight radius %d", m, rad)
+		}
+		if rad >= 2*m { // 2√n = 2m
+			t.Fatalf("m=%d: radius %d exceeds the 2√n bound", m, rad)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package coordination
+
+// Corner coordination (Appendix A.3): an engineered LCL problem on
+// general bounded-degree graphs with complexity Θ(√n). The upper bound
+// rests on Proposition 28: on a clean (non-toroidal) grid, the radius-r
+// ball around a corner node that has seen no other corner or broken node
+// contains C(r+2, 2) nodes, so within 2√n rounds a corner must see
+// another corner or a broken node.
+
+// Rect is a non-toroidal w×h grid graph (degree 2 at corners, 3 on
+// borders, 4 inside). It implements local.Graph.
+type Rect struct {
+	W, H int
+}
+
+// N returns the number of nodes.
+func (r Rect) N() int { return r.W * r.H }
+
+// xy returns the coordinates of node v.
+func (r Rect) xy(v int) (int, int) { return v % r.W, v / r.W }
+
+// at returns the node at (x, y).
+func (r Rect) at(x, y int) int { return y*r.W + x }
+
+// Degree returns the number of neighbours of v.
+func (r Rect) Degree(v int) int {
+	x, y := r.xy(v)
+	d := 4
+	if x == 0 || x == r.W-1 {
+		d--
+	}
+	if y == 0 || y == r.H-1 {
+		d--
+	}
+	return d
+}
+
+// Neighbor returns the i-th neighbour of v.
+func (r Rect) Neighbor(v, i int) int {
+	x, y := r.xy(v)
+	var nbrs []int
+	if x+1 < r.W {
+		nbrs = append(nbrs, r.at(x+1, y))
+	}
+	if x > 0 {
+		nbrs = append(nbrs, r.at(x-1, y))
+	}
+	if y+1 < r.H {
+		nbrs = append(nbrs, r.at(x, y+1))
+	}
+	if y > 0 {
+		nbrs = append(nbrs, r.at(x, y-1))
+	}
+	return nbrs[i]
+}
+
+// Corners returns the four corner nodes (degree 2).
+func (r Rect) Corners() []int {
+	return []int{r.at(0, 0), r.at(r.W-1, 0), r.at(0, r.H-1), r.at(r.W-1, r.H-1)}
+}
+
+// CornerBallSize returns the number of nodes within distance rad of the
+// (0,0) corner of an m×m grid; for rad < m this is C(rad+2, 2) =
+// (rad+1)(rad+2)/2 (Proposition 28).
+func CornerBallSize(m, rad int) int {
+	count := 0
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			if x+y <= rad {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// CornerSightRadius returns the smallest radius at which the (0,0)
+// corner of an m×m grid sees another corner: the Θ(√n) upper bound of
+// Theorem 27 in action (the radius is m-1 = Θ(√n) for n = m² nodes,
+// comfortably below the 2√n bound).
+func CornerSightRadius(m int) int {
+	// The nearest other corners are (m-1, 0) and (0, m-1).
+	return m - 1
+}

@@ -1,0 +1,111 @@
+package coordination
+
+import (
+	"fmt"
+
+	"lclgrid/internal/lcl"
+)
+
+// Orient034Invariant computes the Theorem 25 vertical-edge invariant of a
+// {0,3,4}-orientation and checks that it is identical for every row of
+// vertical edges, returning the common value r(G).
+//
+// Following the proof: the i-th vertical row of edges connects vertex
+// rows i and i+1. An edge in column x is labelled 0 if one of its
+// endpoints has in-degree 0; otherwise, with u⁻ and u⁺ the in-degree-0
+// vertices of rows i and i+1 in the columns closest to the left and to
+// the right of x, the label is +1 (edge oriented north) or -1 (south)
+// when u⁻ and u⁺ are at odd walking distance, and 0 otherwise.
+func Orient034Invariant(o *lcl.Orientation) (int, error) {
+	t := o.T
+	if t.Dim() != 2 {
+		return 0, fmt.Errorf("coordination: need a 2-dimensional torus")
+	}
+	if err := o.VerifyX([]int{0, 3, 4}); err != nil {
+		return 0, err
+	}
+	nx, ny := t.NX(), t.NY()
+	indeg := make([]int, t.N())
+	for v := range indeg {
+		indeg[v] = o.InDegree(v)
+	}
+
+	rowValue := func(i int) (int, error) {
+		top := (i + 1) % ny
+		// zeroAt[c] reports whether column c holds an in-degree-0 vertex
+		// in row i or i+1 (never both: two 0s cannot be adjacent).
+		zeroAt := make([]int, nx) // row of the zero, or -1
+		for c := 0; c < nx; c++ {
+			zeroAt[c] = -1
+			if indeg[t.At(c, i)] == 0 {
+				zeroAt[c] = i
+			}
+			if indeg[t.At(c, top)] == 0 {
+				if zeroAt[c] >= 0 {
+					return 0, fmt.Errorf("coordination: vertically adjacent in-degree-0 nodes in column %d", c)
+				}
+				zeroAt[c] = top
+			}
+		}
+		sum := 0
+		for x := 0; x < nx; x++ {
+			lo, hi := t.At(x, i), t.At(x, top)
+			if indeg[lo] == 0 || indeg[hi] == 0 {
+				continue
+			}
+			// Closest zero columns to the left and right.
+			lc, rc := -1, -1
+			for d := 1; d <= nx; d++ {
+				c := ((x-d)%nx + nx) % nx
+				if zeroAt[c] >= 0 {
+					lc = c
+					break
+				}
+			}
+			for d := 1; d <= nx; d++ {
+				c := (x + d) % nx
+				if zeroAt[c] >= 0 {
+					rc = c
+					break
+				}
+			}
+			if lc < 0 || rc < 0 {
+				return 0, fmt.Errorf("coordination: no in-degree-0 vertices near column %d", x)
+			}
+			// Walking distance from u⁻ to u⁺ eastwards through column x.
+			dx := ((rc-lc)%nx + nx) % nx
+			drow := 0
+			if zeroAt[lc] != zeroAt[rc] {
+				drow = 1
+			}
+			if (dx+drow)%2 == 0 {
+				continue
+			}
+			// Odd distance: +1 if the edge points north (up), -1 south.
+			if o.Out[1][lo] {
+				sum++
+			} else {
+				sum--
+			}
+		}
+		return sum, nil
+	}
+
+	r0, err := rowValue(0)
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < ny; i++ {
+		ri, err := rowValue(i)
+		if err != nil {
+			return 0, err
+		}
+		if ri != r0 {
+			return 0, fmt.Errorf("coordination: vertical-edge invariant differs: r(0)=%d r(%d)=%d", r0, i, ri)
+		}
+	}
+	if abs(r0) > nx/2 {
+		return 0, fmt.Errorf("coordination: |r(G)|=%d exceeds n/2", abs(r0))
+	}
+	return r0, nil
+}

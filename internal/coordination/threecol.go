@@ -1,0 +1,237 @@
+// Package coordination implements the lower-bound machinery of §9 and
+// §11 of the paper, and the Θ(√n) corner-coordination problem of
+// Appendix A.3.
+//
+// The §9 proof that 3-colouring is global reduces the q-sum coordination
+// problem on directed cycles (Theorem 10) to 3-colouring: every greedy
+// 3-colouring of the torus induces, through an auxiliary directed graph
+// on its colour-3 nodes, a per-row integer that is (Lemma 12) the same on
+// every row, has (Lemma 14) the parity of n, and is bounded by n/2 —
+// exactly the properties that make the coordination problem require Ω(n)
+// rounds. This package constructs the auxiliary graph and these
+// invariants so they can be verified computationally on real colourings,
+// and likewise the vertical-edge invariant of Theorem 25 for
+// {0,3,4}-orientations.
+package coordination
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+)
+
+// IsGreedy3Coloring checks that colors (values 1..3) form a proper greedy
+// 3-colouring of the 2-dimensional torus t: adjacent nodes differ, every
+// colour-2 node has a colour-1 neighbour, and every colour-3 node has
+// both colour-1 and colour-2 neighbours (§9's preprocessing assumption).
+func IsGreedy3Coloring(t *grid.Torus, colors []int) error {
+	for v := 0; v < t.N(); v++ {
+		c := colors[v]
+		if c < 1 || c > 3 {
+			return fmt.Errorf("coordination: node %d has colour %d outside 1..3", v, c)
+		}
+		seen := [4]bool{}
+		for p := 0; p < 4; p++ {
+			u := t.Neighbor(v, p)
+			if colors[u] == c {
+				return fmt.Errorf("coordination: monochromatic edge %d-%d", v, u)
+			}
+			seen[colors[u]] = true
+		}
+		if c >= 2 && !seen[1] {
+			return fmt.Errorf("coordination: colour-%d node %d has no colour-1 neighbour", c, v)
+		}
+		if c == 3 && !seen[2] {
+			return fmt.Errorf("coordination: colour-3 node %d has no colour-2 neighbour", v)
+		}
+	}
+	return nil
+}
+
+// MakeGreedy turns any proper 3-colouring into a greedy one by repeatedly
+// recolouring nodes to their smallest available colour until fixpoint
+// (§9: "by adding a constant-round preprocessing step, we may assume A
+// produces a greedy colouring").
+func MakeGreedy(t *grid.Torus, colors []int) []int {
+	out := append([]int(nil), colors...)
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < t.N(); v++ {
+			used := [5]bool{}
+			for p := 0; p < 4; p++ {
+				used[out[t.Neighbor(v, p)]] = true
+			}
+			for c := 1; c <= 3; c++ {
+				if !used[c] {
+					if c < out[v] {
+						out[v] = c
+						changed = true
+					}
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Aux is the §9 auxiliary directed graph H on the colour-3 nodes of a
+// greedy 3-colouring: a directed edge connects diagonal colour-3 nodes
+// whose two common neighbours have colours 1 and 2, oriented so that the
+// colour-1 neighbour lies to the left of the edge (Fig. 5).
+type Aux struct {
+	T      *grid.Torus
+	Colors []int
+	// Out[v] and In[v] list H-neighbours of v (empty for non-colour-3
+	// nodes).
+	Out, In [][]int
+}
+
+// BuildAux constructs the auxiliary graph for a greedy 3-colouring.
+func BuildAux(t *grid.Torus, colors []int) *Aux {
+	a := &Aux{T: t, Colors: colors, Out: make([][]int, t.N()), In: make([][]int, t.N())}
+	for v := 0; v < t.N(); v++ {
+		if colors[v] != 3 {
+			continue
+		}
+		x, y := t.XY(v)
+		// Consider the two "forward" diagonals from v to avoid double
+		// counting: NE (+1,+1) and NW (-1,+1).
+		for _, d := range [][2]int{{1, 1}, {-1, 1}} {
+			u := t.At(x+d[0], y+d[1])
+			if colors[u] != 3 {
+				continue
+			}
+			// Common neighbours of the diagonal pair.
+			w1 := t.At(x+d[0], y) // horizontal step first
+			w2 := t.At(x, y+d[1]) // vertical step first
+			c1, c2 := colors[w1], colors[w2]
+			if !(c1 == 1 && c2 == 2 || c1 == 2 && c2 == 1) {
+				continue
+			}
+			// Orient so that the colour-1 node is to the left. For the
+			// direction (dx,dy), offset (ax,ay) is left iff dx*ay-dy*ax>0.
+			// w2-v = (0, dy): cross = dx*dy; w1-v = (dx, 0): cross = -dy*dx.
+			var from, to int
+			if (c2 == 1) == (d[0]*d[1] > 0) {
+				from, to = v, u
+			} else {
+				from, to = u, v
+			}
+			a.Out[from] = append(a.Out[from], to)
+			a.In[to] = append(a.In[to], from)
+		}
+	}
+	return a
+}
+
+// RowLabel returns the Lemma 14 label ℓ(v) ∈ {-1, 0, 1} of a node: +1 if
+// v is a colour-3 node with unique H-in-neighbour on the row south of it
+// and unique H-out-neighbour on the row north of it (a northbound
+// intersection), -1 for the reverse, 0 otherwise.
+func (a *Aux) RowLabel(v int) int {
+	if a.Colors[v] != 3 || len(a.In[v]) != 1 || len(a.Out[v]) != 1 {
+		return 0
+	}
+	_, y := a.T.XY(v)
+	_, yu := a.T.XY(a.In[v][0])
+	_, yw := a.T.XY(a.Out[v][0])
+	n := a.T.NY()
+	south := (y - 1 + n) % n
+	north := (y + 1) % n
+	switch {
+	case yu == south && yw == north:
+		return 1
+	case yu == north && yw == south:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// RowSum returns s_r = Σ ℓ(v) over row r.
+func (a *Aux) RowSum(r int) int {
+	sum := 0
+	for x := 0; x < a.T.NX(); x++ {
+		sum += a.RowLabel(a.T.At(x, r))
+	}
+	return sum
+}
+
+// Invariant verifies the §9 invariants on a greedy 3-colouring and
+// returns the common row sum: every row has the same sum (Lemma 12 /
+// corollary), |s| <= n/2 and s odd when n is odd (Lemma 14).
+func (a *Aux) Invariant() (int, error) {
+	n := a.T.NY()
+	s := a.RowSum(0)
+	for r := 1; r < n; r++ {
+		if sr := a.RowSum(r); sr != s {
+			return 0, fmt.Errorf("coordination: row sums differ: s_0=%d s_%d=%d", s, r, sr)
+		}
+	}
+	if abs(s) > a.T.NX()/2 {
+		return 0, fmt.Errorf("coordination: |s|=%d exceeds n/2", abs(s))
+	}
+	if a.T.NX()%2 == 1 && s%2 == 0 {
+		return 0, fmt.Errorf("coordination: s=%d even on odd torus", s)
+	}
+	return s, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RandomThreeColoring produces a proper 3-colouring of the torus by
+// randomised backtracking (node order row-major, colour order shuffled
+// per node). It is used to sample diverse colourings for invariant
+// checks; it fails only if the torus admits no 3-colouring.
+func RandomThreeColoring(t *grid.Torus, rng *rand.Rand) ([]int, bool) {
+	colors := make([]int, t.N())
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == t.N() {
+			return lcl.VertexColoring(3, 2).Verify(t, toZeroBased(colors)) == nil
+		}
+		perm := rng.Perm(3)
+		for _, ci := range perm {
+			c := ci + 1
+			ok := true
+			// Check already-assigned neighbours (west and south, plus
+			// wrap-around edges once the far side is known).
+			for p := 0; p < 4; p++ {
+				u := t.Neighbor(v, p)
+				if u < v && colors[u] == c {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			colors[v] = c
+			if rec(v + 1) {
+				return true
+			}
+		}
+		colors[v] = 0
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return colors, true
+}
+
+func toZeroBased(colors []int) []int {
+	out := make([]int, len(colors))
+	for i, c := range colors {
+		out[i] = c - 1
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"lclgrid/internal/lcl"
+)
+
+// Class is a complexity class of LCL problems on toroidal grids. The
+// paper's classification theorem shows these three classes are exhaustive
+// for deterministic algorithms; deciding between LogStar and Global is
+// undecidable in general (§6), so the oracle below is one-sided.
+type Class int
+
+const (
+	// ClassUnknown means bounded synthesis failed: the problem is
+	// conjectured global, but no proof is produced (§7's one-sided
+	// oracle semantics).
+	ClassUnknown Class = iota
+	// ClassO1 marks trivial problems: a constant label tiles the grid.
+	ClassO1
+	// ClassLogStar marks problems with a synthesized normal-form
+	// algorithm, hence complexity Θ(log* n).
+	ClassLogStar
+	// ClassGlobal marks problems proven global by external arguments
+	// (e.g. the §9/§11 lower bounds or unsolvability for infinitely
+	// many n); the oracle itself never returns it.
+	ClassGlobal
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassO1:
+		return "O(1)"
+	case ClassLogStar:
+		return "Θ(log* n)"
+	case ClassGlobal:
+		return "Θ(n)"
+	default:
+		return "unknown (conjectured Θ(n))"
+	}
+}
+
+// Attempt records one synthesis attempt made by the oracle.
+type Attempt struct {
+	K, H, W  int
+	NumTiles int
+	Success  bool
+}
+
+// OracleResult is the outcome of ClassifyOracle.
+type OracleResult struct {
+	Class    Class
+	Alg      *Synthesized // non-nil iff Class == ClassLogStar
+	Attempts []Attempt
+}
+
+// ClassifyOracle implements the §7 synthesis-as-oracle procedure: trivial
+// problems are detected exactly (constant solutions are decidable on
+// toroidal grids); otherwise normal-form synthesis is attempted for
+// k = 1..maxK with the default and square window shapes. If synthesis
+// succeeds the problem is Θ(log* n) and an optimal algorithm is returned;
+// if all attempts fail the result is ClassUnknown — the caller may
+// conjecture the problem global, but (Thm 3) no terminating procedure can
+// confirm this in general.
+func ClassifyOracle(p *lcl.Problem, maxK int) OracleResult {
+	if len(p.ConstantSolutions()) > 0 {
+		return OracleResult{Class: ClassO1}
+	}
+	res := OracleResult{Class: ClassUnknown}
+	for k := 1; k <= maxK; k++ {
+		for _, win := range windowsForK(k) {
+			alg, err := Synthesize(p, k, win[0], win[1])
+			att := Attempt{K: k, H: win[0], W: win[1], Success: err == nil}
+			if alg != nil {
+				att.NumTiles = alg.Graph.NumTiles()
+			}
+			res.Attempts = append(res.Attempts, att)
+			if err == nil {
+				res.Class = ClassLogStar
+				res.Alg = alg
+				return res
+			}
+			if err != ErrUnsatisfiable {
+				// Construction errors are bugs, not UNSAT results.
+				panic(fmt.Sprintf("core: synthesis failed structurally: %v", err))
+			}
+		}
+	}
+	return res
+}
+
+// windowsForK returns the window shapes the oracle tries for a given
+// power: the paper's default shape and the square shape.
+func windowsForK(k int) [][2]int {
+	h, w := DefaultWindow(k)
+	if h == 2*k+1 && w == 2*k+1 {
+		return [][2]int{{h, w}}
+	}
+	return [][2]int{{h, w}, {2*k + 1, 2*k + 1}}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"lclgrid/internal/coloring"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+	"lclgrid/internal/tiles"
+)
+
+func TestBuildTileGraphK1(t *testing.T) {
+	tg, err := BuildTileGraph(1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumTiles() != 16 {
+		t.Fatalf("tiles = %d, want 16", tg.NumTiles())
+	}
+	if len(tg.HEdges) != tiles.Count(1, 3, 3) {
+		t.Errorf("HEdges = %d, want %d", len(tg.HEdges), tiles.Count(1, 3, 3))
+	}
+	if len(tg.VEdges) != tiles.Count(1, 4, 2) {
+		t.Errorf("VEdges = %d, want %d", len(tg.VEdges), tiles.Count(1, 4, 2))
+	}
+}
+
+func TestDefaultWindow(t *testing.T) {
+	if h, w := DefaultWindow(1); h != 3 || w != 2 {
+		t.Errorf("k=1 window = %dx%d, want 3x2", h, w)
+	}
+	if h, w := DefaultWindow(3); h != 7 || w != 5 {
+		t.Errorf("k=3 window = %dx%d, want 7x5", h, w)
+	}
+}
+
+// TestSynthesize4ColouringMatchesPaper reproduces the central §7 numbers:
+// 4-colouring synthesis fails for k = 1 and k = 2 and succeeds for k = 3
+// with 7×5 windows over exactly 2079 tiles.
+func TestSynthesize4ColouringMatchesPaper(t *testing.T) {
+	p := lcl.VertexColoring(4, 2)
+	if _, err := Synthesize(p, 1, 3, 2); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("k=1: err = %v, want ErrUnsatisfiable", err)
+	}
+	if _, err := Synthesize(p, 2, 5, 3); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("k=2: err = %v, want ErrUnsatisfiable", err)
+	}
+	alg, err := Synthesize(p, 3, 7, 5)
+	if err != nil {
+		t.Fatalf("k=3: %v", err)
+	}
+	if alg.Graph.NumTiles() != 2079 {
+		t.Errorf("k=3 tile count = %d, paper says 2079", alg.Graph.NumTiles())
+	}
+}
+
+func TestSynthesized4ColouringRuns(t *testing.T) {
+	p := lcl.VertexColoring(4, 2)
+	alg, err := Synthesize(p, 3, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.MinTorusSide() > 28 {
+		t.Fatalf("MinTorusSide = %d, expected <= 28", alg.MinTorusSide())
+	}
+	for _, n := range []int{28, 31} {
+		g := grid.Square(n)
+		for _, seed := range []int64{1, 2} {
+			out, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), seed))
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if err := p.Verify(g, out); err != nil {
+				t.Fatalf("n=%d seed=%d: invalid 4-colouring: %v", n, seed, err)
+			}
+			if rounds.Total() <= 0 {
+				t.Error("rounds not accounted")
+			}
+		}
+	}
+}
+
+// TestSynthesizeOrientation134 reproduces Lemma 23: {1,3,4}-orientation
+// is synthesizable with k = 1.
+func TestSynthesizeOrientation134(t *testing.T) {
+	op := lcl.XOrientation([]int{1, 3, 4}, 2)
+	alg, err := Synthesize(op.Problem, 1, 3, 3)
+	if err != nil {
+		t.Fatalf("k=1: %v", err)
+	}
+	g := grid.Square(16)
+	out, _, err := alg.Run(g, local.PermutedIDs(g.N(), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Verify(g, out); err != nil {
+		t.Fatalf("invalid SFT labelling: %v", err)
+	}
+	o := lcl.OrientationFromLabels(op, g, out)
+	if err := o.VerifyX([]int{1, 3, 4}); err != nil {
+		t.Fatalf("decoded orientation invalid: %v", err)
+	}
+}
+
+// TestSynthesizeMIS shows the oracle also covers the classic MIS problem
+// at k = 1 (anchors themselves are a valid solution).
+func TestSynthesizeMIS(t *testing.T) {
+	mp := lcl.MIS(2)
+	alg, err := Synthesize(mp.Problem, 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grid.Square(14)
+	out, _, err := alg.Run(g, local.PermutedIDs(g.N(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Verify(g, out); err != nil {
+		t.Fatalf("invalid labelling: %v", err)
+	}
+	set := lcl.SetFromMISLabels(mp, out)
+	if err := coloring.IsMIS(g, set); err != nil {
+		t.Fatalf("decoded set is not an MIS: %v", err)
+	}
+}
+
+func TestSynthesize3ColouringFails(t *testing.T) {
+	p := lcl.VertexColoring(3, 2)
+	for k := 1; k <= 2; k++ {
+		h, w := DefaultWindow(k)
+		if _, err := Synthesize(p, k, h, w); !errors.Is(err, ErrUnsatisfiable) {
+			t.Errorf("k=%d: err = %v, want ErrUnsatisfiable", k, err)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	p := lcl.VertexColoring(5, 2)
+	a1, err1 := Synthesize(p, 1, 3, 2)
+	a2, err2 := Synthesize(p, 1, 3, 2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range a1.Table {
+		if a1.Table[i] != a2.Table[i] {
+			t.Fatal("synthesis is not deterministic")
+		}
+	}
+}
+
+func TestSynthesizeRejectsNon2D(t *testing.T) {
+	if _, err := Synthesize(lcl.VertexColoring(3, 1), 1, 3, 2); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestRunRejectsSmallTorus(t *testing.T) {
+	p := lcl.VertexColoring(5, 2)
+	alg, err := Synthesize(p, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grid.Square(6)
+	if _, _, err := alg.Run(g, local.SequentialIDs(g.N())); err == nil {
+		t.Error("expected error on too-small torus")
+	}
+}
+
+func TestSolveGlobalColourings(t *testing.T) {
+	// 2-colouring: solvable iff n even (global problem).
+	if _, ok := SolveGlobal(lcl.VertexColoring(2, 2), grid.Square(5)); ok {
+		t.Error("2-colouring on odd torus should be unsolvable")
+	}
+	g := grid.Square(6)
+	sol, ok := SolveGlobal(lcl.VertexColoring(2, 2), g)
+	if !ok {
+		t.Fatal("2-colouring on even torus should be solvable")
+	}
+	if err := lcl.VertexColoring(2, 2).Verify(g, sol); err != nil {
+		t.Fatal(err)
+	}
+	// 3-colouring solvable on 7×7 (global in time, but solutions exist).
+	g7 := grid.Square(7)
+	sol, ok = SolveGlobal(lcl.VertexColoring(3, 2), g7)
+	if !ok {
+		t.Fatal("3-colouring on 7×7 should be solvable")
+	}
+	if err := lcl.VertexColoring(3, 2).Verify(g7, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveGlobalEdgeColouringParity(t *testing.T) {
+	// Thm 21: no edge 2d-colouring for odd n.
+	if _, ok := SolveGlobal(lcl.EdgeColoring(4, 2).Problem, grid.Square(3)); ok {
+		t.Error("edge 4-colouring on odd torus should be unsolvable")
+	}
+	g := grid.Square(4)
+	ep := lcl.EdgeColoring(4, 2)
+	sol, ok := SolveGlobal(ep.Problem, g)
+	if !ok {
+		t.Fatal("edge 4-colouring on even torus should be solvable")
+	}
+	if err := ep.Verify(g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveGlobalOrientationParity(t *testing.T) {
+	// Lemma 24: no {1,3}-orientation for odd n.
+	if _, ok := SolveGlobal(lcl.XOrientation([]int{1, 3}, 2).Problem, grid.Square(3)); ok {
+		t.Error("{1,3}-orientation on odd torus should be unsolvable")
+	}
+}
+
+func TestClassifyOracle(t *testing.T) {
+	if res := ClassifyOracle(lcl.IndependentSet(2), 1); res.Class != ClassO1 {
+		t.Errorf("independent set class = %v, want O(1)", res.Class)
+	}
+	if res := ClassifyOracle(lcl.XOrientation([]int{2}, 2).Problem, 1); res.Class != ClassO1 {
+		t.Errorf("X={2} class = %v, want O(1)", res.Class)
+	}
+	res := ClassifyOracle(lcl.VertexColoring(5, 2), 1)
+	if res.Class != ClassLogStar || res.Alg == nil {
+		t.Errorf("5-colouring class = %v, want Θ(log* n)", res.Class)
+	}
+	res = ClassifyOracle(lcl.VertexColoring(3, 2), 2)
+	if res.Class != ClassUnknown {
+		t.Errorf("3-colouring class = %v, want unknown", res.Class)
+	}
+	if len(res.Attempts) == 0 {
+		t.Error("expected recorded attempts")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassO1: "O(1)", ClassLogStar: "Θ(log* n)", ClassGlobal: "Θ(n)",
+	} {
+		if c.String() != want {
+			t.Errorf("String(%d) = %s", int(c), c)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if Diameter(grid.Square(8)) != 8 {
+		t.Error("8×8 diameter should be 8")
+	}
+	if Diameter(grid.Square(7)) != 6 {
+		t.Error("7×7 diameter should be 6")
+	}
+	if Diameter(grid.MustNew(5, 9, 4)) != 2+4+2 {
+		t.Error("3-D diameter wrong")
+	}
+}
+
+func TestSolveGlobalWithRounds(t *testing.T) {
+	g := grid.Square(6)
+	_, ok, rounds := SolveGlobalWithRounds(lcl.VertexColoring(3, 2), g)
+	if !ok || rounds.Total() != Diameter(g) {
+		t.Errorf("rounds = %d, want %d", rounds.Total(), Diameter(g))
+	}
+}
+
+func TestGatherRadius(t *testing.T) {
+	alg := &Synthesized{H: 7, W: 5, OffR: 3, OffC: 2}
+	if alg.GatherRadius() != 3+2 {
+		t.Errorf("GatherRadius = %d, want 5", alg.GatherRadius())
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+	"lclgrid/internal/sat"
+)
+
+// Diameter returns the diameter of the torus (the number of rounds a
+// gather-everything algorithm needs): the sum over dimensions of
+// floor(side/2) for the L1 metric.
+func Diameter(t *grid.Torus) int {
+	d := 0
+	for i := 0; i < t.Dim(); i++ {
+		d += t.Side(i) / 2
+	}
+	return d
+}
+
+// SolveGlobal decides whether the LCL problem p is solvable on the torus
+// t and returns a solution if so. It encodes the tiling directly as SAT
+// (one variable per node and label) — this is the Θ(n) brute-force
+// baseline of §7 ("gather the entire input at a single node and solve the
+// problem globally") as well as the (un)solvability certificate generator
+// used for global problems such as 2-colouring on odd tori.
+func SolveGlobal(p *lcl.Problem, t *grid.Torus) ([]int, bool) {
+	n, kk := t.N(), p.K()
+	s := sat.NewSolver(n * kk)
+	v := func(node, a int) int { return node*kk + a }
+	for node := 0; node < n; node++ {
+		lits := make([]sat.Lit, 0, kk)
+		for a := 0; a < kk; a++ {
+			if p.NodeOK(a) {
+				lits = append(lits, sat.Pos(v(node, a)))
+			} else {
+				s.AddClause(sat.Neg(v(node, a)))
+			}
+		}
+		s.AddClause(lits...)
+	}
+	for node := 0; node < n; node++ {
+		for dim := 0; dim < t.Dim(); dim++ {
+			u := t.Move(node, dim, 1)
+			for a := 0; a < kk; a++ {
+				if !p.NodeOK(a) {
+					continue
+				}
+				for b := 0; b < kk; b++ {
+					if !p.NodeOK(b) {
+						continue
+					}
+					if !p.Allowed(dim, a, b) {
+						s.AddClause(sat.Neg(v(node, a)), sat.Neg(v(u, b)))
+					}
+				}
+			}
+		}
+	}
+	if !s.Solve() {
+		return nil, false
+	}
+	out := make([]int, n)
+	for node := 0; node < n; node++ {
+		out[node] = -1
+		for a := 0; a < kk; a++ {
+			if p.NodeOK(a) && s.Value(v(node, a)) {
+				out[node] = a
+				break
+			}
+		}
+	}
+	return out, true
+}
+
+// SolveGlobalWithRounds is SolveGlobal with the round accounting of the
+// brute-force LOCAL algorithm it models: every node gathers the whole
+// labelled torus (Diameter rounds) and deterministically solves the
+// tiling, so all nodes agree on the same solution.
+func SolveGlobalWithRounds(p *lcl.Problem, t *grid.Torus) ([]int, bool, *local.Rounds) {
+	rounds := &local.Rounds{}
+	rounds.Add(Diameter(t))
+	out, ok := SolveGlobal(p, t)
+	return out, ok, rounds
+}

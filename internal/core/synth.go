@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lclgrid/internal/coloring"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+	"lclgrid/internal/sat"
+	"lclgrid/internal/tiles"
+)
+
+// ErrUnsatisfiable is returned by Synthesize when no lookup table exists
+// for the given power and window dimensions. Per §7 this does not prove
+// the problem global — a larger k or window may succeed — which is
+// exactly why classification is only one-sided.
+var ErrUnsatisfiable = errors.New("core: no normal-form table for these parameters")
+
+// Synthesized is a synthesized normal-form algorithm A = A' ∘ S_k for an
+// LCL problem on 2-dimensional grids: anchors are an MIS of G^(k), and
+// Table maps the h×w anchor window around a node (the node sits at
+// window position (OffR, OffC)) to its output label.
+type Synthesized struct {
+	Problem *lcl.Problem
+	K       int
+	H, W    int
+	// OffR, OffC is the node's position inside its window.
+	OffR, OffC int
+	Graph      *TileGraph
+	// Table[tileIndex] = output label.
+	Table []int
+	// SolverStats records the statistics of the successful SAT call.
+	SolverStats sat.Stats
+}
+
+// DefaultWindow returns the window dimensions used by the paper's
+// experiments for a given power: h = 2k+1 rows, w = max(2, 2k-1) columns
+// (3×2 for k = 1, 7×5 for k = 3).
+func DefaultWindow(k int) (h, w int) {
+	h = 2*k + 1
+	w = 2*k - 1
+	if w < 2 {
+		w = 2
+	}
+	return h, w
+}
+
+// Synthesize searches for a normal-form lookup table for problem p with
+// anchor power k and window dimensions h×w, following §7: it builds the
+// neighbourhood graph of tiles and solves the induced constraint
+// satisfaction problem with the CDCL SAT solver. The problem must be
+// 2-dimensional.
+func Synthesize(p *lcl.Problem, k, h, w int) (*Synthesized, error) {
+	if p.Dims() != 2 {
+		return nil, fmt.Errorf("core: synthesis implemented for 2-dimensional problems, %s is %d-dimensional", p.Name(), p.Dims())
+	}
+	tg, err := BuildTileGraph(k, h, w)
+	if err != nil {
+		return nil, err
+	}
+	table, stats, err := solveTileCSP(p, tg)
+	if err != nil {
+		return nil, err
+	}
+	return &Synthesized{
+		Problem:     p,
+		K:           k,
+		H:           h,
+		W:           w,
+		OffR:        h / 2,
+		OffC:        w / 2,
+		Graph:       tg,
+		Table:       table,
+		SolverStats: stats,
+	}, nil
+}
+
+// solveTileCSP encodes the tile-labelling CSP as SAT: variable (t, a) is
+// "tile t outputs label a"; every tile holds at least one valid label, and
+// the per-dimension relations hold across every edge of the tile graph.
+// At-most-one constraints are unnecessary because all edge constraints are
+// negative: any chosen label among a tile's true variables works.
+func solveTileCSP(p *lcl.Problem, tg *TileGraph) ([]int, sat.Stats, error) {
+	nt, kk := tg.NumTiles(), p.K()
+	s := sat.NewSolver(nt * kk)
+	v := func(t, a int) int { return t*kk + a }
+
+	for t := 0; t < nt; t++ {
+		lits := make([]sat.Lit, 0, kk)
+		for a := 0; a < kk; a++ {
+			if p.NodeOK(a) {
+				lits = append(lits, sat.Pos(v(t, a)))
+			} else {
+				s.AddClause(sat.Neg(v(t, a)))
+			}
+		}
+		s.AddClause(lits...)
+	}
+	addEdge := func(dim, t1, t2 int) {
+		for a := 0; a < kk; a++ {
+			if !p.NodeOK(a) {
+				continue
+			}
+			for b := 0; b < kk; b++ {
+				if !p.NodeOK(b) {
+					continue
+				}
+				if !p.Allowed(dim, a, b) {
+					s.AddClause(sat.Neg(v(t1, a)), sat.Neg(v(t2, b)))
+				}
+			}
+		}
+	}
+	for _, e := range tg.HEdges {
+		addEdge(0, e[0], e[1]) // west tile is the node, east tile its dim-0 successor
+	}
+	for _, e := range tg.VEdges {
+		addEdge(1, e[0], e[1]) // south tile is the node, north tile its dim-1 successor
+	}
+	if !s.Solve() {
+		return nil, s.Stats, ErrUnsatisfiable
+	}
+	table := make([]int, nt)
+	for t := 0; t < nt; t++ {
+		table[t] = -1
+		for a := 0; a < kk; a++ {
+			if p.NodeOK(a) && s.Value(v(t, a)) {
+				table[t] = a
+				break
+			}
+		}
+		if table[t] < 0 {
+			return nil, s.Stats, errors.New("core: SAT model leaves a tile unlabelled")
+		}
+	}
+	return table, s.Stats, nil
+}
+
+// MinTorusSide returns the smallest torus side on which the synthesized
+// algorithm is guaranteed correct: window-plus-margin regions must embed
+// isometrically in the plane so that every observed window is one of the
+// enumerated tiles.
+func (s *Synthesized) MinTorusSide() int {
+	m := s.H + 1
+	if s.W+1 > m {
+		m = s.W + 1
+	}
+	return 2 * (m + 2*s.K)
+}
+
+// GatherRadius returns the radius (in grid hops) a node needs to see its
+// whole anchor window: the largest L1 distance from the node's window
+// position to a window corner.
+func (s *Synthesized) GatherRadius() int {
+	maxR := s.OffR
+	if s.H-1-s.OffR > maxR {
+		maxR = s.H - 1 - s.OffR
+	}
+	maxC := s.OffC
+	if s.W-1-s.OffC > maxC {
+		maxC = s.W - 1 - s.OffC
+	}
+	return maxR + maxC
+}
+
+// Run executes the normal-form algorithm on the torus t with the given
+// identifier assignment: S_k computes the anchors in O(log* n) rounds,
+// then every node reads its anchor window and outputs the table entry.
+// The returned Rounds reflects the full account, including power-graph
+// simulation overhead and the window gather.
+func (s *Synthesized) Run(t *grid.Torus, ids []int) ([]int, *local.Rounds, error) {
+	if t.Dim() != 2 {
+		return nil, nil, errors.New("core: synthesized algorithms run on 2-dimensional tori")
+	}
+	if min := s.MinTorusSide(); t.NX() < min || t.NY() < min {
+		return nil, nil, fmt.Errorf("core: torus side must be at least %d for k=%d, %dx%d windows", min, s.K, s.H, s.W)
+	}
+	rounds := &local.Rounds{}
+	anchors := coloring.Anchors(t, s.K, grid.L1, ids, rounds)
+	out, err := s.Apply(t, anchors)
+	if err != nil {
+		return nil, nil, err
+	}
+	rounds.Add(s.GatherRadius())
+	return out, rounds, nil
+}
+
+// Apply evaluates only the constant-time component A' on a precomputed
+// anchor set: every node looks up its window pattern in the table.
+func (s *Synthesized) Apply(t *grid.Torus, anchors []bool) ([]int, error) {
+	out := make([]int, t.N())
+	for v := 0; v < t.N(); v++ {
+		x, y := t.XY(v)
+		win := t.WindowPattern(anchors, x-s.OffC, y+s.OffR, s.H, s.W)
+		key := (tiles.Pattern{H: s.H, W: s.W, Bits: win}).Key()
+		ti, ok := s.Graph.Index[key]
+		if !ok {
+			return nil, fmt.Errorf("core: observed window %s at node %d is not a tile (torus too small or anchors invalid)", key, v)
+		}
+		out[v] = s.Table[ti]
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+// Package core implements the paper's primary contribution: the speed-up
+// theorem and normal form for Θ(log* n) LCL problems on toroidal grids
+// (§5), the automatic synthesis of asymptotically optimal algorithms (§7),
+// the Θ(n) brute-force baseline, and the one-sided classification oracle
+// built from them.
+//
+// The normal form is A = A' ∘ S_k: S_k computes a maximal independent set
+// of the k-th power of the grid (the "anchors", problem-independent,
+// Θ(log* n) rounds), and A' is a finite lookup table from the h×w window
+// of anchor bits around a node to the node's output label. Synthesis
+// reduces the construction of A' to a constraint-satisfaction problem on
+// the neighbourhood graph of anchor tiles, solved with the CDCL solver.
+package core
+
+import (
+	"fmt"
+
+	"lclgrid/internal/tiles"
+)
+
+// TileGraph is the neighbourhood graph H of §7: nodes are the h×w anchor
+// tiles for MIS-in-G^(k); a horizontal edge connects the two h×w
+// restrictions of every h×(w+1) tile (west tile → east tile), a vertical
+// edge the two restrictions of every (h+1)×w tile (south tile → north
+// tile).
+type TileGraph struct {
+	K, H, W int
+	Tiles   []tiles.Pattern
+	Index   map[string]int
+	// HEdges[i] = {west tile index, east tile index}.
+	HEdges [][2]int
+	// VEdges[i] = {south tile index, north tile index}.
+	VEdges [][2]int
+}
+
+// BuildTileGraph enumerates the tiles and edges for power k and window
+// dimensions h×w.
+func BuildTileGraph(k, h, w int) (*TileGraph, error) {
+	tg := &TileGraph{
+		K:     k,
+		H:     h,
+		W:     w,
+		Tiles: tiles.Enumerate(k, h, w),
+		Index: make(map[string]int),
+	}
+	for i, p := range tg.Tiles {
+		tg.Index[p.Key()] = i
+	}
+	for _, joint := range tiles.Enumerate(k, h, w+1) {
+		west, east := joint.Sub(0, 0, h, w), joint.Sub(0, 1, h, w)
+		wi, ok1 := tg.Index[west.Key()]
+		ei, ok2 := tg.Index[east.Key()]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: horizontal joint tile %s restricts to a non-tile", joint.Key())
+		}
+		tg.HEdges = append(tg.HEdges, [2]int{wi, ei})
+	}
+	for _, joint := range tiles.Enumerate(k, h+1, w) {
+		north, south := joint.Sub(0, 0, h, w), joint.Sub(1, 0, h, w)
+		ni, ok1 := tg.Index[north.Key()]
+		si, ok2 := tg.Index[south.Key()]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: vertical joint tile %s restricts to a non-tile", joint.Key())
+		}
+		tg.VEdges = append(tg.VEdges, [2]int{si, ni})
+	}
+	return tg, nil
+}
+
+// NumTiles returns the number of tiles (nodes of H).
+func (tg *TileGraph) NumTiles() int { return len(tg.Tiles) }

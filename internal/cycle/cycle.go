@@ -1,0 +1,398 @@
+// Package cycle implements the fully decidable LCL theory on directed
+// cycles (§4 of the paper): every problem is represented by its output
+// neighbourhood graph H, whose elementary properties — self-loops,
+// flexible states, periods — determine the problem's complexity exactly,
+// and from which asymptotically optimal algorithms are synthesized
+// mechanically (Fig. 2).
+package cycle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lclgrid/internal/coloring"
+	"lclgrid/internal/core"
+	"lclgrid/internal/dgraph"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+)
+
+// Problem is an LCL problem on directed cycles: a finite alphabet and the
+// set of feasible windows of 2r+1 consecutive output labels (read in the
+// direction of the cycle's orientation).
+type Problem struct {
+	name    string
+	labels  []string
+	r       int
+	windows [][]int
+	feas    map[string]bool
+}
+
+// NewProblem constructs a cycle problem with checkability radius r from
+// its feasible (2r+1)-windows.
+func NewProblem(name string, labels []string, r int, windows [][]int) *Problem {
+	p := &Problem{name: name, labels: append([]string(nil), labels...), r: r, feas: make(map[string]bool)}
+	for _, w := range windows {
+		if len(w) != 2*r+1 {
+			panic(fmt.Sprintf("cycle: window %v has length %d, want %d", w, len(w), 2*r+1))
+		}
+		key := seqKey(w)
+		if !p.feas[key] {
+			p.feas[key] = true
+			p.windows = append(p.windows, append([]int(nil), w...))
+		}
+	}
+	return p
+}
+
+// FromSFT converts a 1-dimensional nearest-neighbour SFT problem into the
+// window representation with r = 1.
+func FromSFT(sp *lcl.Problem) *Problem {
+	if sp.Dims() != 1 {
+		panic("cycle: FromSFT needs a 1-dimensional problem")
+	}
+	k := sp.K()
+	labels := make([]string, k)
+	for i := range labels {
+		labels[i] = sp.Label(i)
+	}
+	var windows [][]int
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			for c := 0; c < k; c++ {
+				if sp.NodeOK(a) && sp.NodeOK(b) && sp.NodeOK(c) && sp.Allowed(0, a, b) && sp.Allowed(0, b, c) {
+					windows = append(windows, []int{a, b, c})
+				}
+			}
+		}
+	}
+	return NewProblem(sp.Name(), labels, 1, windows)
+}
+
+// Name returns the problem name.
+func (p *Problem) Name() string { return p.name }
+
+// K returns the alphabet size.
+func (p *Problem) K() int { return len(p.labels) }
+
+// R returns the checkability radius.
+func (p *Problem) R() int { return p.r }
+
+// Label returns the display name of label a.
+func (p *Problem) Label(a int) string { return p.labels[a] }
+
+// Windows returns the feasible windows (shared; do not modify).
+func (p *Problem) Windows() [][]int { return p.windows }
+
+// Feasible reports whether the given (2r+1)-window is feasible.
+func (p *Problem) Feasible(w []int) bool { return p.feas[seqKey(w)] }
+
+func seqKey(w []int) string {
+	parts := make([]string, len(w))
+	for i, x := range w {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Verify checks a labelling of the directed cycle c: every window of
+// 2r+1 consecutive labels must be feasible.
+func (p *Problem) Verify(c *grid.Torus, labelling []int) error {
+	if c.Dim() != 1 {
+		return fmt.Errorf("cycle: need a directed cycle, got %d dimensions", c.Dim())
+	}
+	n := c.N()
+	if len(labelling) != n {
+		return fmt.Errorf("cycle: labelling has %d entries for %d nodes", len(labelling), n)
+	}
+	w := make([]int, 2*p.r+1)
+	for v := 0; v < n; v++ {
+		for j := range w {
+			w[j] = labelling[(v+j)%n]
+		}
+		if !p.feas[seqKey(w)] {
+			return fmt.Errorf("cycle: window %v starting at node %d is infeasible for %s", w, v, p.name)
+		}
+	}
+	return nil
+}
+
+// NGraph is the output neighbourhood graph H of §4: one node per
+// 2r-window occurring in a feasible window, one edge per feasible
+// (2r+1)-window.
+type NGraph struct {
+	G     *dgraph.Graph
+	Seqs  [][]int
+	index map[string]int
+}
+
+// NeighbourhoodGraph builds H for the problem.
+func (p *Problem) NeighbourhoodGraph() *NGraph {
+	ng := &NGraph{index: make(map[string]int)}
+	id := func(seq []int) int {
+		key := seqKey(seq)
+		if i, ok := ng.index[key]; ok {
+			return i
+		}
+		i := len(ng.Seqs)
+		ng.index[key] = i
+		ng.Seqs = append(ng.Seqs, append([]int(nil), seq...))
+		return i
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+	for _, w := range p.windows {
+		u := id(w[:len(w)-1])
+		v := id(w[1:])
+		edges = append(edges, edge{u, v})
+	}
+	ng.G = dgraph.New(len(ng.Seqs))
+	seen := make(map[edge]bool)
+	for _, e := range edges {
+		if !seen[e] {
+			seen[e] = true
+			ng.G.AddEdge(e.u, e.v)
+		}
+	}
+	return ng
+}
+
+// NodeName returns the label-sequence name of H-node i.
+func (ng *NGraph) NodeName(p *Problem, i int) string {
+	parts := make([]string, len(ng.Seqs[i]))
+	for j, a := range ng.Seqs[i] {
+		parts[j] = p.Label(a)
+	}
+	return strings.Join(parts, "")
+}
+
+// Classification is the §4 complexity analysis of a cycle problem.
+type Classification struct {
+	Class core.Class
+	// SelfLoop is an H-node with a self-loop (constant solution), or -1.
+	SelfLoop int
+	// Flexible is a flexible H-node of minimum flexibility, or -1.
+	Flexible int
+	// Flexibility is the minimum k such that closed walks of every length
+	// >= k exist through the Flexible node (0 if none).
+	Flexibility int
+	// Solvable reports whether any solution exists for at least one n
+	// (H contains a cycle).
+	Solvable bool
+}
+
+// Classify determines the complexity class of the problem on directed
+// cycles (Claim 1): O(1) with a self-loop in H, Θ(log* n) with a flexible
+// node, and Θ(n) otherwise. Everything is decidable in the 1-dimensional
+// case, in contrast with 2-dimensional grids (§6).
+func (p *Problem) Classify() Classification {
+	ng := p.NeighbourhoodGraph()
+	res := Classification{SelfLoop: -1, Flexible: -1}
+
+	if loops := ng.G.SelfLoops(); len(loops) > 0 {
+		res.Class = core.ClassO1
+		res.SelfLoop = loops[0]
+		res.Solvable = true
+		return res
+	}
+
+	nv := ng.G.N()
+	best, bestFlex := -1, 0
+	for _, comp := range ng.G.SCCs() {
+		if ng.G.Period(comp) != 1 {
+			if ng.G.Period(comp) > 0 {
+				res.Solvable = true // some cycle exists, periodic
+			}
+			continue
+		}
+		res.Solvable = true
+		sort.Ints(comp)
+		for _, u := range comp {
+			flex, ok := flexibility(ng.G, u, nv)
+			if ok && (best < 0 || flex < bestFlex) {
+				best, bestFlex = u, flex
+			}
+		}
+	}
+	if best >= 0 {
+		res.Class = core.ClassLogStar
+		res.Flexible = best
+		res.Flexibility = bestFlex
+		return res
+	}
+	res.Class = core.ClassGlobal
+	return res
+}
+
+// flexibility returns the smallest k such that closed walks of every
+// length >= k through u exist, by explicit reachability up to the
+// Wielandt-style bound nv²+2nv+4.
+func flexibility(g *dgraph.Graph, u, nv int) (int, bool) {
+	bound := nv*nv + 2*nv + 4
+	reach := g.StepReachability(u, bound)
+	k := bound + 1
+	for l := bound; l >= 1; l-- {
+		if !reach[l][u] {
+			break
+		}
+		k = l
+	}
+	if k > bound-nv {
+		return 0, false // not enough certified headroom: not flexible
+	}
+	return k, true
+}
+
+// Algorithm is a synthesized asymptotically optimal algorithm for a cycle
+// problem, in the appropriate normal form for its class.
+type Algorithm struct {
+	P     *Problem
+	Class Classification
+
+	// O(1) case: the constant label.
+	constLabel int
+
+	// Θ(log* n) case: anchors carry the flexible window; gaps of length
+	// i are filled with a precomputed closed walk of length i through it.
+	ng       *NGraph
+	anchorHN int
+	k        int
+	gapWalks map[int][]int // gap length -> H-node walk (length gap+1)
+}
+
+// Synthesize builds an optimal algorithm for the problem: O(1), Θ(log* n)
+// normal form, or the Θ(n) brute-force solver, depending on its class.
+func (p *Problem) Synthesize() (*Algorithm, error) {
+	cls := p.Classify()
+	alg := &Algorithm{P: p, Class: cls}
+	switch cls.Class {
+	case core.ClassO1:
+		ng := p.NeighbourhoodGraph()
+		alg.constLabel = ng.Seqs[cls.SelfLoop][0]
+	case core.ClassLogStar:
+		alg.ng = p.NeighbourhoodGraph()
+		alg.anchorHN = cls.Flexible
+		alg.k = cls.Flexibility
+		alg.gapWalks = make(map[int][]int)
+		for i := alg.k + 1; i <= 2*alg.k+1; i++ {
+			w := alg.ng.G.Walk(cls.Flexible, cls.Flexible, i)
+			if w == nil {
+				return nil, fmt.Errorf("cycle: missing closed walk of length %d through flexible node", i)
+			}
+			alg.gapWalks[i] = w
+		}
+	case core.ClassGlobal:
+		if !cls.Solvable {
+			return nil, fmt.Errorf("cycle: %s has no solutions on any cycle", p.name)
+		}
+	}
+	return alg, nil
+}
+
+// K returns the anchor spacing parameter of the Θ(log* n) normal form
+// (the flexibility), or 0 for other classes.
+func (a *Algorithm) K() int { return a.k }
+
+// Run executes the algorithm on the directed cycle c and returns the
+// labelling and exact round count. For global problems it runs the
+// gather-and-solve brute force, failing when no solution exists for this
+// n.
+func (a *Algorithm) Run(c *grid.Torus, ids []int) ([]int, *local.Rounds, error) {
+	if c.Dim() != 1 {
+		return nil, nil, fmt.Errorf("cycle: need a directed cycle")
+	}
+	n := c.N()
+	rounds := &local.Rounds{}
+	switch a.Class.Class {
+	case core.ClassO1:
+		out := make([]int, n)
+		for i := range out {
+			out[i] = a.constLabel
+		}
+		return out, rounds, nil
+
+	case core.ClassLogStar:
+		if n < 2*a.k+2 {
+			return nil, nil, fmt.Errorf("cycle: need n >= %d for anchor spacing k=%d", 2*a.k+2, a.k)
+		}
+		anchors := coloring.Anchors(c, a.k, grid.L1, ids, rounds)
+		var pos []int
+		for v := 0; v < n; v++ {
+			if anchors[v] {
+				pos = append(pos, v)
+			}
+		}
+		out := make([]int, n)
+		for i, p := range pos {
+			next := pos[(i+1)%len(pos)]
+			gap := ((next-p)%n + n) % n
+			if gap == 0 {
+				gap = n
+			}
+			walk, ok := a.gapWalks[gap]
+			if !ok {
+				return nil, nil, fmt.Errorf("cycle: anchor gap %d outside [k+1, 2k+1]=[%d,%d]", gap, a.k+1, 2*a.k+1)
+			}
+			for t := 0; t < gap; t++ {
+				out[(p+t)%n] = a.ng.Seqs[walk[t]][0]
+			}
+		}
+		rounds.Add(2*a.k + 1 + a.P.r) // local assembly within a bounded radius
+		return out, rounds, nil
+
+	default:
+		// Brute force: gather the full cycle, then deterministically find
+		// a closed walk of length n in H.
+		rounds.Add(core.Diameter(c))
+		ng := a.ng
+		if ng == nil {
+			ng = a.P.NeighbourhoodGraph()
+		}
+		for u := 0; u < ng.G.N(); u++ {
+			if w := ng.G.Walk(u, u, n); w != nil {
+				out := make([]int, n)
+				for t := 0; t < n; t++ {
+					out[t] = ng.Seqs[w[t]][0]
+				}
+				return out, rounds, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("cycle: %s has no solution on a cycle of length %d", a.P.name, n)
+	}
+}
+
+// --- Catalogue: the Fig. 2 problems --------------------------------------
+
+// TwoColoring returns proper 2-colouring of the cycle (Θ(n), Fig. 2).
+func TwoColoring() *Problem { return FromSFT(lcl.VertexColoring(2, 1)) }
+
+// ThreeColoring returns proper 3-colouring of the cycle (Θ(log* n)).
+func ThreeColoring() *Problem { return FromSFT(lcl.VertexColoring(3, 1)) }
+
+// MIS returns the maximal independent set problem on cycles in the
+// paper's direct 0/1 formulation: a 1 has no neighbouring 1, a 0 has at
+// least one neighbouring 1 (Θ(log* n); Fig. 2 shows state 00 flexible
+// with walks of lengths 3 and 5).
+func MIS() *Problem {
+	var windows [][]int
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 2; c++ {
+				if b == 1 && (a == 1 || c == 1) {
+					continue
+				}
+				if b == 0 && a == 0 && c == 0 {
+					continue
+				}
+				windows = append(windows, []int{a, b, c})
+			}
+		}
+	}
+	return NewProblem("maximal independent set", []string{"0", "1"}, 1, windows)
+}
+
+// IndependentSet returns the plain independent set problem (O(1): the
+// all-0 labelling gives a self-loop in H).
+func IndependentSet() *Problem { return FromSFT(lcl.IndependentSet(1)) }

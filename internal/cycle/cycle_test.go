@@ -1,0 +1,277 @@
+package cycle
+
+import (
+	"testing"
+
+	"lclgrid/internal/core"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/local"
+)
+
+// TestFigure2Classification reproduces the classification of Fig. 2:
+// independent set is O(1) (self-loop), 3-colouring and MIS are Θ(log* n)
+// (flexible states), 2-colouring is Θ(n).
+func TestFigure2Classification(t *testing.T) {
+	tests := []struct {
+		p    *Problem
+		want core.Class
+	}{
+		{IndependentSet(), core.ClassO1},
+		{ThreeColoring(), core.ClassLogStar},
+		{MIS(), core.ClassLogStar},
+		{TwoColoring(), core.ClassGlobal},
+	}
+	for _, tt := range tests {
+		got := tt.p.Classify()
+		if got.Class != tt.want {
+			t.Errorf("%s: class = %v, want %v", tt.p.Name(), got.Class, tt.want)
+		}
+	}
+}
+
+// TestMISFlexibilityMatchesPaper checks the Fig. 2 caption: in the MIS
+// problem, state 00 has walks of lengths 3 and 5 back to itself, and
+// hence closed walks of every length larger than 7 (the paper's
+// coprime-sum bound). The exact analysis is sharper: the 01↔10 two-cycle
+// makes the minimum flexibility 2.
+func TestMISFlexibilityMatchesPaper(t *testing.T) {
+	p := MIS()
+	cls := p.Classify()
+	if cls.Class != core.ClassLogStar {
+		t.Fatalf("class = %v", cls.Class)
+	}
+	ng := p.NeighbourhoodGraph()
+	node00 := -1
+	for i := range ng.Seqs {
+		if ng.NodeName(p, i) == "00" {
+			node00 = i
+		}
+	}
+	if node00 < 0 {
+		t.Fatal("H node 00 missing")
+	}
+	// The paper's walks of lengths 3 and 5 through 00 exist, 1 and 2 do not.
+	for _, l := range []int{3, 5} {
+		if ng.G.Walk(node00, node00, l) == nil {
+			t.Errorf("no closed walk of length %d through 00", l)
+		}
+	}
+	for _, l := range []int{1, 2, 4} {
+		if ng.G.Walk(node00, node00, l) != nil {
+			t.Errorf("unexpected closed walk of length %d through 00", l)
+		}
+	}
+	// "hence also of any length larger than 7":
+	for l := 8; l <= 20; l++ {
+		if ng.G.Walk(node00, node00, l) == nil {
+			t.Errorf("no closed walk of length %d through 00", l)
+		}
+	}
+	// Exact minimum flexibility over all states is 2 (the 01↔10 cycle).
+	if cls.Flexibility != 2 {
+		t.Errorf("minimum flexibility = %d, want 2", cls.Flexibility)
+	}
+}
+
+func TestThreeColoringRuns(t *testing.T) {
+	p := ThreeColoring()
+	alg, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{8, 13, 64, 257} {
+		c := grid.Cycle(n)
+		for _, seed := range []int64{1, 9} {
+			out, rounds, err := alg.Run(c, local.PermutedIDs(n, seed))
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if err := p.Verify(c, out); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if rounds.Total() <= 0 {
+				t.Error("expected positive rounds")
+			}
+		}
+	}
+}
+
+func TestMISRunsAndDecodes(t *testing.T) {
+	p := MIS()
+	alg, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{20, 33, 100} {
+		c := grid.Cycle(n)
+		out, _, err := alg.Run(c, local.PermutedIDs(n, 4))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := p.Verify(c, out); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Decode to a set and check MIS on the cycle directly.
+		for v := 0; v < n; v++ {
+			succ, pred := out[(v+1)%n], out[(v+n-1)%n]
+			if out[v] == 1 && (succ == 1 || pred == 1) {
+				t.Fatalf("n=%d: adjacent members at %d", n, v)
+			}
+			if out[v] == 0 && succ == 0 && pred == 0 {
+				t.Fatalf("n=%d: undominated node %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIndependentSetConstant(t *testing.T) {
+	p := IndependentSet()
+	alg, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := grid.Cycle(17)
+	out, rounds, err := alg.Run(c, local.SequentialIDs(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds.Total() != 0 {
+		t.Errorf("O(1) algorithm used %d rounds", rounds.Total())
+	}
+	if err := p.Verify(c, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoColoringGlobal(t *testing.T) {
+	p := TwoColoring()
+	alg, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even n: solvable by brute force in Θ(n) rounds.
+	c := grid.Cycle(12)
+	out, rounds, err := alg.Run(c, local.SequentialIDs(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(c, out); err != nil {
+		t.Fatal(err)
+	}
+	if rounds.Total() != core.Diameter(c) {
+		t.Errorf("rounds = %d, want diameter %d", rounds.Total(), core.Diameter(c))
+	}
+	// Odd n: unsolvable.
+	if _, _, err := alg.Run(grid.Cycle(13), local.SequentialIDs(13)); err == nil {
+		t.Error("2-colouring of odd cycle should fail")
+	}
+}
+
+// TestRadiusTwoProblem exercises r = 2: a spacing-constrained ruling set
+// ("1"s pairwise more than 2 apart, no 5 consecutive "0"s) is flexible.
+func TestRadiusTwoProblem(t *testing.T) {
+	var windows [][]int
+	for m := 0; m < 1<<5; m++ {
+		w := make([]int, 5)
+		ok := true
+		ones := -1
+		anyOne := false
+		for j := 0; j < 5; j++ {
+			w[j] = (m >> j) & 1
+			if w[j] == 1 {
+				anyOne = true
+				if ones >= 0 && j-ones <= 2 {
+					ok = false
+				}
+				ones = j
+			}
+		}
+		if ok && anyOne {
+			windows = append(windows, w)
+		}
+	}
+	p := NewProblem("spacing-3 ruling set", []string{"0", "1"}, 2, windows)
+	cls := p.Classify()
+	if cls.Class != core.ClassLogStar {
+		t.Fatalf("class = %v, want Θ(log* n)", cls.Class)
+	}
+	alg, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{25, 40} {
+		c := grid.Cycle(n)
+		out, _, err := alg.Run(c, local.PermutedIDs(n, 2))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := p.Verify(c, out); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestThreeColoringFlexibilitySmall(t *testing.T) {
+	// H of 3-colouring has 2- and 3-cycles through every node: flexibility 2.
+	cls := ThreeColoring().Classify()
+	if cls.Flexibility != 2 {
+		t.Errorf("3-colouring flexibility = %d, want 2", cls.Flexibility)
+	}
+}
+
+func TestVerifyRejectsBadWindows(t *testing.T) {
+	p := ThreeColoring()
+	c := grid.Cycle(6)
+	lab := []int{0, 1, 0, 1, 0, 1}
+	if err := p.Verify(c, lab); err != nil {
+		t.Fatalf("alternating colouring should be fine: %v", err)
+	}
+	lab[3] = 1 // creates 1,1 adjacency? positions 3,4: 1,0 -- set both
+	lab[4] = 1
+	if err := p.Verify(c, lab); err == nil {
+		t.Error("expected verification failure")
+	}
+}
+
+func TestNeighbourhoodGraphShape(t *testing.T) {
+	// MIS H-graph: nodes 00, 01, 10 (11 never occurs), as in Fig. 2.
+	p := MIS()
+	ng := p.NeighbourhoodGraph()
+	if ng.G.N() != 3 {
+		t.Errorf("MIS H has %d nodes, want 3", ng.G.N())
+	}
+	names := map[string]bool{}
+	for i := range ng.Seqs {
+		names[ng.NodeName(p, i)] = true
+	}
+	for _, want := range []string{"00", "01", "10"} {
+		if !names[want] {
+			t.Errorf("missing H node %s", want)
+		}
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	p := MIS()
+	if !p.Feasible([]int{1, 0, 1}) {
+		t.Error("101 should be feasible")
+	}
+	if p.Feasible([]int{1, 1, 0}) {
+		t.Error("110 should be infeasible")
+	}
+}
+
+func TestUnsolvableProblem(t *testing.T) {
+	// A problem whose H is acyclic: label must strictly "increase", which
+	// cannot close a cycle. No solutions for any n.
+	var windows [][]int
+	windows = append(windows, []int{0, 1, 2})
+	p := NewProblem("strictly increasing", []string{"a", "b", "c"}, 1, windows)
+	cls := p.Classify()
+	if cls.Class != core.ClassGlobal || cls.Solvable {
+		t.Errorf("got class=%v solvable=%v, want global unsolvable", cls.Class, cls.Solvable)
+	}
+	if _, err := p.Synthesize(); err == nil {
+		t.Error("expected synthesis to fail for unsolvable problem")
+	}
+}

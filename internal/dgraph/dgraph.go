@@ -1,0 +1,247 @@
+// Package dgraph provides a small directed-graph substrate used by the
+// 1-dimensional (cycle) LCL theory of §4 of the paper: the
+// output-neighbourhood graph H of an LCL problem is a digraph whose
+// strongly connected structure and cycle-length arithmetic (periods,
+// flexibility) determine the problem's distributed complexity.
+package dgraph
+
+import (
+	"fmt"
+
+	"lclgrid/internal/logstar"
+)
+
+// Graph is a directed graph on nodes 0..n-1. The zero value is an empty
+// graph with no nodes; construct with New.
+type Graph struct {
+	out [][]int
+	in  [][]int
+	m   int
+}
+
+// New returns an empty directed graph with n nodes.
+func New(n int) *Graph {
+	return &Graph{out: make([][]int, n), in: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.out) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge adds the directed edge u -> v. Parallel edges are permitted but
+// never useful for the analyses in this package.
+func (g *Graph) AddEdge(u, v int) {
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.m++
+}
+
+// Out returns the out-neighbours of u (shared slice; do not modify).
+func (g *Graph) Out(u int) []int { return g.out[u] }
+
+// In returns the in-neighbours of u (shared slice; do not modify).
+func (g *Graph) In(u int) []int { return g.in[u] }
+
+// HasSelfLoop reports whether node u has an edge to itself.
+func (g *Graph) HasSelfLoop(u int) bool {
+	for _, v := range g.out[u] {
+		if v == u {
+			return true
+		}
+	}
+	return false
+}
+
+// SelfLoops returns all nodes with a self-loop.
+func (g *Graph) SelfLoops() []int {
+	var out []int
+	for u := 0; u < g.N(); u++ {
+		if g.HasSelfLoop(u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// SCCs returns the strongly connected components of the graph (Tarjan's
+// algorithm, iterative). Every node appears in exactly one component;
+// components are returned in reverse topological order.
+func (g *Graph) SCCs() [][]int {
+	n := g.N()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	type frame struct {
+		v, i int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] >= 0 {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{root, 0})
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.i < len(g.out[f.v]) {
+				w := g.out[f.v][f.i]
+				f.i++
+				if index[w] < 0 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Period returns the period of the strongly connected component comp: the
+// gcd of the lengths of all closed walks inside it. It returns 0 if the
+// component contains no edges (a trivial SCC). A period of 1 means the
+// component is aperiodic, which for the §4 theory makes its nodes
+// "flexible".
+func (g *Graph) Period(comp []int) int {
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	// BFS layering from comp[0]; gcd of (level[u]+1-level[w]) over
+	// intra-component edges u->w gives the period.
+	level := make(map[int]int, len(comp))
+	root := comp[0]
+	level[root] = 0
+	queue := []int{root}
+	period := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.out[u] {
+			if !inComp[w] {
+				continue
+			}
+			if lw, ok := level[w]; ok {
+				period = logstar.GCD(period, level[u]+1-lw)
+			} else {
+				level[w] = level[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return logstar.Abs(period)
+}
+
+// StepReachability returns a table reach[l][v] that reports whether v is
+// reachable from src by a walk of exactly l edges, for 0 <= l <= maxSteps.
+func (g *Graph) StepReachability(src, maxSteps int) [][]bool {
+	reach := make([][]bool, maxSteps+1)
+	reach[0] = make([]bool, g.N())
+	reach[0][src] = true
+	for l := 1; l <= maxSteps; l++ {
+		cur := make([]bool, g.N())
+		prev := reach[l-1]
+		for u := 0; u < g.N(); u++ {
+			if !prev[u] {
+				continue
+			}
+			for _, w := range g.out[u] {
+				cur[w] = true
+			}
+		}
+		reach[l] = cur
+	}
+	return reach
+}
+
+// Walk returns a walk from src to dst of exactly length edges, or nil if
+// none exists.
+func (g *Graph) Walk(src, dst, length int) []int {
+	if length < 0 {
+		return nil
+	}
+	// Backward reachability: can[l][v] == true iff dst is reachable from v
+	// in exactly l steps.
+	can := make([][]bool, length+1)
+	can[0] = make([]bool, g.N())
+	can[0][dst] = true
+	for l := 1; l <= length; l++ {
+		cur := make([]bool, g.N())
+		for u := 0; u < g.N(); u++ {
+			for _, w := range g.out[u] {
+				if can[l-1][w] {
+					cur[u] = true
+					break
+				}
+			}
+		}
+		can[l] = cur
+	}
+	if !can[length][src] {
+		return nil
+	}
+	walk := make([]int, 0, length+1)
+	walk = append(walk, src)
+	v := src
+	for l := length; l > 0; l-- {
+		for _, w := range g.out[v] {
+			if can[l-1][w] {
+				walk = append(walk, w)
+				v = w
+				break
+			}
+		}
+	}
+	return walk
+}
+
+// Validate checks internal consistency (edge endpoints in range); it is
+// used by tests.
+func (g *Graph) Validate() error {
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if v < 0 || v >= g.N() {
+				return fmt.Errorf("dgraph: edge %d->%d out of range", u, v)
+			}
+		}
+	}
+	return nil
+}

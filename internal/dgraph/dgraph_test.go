@@ -1,0 +1,193 @@
+package dgraph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSelfLoops(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 1)
+	g.AddEdge(2, 0)
+	if g.HasSelfLoop(0) || !g.HasSelfLoop(1) || g.HasSelfLoop(2) {
+		t.Error("self-loop detection wrong")
+	}
+	if got := g.SelfLoops(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("SelfLoops = %v", got)
+	}
+}
+
+func sortComps(comps [][]int) [][]int {
+	for _, c := range comps {
+		sort.Ints(c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+func TestSCCs(t *testing.T) {
+	// Two SCCs: {0,1,2} cycle, {3} sink, {4,5} 2-cycle.
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 4)
+	comps := sortComps(g.SCCs())
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	if len(comps) != len(want) {
+		t.Fatalf("got %d comps: %v", len(comps), comps)
+	}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("comp %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("comp %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSCCsSingletons(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if comps := g.SCCs(); len(comps) != 4 {
+		t.Errorf("path graph should have 4 singleton SCCs, got %v", comps)
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	// Directed 4-cycle: period 4.
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+	}
+	if p := g.Period([]int{0, 1, 2, 3}); p != 4 {
+		t.Errorf("4-cycle period = %d, want 4", p)
+	}
+
+	// 4-cycle plus a chord creating a 3-cycle: gcd(4,3)=1.
+	g2 := New(4)
+	for i := 0; i < 4; i++ {
+		g2.AddEdge(i, (i+1)%4)
+	}
+	g2.AddEdge(2, 0)
+	if p := g2.Period([]int{0, 1, 2, 3}); p != 1 {
+		t.Errorf("period with coprime cycles = %d, want 1", p)
+	}
+
+	// Self-loop: period 1.
+	g3 := New(1)
+	g3.AddEdge(0, 0)
+	if p := g3.Period([]int{0}); p != 1 {
+		t.Errorf("self-loop period = %d, want 1", p)
+	}
+
+	// Trivial SCC: period 0.
+	g4 := New(2)
+	g4.AddEdge(0, 1)
+	if p := g4.Period([]int{0}); p != 0 {
+		t.Errorf("trivial SCC period = %d, want 0", p)
+	}
+}
+
+func TestPeriodBipartiteCycle(t *testing.T) {
+	// Two 2-cycles sharing structure: 0<->1, all walks have even length.
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if p := g.Period([]int{0, 1}); p != 2 {
+		t.Errorf("period = %d, want 2", p)
+	}
+}
+
+func TestStepReachability(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	reach := g.StepReachability(0, 6)
+	for l := 0; l <= 6; l++ {
+		for v := 0; v < 3; v++ {
+			want := v == l%3
+			if reach[l][v] != want {
+				t.Fatalf("reach[%d][%d] = %v, want %v", l, v, reach[l][v], want)
+			}
+		}
+	}
+}
+
+func TestWalk(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+
+	for _, length := range []int{3, 4, 6, 7, 8} {
+		w := g.Walk(0, 0, length)
+		if w == nil {
+			t.Fatalf("no walk of length %d found", length)
+		}
+		checkWalk(t, g, w, 0, 0, length)
+	}
+	if w := g.Walk(0, 0, 1); w != nil {
+		t.Errorf("unexpected walk of length 1: %v", w)
+	}
+	if w := g.Walk(0, 0, 2); w != nil {
+		t.Errorf("unexpected walk of length 2: %v", w)
+	}
+	// Length 5 = 3+... only cycles of length 3 and 4 through 0: 5 impossible? 3+4=7, 3,4,6,7,8...
+	if w := g.Walk(0, 0, 5); w != nil {
+		t.Errorf("unexpected walk of length 5: %v", w)
+	}
+}
+
+func checkWalk(t *testing.T, g *Graph, walk []int, src, dst, length int) {
+	t.Helper()
+	if len(walk) != length+1 {
+		t.Fatalf("walk %v has %d edges, want %d", walk, len(walk)-1, length)
+	}
+	if walk[0] != src || walk[len(walk)-1] != dst {
+		t.Fatalf("walk %v endpoints wrong", walk)
+	}
+	for i := 0; i+1 < len(walk); i++ {
+		ok := false
+		for _, w := range g.Out(walk[i]) {
+			if w == walk[i+1] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("walk %v uses missing edge %d->%d", walk, walk[i], walk[i+1])
+		}
+	}
+}
+
+func TestWalkZeroLength(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	if w := g.Walk(0, 0, 0); len(w) != 1 || w[0] != 0 {
+		t.Errorf("zero-length walk = %v", w)
+	}
+	if w := g.Walk(0, 1, 0); w != nil {
+		t.Errorf("zero-length walk to other node should be nil, got %v", w)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}

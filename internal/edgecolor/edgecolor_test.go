@@ -1,0 +1,94 @@
+package edgecolor
+
+import (
+	"testing"
+
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+)
+
+// TestFiveColoring2D reproduces the d = 2 case of Theorem 15: a proper
+// edge 5-colouring of the 2-dimensional torus in Θ(log* n) rounds, with
+// the paper's constants (row spacing 2(4k+1)², k = 3), which require
+// n >= 679.
+func TestFiveColoring2D(t *testing.T) {
+	n := 680
+	g := grid.Square(n)
+	out, rounds, err := Run(g, local.PermutedIDs(g.N(), 1), Params{})
+	if err != nil {
+		t.Fatalf("n=%d: %v", n, err)
+	}
+	if err := out.VerifyProper(5); err != nil {
+		t.Fatalf("n=%d: %v", n, err)
+	}
+	if rounds.Total() <= 0 {
+		t.Error("rounds not accounted")
+	}
+
+	// Every row in every dimension must contain at least one edge of the
+	// special colour 4 (0-based; the paper's colour 2d+1), and the
+	// remaining edges of a q-row use only the colours {2q, 2q+1}.
+	for q := 0; q < 2; q++ {
+		for r := 0; r < n; r++ {
+			specials := 0
+			for i := 0; i < n; i++ {
+				var v int
+				if q == 0 {
+					v = g.At(i, r)
+				} else {
+					v = g.At(r, i)
+				}
+				c := out.C[q][v]
+				switch c {
+				case 4:
+					specials++
+				case 2 * q, 2*q + 1:
+				default:
+					t.Fatalf("dim %d row %d: colour %d outside palette", q, r, c)
+				}
+			}
+			if specials == 0 {
+				t.Fatalf("dim %d row %d has no special edge", q, r)
+			}
+		}
+	}
+
+	// Cross-check through the SFT representation.
+	p := lcl.EdgeColoring(5, 2)
+	lab, err := out.ToLabels(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(g, lab); err != nil {
+		t.Fatalf("SFT verification failed: %v", err)
+	}
+}
+
+func TestRejectsTooSmallTorus(t *testing.T) {
+	g := grid.Square(10)
+	if _, _, err := Run(g, local.SequentialIDs(g.N()), Params{}); err == nil {
+		t.Error("expected error for small torus")
+	}
+}
+
+// TestTheorem21Parity checks the 2d-colouring impossibility witness.
+func TestTheorem21Parity(t *testing.T) {
+	if !NoEvenColoringOddN(grid.Square(5)) {
+		t.Error("odd torus should witness impossibility")
+	}
+	if NoEvenColoringOddN(grid.Square(6)) {
+		t.Error("even torus admits 2d-colourings")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p2 := DefaultParams(2)
+	if p2.K != 3 || 2*p2.K <= 4*(2-1) {
+		t.Errorf("d=2 params %+v violate 2k > 4(d-1)", p2)
+	}
+	p3 := DefaultParams(3)
+	if 2*p3.K <= 4*(3-1) {
+		t.Errorf("d=3 params %+v violate 2k > 4(d-1)", p3)
+	}
+}

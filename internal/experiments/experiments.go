@@ -1,0 +1,387 @@
+// Package experiments regenerates every quantitative claim of the paper:
+// the Fig. 2 cycle classification, the §7 synthesis statistics, the
+// colouring and orientation thresholds, the normal-form round scaling,
+// the §6 undecidability construction, and the §9/§11 lower-bound
+// invariants. Each experiment prints the paper's claim next to the
+// measured value; EXPERIMENTS.md records a full run.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"lclgrid/internal/coloring"
+	"lclgrid/internal/coordination"
+	"lclgrid/internal/core"
+	"lclgrid/internal/cycle"
+	"lclgrid/internal/edgecolor"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/lm"
+	"lclgrid/internal/local"
+	"lclgrid/internal/logstar"
+	"lclgrid/internal/orient"
+	"lclgrid/internal/tiles"
+	"lclgrid/internal/tm"
+	"lclgrid/internal/vertexcolor"
+)
+
+// Experiment is a named, runnable reproduction of one paper artefact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Fig. 2: LCL classification on directed cycles", E1},
+		{"E2", "§7 tile counts (16 for k=1 3×2; 2079 for k=3 7×5)", E2},
+		{"E3", "§7 4-colouring synthesis (fails k=1,2; succeeds k=3)", E3},
+		{"E4", "Lemma 23: {1,3,4}-orientation synthesized with k=1", E4},
+		{"E5", "Thms 4+9: vertex colouring threshold (≤3 global, ≥4 log*)", E5},
+		{"E6", "Thms 15+21: edge colouring threshold (2d global, 2d+1 log*)", E6},
+		{"E7", "Thm 22: X-orientation classification, all 32 subsets", E7},
+		{"E8", "Fig. 1/Thm 2: normal-form round scaling vs global baseline", E8},
+		{"E9", "§6: L_M solvable iff M halts (undecidability gadget)", E9},
+		{"E10", "§9 Lemmas 12+14: 3-colouring row invariant", E10},
+		{"E11", "Thm 25: {0,3,4}-orientation vertical-edge invariant", E11},
+		{"E12", "A.3 Thm 27: corner coordination Θ(√n) radius", E12},
+	}
+}
+
+// E1 classifies the four Fig. 2 problems on directed cycles.
+func E1(w io.Writer) error {
+	fmt.Fprintln(w, "problem                      paper      measured")
+	rows := []struct {
+		p     *cycle.Problem
+		paper string
+	}{
+		{cycle.IndependentSet(), "O(1)"},
+		{cycle.ThreeColoring(), "Θ(log* n)"},
+		{cycle.MIS(), "Θ(log* n)"},
+		{cycle.TwoColoring(), "Θ(n)"},
+	}
+	for _, r := range rows {
+		cls := r.p.Classify()
+		fmt.Fprintf(w, "%-28s %-10s %s\n", r.p.Name(), r.paper, cls.Class)
+		if cls.Class.String() != r.paper {
+			return fmt.Errorf("E1: %s classified %v, paper says %s", r.p.Name(), cls.Class, r.paper)
+		}
+	}
+	return nil
+}
+
+// E2 reproduces the §7 tile counts.
+func E2(w io.Writer) error {
+	fmt.Fprintln(w, "power  window  paper  measured")
+	for _, row := range []struct{ k, h, wd, want int }{
+		{1, 3, 2, 16},
+		{3, 7, 5, 2079},
+	} {
+		got := tiles.Count(row.k, row.h, row.wd)
+		fmt.Fprintf(w, "k=%d    %d×%d     %-6d %d\n", row.k, row.h, row.wd, row.want, got)
+		if got != row.want {
+			return fmt.Errorf("E2: k=%d %dx%d: got %d tiles, paper says %d", row.k, row.h, row.wd, got, row.want)
+		}
+	}
+	return nil
+}
+
+// E3 runs the 4-colouring synthesis for k = 1, 2, 3 and then executes the
+// synthesized algorithm on a torus.
+func E3(w io.Writer) error {
+	p := lcl.VertexColoring(4, 2)
+	fmt.Fprintln(w, "k  window  tiles  paper      measured")
+	for _, row := range []struct {
+		k, h, wd int
+		want     bool
+	}{
+		{1, 3, 2, false}, {2, 5, 3, false}, {3, 7, 5, true},
+	} {
+		alg, err := core.Synthesize(p, row.k, row.h, row.wd)
+		ok := err == nil
+		nt := tiles.Count(row.k, row.h, row.wd)
+		fmt.Fprintf(w, "%d  %d×%d     %-6d %-10v %v\n", row.k, row.h, row.wd, nt, row.want, ok)
+		if ok != row.want {
+			return fmt.Errorf("E3: k=%d: synthesis success=%v, paper says %v", row.k, ok, row.want)
+		}
+		if ok {
+			g := grid.Square(28)
+			out, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), 1))
+			if err != nil {
+				return err
+			}
+			if err := p.Verify(g, out); err != nil {
+				return fmt.Errorf("E3: synthesized output invalid: %w", err)
+			}
+			fmt.Fprintf(w, "   run on 28×28 torus: verified 4-colouring, %d rounds, %d SAT conflicts\n",
+				rounds.Total(), alg.SolverStats.Conflicts)
+		}
+	}
+	return nil
+}
+
+// E4 synthesizes the two minimal Θ(log* n) orientation problems.
+func E4(w io.Writer) error {
+	for _, x := range [][]int{{1, 3, 4}, {0, 1, 3}} {
+		op, alg, err := orient.Synthesize(x)
+		if err != nil {
+			return fmt.Errorf("E4: X=%v: %w", x, err)
+		}
+		g := grid.Square(16)
+		out, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), 2))
+		if err != nil {
+			return err
+		}
+		if err := op.Verify(g, out); err != nil {
+			return err
+		}
+		o := lcl.OrientationFromLabels(op, g, out)
+		if err := o.VerifyX(x); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "X=%v: synthesized with k=%d (paper: k=1), verified on 16×16, %d rounds\n",
+			x, alg.K, rounds.Total())
+	}
+	return nil
+}
+
+// E5 walks the vertex-colouring threshold.
+func E5(w io.Writer) error {
+	fmt.Fprintln(w, "k  paper      evidence")
+	// k = 2: unsolvable on odd tori (global).
+	if _, ok := core.SolveGlobal(lcl.VertexColoring(2, 2), grid.Square(5)); ok {
+		return fmt.Errorf("E5: 2-colouring solvable on odd torus")
+	}
+	fmt.Fprintln(w, "2  Θ(n)       no solution on 5×5 (odd) torus: SAT certificate")
+	// k = 3: synthesis fails through k = 3 (one-sided global evidence),
+	// solutions exist (7×7).
+	for k := 1; k <= 3; k++ {
+		h, wd := core.DefaultWindow(k)
+		if _, err := core.Synthesize(lcl.VertexColoring(3, 2), k, h, wd); err == nil {
+			return fmt.Errorf("E5: 3-colouring synthesized at k=%d", k)
+		}
+	}
+	if _, ok := core.SolveGlobal(lcl.VertexColoring(3, 2), grid.Square(7)); !ok {
+		return fmt.Errorf("E5: 3-colouring unsolvable on 7×7")
+	}
+	fmt.Fprintln(w, "3  Θ(n)       synthesis UNSAT for k=1..3; solvable on 7×7 (Thm 9 proves Ω(n))")
+	// k = 4: synthesis succeeds (E3) and the §8 direct algorithm works.
+	g := grid.Square(128)
+	var rounds local.Rounds
+	colors, err := vertexcolor.Run(g, local.PermutedIDs(g.N(), 4), 31, &rounds)
+	if err != nil {
+		return err
+	}
+	if err := lcl.VertexColoring(4, 2).Verify(g, colors); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "4  Θ(log* n)  synthesis k=3 (E3) + §8 algorithm verified on 128×128 (ell=31, %d rounds)\n", rounds.Total())
+	// k = 5: synthesis already at k = 1.
+	if _, err := core.Synthesize(lcl.VertexColoring(5, 2), 1, 3, 2); err != nil {
+		return fmt.Errorf("E5: 5-colouring failed at k=1: %w", err)
+	}
+	fmt.Fprintln(w, "5  Θ(log* n)  synthesis k=1 (3×2 windows)")
+	return nil
+}
+
+// E6 walks the edge-colouring threshold for d = 2.
+func E6(w io.Writer) error {
+	fmt.Fprintln(w, "colours  paper      evidence")
+	if _, ok := core.SolveGlobal(lcl.EdgeColoring(4, 2).Problem, grid.Square(3)); ok {
+		return fmt.Errorf("E6: edge 4-colouring solvable on odd torus")
+	}
+	fmt.Fprintln(w, "4 (=2d)  Θ(n)       no solution on 3×3 (odd) torus: SAT certificate (Thm 21 parity)")
+	g := grid.Square(4)
+	ep := lcl.EdgeColoring(4, 2)
+	if sol, ok := core.SolveGlobal(ep.Problem, g); !ok || ep.Verify(g, sol) != nil {
+		return fmt.Errorf("E6: edge 4-colouring should exist on 4×4")
+	}
+	fmt.Fprintln(w, "4 (=2d)  —          solvable on even tori (4×4 SAT witness)")
+
+	big := grid.Square(680)
+	out, rounds, err := edgecolor.Run(big, local.PermutedIDs(big.N(), 1), edgecolor.Params{})
+	if err != nil {
+		return err
+	}
+	if err := out.VerifyProper(5); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "5 (=2d+1) Θ(log* n) §10 algorithm verified on 680×680 (paper constants k=3, spacing 338; %d rounds)\n",
+		rounds.Total())
+	return nil
+}
+
+// E7 prints the full Theorem 22 table and validates the Θ(log* n) cases
+// by synthesis and two global cases by unsolvability certificates.
+func E7(w io.Writer) error {
+	counts := map[core.Class]int{}
+	for _, row := range orient.Table() {
+		counts[row.Class]++
+		fmt.Fprintf(w, "X=%-14s %s\n", fmt.Sprint(row.X), row.Class)
+	}
+	if counts[core.ClassO1] != 16 || counts[core.ClassLogStar] != 3 || counts[core.ClassGlobal] != 13 {
+		return fmt.Errorf("E7: class counts %v do not match Thm 22", counts)
+	}
+	if _, ok := core.SolveGlobal(lcl.XOrientation([]int{1, 3}, 2).Problem, grid.Square(3)); ok {
+		return fmt.Errorf("E7: {1,3}-orientation solvable on odd torus (Lemma 24 violated)")
+	}
+	fmt.Fprintln(w, "spot check: {1,3} unsolvable on 3×3 (Lemma 24); {1,3,4}/{0,1,3} synthesized (E4)")
+	return nil
+}
+
+// E8 measures the Θ(log* n) vs Θ(n) round scaling of Fig. 1/Thm 2 using
+// the k = 1 synthesized 5-colouring against the gather-and-solve
+// baseline.
+func E8(w io.Writer) error {
+	alg, err := core.Synthesize(lcl.VertexColoring(5, 2), 1, 3, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "n      log*(n²)  normal-form rounds  global rounds (=diameter)")
+	prev := 0
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		g := grid.Square(n)
+		out, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), int64(n)))
+		if err != nil {
+			return err
+		}
+		if err := lcl.VertexColoring(5, 2).Verify(g, out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6d %-9d %-19d %d\n", n, logstar.LogStar(n*n), rounds.Total(), core.Diameter(g))
+		if prev != 0 && rounds.Total() > 3*prev {
+			return fmt.Errorf("E8: rounds grew superlogarithmically: %d -> %d", prev, rounds.Total())
+		}
+		prev = rounds.Total()
+	}
+	fmt.Fprintln(w, "normal-form rounds stay near-constant (log* growth); the baseline grows linearly.")
+	return nil
+}
+
+// E9 exercises the §6 construction: for a halting machine the solver
+// produces a P2 labelling accepted by the checker; for a non-halting
+// machine anchored labellings are rejected and only the Θ(n) P1 escape
+// remains.
+func E9(w io.Writer) error {
+	halting := tm.HaltingWriter(2)
+	p := lm.New(halting)
+	n := lm.TileSize(2) * 2
+	g := grid.Square(n)
+	labels, err := p.SolveLattice(g, 100)
+	if err != nil {
+		return err
+	}
+	if err := p.Verify(g, labels); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "halting M (%s, s=2): P2 labelling constructed and verified on %d×%d\n", halting.Name, n, n)
+
+	looper := lm.New(tm.RightLooper())
+	if err := looper.Verify(g, labels); err == nil {
+		return fmt.Errorf("E9: anchored labelling accepted for non-halting machine")
+	}
+	fmt.Fprintln(w, "non-halting M (right-looper): anchored labellings rejected by the checker")
+
+	p1, rounds, err := looper.SolveP1(grid.Square(9))
+	if err != nil {
+		return err
+	}
+	if err := looper.Verify(grid.Square(9), p1); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "non-halting M: only the P1 (3-colouring) escape remains — Θ(n) (%d rounds on 9×9)\n", rounds.Total())
+	return nil
+}
+
+// E10 verifies the §9 row invariants on sampled greedy 3-colourings.
+func E10(w io.Writer) error {
+	for _, n := range []int{6, 9, 12} {
+		g := grid.Square(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 3; trial++ {
+			colors, ok := coordination.RandomThreeColoring(g, rng)
+			if !ok {
+				return fmt.Errorf("E10: no 3-colouring on %d×%d", n, n)
+			}
+			aux := coordination.BuildAux(g, coordination.MakeGreedy(g, colors))
+			s, err := aux.Invariant()
+			if err != nil {
+				return fmt.Errorf("E10: n=%d: %w", n, err)
+			}
+			fmt.Fprintf(w, "n=%-3d trial=%d: all rows share s=%d (|s|<=n/2%s)\n",
+				n, trial, s, oddNote(n))
+		}
+	}
+	return nil
+}
+
+func oddNote(n int) string {
+	if n%2 == 1 {
+		return ", s odd"
+	}
+	return ""
+}
+
+// E11 verifies the Theorem 25 invariant on solver-generated
+// {0,3,4}-orientations.
+func E11(w io.Writer) error {
+	op := lcl.XOrientation([]int{0, 3, 4}, 2)
+	for _, n := range []int{4, 6} {
+		g := grid.Square(n)
+		sol, ok := core.SolveGlobal(op.Problem, g)
+		if !ok {
+			return fmt.Errorf("E11: no {0,3,4}-orientation on %d×%d", n, n)
+		}
+		o := lcl.OrientationFromLabels(op, g, sol)
+		r, err := coordination.Orient034Invariant(o)
+		if err != nil {
+			return fmt.Errorf("E11: n=%d: %w", n, err)
+		}
+		fmt.Fprintf(w, "n=%d: vertical-edge invariant constant across rows, r(G)=%d\n", n, r)
+	}
+	return nil
+}
+
+// E12 measures the corner-coordination radius of Theorem 27.
+func E12(w io.Writer) error {
+	fmt.Fprintln(w, "m     n=m²    sight radius  2√n bound  ball size C(r+2,2) ok")
+	for _, m := range []int{10, 25, 50, 100} {
+		rad := coordination.CornerSightRadius(m)
+		okBall := true
+		for r := 0; r < m; r++ {
+			if coordination.CornerBallSize(m, r) != (r+1)*(r+2)/2 {
+				okBall = false
+			}
+		}
+		if rad >= 2*m {
+			return fmt.Errorf("E12: m=%d radius %d above bound", m, rad)
+		}
+		fmt.Fprintf(w, "%-5d %-7d %-13d %-10d %v\n", m, m*m, rad, 2*m, okBall)
+	}
+	return nil
+}
+
+// E8RoundsFor4Coloring reports the synthesized 4-colouring (k=3) round
+// account for a given torus side; used by the benchmark harness.
+func E8RoundsFor4Coloring(n int) (int, error) {
+	alg, err := core.Synthesize(lcl.VertexColoring(4, 2), 3, 7, 5)
+	if err != nil {
+		return 0, err
+	}
+	g := grid.Square(n)
+	_, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), 1))
+	if err != nil {
+		return 0, err
+	}
+	return rounds.Total(), nil
+}
+
+// MISRoundBound re-exports the anchor round bound for documentation
+// purposes.
+func MISRoundBound(n, k int) int {
+	return coloring.MISRoundsUpperBound(grid.Square(n), k, grid.L1)
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperiments runs every experiment end to end; each one asserts
+// its paper-vs-measured agreement internally.
+func TestAllExperiments(t *testing.T) {
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			if err := e.Run(&sb); err != nil {
+				t.Fatalf("%s (%s): %v\noutput so far:\n%s", e.ID, e.Title, err, sb.String())
+			}
+			if sb.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestAllIDsUniqueAndOrdered(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 12 {
+		t.Errorf("expected 12 experiments, got %d", len(seen))
+	}
+}
+
+func TestE8RoundsFor4Coloring(t *testing.T) {
+	r, err := E8RoundsFor4Coloring(28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0 {
+		t.Error("rounds must be positive")
+	}
+}
+
+func TestMISRoundBound(t *testing.T) {
+	if MISRoundBound(16, 1) <= 0 {
+		t.Error("bound must be positive")
+	}
+}

@@ -1,0 +1,250 @@
+package lcl
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// PortName returns a human-readable name for port p on a dims-dimensional
+// grid (E, W, N, S in two dimensions; "0+", "0-", ... otherwise).
+func PortName(dims, p int) string {
+	if dims == 2 {
+		return [...]string{"E", "W", "N", "S"}[p]
+	}
+	sign := "+"
+	if p%2 == 1 {
+		sign = "-"
+	}
+	return fmt.Sprintf("%d%s", p/2, sign)
+}
+
+// VertexColoring returns the proper k-colouring problem on
+// dims-dimensional grids: adjacent nodes receive different labels. The
+// paper shows (Thms 4 and 9) that on 2-dimensional grids this is
+// Θ(log* n) for k >= 4 and global for k <= 3.
+func VertexColoring(k, dims int) *Problem {
+	labels := make([]string, k)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%d", i+1)
+	}
+	return NewProblem(
+		fmt.Sprintf("%d-colouring", k),
+		labels, dims,
+		func(dim, a, b int) bool { return a != b },
+		nil,
+	)
+}
+
+// IndependentSet returns the (not necessarily maximal) independent-set
+// problem: labels "out"/"in", no two adjacent "in". The empty set is a
+// solution, so the problem is trivial — O(1) (cf. Fig. 2).
+func IndependentSet(dims int) *Problem {
+	return NewProblem(
+		"independent set",
+		[]string{"out", "in"}, dims,
+		func(dim, a, b int) bool { return !(a == 1 && b == 1) },
+		nil,
+	)
+}
+
+// OrientationProblem is an X-orientation problem (§11) in SFT form
+// together with its decoding metadata.
+type OrientationProblem struct {
+	*Problem
+	// X is the sorted set of allowed in-degrees.
+	X []int
+	// Masks[label] is a bitmask over ports; bit p set means the edge at
+	// port p is oriented towards the node (contributes to its in-degree).
+	Masks []uint
+}
+
+// XOrientation returns the X-orientation problem on dims-dimensional
+// grids: orient every edge so that each node's in-degree lies in X.
+// Each label fixes the direction of all 2·dims incident edges; the
+// per-dimension relations force the two endpoints of an edge to agree.
+// X must contain at least one value in [0, 2·dims].
+func XOrientation(x []int, dims int) *OrientationProblem {
+	xs := append([]int(nil), x...)
+	sort.Ints(xs)
+	inX := make(map[int]bool, len(xs))
+	for _, d := range xs {
+		inX[d] = true
+	}
+	ports := 2 * dims
+	var labels []string
+	var masks []uint
+	for m := 0; m < 1<<ports; m++ {
+		if !inX[bits.OnesCount(uint(m))] {
+			continue
+		}
+		name := "in:"
+		if m == 0 {
+			name = "in:∅"
+		}
+		for p := 0; p < ports; p++ {
+			if m&(1<<p) != 0 {
+				name += PortName(dims, p)
+			}
+		}
+		labels = append(labels, name)
+		masks = append(masks, uint(m))
+	}
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("lcl: X-orientation with X=%v has no valid labels", x))
+	}
+	p := NewProblem(
+		fmt.Sprintf("X-orientation X=%v", xs),
+		labels, dims,
+		func(dim, a, b int) bool {
+			// The edge between u and its positive neighbour v in dim is
+			// u's port 2*dim and v's port 2*dim+1; exactly one endpoint
+			// sees it as incoming.
+			ain := masks[a]&(1<<(2*dim)) != 0
+			bin := masks[b]&(1<<(2*dim+1)) != 0
+			return ain != bin
+		},
+		nil,
+	)
+	return &OrientationProblem{Problem: p, X: xs, Masks: masks}
+}
+
+// EdgeColoringProblem is the proper edge k-colouring problem (§10) in SFT
+// form together with its decoding metadata.
+type EdgeColoringProblem struct {
+	*Problem
+	// KColors is the number of edge colours.
+	KColors int
+	// Tuples[label][port] is the colour of the half-edge at that port.
+	Tuples [][]int
+}
+
+// EdgeColoring returns the proper edge k-colouring problem on
+// dims-dimensional grids: adjacent edges (sharing a node) receive
+// different colours. Labels are injective assignments of colours to the
+// 2·dims ports; relations force the two endpoints of an edge to agree on
+// its colour. Requires k >= 2·dims (otherwise no labels exist).
+func EdgeColoring(k, dims int) *EdgeColoringProblem {
+	ports := 2 * dims
+	if k < ports {
+		panic(fmt.Sprintf("lcl: edge %d-colouring needs at least %d colours on %d-dimensional grids", k, ports, dims))
+	}
+	var labels []string
+	var tuples [][]int
+	tuple := make([]int, ports)
+	used := make([]bool, k)
+	var rec func(p int)
+	rec = func(p int) {
+		if p == ports {
+			name := ""
+			for q, c := range tuple {
+				if q > 0 {
+					name += ","
+				}
+				name += fmt.Sprintf("%s=%d", PortName(dims, q), c+1)
+			}
+			labels = append(labels, name)
+			tuples = append(tuples, append([]int(nil), tuple...))
+			return
+		}
+		for c := 0; c < k; c++ {
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			tuple[p] = c
+			rec(p + 1)
+			used[c] = false
+		}
+	}
+	rec(0)
+	p := NewProblem(
+		fmt.Sprintf("edge %d-colouring", k),
+		labels, dims,
+		func(dim, a, b int) bool { return tuples[a][2*dim] == tuples[b][2*dim+1] },
+		nil,
+	)
+	return &EdgeColoringProblem{Problem: p, KColors: k, Tuples: tuples}
+}
+
+// MISProblem is the maximal-independent-set problem in SFT form together
+// with its decoding metadata.
+type MISProblem struct {
+	*Problem
+	// InSet[label] reports whether the node itself is in the set.
+	InSet []bool
+	// Claims[label] is a bitmask over ports: bit p set means the label
+	// claims the neighbour at port p is in the set.
+	Claims []uint
+}
+
+// MIS returns the maximal-independent-set problem: the "in" label's
+// neighbours must all be "out" (independence) and every "out" node must
+// have an "in" neighbour (maximality, expressed through claimed
+// neighbour memberships that the relations force to be truthful).
+func MIS(dims int) *MISProblem {
+	ports := 2 * dims
+	var labels []string
+	var inSet []bool
+	var claims []uint
+	// The member label: in the set, all neighbours out.
+	labels = append(labels, "in")
+	inSet = append(inSet, true)
+	claims = append(claims, 0)
+	// Non-member labels: at least one claimed member neighbour.
+	for m := 1; m < 1<<ports; m++ {
+		name := "out,nbrs:"
+		for p := 0; p < ports; p++ {
+			if m&(1<<p) != 0 {
+				name += PortName(dims, p)
+			}
+		}
+		labels = append(labels, name)
+		inSet = append(inSet, false)
+		claims = append(claims, uint(m))
+	}
+	p := NewProblem(
+		"maximal independent set",
+		labels, dims,
+		func(dim, a, b int) bool {
+			aClaims := claims[a]&(1<<(2*dim)) != 0
+			bClaims := claims[b]&(1<<(2*dim+1)) != 0
+			return aClaims == inSet[b] && bClaims == inSet[a]
+		},
+		nil,
+	)
+	return &MISProblem{Problem: p, InSet: inSet, Claims: claims}
+}
+
+// MatchingProblem is the maximal-matching problem in SFT form together
+// with its decoding metadata.
+type MatchingProblem struct {
+	*Problem
+	// Via[label] is the port of the matched edge, or -1 for unmatched.
+	Via []int
+}
+
+// MaximalMatching returns the maximal-matching problem: every node is
+// matched along at most one incident edge, matched edges agree at both
+// endpoints, and no edge has both endpoints unmatched.
+func MaximalMatching(dims int) *MatchingProblem {
+	ports := 2 * dims
+	labels := []string{"unmatched"}
+	via := []int{-1}
+	for p := 0; p < ports; p++ {
+		labels = append(labels, "matched:"+PortName(dims, p))
+		via = append(via, p)
+	}
+	p := NewProblem(
+		"maximal matching",
+		labels, dims,
+		func(dim, a, b int) bool {
+			if via[a] == -1 && via[b] == -1 {
+				return false // unmatched edge between unmatched nodes
+			}
+			return (via[a] == 2*dim) == (via[b] == 2*dim+1)
+		},
+		nil,
+	)
+	return &MatchingProblem{Problem: p, Via: via}
+}

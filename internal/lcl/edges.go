@@ -1,0 +1,208 @@
+package lcl
+
+import (
+	"fmt"
+
+	"lclgrid/internal/grid"
+)
+
+// EdgeColors is a colouring of the edges of a torus: C[dim][v] is the
+// colour of the edge from v in the positive direction of dimension dim.
+// Every edge is stored exactly once, at its negative endpoint.
+type EdgeColors struct {
+	T *grid.Torus
+	C [][]int
+}
+
+// NewEdgeColors allocates an all-zero edge colouring for t.
+func NewEdgeColors(t *grid.Torus) *EdgeColors {
+	c := make([][]int, t.Dim())
+	for i := range c {
+		c[i] = make([]int, t.N())
+	}
+	return &EdgeColors{T: t, C: c}
+}
+
+// IncidentColors returns the colours of the 2d edges incident to v, in
+// port order (dim0+, dim0-, dim1+, dim1-, ...).
+func (e *EdgeColors) IncidentColors(v int) []int {
+	out := make([]int, 0, 2*e.T.Dim())
+	for i := 0; i < e.T.Dim(); i++ {
+		out = append(out, e.C[i][v], e.C[i][e.T.Move(v, i, -1)])
+	}
+	return out
+}
+
+// VerifyProper checks that e is a proper edge colouring with colours in
+// [0, k): edges sharing a node have pairwise different colours.
+func (e *EdgeColors) VerifyProper(k int) error {
+	for v := 0; v < e.T.N(); v++ {
+		inc := e.IncidentColors(v)
+		seen := make(map[int]bool, len(inc))
+		for _, c := range inc {
+			if c < 0 || c >= k {
+				return fmt.Errorf("lcl: node %d has incident edge colour %d outside [0,%d)", v, c, k)
+			}
+			if seen[c] {
+				return fmt.Errorf("lcl: node %d has two incident edges of colour %d", v, c)
+			}
+			seen[c] = true
+		}
+	}
+	return nil
+}
+
+// ToLabels encodes the edge colouring as a labelling of the SFT problem p.
+// It fails if some node's incident colours do not form a valid label
+// (e.g. repeated colours).
+func (e *EdgeColors) ToLabels(p *EdgeColoringProblem) ([]int, error) {
+	index := make(map[string]int, len(p.Tuples))
+	for l, tup := range p.Tuples {
+		index[fmt.Sprint(tup)] = l
+	}
+	out := make([]int, e.T.N())
+	for v := range out {
+		l, ok := index[fmt.Sprint(e.IncidentColors(v))]
+		if !ok {
+			return nil, fmt.Errorf("lcl: node %d incident colours %v are not a valid %s label", v, e.IncidentColors(v), p.Name())
+		}
+		out[v] = l
+	}
+	return out, nil
+}
+
+// Orientation is an orientation of the edges of a torus: Out[dim][v]
+// reports whether the edge from v in the positive direction of dim is
+// oriented away from v.
+type Orientation struct {
+	T   *grid.Torus
+	Out [][]bool
+}
+
+// NewOrientation allocates an orientation of t with all edges pointing in
+// the positive direction (the input orientation of the grid; in-degree d
+// everywhere).
+func NewOrientation(t *grid.Torus) *Orientation {
+	o := make([][]bool, t.Dim())
+	for i := range o {
+		o[i] = make([]bool, t.N())
+		for v := range o[i] {
+			o[i][v] = true
+		}
+	}
+	return &Orientation{T: t, Out: o}
+}
+
+// InDegree returns the number of edges oriented towards v.
+func (o *Orientation) InDegree(v int) int {
+	deg := 0
+	for i := 0; i < o.T.Dim(); i++ {
+		if !o.Out[i][v] { // positive edge points back at v
+			deg++
+		}
+		if o.Out[i][o.T.Move(v, i, -1)] { // negative neighbour points at v
+			deg++
+		}
+	}
+	return deg
+}
+
+// VerifyX checks that every node's in-degree is in the set x.
+func (o *Orientation) VerifyX(x []int) error {
+	ok := make(map[int]bool, len(x))
+	for _, d := range x {
+		ok[d] = true
+	}
+	for v := 0; v < o.T.N(); v++ {
+		if d := o.InDegree(v); !ok[d] {
+			return fmt.Errorf("lcl: node %d has in-degree %d, not in X=%v", v, d, x)
+		}
+	}
+	return nil
+}
+
+// ToLabels encodes the orientation as a labelling of the SFT problem p.
+// It fails if some node's in-degree is not in p.X.
+func (o *Orientation) ToLabels(p *OrientationProblem) ([]int, error) {
+	index := make(map[uint]int, len(p.Masks))
+	for l, m := range p.Masks {
+		index[m] = l
+	}
+	out := make([]int, o.T.N())
+	for v := range out {
+		var mask uint
+		for i := 0; i < o.T.Dim(); i++ {
+			if !o.Out[i][v] {
+				mask |= 1 << (2 * i)
+			}
+			if o.Out[i][o.T.Move(v, i, -1)] {
+				mask |= 1 << (2*i + 1)
+			}
+		}
+		l, ok := index[mask]
+		if !ok {
+			return nil, fmt.Errorf("lcl: node %d in-degree %d not allowed by %s", v, o.InDegree(v), p.Name())
+		}
+		out[v] = l
+	}
+	return out, nil
+}
+
+// OrientationFromLabels decodes a labelling of the SFT problem p into an
+// explicit orientation. The labelling should satisfy p (use Verify);
+// inconsistent labellings yield an orientation that disagrees with some
+// labels' claims.
+func OrientationFromLabels(p *OrientationProblem, t *grid.Torus, labelling []int) *Orientation {
+	o := NewOrientation(t)
+	for v := 0; v < t.N(); v++ {
+		mask := p.Masks[labelling[v]]
+		for i := 0; i < t.Dim(); i++ {
+			// Bit 2i set: the positive edge of v is incoming at v.
+			o.Out[i][v] = mask&(1<<(2*i)) == 0
+		}
+	}
+	return o
+}
+
+// SetFromMISLabels decodes a labelling of the MIS problem into the
+// membership set.
+func SetFromMISLabels(p *MISProblem, labelling []int) []bool {
+	out := make([]bool, len(labelling))
+	for v, l := range labelling {
+		out[v] = p.InSet[l]
+	}
+	return out
+}
+
+// MISToLabels encodes a maximal independent set as a labelling of the MIS
+// problem: each non-member's claims are its neighbours' true memberships.
+func MISToLabels(p *MISProblem, t *grid.Torus, set []bool) ([]int, error) {
+	index := make(map[uint]int, len(p.Claims))
+	memberLabel := -1
+	for l := range p.Claims {
+		if p.InSet[l] {
+			memberLabel = l
+		} else {
+			index[p.Claims[l]] = l
+		}
+	}
+	out := make([]int, t.N())
+	for v := range out {
+		if set[v] {
+			out[v] = memberLabel
+			continue
+		}
+		var mask uint
+		for port := 0; port < 2*t.Dim(); port++ {
+			if set[t.Neighbor(v, port)] {
+				mask |= 1 << port
+			}
+		}
+		l, ok := index[mask]
+		if !ok {
+			return nil, fmt.Errorf("lcl: node %d is not dominated (set not maximal)", v)
+		}
+		out[v] = l
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package lm
+
+import (
+	"strings"
+	"testing"
+
+	"lclgrid/internal/grid"
+	"lclgrid/internal/tm"
+)
+
+func TestTMHaltingWriter(t *testing.T) {
+	m := tm.HaltingWriter(3)
+	table, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Steps != 3 {
+		t.Errorf("steps = %d, want 3", table.Steps)
+	}
+	if table.Width != 4 {
+		t.Errorf("width = %d, want 4", table.Width)
+	}
+	// Row 0 is the empty tape with the head on cell 0 in state 0.
+	if !table.Rows[0][0].HasHead || table.Rows[0][0].State != 0 || table.Rows[0][0].Sym != tm.Blank {
+		t.Error("initial row wrong")
+	}
+	// Final row: cells 0..2 hold 1, head on cell 3 in the halting state.
+	last := table.Rows[table.Steps]
+	for i := 0; i < 3; i++ {
+		if last[i].Sym != 1 {
+			t.Errorf("final row cell %d = %d, want 1", i, last[i].Sym)
+		}
+	}
+	if !last[3].HasHead || !m.Halt[last[3].State] {
+		t.Error("head/halting state missing on final row")
+	}
+}
+
+func TestTMNonHalting(t *testing.T) {
+	if tm.RightLooper().Halts(10000) {
+		t.Error("right-looper must not halt")
+	}
+	if tm.Zigzag(3).Halts(10000) {
+		t.Error("zigzag must not halt")
+	}
+	if !tm.HaltingWriter(2).Halts(10) {
+		t.Error("writer must halt")
+	}
+}
+
+func TestTMValidate(t *testing.T) {
+	m := tm.HaltingWriter(2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &tm.Machine{NumStates: 1, NumSymbols: 1, Halt: []bool{false}, Delta: [][]tm.Rule{{{Write: 5, Move: 1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+// TestSolveLatticeVerifies is the heart of E9: for a halting machine the
+// P2 labelling exists, is constructed by the solver, and passes the §6
+// local checker.
+func TestSolveLatticeVerifies(t *testing.T) {
+	for _, steps := range []int{1, 2, 3} {
+		m := tm.HaltingWriter(steps)
+		p := New(m)
+		size := TileSize(steps)
+		for _, mult := range []int{1, 2} {
+			n := size * (1 + mult)
+			g := grid.Square(n)
+			labels, err := p.SolveLattice(g, 100)
+			if err != nil {
+				t.Fatalf("steps=%d n=%d: %v", steps, n, err)
+			}
+			if err := p.Verify(g, labels); err != nil {
+				t.Fatalf("steps=%d n=%d: checker rejected solver output: %v", steps, n, err)
+			}
+		}
+	}
+}
+
+func TestSolveLatticeRejectsNonHalting(t *testing.T) {
+	p := New(tm.RightLooper())
+	if _, err := p.SolveLattice(grid.Square(16), 1000); err == nil {
+		t.Error("expected failure for non-halting machine")
+	}
+}
+
+func TestSolveP1Verifies(t *testing.T) {
+	p := New(tm.RightLooper())
+	for _, n := range []int{6, 9, 8} {
+		g := grid.Square(n)
+		labels, rounds, err := p.SolveP1(g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := p.Verify(g, labels); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rounds.Total() < n/2 {
+			t.Errorf("n=%d: P1 rounds %d below diameter scale", n, rounds.Total())
+		}
+	}
+}
+
+func TestVerifyRejectsMixedParts(t *testing.T) {
+	p := New(tm.HaltingWriter(1))
+	g := grid.Square(8)
+	labels := make([]Label, g.N())
+	for v := range labels {
+		labels[v] = Label{P1: true, Color: 1 + (v % 3)}
+	}
+	labels[3].P1 = false
+	if err := p.Verify(g, labels); err == nil || !strings.Contains(err.Error(), "mixes") {
+		t.Errorf("expected mixed-part error, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedTable(t *testing.T) {
+	m := tm.HaltingWriter(2)
+	p := New(m)
+	n := TileSize(2) * 2
+	g := grid.Square(n)
+	labels, err := p.SolveLattice(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an anchor and corrupt a table cell east of it.
+	for v := range labels {
+		if labels[v].Q == TypeA {
+			x, y := g.XY(v)
+			u := g.At(x+1, y)
+			bad := *labels[u].Cell
+			bad.Sym = 1 - bad.Sym
+			labels[u].Cell = &bad
+			break
+		}
+	}
+	if err := p.Verify(g, labels); err == nil {
+		t.Error("tampered execution table accepted")
+	}
+}
+
+func TestVerifyRejectsBrokenDiagonalColoring(t *testing.T) {
+	m := tm.HaltingWriter(1)
+	p := New(m)
+	n := TileSize(1) * 2
+	g := grid.Square(n)
+	labels, err := p.SolveLattice(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one quadrant node's colour bit: its diagonal must clash.
+	for v := range labels {
+		if labels[v].Q == TypeSW && labels[v].Cell == nil {
+			labels[v].X = 1 - labels[v].X
+			break
+		}
+	}
+	if err := p.Verify(g, labels); err == nil {
+		t.Error("broken diagonal 2-colouring accepted")
+	}
+}
+
+func TestVerifyRejectsAnchorForNonHalting(t *testing.T) {
+	// Build a syntactically plausible labelling with an anchor for a
+	// non-halting machine: the checker must reject it because no finite
+	// execution table exists.
+	halting := New(tm.HaltingWriter(1))
+	n := TileSize(1) * 2
+	g := grid.Square(n)
+	labels, err := halting.SolveLattice(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looper := New(tm.RightLooper())
+	if err := looper.Verify(g, labels); err == nil {
+		t.Error("anchored labelling accepted for a non-halting machine")
+	}
+}
+
+func TestTypeForMatchesPaperEquations(t *testing.T) {
+	tests := []struct {
+		dx, dy int
+		want   Type
+	}{
+		{0, 0, TypeA},
+		{2, -1, TypeNW}, {-1, -3, TypeNE}, {1, 2, TypeSW}, {-2, 4, TypeSE},
+		{0, -2, TypeN}, {0, 3, TypeS}, {-1, 0, TypeE}, {3, 0, TypeW},
+	}
+	for _, tt := range tests {
+		if got := typeFor(tt.dx, tt.dy); got != tt.want {
+			t.Errorf("typeFor(%d,%d) = %v, want %v", tt.dx, tt.dy, got, tt.want)
+		}
+	}
+}
+
+func TestDiagStepPointsTowardsAnchor(t *testing.T) {
+	// Following diag from any non-anchor offset must strictly decrease
+	// the L1 distance to the anchor.
+	for dx := -4; dx <= 4; dx++ {
+		for dy := -4; dy <= 4; dy++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			q := typeFor(dx, dy)
+			sx, sy := diagStep(q)
+			ndx, ndy := dx+sx, dy+sy
+			if abs(ndx)+abs(ndy) >= abs(dx)+abs(dy) {
+				t.Fatalf("diag of type %v at (%d,%d) does not approach anchor", q, dx, dy)
+			}
+		}
+	}
+}

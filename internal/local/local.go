@@ -1,0 +1,239 @@
+// Package local implements the LOCAL model of distributed computing
+// (§3 of the paper): a synchronous network of processors on the nodes of a
+// graph, with unique identifiers and unbounded messages, where the
+// complexity measure is the number of communication rounds. A time-t
+// algorithm is equivalently a function from radius-t neighbourhood views
+// to local outputs.
+//
+// The package provides
+//
+//   - the Graph adjacency interface shared by all distributed algorithms,
+//   - a faithful synchronous message-passing simulator (Run),
+//   - a state-exchange helper (SyncRounds) for algorithms expressed in the
+//     "read neighbours' states each round" style, which is equivalent in
+//     the LOCAL model (messages have unbounded size),
+//   - identifier assignments, and
+//   - a Rounds accumulator for exact round accounting, including the
+//     multiplicative overhead of simulating power graphs.
+package local
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Graph is the adjacency interface of the network topology. Implementations
+// must be simple in the sense that the neighbour lists of a node contain no
+// duplicates.
+type Graph interface {
+	// N returns the number of nodes; nodes are 0..N()-1.
+	N() int
+	// Degree returns the number of neighbours of v.
+	Degree(v int) int
+	// Neighbor returns the i-th neighbour of v, 0 <= i < Degree(v).
+	Neighbor(v, i int) int
+}
+
+// MaxDegree returns the maximum degree of g.
+func MaxDegree(g Graph) int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SequentialIDs returns the identifier assignment id[v] = v+1.
+func SequentialIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	return ids
+}
+
+// PermutedIDs returns a deterministic pseudorandom permutation of
+// {1, ..., n} as the identifier assignment; the same seed yields the same
+// assignment. The LOCAL model guarantees only uniqueness and a poly(n)
+// identifier space, so algorithms must work for every seed.
+func PermutedIDs(n int, seed int64) []int {
+	ids := SequentialIDs(n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids
+}
+
+// ReversedIDs returns id[v] = n-v, an adversarial assignment that defeats
+// naive "smallest ID wins" heuristics along one sweep direction.
+func ReversedIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = n - i
+	}
+	return ids
+}
+
+// Rounds accumulates the round complexity of a composite algorithm.
+type Rounds struct {
+	total int
+}
+
+// Add records n additional communication rounds.
+func (r *Rounds) Add(n int) { r.total += n }
+
+// AddSimulated records n rounds of an algorithm executed on a power graph
+// whose simulation on the base graph costs overhead base rounds per
+// simulated round (§8: k for G^(k), k·d for G^[k]).
+func (r *Rounds) AddSimulated(n, overhead int) { r.total += n * overhead }
+
+// Total returns the accumulated number of rounds.
+func (r *Rounds) Total() int { return r.total }
+
+// SyncRounds executes the given number of synchronous rounds of a
+// state-exchange algorithm: in every round each node computes its next
+// state from its own state and its neighbours' current states. The update
+// function receives the node, the round (starting at 0), the node's state
+// and a neighbour accessor; it must not read any other state. Updates are
+// applied simultaneously (double buffering), as in the LOCAL model.
+func SyncRounds[S any](g Graph, state []S, rounds int, step func(v, round int, self S, nbr func(i int) S) S) {
+	n := g.N()
+	next := make([]S, n)
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			nbr := func(i int) S { return state[g.Neighbor(v, i)] }
+			next[v] = step(v, r, state[v], nbr)
+		}
+		copy(state, next)
+	}
+}
+
+// Proc is a process in the message-passing simulator. All processes start
+// in round 1 and run until they halt.
+type Proc interface {
+	// Step is called once per round. inbox holds the messages delivered
+	// this round, indexed by the port they arrived on (nil entries for
+	// none; in round 1 the inbox is all nil). The returned outbox is
+	// indexed by port (nil entries send nothing; a short or nil outbox
+	// sends nothing on the remaining ports). Returning halt stops the
+	// process; a halted process neither sends nor receives.
+	Step(round int, inbox []any) (outbox []any, halt bool)
+}
+
+// ErrMaxRounds is returned by Run when processes are still running after
+// the allowed number of rounds.
+var ErrMaxRounds = errors.New("local: maximum number of rounds exceeded")
+
+// Run executes the synchronous message-passing simulation of the given
+// processes (one per node of g) until all of them halt, and returns the
+// number of rounds executed. It fails with ErrMaxRounds if some process
+// is still running after maxRounds rounds.
+func Run(g Graph, procs []Proc, maxRounds int) (rounds int, err error) {
+	n := g.N()
+	if len(procs) != n {
+		return 0, fmt.Errorf("local: %d processes for %d nodes", len(procs), n)
+	}
+	reverse, err := reversePorts(g)
+	if err != nil {
+		return 0, err
+	}
+	running := n
+	halted := make([]bool, n)
+	inboxes := make([][]any, n)
+	nextInboxes := make([][]any, n)
+	for v := 0; v < n; v++ {
+		inboxes[v] = make([]any, g.Degree(v))
+		nextInboxes[v] = make([]any, g.Degree(v))
+	}
+	for round := 1; running > 0; round++ {
+		if round > maxRounds {
+			return round - 1, ErrMaxRounds
+		}
+		for v := 0; v < n; v++ {
+			clearMsgs(nextInboxes[v])
+		}
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			outbox, halt := procs[v].Step(round, inboxes[v])
+			for port, msg := range outbox {
+				if msg == nil {
+					continue
+				}
+				u := g.Neighbor(v, port)
+				nextInboxes[u][reverse[v][port]] = msg
+			}
+			if halt {
+				halted[v] = true
+				running--
+			}
+		}
+		inboxes, nextInboxes = nextInboxes, inboxes
+		rounds = round
+	}
+	return rounds, nil
+}
+
+func clearMsgs(msgs []any) {
+	for i := range msgs {
+		msgs[i] = nil
+	}
+}
+
+// reversePorts computes, for every node v and port i, the port of
+// g.Neighbor(v, i) that leads back to v. It fails if the graph is not
+// symmetric or a neighbour list contains duplicates.
+func reversePorts(g Graph) ([][]int, error) {
+	n := g.N()
+	rev := make([][]int, n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		rev[v] = make([]int, deg)
+		seen := make(map[int]bool, deg)
+		for i := 0; i < deg; i++ {
+			u := g.Neighbor(v, i)
+			if seen[u] {
+				return nil, fmt.Errorf("local: node %d has duplicate neighbour %d", v, u)
+			}
+			seen[u] = true
+			back := -1
+			for j := 0; j < g.Degree(u); j++ {
+				if g.Neighbor(u, j) == v {
+					back = j
+					break
+				}
+			}
+			if back < 0 {
+				return nil, fmt.Errorf("local: edge %d->%d has no reverse", v, u)
+			}
+			rev[v][i] = back
+		}
+	}
+	return rev, nil
+}
+
+// GatherBall returns, for every node v, the list of nodes within graph
+// distance t of v (including v), in BFS order. It models the standard
+// "collect the radius-t view" step of a time-t LOCAL algorithm; callers
+// must account t rounds.
+func GatherBall(g Graph, v, t int) []int {
+	dist := map[int]int{v: 0}
+	order := []int{v}
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		if dist[u] == t {
+			continue
+		}
+		for i := 0; i < g.Degree(u); i++ {
+			w := g.Neighbor(u, i)
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[u] + 1
+				order = append(order, w)
+			}
+		}
+	}
+	return order
+}

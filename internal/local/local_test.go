@@ -1,0 +1,218 @@
+package local
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lclgrid/internal/grid"
+)
+
+func TestIDsUnique(t *testing.T) {
+	for _, ids := range [][]int{SequentialIDs(50), PermutedIDs(50, 1), PermutedIDs(50, 7), ReversedIDs(50)} {
+		seen := make(map[int]bool)
+		for _, id := range ids {
+			if id < 1 || id > 50 {
+				t.Fatalf("id %d out of range", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestPermutedIDsDeterministic(t *testing.T) {
+	a, b := PermutedIDs(20, 42), PermutedIDs(20, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PermutedIDs not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestRounds(t *testing.T) {
+	var r Rounds
+	r.Add(3)
+	r.AddSimulated(5, 4)
+	if r.Total() != 23 {
+		t.Errorf("Total = %d, want 23", r.Total())
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g := grid.Square(5)
+	if MaxDegree(g) != 4 {
+		t.Error("torus max degree should be 4")
+	}
+	p := grid.NewPower(g, 2, grid.L1)
+	if MaxDegree(p) != 12 {
+		t.Error("power max degree should be 12")
+	}
+}
+
+func TestSyncRoundsFloodMax(t *testing.T) {
+	// Flooding the maximum ID for t rounds makes every node know the max
+	// ID within distance t.
+	g := grid.Square(6)
+	ids := PermutedIDs(g.N(), 3)
+	state := append([]int(nil), ids...)
+	tRounds := 4
+	SyncRounds(g, state, tRounds, func(v, round, self int, nbr func(i int) int) int {
+		best := self
+		for i := 0; i < g.Degree(v); i++ {
+			if x := nbr(i); x > best {
+				best = x
+			}
+		}
+		return best
+	})
+	for v := 0; v < g.N(); v++ {
+		want := 0
+		for u := 0; u < g.N(); u++ {
+			if g.Dist(u, v, grid.L1) <= tRounds && ids[u] > want {
+				want = ids[u]
+			}
+		}
+		if state[v] != want {
+			t.Fatalf("node %d: flooded max = %d, want %d", v, state[v], want)
+		}
+	}
+}
+
+func TestSyncRoundsSimultaneity(t *testing.T) {
+	// On a directed 2-coloured update, simultaneity matters: a sequential
+	// (non-double-buffered) implementation would converge differently.
+	c := grid.Cycle(4)
+	state := []int{1, 0, 0, 0}
+	SyncRounds(c, state, 1, func(v, round, self int, nbr func(i int) int) int {
+		return nbr(1) // copy predecessor's value
+	})
+	want := []int{0, 1, 0, 0}
+	for i := range want {
+		if state[i] != want[i] {
+			t.Fatalf("state = %v, want %v", state, want)
+		}
+	}
+}
+
+// broadcastProc floods its ID and halts after a fixed number of rounds.
+type broadcastProc struct {
+	best   int
+	degree int
+	limit  int
+}
+
+func (p *broadcastProc) Step(round int, inbox []any) ([]any, bool) {
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if v := m.(int); v > p.best {
+			p.best = v
+		}
+	}
+	if round >= p.limit {
+		return nil, true
+	}
+	out := make([]any, p.degree)
+	for i := range out {
+		out[i] = p.best
+	}
+	return out, false
+}
+
+func TestRunBroadcast(t *testing.T) {
+	g := grid.Square(5)
+	ids := PermutedIDs(g.N(), 9)
+	procs := make([]Proc, g.N())
+	limit := 6
+	for v := range procs {
+		procs[v] = &broadcastProc{best: ids[v], degree: g.Degree(v), limit: limit}
+	}
+	rounds, err := Run(g, procs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != limit {
+		t.Errorf("rounds = %d, want %d", rounds, limit)
+	}
+	// After limit rounds each node has seen IDs from distance <= limit-1
+	// (messages sent in round 1 arrive in round 2).
+	for v := 0; v < g.N(); v++ {
+		want := 0
+		for u := 0; u < g.N(); u++ {
+			if g.Dist(u, v, grid.L1) <= limit-1 && ids[u] > want {
+				want = ids[u]
+			}
+		}
+		got := procs[v].(*broadcastProc).best
+		if got != want {
+			t.Fatalf("node %d best = %d, want %d", v, got, want)
+		}
+	}
+}
+
+type neverHalt struct{}
+
+func (neverHalt) Step(int, []any) ([]any, bool) { return nil, false }
+
+func TestRunMaxRounds(t *testing.T) {
+	g := grid.Cycle(3)
+	procs := []Proc{neverHalt{}, neverHalt{}, neverHalt{}}
+	if _, err := Run(g, procs, 10); err != ErrMaxRounds {
+		t.Errorf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestRunProcCountMismatch(t *testing.T) {
+	g := grid.Cycle(3)
+	if _, err := Run(g, []Proc{neverHalt{}}, 10); err == nil {
+		t.Error("expected error for wrong proc count")
+	}
+}
+
+func TestGatherBall(t *testing.T) {
+	g := grid.Square(7)
+	v := g.At(3, 3)
+	ball := GatherBall(g, v, 2)
+	sort.Ints(ball)
+	var want []int
+	for u := 0; u < g.N(); u++ {
+		if g.Dist(u, v, grid.L1) <= 2 {
+			want = append(want, u)
+		}
+	}
+	if len(ball) != len(want) {
+		t.Fatalf("ball size = %d, want %d", len(ball), len(want))
+	}
+	for i := range want {
+		if ball[i] != want[i] {
+			t.Fatalf("ball = %v, want %v", ball, want)
+		}
+	}
+}
+
+func TestGatherBallRadiusProperty(t *testing.T) {
+	g := grid.Square(9)
+	f := func(a uint8, r uint8) bool {
+		v := int(a) % g.N()
+		t := int(r % 5)
+		ball := GatherBall(g, v, t)
+		return len(ball) == ballSize(g, v, t)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func ballSize(g *grid.Torus, v, t int) int {
+	c := 0
+	for u := 0; u < g.N(); u++ {
+		if g.Dist(u, v, grid.L1) <= t {
+			c++
+		}
+	}
+	return c
+}

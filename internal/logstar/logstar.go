@@ -1,0 +1,93 @@
+// Package logstar provides the small number-theoretic utilities the
+// symmetry-breaking algorithms of the paper rely on: the iterated
+// logarithm log*, primality testing and prime search (for Linial's
+// colour-reduction polynomials), and gcd (for the flexibility analysis of
+// output-neighbourhood graphs on cycles).
+package logstar
+
+// LogStar returns log*(n): the number of times log2 must be iterated,
+// starting from n, before the result is at most 1. LogStar(n) = 0 for
+// n <= 1.
+func LogStar(n int) int {
+	count := 0
+	for n > 1 {
+		n = Log2Ceil(n)
+		count++
+	}
+	return count
+}
+
+// log2 returns floor(log2(n)) for n >= 1.
+func log2(n int) int {
+	b := -1
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1, and 0 for n <= 1.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := log2(n - 1)
+	return b + 1
+}
+
+// GCD returns the greatest common divisor of a and b; GCD(0, 0) = 0.
+// Negative inputs are treated by absolute value.
+func GCD(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// IsPrime reports whether n is a prime number.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime strictly greater than n.
+func NextPrime(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	for p := n + 1; ; p++ {
+		if IsPrime(p) {
+			return p
+		}
+	}
+}
+
+// CeilDiv returns ceil(a/b) for b > 0.
+func CeilDiv(a, b int) int {
+	return (a + b - 1) / b
+}
+
+// Abs returns the absolute value of x.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,137 @@
+package logstar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 3}, {17, 4},
+		{65536, 4}, {65537, 5}, {1 << 20, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.n); got != tt.want {
+			t.Errorf("LogStar(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestLogStarMonotone(t *testing.T) {
+	prev := 0
+	for n := 1; n < 100000; n++ {
+		cur := LogStar(n)
+		if cur < prev {
+			t.Fatalf("LogStar not monotone at n=%d: %d < %d", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, tt := range tests {
+		if got := Log2Ceil(tt.n); got != tt.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestGCD(t *testing.T) {
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {17, 13, 1},
+		{-12, 18, 6}, {12, -18, 6}, {100, 100, 100},
+	}
+	for _, tt := range tests {
+		if got := GCD(tt.a, tt.b); got != tt.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestGCDProperties(t *testing.T) {
+	// gcd divides both arguments and is symmetric.
+	f := func(a, b int16) bool {
+		x, y := int(a), int(b)
+		g := GCD(x, y)
+		if g != GCD(y, x) {
+			return false
+		}
+		if g == 0 {
+			return x == 0 && y == 0
+		}
+		return x%g == 0 && y%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 11: true, 13: true, 97: true, 7919: true}
+	for n := -5; n < 100; n++ {
+		want := primes[n]
+		if n >= 2 {
+			want = trialDivision(n)
+		}
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func trialDivision(n int) bool {
+	for d := 2; d < n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return n >= 2
+}
+
+func TestNextPrime(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 2}, {1, 2}, {2, 3}, {3, 5}, {4, 5}, {24, 29}, {89, 97}, {544, 547},
+	}
+	for _, tt := range tests {
+		if got := NextPrime(tt.n); got != tt.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestNextPrimeIsPrimeAndMinimal(t *testing.T) {
+	for n := 0; n < 2000; n++ {
+		p := NextPrime(n)
+		if !IsPrime(p) || p <= n {
+			t.Fatalf("NextPrime(%d) = %d invalid", n, p)
+		}
+		for q := n + 1; q < p; q++ {
+			if IsPrime(q) {
+				t.Fatalf("NextPrime(%d) = %d skipped prime %d", n, p, q)
+			}
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	tests := []struct{ a, b, want int }{
+		{0, 3, 0}, {1, 3, 1}, {3, 3, 1}, {4, 3, 2}, {9, 3, 3}, {10, 3, 4},
+	}
+	for _, tt := range tests {
+		if got := CeilDiv(tt.a, tt.b); got != tt.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if Abs(-3) != 3 || Abs(3) != 3 || Abs(0) != 0 {
+		t.Error("Abs broken")
+	}
+}

@@ -1,0 +1,106 @@
+// Package orient implements the exhaustive classification of
+// X-orientation problems on 2-dimensional grids (§11, Theorem 22): for
+// X ⊆ {0,...,4}, orient every edge so that each node's in-degree lies in
+// X. The problem is O(1) when 2 ∈ X (the input orientation works),
+// Θ(log* n) when {1,3,4} ⊆ X or {0,1,3} ⊆ X (synthesized normal-form
+// algorithms), and otherwise has no solution for infinitely many n
+// (global).
+package orient
+
+import (
+	"fmt"
+	"sort"
+
+	"lclgrid/internal/core"
+	"lclgrid/internal/lcl"
+)
+
+// Classify returns the Theorem 22 complexity class of the X-orientation
+// problem on 2-dimensional grids.
+func Classify(x []int) core.Class {
+	in := toSet(x)
+	switch {
+	case in[2]:
+		return core.ClassO1
+	case in[1] && in[3] && (in[4] || in[0]):
+		return core.ClassLogStar
+	default:
+		return core.ClassGlobal
+	}
+}
+
+func toSet(x []int) map[int]bool {
+	in := make(map[int]bool, len(x))
+	for _, d := range x {
+		if d < 0 || d > 4 {
+			panic(fmt.Sprintf("orient: in-degree %d out of range", d))
+		}
+		in[d] = true
+	}
+	return in
+}
+
+// Flip returns the in-degree set of the edge-reversed problem,
+// {4-d : d ∈ X}; flipping all edge directions maps X-orientations to
+// Flip(X)-orientations, so both have the same complexity (§11).
+func Flip(x []int) []int {
+	out := make([]int, 0, len(x))
+	for _, d := range x {
+		out = append(out, 4-d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AllSubsets enumerates all 32 subsets of {0,...,4} in mask order; used
+// by the Theorem 22 classification table.
+func AllSubsets() [][]int {
+	var out [][]int
+	for m := 0; m < 32; m++ {
+		var x []int
+		for d := 0; d <= 4; d++ {
+			if m&(1<<d) != 0 {
+				x = append(x, d)
+			}
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// Synthesize builds a normal-form algorithm for a Θ(log* n)
+// X-orientation problem (Lemma 23 reports success with k = 1). It fails
+// with core.ErrUnsatisfiable for problems outside the Θ(log* n) class.
+func Synthesize(x []int) (*lcl.OrientationProblem, *core.Synthesized, error) {
+	if len(x) == 0 {
+		return nil, nil, fmt.Errorf("orient: empty X has no solutions")
+	}
+	op := lcl.XOrientation(x, 2)
+	for _, win := range [][2]int{{3, 3}, {5, 5}} {
+		alg, err := core.Synthesize(op.Problem, (win[0]-1)/2, win[0], win[1])
+		if err == nil {
+			return op, alg, nil
+		}
+		if err != core.ErrUnsatisfiable {
+			return nil, nil, err
+		}
+	}
+	return op, nil, core.ErrUnsatisfiable
+}
+
+// ClassifyAll returns the classification table of Theorem 22 for all 32
+// subsets, as (X, class) pairs in mask order.
+type TableRow struct {
+	X     []int
+	Class core.Class
+}
+
+// Table computes the full Theorem 22 table.
+func Table() []TableRow {
+	subsets := AllSubsets()
+	rows := make([]TableRow, 0, len(subsets))
+	for _, x := range subsets {
+		rows = append(rows, TableRow{X: x, Class: Classify(x)})
+	}
+	return rows
+}

@@ -1,0 +1,113 @@
+package orient
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lclgrid/internal/core"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+)
+
+// TestTheorem22Table checks the classifier on the cases Theorem 22 calls
+// out explicitly.
+func TestTheorem22Table(t *testing.T) {
+	tests := []struct {
+		x    []int
+		want core.Class
+	}{
+		{[]int{2}, core.ClassO1},
+		{[]int{0, 2, 4}, core.ClassO1},
+		{[]int{0, 1, 2, 3, 4}, core.ClassO1},
+		{[]int{1, 3, 4}, core.ClassLogStar},
+		{[]int{0, 1, 3}, core.ClassLogStar},
+		{[]int{0, 1, 3, 4}, core.ClassLogStar},
+		{[]int{0, 3, 4}, core.ClassGlobal}, // Theorem 25
+		{[]int{1, 3}, core.ClassGlobal},    // Lemma 24
+		{[]int{0, 4}, core.ClassGlobal},
+		{[]int{}, core.ClassGlobal},
+		{[]int{0}, core.ClassGlobal},
+		{[]int{4}, core.ClassGlobal},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.x); got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestTableComplete(t *testing.T) {
+	rows := Table()
+	if len(rows) != 32 {
+		t.Fatalf("table has %d rows, want 32", len(rows))
+	}
+	counts := map[core.Class]int{}
+	for _, r := range rows {
+		counts[r.Class]++
+	}
+	// 16 subsets contain 2 (O(1)); of the remaining 16, exactly
+	// {1,3,4}, {0,1,3}, {0,1,3,4} are Θ(log* n).
+	if counts[core.ClassO1] != 16 {
+		t.Errorf("O(1) count = %d, want 16", counts[core.ClassO1])
+	}
+	if counts[core.ClassLogStar] != 3 {
+		t.Errorf("Θ(log* n) count = %d, want 3", counts[core.ClassLogStar])
+	}
+	if counts[core.ClassGlobal] != 13 {
+		t.Errorf("global count = %d, want 13", counts[core.ClassGlobal])
+	}
+}
+
+func TestFlipDuality(t *testing.T) {
+	got := Flip([]int{1, 3, 4})
+	want := []int{0, 1, 3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Flip({1,3,4}) = %v, want %v", got, want)
+	}
+	// Flipping preserves the complexity class.
+	for _, row := range Table() {
+		if Classify(row.X) != Classify(Flip(row.X)) {
+			t.Errorf("Flip changes class of %v", row.X)
+		}
+	}
+}
+
+// TestSynthesizeLogStarCases reproduces Lemma 23 and its mirror: the two
+// minimal Θ(log* n) orientation problems synthesize with k = 1.
+func TestSynthesizeLogStarCases(t *testing.T) {
+	for _, x := range [][]int{{1, 3, 4}, {0, 1, 3}} {
+		op, alg, err := Synthesize(x)
+		if err != nil {
+			t.Fatalf("X=%v: %v", x, err)
+		}
+		if alg.K != 1 {
+			t.Errorf("X=%v synthesized with k=%d, paper says k=1 suffices", x, alg.K)
+		}
+		g := grid.Square(14)
+		out, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := op.Verify(g, out); err != nil {
+			t.Fatalf("X=%v: %v", x, err)
+		}
+		o := lcl.OrientationFromLabels(op, g, out)
+		if err := o.VerifyX(x); err != nil {
+			t.Fatalf("X=%v decoded orientation: %v", x, err)
+		}
+		if rounds.Total() <= 0 {
+			t.Error("rounds missing")
+		}
+	}
+}
+
+func TestSynthesizeGlobalFails(t *testing.T) {
+	if _, _, err := Synthesize([]int{0, 4}); !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("X={0,4}: err = %v, want ErrUnsatisfiable", err)
+	}
+	if _, _, err := Synthesize(nil); err == nil {
+		t.Error("empty X should fail")
+	}
+}

@@ -1,0 +1,521 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-literal watching, first-UIP conflict analysis, VSIDS
+// variable activities, phase saving and Luby restarts. §7 of the paper
+// reduces the synthesis of normal-form algorithms to constraint
+// satisfaction ("finding a proper 4-colouring of the neighbourhood graph
+// can be done with modern SAT solvers in a matter of seconds"); this
+// package is that solver, and it is also used to decide solvability of
+// LCL tilings on small tori (the Θ(n) brute-force baseline).
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable index v with sign, encoded as 2v (positive)
+// or 2v+1 (negative).
+type Lit int32
+
+// Pos returns the positive literal of variable v.
+func Pos(v int) Lit { return Lit(2 * v) }
+
+// Neg returns the negative literal of variable v.
+func Neg(v int) Lit { return Lit(2*v + 1) }
+
+// Var returns the variable of the literal.
+func (l Lit) Var() int { return int(l) >> 1 }
+
+// Positive reports whether the literal is positive.
+func (l Lit) Positive() bool { return l&1 == 0 }
+
+// Not returns the negation of the literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String implements fmt.Stringer.
+func (l Lit) String() string {
+	if l.Positive() {
+		return fmt.Sprintf("x%d", l.Var())
+	}
+	return fmt.Sprintf("¬x%d", l.Var())
+}
+
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+// Solver is a CDCL SAT solver. Create with NewSolver, add clauses with
+// AddClause, then call Solve.
+type Solver struct {
+	nVars   int
+	clauses [][]Lit
+	watches [][]int // for each literal, clause indices watching it
+
+	assign []int8 // per variable
+	level  []int
+	reason []int // clause index, or -1 for decisions/unassigned
+	trail  []Lit
+	lim    []int // decision-level boundaries in trail
+	qhead  int
+	unsat  bool // formula already unsatisfiable at level 0
+	phase  []bool
+	seen   []bool
+
+	activity []float64
+	varInc   float64
+	heap     varHeap
+
+	Stats Stats
+}
+
+// Stats collects solver statistics for reporting.
+type Stats struct {
+	Decisions  int
+	Conflicts  int
+	Propagated int
+	Learned    int
+	Restarts   int
+}
+
+// NewSolver creates a solver over nVars variables (indices 0..nVars-1).
+func NewSolver(nVars int) *Solver {
+	s := &Solver{
+		nVars:    nVars,
+		watches:  make([][]int, 2*nVars),
+		assign:   make([]int8, nVars),
+		level:    make([]int, nVars),
+		reason:   make([]int, nVars),
+		phase:    make([]bool, nVars),
+		seen:     make([]bool, nVars),
+		activity: make([]float64, nVars),
+		varInc:   1,
+	}
+	for i := range s.reason {
+		s.reason[i] = -1
+	}
+	s.heap.init(s, nVars)
+	return s
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses added (not counting
+// learned clauses).
+func (s *Solver) NumClauses() int { return len(s.clauses) - s.Stats.Learned }
+
+// value returns the current value of a literal.
+func (s *Solver) value(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Positive() {
+		return v
+	}
+	return -v
+}
+
+// AddClause adds a clause. Duplicate literals are removed and tautologies
+// are dropped. Must be called before Solve. An empty (or all-false after
+// simplification at level 0) clause makes the formula unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	if s.unsat {
+		return
+	}
+	if len(s.trail) > 0 && len(s.lim) > 0 {
+		panic("sat: AddClause after search started")
+	}
+	// Simplify: dedupe, drop tautologies and false-at-level-0 literals.
+	simplified := make([]Lit, 0, len(lits))
+	seen := make(map[Lit]bool, len(lits))
+	for _, l := range lits {
+		if l.Var() < 0 || l.Var() >= s.nVars {
+			panic(fmt.Sprintf("sat: literal %v out of range", l))
+		}
+		switch {
+		case seen[l]:
+			continue
+		case seen[l.Not()]:
+			return // tautology
+		case s.value(l) == lTrue:
+			return // already satisfied at level 0
+		case s.value(l) == lFalse:
+			continue // already false at level 0
+		}
+		seen[l] = true
+		simplified = append(simplified, l)
+	}
+	switch len(simplified) {
+	case 0:
+		s.unsat = true
+	case 1:
+		if !s.enqueue(simplified[0], -1) {
+			s.unsat = true
+		} else if s.propagate() >= 0 {
+			s.unsat = true
+		}
+	default:
+		s.attachClause(simplified)
+	}
+}
+
+func (s *Solver) attachClause(lits []Lit) int {
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, lits)
+	s.watches[lits[0]] = append(s.watches[lits[0]], idx)
+	s.watches[lits[1]] = append(s.watches[lits[1]], idx)
+	return idx
+}
+
+// enqueue assigns literal l to true with the given reason clause; it
+// returns false on an immediate conflict with an existing assignment.
+func (s *Solver) enqueue(l Lit, reason int) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Positive() {
+		s.assign[v] = lTrue
+	} else {
+		s.assign[v] = lFalse
+	}
+	s.level[v] = len(s.lim)
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; it returns the index of a
+// conflicting clause, or -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		falsified := p.Not()
+		ws := s.watches[falsified]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			c := s.clauses[ci]
+			// Ensure the falsified literal is at position 1.
+			if c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			// Clause satisfied by first watch?
+			if s.value(c[0]) == lTrue {
+				kept = append(kept, ci)
+				continue
+			}
+			// Find a new literal to watch.
+			moved := false
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != lFalse {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1]] = append(s.watches[c[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Unit or conflict.
+			kept = append(kept, ci)
+			if !s.enqueue(c[0], ci) {
+				// Conflict: keep remaining watches and bail out.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[falsified] = kept
+				s.qhead = len(s.trail)
+				return ci
+			}
+			s.Stats.Propagated++
+		}
+		s.watches[falsified] = kept
+	}
+	return -1
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl int) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit = -1
+	index := len(s.trail) - 1
+	curLevel := len(s.lim)
+
+	for {
+		c := s.clauses[confl]
+		start := 0
+		if p != -1 {
+			start = 1 // c[0] is the propagated literal p
+		}
+		for _, q := range c[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == curLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select the next literal on the trail to resolve on.
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	backLevel := 0
+	for i := 1; i < len(learnt); i++ {
+		if l := s.level[learnt[i].Var()]; l > backLevel {
+			backLevel = l
+		}
+	}
+	// Put a literal of the backjump level at position 1 so the watches are
+	// correct after backjumping.
+	for i := 1; i < len(learnt); i++ {
+		if s.level[learnt[i].Var()] == backLevel {
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+			break
+		}
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, backLevel
+}
+
+// backtrack undoes assignments above the given decision level.
+func (s *Solver) backtrack(level int) {
+	if len(s.lim) <= level {
+		return
+	}
+	bound := s.lim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+		s.heap.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.lim = s.lim[:level]
+	s.qhead = bound
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+}
+
+// pickBranchVar returns the unassigned variable with the highest activity,
+// or -1 if all variables are assigned.
+func (s *Solver) pickBranchVar() int {
+	for s.heap.size > 0 {
+		v := s.heap.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int) int {
+	for k := 1; ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve decides satisfiability. When it returns true, Value reports a
+// satisfying assignment.
+func (s *Solver) Solve() bool {
+	if s.unsat {
+		return false
+	}
+	if confl := s.propagate(); confl >= 0 {
+		s.unsat = true
+		return false
+	}
+	restart := 1
+	for {
+		budget := 256 * luby(restart)
+		res := s.search(budget)
+		switch res {
+		case lTrue:
+			return true
+		case lFalse:
+			s.unsat = true
+			return false
+		}
+		s.backtrack(0)
+		s.Stats.Restarts++
+		restart++
+	}
+}
+
+// search runs CDCL until a model is found (lTrue), unsatisfiability is
+// proven (lFalse), or the conflict budget is exhausted (lUndef).
+func (s *Solver) search(budget int) int8 {
+	conflicts := 0
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			conflicts++
+			s.Stats.Conflicts++
+			if len(s.lim) == 0 {
+				return lFalse
+			}
+			learnt, backLevel := s.analyze(confl)
+			s.backtrack(backLevel)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], -1) {
+					return lFalse
+				}
+			} else {
+				ci := s.attachClause(learnt)
+				s.Stats.Learned++
+				if !s.enqueue(learnt[0], ci) {
+					return lFalse
+				}
+			}
+			s.decayActivities()
+			if conflicts >= budget {
+				return lUndef
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return lTrue // all variables assigned, no conflict
+		}
+		s.Stats.Decisions++
+		s.lim = append(s.lim, len(s.trail))
+		l := Pos(v)
+		if !s.phase[v] {
+			l = Neg(v)
+		}
+		if !s.enqueue(l, -1) {
+			panic("sat: decision on assigned variable")
+		}
+	}
+}
+
+// Value returns the value of variable v in the model found by the last
+// successful Solve. Unconstrained variables report false.
+func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+
+// --- activity-ordered variable heap --------------------------------------
+
+type varHeap struct {
+	s    *Solver
+	heap []int // variable indices
+	pos  []int // position in heap, or -1
+	size int
+}
+
+func (h *varHeap) init(s *Solver, n int) {
+	h.s = s
+	h.heap = make([]int, n)
+	h.pos = make([]int, n)
+	for i := 0; i < n; i++ {
+		h.heap[i] = i
+		h.pos[i] = i
+	}
+	h.size = n
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.s.activity[h.heap[a]] > h.s.activity[h.heap[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < h.size && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < h.size && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	h.swap(0, h.size-1)
+	h.size--
+	h.pos[v] = -1
+	h.down(0)
+	return v
+}
+
+func (h *varHeap) push(v int) {
+	if h.pos[v] >= 0 && h.pos[v] < h.size {
+		return
+	}
+	h.heap[h.size] = v
+	h.pos[v] = h.size
+	h.size++
+	h.up(h.size - 1)
+}
+
+func (h *varHeap) update(v int) {
+	if p := h.pos[v]; p >= 0 && p < h.size {
+		h.up(p)
+	}
+}

@@ -1,0 +1,252 @@
+// Package tiles enumerates the anchor-pattern tiles of §7 / Appendix A.1
+// of the paper: the h×w 0/1 windows that can occur when a maximal
+// independent set of G^(k) — the k-th (L1) power of the two-dimensional
+// grid — is observed through an h×w window.
+//
+// A pattern is a tile iff it extends to an MIS of the infinite grid.
+// Following A.1, this holds iff (a) its 1-cells are pairwise at L1
+// distance greater than k and (b) every window cell left undominated by
+// the pattern can be dominated by an independent set of "margin" cells
+// (cells outside the window within distance k of it) that is also
+// independent of the pattern. Condition (b) is decided by a small
+// backtracking search over the margin (the paper suggests a SAT solver or
+// a tailored backtrack search in the style of Knuth's dancing links).
+//
+// The paper reports 16 tiles for k=1 with 3×2 windows (listed explicitly
+// in §7) and 2079 tiles for k=3 with 7×5 windows; package tests reproduce
+// both counts.
+package tiles
+
+import "strings"
+
+// Pattern is an h×w 0/1 window in screen coordinates (row 0 is the
+// northernmost row), stored row-major.
+type Pattern struct {
+	H, W int
+	Bits []bool
+}
+
+// Get returns the bit at row r, column c.
+func (p Pattern) Get(r, c int) bool { return p.Bits[r*p.W+c] }
+
+// Key returns a canonical string key ("rows of 0/1 joined by |").
+func (p Pattern) Key() string {
+	var b strings.Builder
+	for r := 0; r < p.H; r++ {
+		if r > 0 {
+			b.WriteByte('|')
+		}
+		for c := 0; c < p.W; c++ {
+			if p.Get(r, c) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	return b.String()
+}
+
+// ParsePattern parses the Key format back into a Pattern.
+func ParsePattern(s string) Pattern {
+	rows := strings.Split(s, "|")
+	h, w := len(rows), len(rows[0])
+	bits := make([]bool, h*w)
+	for r, row := range rows {
+		for c := 0; c < w; c++ {
+			bits[r*w+c] = row[c] == '1'
+		}
+	}
+	return Pattern{H: h, W: w, Bits: bits}
+}
+
+// Sub extracts the h×w sub-pattern whose north-west corner is at
+// (r0, c0).
+func (p Pattern) Sub(r0, c0, h, w int) Pattern {
+	bits := make([]bool, h*w)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			bits[r*w+c] = p.Get(r0+r, c0+c)
+		}
+	}
+	return Pattern{H: h, W: w, Bits: bits}
+}
+
+// cell is a lattice cell in window coordinates; the window occupies
+// rows [0,h) and columns [0,w), the margin lies outside.
+type cell struct{ r, c int }
+
+func dist(a, b cell) int {
+	dr, dc := a.r-b.r, a.c-b.c
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// enumerator holds the fixed geometry for one Enumerate call.
+type enumerator struct {
+	k, h, w int
+	window  []cell
+	margin  []cell
+}
+
+// Enumerate returns all tiles for the given power k and window dimensions
+// h×w, in lexicographic order of their bit strings.
+func Enumerate(k, h, w int) []Pattern {
+	if k < 1 || h < 1 || w < 1 {
+		panic("tiles: parameters must be positive")
+	}
+	e := &enumerator{k: k, h: h, w: w}
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			e.window = append(e.window, cell{r, c})
+		}
+	}
+	for r := -k; r < h+k; r++ {
+		for c := -k; c < w+k; c++ {
+			if r >= 0 && r < h && c >= 0 && c < w {
+				continue
+			}
+			if e.distToWindow(cell{r, c}) <= k {
+				e.margin = append(e.margin, cell{r, c})
+			}
+		}
+	}
+
+	var out []Pattern
+	ones := make([]cell, 0, h*w)
+	bits := make([]bool, h*w)
+	var rec func(idx int)
+	rec = func(idx int) {
+		if idx == len(e.window) {
+			if e.extendable(ones) {
+				out = append(out, Pattern{H: h, W: w, Bits: append([]bool(nil), bits...)})
+			}
+			return
+		}
+		// Case 0: cell not an anchor.
+		rec(idx + 1)
+		// Case 1: cell is an anchor, if independent from previous anchors.
+		cand := e.window[idx]
+		for _, o := range ones {
+			if dist(o, cand) <= e.k {
+				return
+			}
+		}
+		bits[idx] = true
+		ones = append(ones, cand)
+		rec(idx + 1)
+		ones = ones[:len(ones)-1]
+		bits[idx] = false
+	}
+	rec(0)
+	return out
+}
+
+// Count returns the number of tiles for the given parameters.
+func Count(k, h, w int) int { return len(Enumerate(k, h, w)) }
+
+// distToWindow returns the L1 distance from a cell to the window
+// rectangle.
+func (e *enumerator) distToWindow(m cell) int {
+	dr, dc := 0, 0
+	if m.r < 0 {
+		dr = -m.r
+	} else if m.r >= e.h {
+		dr = m.r - e.h + 1
+	}
+	if m.c < 0 {
+		dc = -m.c
+	} else if m.c >= e.w {
+		dc = m.c - e.w + 1
+	}
+	return dr + dc
+}
+
+// extendable decides condition (b): the undominated window cells can be
+// dominated by an independent margin set compatible with the anchors.
+func (e *enumerator) extendable(ones []cell) bool {
+	var undominated []cell
+	for _, u := range e.window {
+		dominated := false
+		for _, o := range ones {
+			if dist(u, o) <= e.k {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			undominated = append(undominated, u)
+		}
+	}
+	if len(undominated) == 0 {
+		return true
+	}
+	// Margin candidates that are independent of the window anchors.
+	var candidates []cell
+	for _, m := range e.margin {
+		ok := true
+		for _, o := range ones {
+			if dist(m, o) <= e.k {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			candidates = append(candidates, m)
+		}
+	}
+	return e.search(undominated, candidates, nil)
+}
+
+// search tries to dominate all cells in undominated using an independent
+// subset of candidates (each already independent of the window anchors),
+// also independent of the cells in chosen.
+func (e *enumerator) search(undominated, candidates, chosen []cell) bool {
+	if len(undominated) == 0 {
+		return true
+	}
+	// Pick the undominated cell with the fewest available dominators
+	// (fail-first) and branch on them.
+	bestIdx, bestOpts := -1, []cell(nil)
+	for i, u := range undominated {
+		var opts []cell
+		for _, m := range candidates {
+			if dist(m, u) > e.k {
+				continue
+			}
+			ok := true
+			for _, ch := range chosen {
+				if dist(m, ch) <= e.k {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				opts = append(opts, m)
+			}
+		}
+		if len(opts) == 0 {
+			return false
+		}
+		if bestIdx < 0 || len(opts) < len(bestOpts) {
+			bestIdx, bestOpts = i, opts
+		}
+	}
+	for _, m := range bestOpts {
+		var rest []cell
+		for _, u := range undominated {
+			if dist(m, u) > e.k {
+				rest = append(rest, u)
+			}
+		}
+		if e.search(rest, candidates, append(chosen, m)) {
+			return true
+		}
+	}
+	return false
+}

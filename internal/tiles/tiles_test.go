@@ -1,0 +1,191 @@
+package tiles
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lclgrid/internal/grid"
+)
+
+// paperTiles16 is the explicit list of 3×2 tiles for k=1 printed in §7 of
+// the paper, transcribed row by row.
+var paperTiles16 = []string{
+	"00|00|10", "00|00|01", "00|10|00", "00|10|01",
+	"00|01|00", "00|01|10", "10|00|00", "10|00|10",
+	"10|00|01", "10|01|00", "10|01|10", "01|00|00",
+	"01|00|10", "01|00|01", "01|10|00", "01|10|01",
+}
+
+func TestEnumerateMatchesPaperListK1(t *testing.T) {
+	got := Enumerate(1, 3, 2)
+	if len(got) != 16 {
+		t.Fatalf("k=1 3×2: %d tiles, paper says 16", len(got))
+	}
+	gotKeys := make([]string, len(got))
+	for i, p := range got {
+		gotKeys[i] = p.Key()
+	}
+	want := append([]string(nil), paperTiles16...)
+	sort.Strings(gotKeys)
+	sort.Strings(want)
+	for i := range want {
+		if gotKeys[i] != want[i] {
+			t.Fatalf("tile set differs from the paper's list:\n got %v\nwant %v", gotKeys, want)
+		}
+	}
+}
+
+func TestEnumerateMatchesPaperCountK3(t *testing.T) {
+	// §7: "synthesis succeeds with k = 3 for e.g. 7×5 tiles ... it turns
+	// out that we only need to consider 2079 tiles."
+	if got := Count(3, 7, 5); got != 2079 {
+		t.Fatalf("k=3 7×5: %d tiles, paper says 2079", got)
+	}
+}
+
+func TestAllZeroNotATileForTightWindows(t *testing.T) {
+	// §7 analysis: the all-zero 3×2 window cannot be completed, because
+	// the two middle cells force margin anchors that conflict.
+	for _, p := range Enumerate(1, 3, 2) {
+		all0 := true
+		for _, b := range p.Bits {
+			if b {
+				all0 = false
+				break
+			}
+		}
+		if all0 {
+			t.Fatal("all-zero pattern should not be a tile for k=1, 3×2")
+		}
+	}
+}
+
+func TestAllZeroIsATileForSmallWindows(t *testing.T) {
+	// A 1×1 window of an MIS can certainly be all zero.
+	found := false
+	for _, p := range Enumerate(1, 1, 1) {
+		if !p.Bits[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("all-zero 1×1 pattern must be a tile")
+	}
+}
+
+func TestTileIndependence(t *testing.T) {
+	for _, tc := range []struct{ k, h, w int }{{1, 3, 3}, {2, 5, 4}, {3, 7, 5}} {
+		for _, p := range Enumerate(tc.k, tc.h, tc.w) {
+			var ones []cell
+			for r := 0; r < p.H; r++ {
+				for c := 0; c < p.W; c++ {
+					if p.Get(r, c) {
+						ones = append(ones, cell{r, c})
+					}
+				}
+			}
+			for i := range ones {
+				for j := i + 1; j < len(ones); j++ {
+					if dist(ones[i], ones[j]) <= tc.k {
+						t.Fatalf("k=%d: tile %s has anchors at distance <= k", tc.k, p.Key())
+					}
+				}
+			}
+		}
+	}
+}
+
+// greedyPowerMIS builds an MIS of G^(k) on the torus with a randomised
+// greedy order.
+func greedyPowerMIS(g *grid.Torus, k int, rng *rand.Rand) []bool {
+	p := grid.NewPower(g, k, grid.L1)
+	order := rng.Perm(g.N())
+	set := make([]bool, g.N())
+	for _, v := range order {
+		ok := true
+		for i := 0; i < p.Degree(v); i++ {
+			if set[p.Neighbor(v, i)] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			set[v] = true
+		}
+	}
+	// Maximality pass.
+	for v := 0; v < g.N(); v++ {
+		dominated := set[v]
+		for i := 0; i < p.Degree(v) && !dominated; i++ {
+			dominated = set[p.Neighbor(v, i)]
+		}
+		if !dominated {
+			set[v] = true
+		}
+	}
+	return set
+}
+
+func TestRealizedWindowsAreTiles(t *testing.T) {
+	// Every window observed in an actual MIS of G^(k) on a large torus
+	// must be one of the enumerated tiles (realisable ⊆ extendable).
+	for _, tc := range []struct{ k, h, w int }{{1, 3, 2}, {2, 5, 3}, {3, 7, 5}} {
+		index := make(map[string]bool)
+		for _, p := range Enumerate(tc.k, tc.h, tc.w) {
+			index[p.Key()] = true
+		}
+		g := grid.Square(8 * tc.k)
+		rng := rand.New(rand.NewSource(int64(tc.k)))
+		for trial := 0; trial < 3; trial++ {
+			set := greedyPowerMIS(g, tc.k, rng)
+			for y := 0; y < g.NY(); y++ {
+				for x := 0; x < g.NX(); x++ {
+					win := g.WindowPattern(set, x, y, tc.h, tc.w)
+					key := (Pattern{H: tc.h, W: tc.w, Bits: win}).Key()
+					if !index[key] {
+						t.Fatalf("k=%d: realised window %s not in tile set", tc.k, key)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSubPattern(t *testing.T) {
+	p := ParsePattern("101|010|001")
+	s := p.Sub(1, 1, 2, 2)
+	if s.Key() != "10|01" {
+		t.Errorf("Sub = %s", s.Key())
+	}
+}
+
+func TestKeyParseRoundTrip(t *testing.T) {
+	for _, p := range Enumerate(2, 4, 3) {
+		q := ParsePattern(p.Key())
+		if q.Key() != p.Key() || q.H != p.H || q.W != p.W {
+			t.Fatalf("round trip failed for %s", p.Key())
+		}
+	}
+}
+
+func TestEdgeTileCountsConsistent(t *testing.T) {
+	// Every (h+1)×w tile restricts to two h×w tiles; so the edge-tile
+	// count is at least the node-tile count (tiles extend both ways).
+	nodeTiles := Count(1, 3, 2)
+	vert := Enumerate(1, 4, 2)
+	index := make(map[string]bool)
+	for _, p := range Enumerate(1, 3, 2) {
+		index[p.Key()] = true
+	}
+	for _, p := range vert {
+		top := p.Sub(0, 0, 3, 2)
+		bottom := p.Sub(1, 0, 3, 2)
+		if !index[top.Key()] || !index[bottom.Key()] {
+			t.Fatalf("edge tile %s restricts to a non-tile", p.Key())
+		}
+	}
+	if len(vert) < nodeTiles {
+		t.Errorf("vertical edge tiles (%d) fewer than node tiles (%d)", len(vert), nodeTiles)
+	}
+}

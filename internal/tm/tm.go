@@ -1,0 +1,206 @@
+// Package tm implements deterministic single-tape Turing machines on a
+// right-infinite tape, and their execution tables: the (s+1)×r tableaux
+// that §6 of the paper embeds into grid labellings to prove that the
+// Θ(log* n) / Θ(n) classification of LCL problems is undecidable.
+package tm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Blank is the blank tape symbol.
+const Blank = 0
+
+// Rule is a transition: write a symbol, move the head, enter a state.
+type Rule struct {
+	Write int
+	Move  int // -1 (left) or +1 (right)
+	Next  int
+}
+
+// Machine is a deterministic Turing machine. State 0 is the start state;
+// states with Halt[q] true have no outgoing transitions.
+type Machine struct {
+	Name       string
+	NumStates  int
+	NumSymbols int
+	Halt       []bool
+	// Delta[q][a] is the transition taken in state q reading symbol a;
+	// it is ignored for halting states.
+	Delta [][]Rule
+}
+
+// Validate checks structural well-formedness.
+func (m *Machine) Validate() error {
+	if m.NumStates < 1 || m.NumSymbols < 1 {
+		return errors.New("tm: need at least one state and symbol")
+	}
+	if len(m.Halt) != m.NumStates || len(m.Delta) != m.NumStates {
+		return errors.New("tm: table sizes do not match NumStates")
+	}
+	for q := 0; q < m.NumStates; q++ {
+		if m.Halt[q] {
+			continue
+		}
+		if len(m.Delta[q]) != m.NumSymbols {
+			return fmt.Errorf("tm: state %d has %d rules, want %d", q, len(m.Delta[q]), m.NumSymbols)
+		}
+		for a, r := range m.Delta[q] {
+			if r.Write < 0 || r.Write >= m.NumSymbols || r.Next < 0 || r.Next >= m.NumStates || (r.Move != -1 && r.Move != 1) {
+				return fmt.Errorf("tm: invalid rule for (state %d, symbol %d)", q, a)
+			}
+		}
+	}
+	return nil
+}
+
+// Cell is one entry of an execution table: a tape symbol, optionally
+// together with the head and its state.
+type Cell struct {
+	Sym     int
+	HasHead bool
+	State   int
+}
+
+// Table is an execution table: Rows[j][i] is the content of tape cell i
+// before step j, for j = 0..Steps; the machine halts after Steps steps
+// (the head on the last row is in a halting state). Width is the number
+// of tape cells used (r <= Steps+1 in the paper's notation).
+type Table struct {
+	Rows  [][]Cell
+	Steps int
+	Width int
+}
+
+// ErrNoHalt is returned by Run when the machine does not halt within the
+// step bound.
+var ErrNoHalt = errors.New("tm: machine did not halt within the step bound")
+
+// Run executes the machine on the empty tape for at most maxSteps steps
+// and returns its execution table. It returns ErrNoHalt if the machine is
+// still running, and an error if the head ever moves left of cell 0 (§6
+// machines run on a quarter-plane tableau).
+func (m *Machine) Run(maxSteps int) (*Table, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	tape := []int{Blank}
+	head, state := 0, 0
+	var rows [][]Cell
+	snapshot := func() {
+		row := make([]Cell, len(tape))
+		for i, a := range tape {
+			row[i] = Cell{Sym: a}
+		}
+		row[head].HasHead = true
+		row[head].State = state
+		rows = append(rows, row)
+	}
+	for step := 0; ; step++ {
+		snapshot()
+		if m.Halt[state] {
+			width := len(tape)
+			// Pad all rows to the final width.
+			for j := range rows {
+				for len(rows[j]) < width {
+					rows[j] = append(rows[j], Cell{Sym: Blank})
+				}
+			}
+			return &Table{Rows: rows, Steps: step, Width: width}, nil
+		}
+		if step >= maxSteps {
+			return nil, ErrNoHalt
+		}
+		r := m.Delta[state][tape[head]]
+		tape[head] = r.Write
+		head += r.Move
+		state = r.Next
+		if head < 0 {
+			return nil, errors.New("tm: head moved left of cell 0")
+		}
+		if head == len(tape) {
+			tape = append(tape, Blank)
+		}
+	}
+}
+
+// Halts reports whether the machine halts on the empty tape within
+// maxSteps steps.
+func (m *Machine) Halts(maxSteps int) bool {
+	_, err := m.Run(maxSteps)
+	return err == nil
+}
+
+// HaltingWriter returns a machine that writes `steps` ones while moving
+// right and then halts; it halts on the empty tape in exactly `steps`
+// steps.
+func HaltingWriter(steps int) *Machine {
+	if steps < 1 {
+		panic("tm: steps must be >= 1")
+	}
+	// States 0..steps-1 write and move right; state `steps` halts.
+	n := steps + 1
+	m := &Machine{
+		Name:       fmt.Sprintf("writer-%d", steps),
+		NumStates:  n,
+		NumSymbols: 2,
+		Halt:       make([]bool, n),
+		Delta:      make([][]Rule, n),
+	}
+	m.Halt[steps] = true
+	for q := 0; q < steps; q++ {
+		m.Delta[q] = []Rule{
+			{Write: 1, Move: 1, Next: q + 1},
+			{Write: 1, Move: 1, Next: q + 1},
+		}
+	}
+	m.Delta[steps] = []Rule{}
+	return m
+}
+
+// RightLooper returns a machine that moves right forever: it never halts
+// on any input.
+func RightLooper() *Machine {
+	return &Machine{
+		Name:       "right-looper",
+		NumStates:  1,
+		NumSymbols: 2,
+		Halt:       []bool{false},
+		Delta:      [][]Rule{{{Write: 1, Move: 1, Next: 0}, {Write: 1, Move: 1, Next: 0}}},
+	}
+}
+
+// Zigzag returns a machine that bounces between cells 0 and width-1,
+// writing alternating symbols forever; another non-halting example with
+// bounded tape usage.
+func Zigzag(width int) *Machine {
+	if width < 2 {
+		panic("tm: width must be >= 2")
+	}
+	// State encodes direction and position implicitly via tape marks:
+	// simple two-state bouncer: state 0 moves right until it reads a 1,
+	// state 1 moves left until it reads a 1 at cell 0... To keep the head
+	// in [0, width) we pre-mark nothing and just bounce on step parity:
+	// states 0..width-2 move right, then width-1..2(width-1)-1 move left.
+	n := 2 * (width - 1)
+	m := &Machine{
+		Name:       fmt.Sprintf("zigzag-%d", width),
+		NumStates:  n,
+		NumSymbols: 2,
+		Halt:       make([]bool, n),
+		Delta:      make([][]Rule, n),
+	}
+	for q := 0; q < n; q++ {
+		move := 1
+		if q >= width-1 {
+			move = -1
+		}
+		next := (q + 1) % n
+		m.Delta[q] = []Rule{
+			{Write: 1, Move: move, Next: next},
+			{Write: 0, Move: move, Next: next},
+		}
+	}
+	return m
+}

@@ -1,0 +1,138 @@
+package tm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaltingWriterSteps(t *testing.T) {
+	for steps := 1; steps <= 6; steps++ {
+		m := HaltingWriter(steps)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("steps=%d: %v", steps, err)
+		}
+		table, err := m.Run(100)
+		if err != nil {
+			t.Fatalf("steps=%d: %v", steps, err)
+		}
+		if table.Steps != steps {
+			t.Errorf("steps=%d: halted after %d", steps, table.Steps)
+		}
+		if table.Width != steps+1 {
+			t.Errorf("steps=%d: width %d", steps, table.Width)
+		}
+		if len(table.Rows) != steps+1 {
+			t.Errorf("steps=%d: %d rows", steps, len(table.Rows))
+		}
+	}
+}
+
+func TestRowsPaddedUniformly(t *testing.T) {
+	table, err := HaltingWriter(4).Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, row := range table.Rows {
+		if len(row) != table.Width {
+			t.Fatalf("row %d has %d cells, want %d", j, len(row), table.Width)
+		}
+	}
+}
+
+func TestExactlyOneHeadPerRow(t *testing.T) {
+	table, err := HaltingWriter(5).Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, row := range table.Rows {
+		heads := 0
+		for _, c := range row {
+			if c.HasHead {
+				heads++
+			}
+		}
+		if heads != 1 {
+			t.Fatalf("row %d has %d heads", j, heads)
+		}
+	}
+}
+
+func TestTransitionsConsistent(t *testing.T) {
+	// Every consecutive row pair must differ only around the head, and
+	// the change must match the machine's transition rule — the property
+	// the §6 grid encoding checks with 2×2 windows.
+	m := HaltingWriter(4)
+	table, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j+1 < len(table.Rows); j++ {
+		cur, next := table.Rows[j], table.Rows[j+1]
+		headAt := -1
+		for i, c := range cur {
+			if c.HasHead {
+				headAt = i
+			}
+		}
+		rule := m.Delta[cur[headAt].State][cur[headAt].Sym]
+		for i := range cur {
+			switch {
+			case i == headAt:
+				if next[i].Sym != rule.Write {
+					t.Fatalf("step %d: cell %d not rewritten", j, i)
+				}
+			default:
+				if next[i].Sym != cur[i].Sym {
+					t.Fatalf("step %d: cell %d changed away from head", j, i)
+				}
+			}
+		}
+		if !next[headAt+rule.Move].HasHead || next[headAt+rule.Move].State != rule.Next {
+			t.Fatalf("step %d: head did not move correctly", j)
+		}
+	}
+}
+
+func TestNonHaltingMachines(t *testing.T) {
+	if _, err := RightLooper().Run(5000); !errors.Is(err, ErrNoHalt) {
+		t.Errorf("right-looper: err = %v, want ErrNoHalt", err)
+	}
+	if _, err := Zigzag(4).Run(5000); !errors.Is(err, ErrNoHalt) {
+		t.Errorf("zigzag: err = %v, want ErrNoHalt", err)
+	}
+}
+
+func TestZigzagStaysBounded(t *testing.T) {
+	// The zigzag machine must keep its head within [0, width): Run only
+	// errors on negative positions, so run it for a while and rely on
+	// ErrNoHalt rather than a head error.
+	if _, err := Zigzag(3).Run(1000); !errors.Is(err, ErrNoHalt) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateCatchesBadRules(t *testing.T) {
+	bad := &Machine{
+		Name: "bad", NumStates: 2, NumSymbols: 2,
+		Halt:  []bool{false, true},
+		Delta: [][]Rule{{{Write: 0, Move: 0, Next: 1}, {Write: 0, Move: 1, Next: 1}}, {}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("Move=0 should be rejected")
+	}
+	empty := &Machine{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty machine should be rejected")
+	}
+}
+
+func TestHaltsAgreesWithRun(t *testing.T) {
+	f := func(stepsRaw uint8) bool {
+		steps := 1 + int(stepsRaw%5)
+		return HaltingWriter(steps).Halts(steps+1) && !HaltingWriter(steps+2).Halts(steps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package vertexcolor implements the 4-colouring algorithm of §8 of the
+// paper for d-dimensional toroidal grids (Theorem 4): anchors from an
+// MIS of the L∞ power G^[ℓ], a radius assignment r(v) ∈ (ℓ, 2ℓ) obtained
+// by conflict colouring so that the bounding hyperplanes of the chosen
+// L∞ balls are separated, a parity-of-border-count network decomposition
+// into two parts whose components are contained in single balls, and a
+// final 2-colouring of each component — giving 4 colours in Θ(log* n)
+// rounds.
+//
+// The paper's worst-case constant ℓ = 1 + 12d·16^d (6145 for d = 2)
+// exists only to make the greedy conflict colouring always succeed; the
+// parameter is configurable here, every invariant is verified at runtime,
+// and the caller can retry with a larger ℓ (see DESIGN.md).
+package vertexcolor
+
+import (
+	"fmt"
+
+	"lclgrid/internal/coloring"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/local"
+)
+
+// anchorGraph exposes the conflict graph H over anchors: two anchors are
+// adjacent when their radius-2ℓ balls can interact (L∞ distance at most
+// 4ℓ+2, covering the +1 slack of condition (2)).
+type anchorGraph struct {
+	anchors []int
+	adj     [][]int
+}
+
+func (h *anchorGraph) N() int                { return len(h.anchors) }
+func (h *anchorGraph) Degree(v int) int      { return len(h.adj[v]) }
+func (h *anchorGraph) Neighbor(v, i int) int { return h.adj[v][i] }
+
+// Run executes the §8 algorithm with ball parameter ell (≥ 3) and returns
+// a proper 4-colouring (values 0..3) with its round account. It fails if
+// the radius conflict colouring runs out of candidates for this ell; per
+// the paper, a (dimension-dependent) constant ℓ always suffices.
+func Run(t *grid.Torus, ids []int, ell int, rounds *local.Rounds) ([]int, error) {
+	d := t.Dim()
+	if d < 2 {
+		return nil, fmt.Errorf("vertexcolor: §8 needs d >= 2 dimensions")
+	}
+	if ell < 3 {
+		return nil, fmt.Errorf("vertexcolor: ell must be >= 3")
+	}
+	for i := 0; i < d; i++ {
+		if t.Side(i) < 4*ell+2 {
+			return nil, fmt.Errorf("vertexcolor: side %d too small for ell=%d", t.Side(i), ell)
+		}
+	}
+	if rounds == nil {
+		rounds = &local.Rounds{}
+	}
+
+	// Step 1: anchors = MIS of G^[ell].
+	inM := coloring.Anchors(t, ell, grid.LInf, ids, rounds)
+	var anchors []int
+	anchorIdx := make([]int, t.N())
+	for v := range anchorIdx {
+		anchorIdx[v] = -1
+	}
+	for v := 0; v < t.N(); v++ {
+		if inM[v] {
+			anchorIdx[v] = len(anchors)
+			anchors = append(anchors, v)
+		}
+	}
+
+	// Step 2: radius assignment by greedy conflict colouring over H.
+	h := buildAnchorGraph(t, anchors, anchorIdx, 4*ell+2)
+	radius, err := assignRadii(t, h, ids, ell, rounds)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: border counts and the parity decomposition.
+	count := borderCounts(t, anchors, radius)
+
+	// Step 4: 2-colour each component of each part. Components must lie
+	// inside single balls (Lemma 8 et seq.), hence have bounded diameter;
+	// they are grid patches, so bipartite.
+	colors := twoColorParts(t, count, 4*ell)
+	if colors == nil {
+		return nil, fmt.Errorf("vertexcolor: a component is larger than its ball bound (ell=%d too small)", ell)
+	}
+	rounds.Add(2 * d * ell) // component BFS within bounded diameter
+	if ok, e := coloring.IsProperColoring(t, colors); !ok {
+		return nil, fmt.Errorf("vertexcolor: improper output at edge %v (ell=%d too small)", e, ell)
+	}
+	return colors, nil
+}
+
+// RunAuto retries Run with geometrically growing ell until it succeeds
+// or the torus becomes too small for the next ell. Empirically ell ≈ 31
+// suffices on 2-dimensional tori (the paper's worst-case constant is
+// 1 + 12d·16^d = 6145).
+func RunAuto(t *grid.Torus, ids []int, rounds *local.Rounds) ([]int, int, error) {
+	var lastErr error
+	for ell := 3; 4*ell+2 <= t.Side(0); ell = 2*ell + 1 {
+		colors, err := Run(t, ids, ell, rounds)
+		if err == nil {
+			return colors, ell, nil
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("vertexcolor: no ell succeeded: %w", lastErr)
+}
+
+func buildAnchorGraph(t *grid.Torus, anchors []int, anchorIdx []int, reach int) *anchorGraph {
+	h := &anchorGraph{anchors: anchors, adj: make([][]int, len(anchors))}
+	offs := t.BallOffsets(reach, grid.LInf)
+	for i, v := range anchors {
+		for _, off := range offs {
+			u := t.ShiftVec(v, off)
+			if j := anchorIdx[u]; j >= 0 {
+				h.adj[i] = append(h.adj[i], j)
+			}
+		}
+	}
+	return h
+}
+
+// assignRadii gives every anchor a radius in (ell, 2ell) such that for
+// H-adjacent anchors u, v the bounding hyperplanes are separated
+// (condition (2) via the inequalities (3) of §8): for every dimension i
+// and signs ε1, ε2, |(u_i + ε1 r(u)) - (v_i + ε2 r(v))| >= 2. Anchors
+// choose greedily in the order of a proper colouring of H.
+func assignRadii(t *grid.Torus, h *anchorGraph, ids []int, ell int, rounds *local.Rounds) ([]int, error) {
+	na := h.N()
+	radius := make([]int, na)
+	for i := range radius {
+		radius[i] = -1
+	}
+	if na == 0 {
+		return radius, nil
+	}
+	hIDs := make([]int, na)
+	for i, v := range h.anchors {
+		hIDs[i] = ids[v]
+	}
+	var hr local.Rounds
+	hcolors, m := coloring.LinialColor(h, hIDs, t.N(), &hr)
+	// Simulating one H round on the torus costs about the H reach.
+	rounds.AddSimulated(hr.Total()+m, (4*ell+2)*t.Dim())
+
+	d := t.Dim()
+	cu := make([]int, d)
+	cv := make([]int, d)
+	// Colour classes act in rounds; within a class choices are
+	// independent (H-neighbours always differ in colour).
+	buckets := make([][]int, m)
+	for i, c := range hcolors {
+		buckets[c] = append(buckets[c], i)
+	}
+	for _, bucket := range buckets {
+		for _, i := range bucket {
+			t.CoordsInto(h.anchors[i], cu)
+			span := ell - 1
+		candidates:
+			for tt := 0; tt < span; tt++ {
+				// Start at an anchor-dependent offset so nearby anchors
+				// spread over the radius range instead of piling on ℓ+1.
+				r := ell + 1 + (ids[h.anchors[i]]+tt)%span
+				for ni := 0; ni < h.Degree(i); ni++ {
+					j := h.Neighbor(i, ni)
+					if radius[j] < 0 {
+						continue
+					}
+					// Only pairs whose enlarged balls intersect are
+					// constrained (property (2) of §8).
+					if t.Dist(h.anchors[i], h.anchors[j], grid.LInf) > r+radius[j]+2 {
+						continue
+					}
+					t.CoordsInto(h.anchors[j], cv)
+					if hyperplanesClash(t, cu, cv, r, radius[j]) {
+						continue candidates
+					}
+				}
+				radius[i] = r
+				break
+			}
+			if radius[i] < 0 {
+				return nil, fmt.Errorf("vertexcolor: anchor %d has no conflict-free radius for ell=%d", h.anchors[i], ell)
+			}
+		}
+	}
+	return radius, nil
+}
+
+// hyperplanesClash reports whether the bounding hyperplanes of the two
+// balls come within distance 1 in some dimension (violating §8 (3)).
+func hyperplanesClash(t *grid.Torus, cu, cv []int, ru, rv int) bool {
+	for i := range cu {
+		side := t.Side(i)
+		for _, e1 := range []int{-ru, ru} {
+			for _, e2 := range []int{-rv, rv} {
+				diff := coordGap(cu[i]+e1, cv[i]+e2, side)
+				if diff < 2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func coordGap(a, b, side int) int {
+	d := ((a-b)%side + side) % side
+	if side-d < d {
+		d = side - d
+	}
+	return d
+}
+
+// borderCounts computes count(v) = |{(i, u): v is on the i-th dimension
+// border of anchor u}|.
+func borderCounts(t *grid.Torus, anchors []int, radius []int) []int {
+	count := make([]int, t.N())
+	d := t.Dim()
+	ca := make([]int, d)
+	cv := make([]int, d)
+	for ai, a := range anchors {
+		r := radius[ai]
+		t.CoordsInto(a, ca)
+		// Enumerate the ball B∞(a, r) and mark its boundary nodes.
+		var rec func(dim, v int, maxAbs int)
+		rec = func(dim, v, maxAbs int) {
+			if dim == d {
+				if maxAbs == r {
+					t.CoordsInto(v, cv)
+					for i := 0; i < d; i++ {
+						if coordGap(cv[i], ca[i], t.Side(i)) == r {
+							count[v]++
+						}
+					}
+				}
+				return
+			}
+			for off := -r; off <= r; off++ {
+				m := maxAbs
+				if abs(off) > m {
+					m = abs(off)
+				}
+				rec(dim+1, t.Move(v, dim, off), m)
+			}
+		}
+		rec(0, a, 0)
+	}
+	return count
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// twoColorParts splits nodes into V1 (odd count) and V2 (even count) and
+// 2-colours every connected component of each part by BFS parity, using
+// palette {0,1} for V1 and {2,3} for V2. It returns nil if some
+// component exceeds the diameter bound (signalling an invariant failure).
+func twoColorParts(t *grid.Torus, count []int, maxDiameter int) []int {
+	n := t.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	part := func(v int) int { return count[v] % 2 }
+	for v := 0; v < n; v++ {
+		if colors[v] >= 0 {
+			continue
+		}
+		base := 2
+		if part(v) == 1 {
+			base = 0
+		}
+		colors[v] = base
+		queue := []int{v}
+		depth := map[int]int{v: 0}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for p := 0; p < t.Degree(u); p++ {
+				w := t.Neighbor(u, p)
+				if part(w) != part(v) || colors[w] >= 0 {
+					continue
+				}
+				depth[w] = depth[u] + 1
+				if depth[w] > maxDiameter {
+					return nil
+				}
+				colors[w] = base + depth[w]%2
+				queue = append(queue, w)
+			}
+		}
+	}
+	return colors
+}

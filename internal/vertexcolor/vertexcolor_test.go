@@ -1,0 +1,93 @@
+package vertexcolor
+
+import (
+	"testing"
+
+	"lclgrid/internal/coloring"
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+)
+
+// TestFourColoring2D reproduces the d = 2 case of Theorem 4 via the §8
+// algorithm: a proper 4-colouring of the torus in Θ(log* n) rounds.
+// ell = 31 is the empirical scale at which the greedy radius conflict
+// colouring always succeeds (the paper's worst-case constant is 6145).
+func TestFourColoring2D(t *testing.T) {
+	for _, n := range []int{128, 131} {
+		g := grid.Square(n)
+		ids := local.PermutedIDs(g.N(), int64(n))
+		var rounds local.Rounds
+		colors, err := Run(g, ids, 31, &rounds)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ok, e := coloring.IsProperColoring(g, colors); !ok {
+			t.Fatalf("n=%d: improper at %v", n, e)
+		}
+		for _, c := range colors {
+			if c < 0 || c > 3 {
+				t.Fatalf("colour %d outside palette", c)
+			}
+		}
+		if err := lcl.VertexColoring(4, 2).Verify(g, colors); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rounds.Total() <= 0 {
+			t.Error("rounds not accounted")
+		}
+	}
+}
+
+func TestRunAutoFindsEll(t *testing.T) {
+	g := grid.Square(128)
+	ids := local.PermutedIDs(g.N(), 9)
+	colors, ell, err := RunAuto(g, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lcl.VertexColoring(4, 2).Verify(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("RunAuto succeeded with ell=%d", ell)
+}
+
+// TestBorderCounts3D exercises the d = 3 generality of the decomposition
+// machinery: one anchor's ball boundary contributes one border count per
+// extremal dimension.
+func TestBorderCounts3D(t *testing.T) {
+	g := grid.MustNew(17, 17, 17)
+	anchor := g.Index(8, 8, 8)
+	counts := borderCounts(g, []int{anchor}, []int{5})
+	// A face-centre node of the ball boundary has count 1, an edge-centre
+	// 2, a corner 3, and interior/outside nodes 0.
+	if c := counts[g.Index(8+5, 8, 8)]; c != 1 {
+		t.Errorf("face centre count = %d, want 1", c)
+	}
+	if c := counts[g.Index(8+5, 8+5, 8)]; c != 2 {
+		t.Errorf("edge centre count = %d, want 2", c)
+	}
+	if c := counts[g.Index(8+5, 8+5, 8+5)]; c != 3 {
+		t.Errorf("corner count = %d, want 3", c)
+	}
+	if c := counts[anchor]; c != 0 {
+		t.Errorf("anchor count = %d, want 0", c)
+	}
+	if c := counts[g.Index(8+4, 8, 8)]; c != 0 {
+		t.Errorf("interior count = %d, want 0", c)
+	}
+}
+
+func TestRejectsBadParameters(t *testing.T) {
+	g := grid.Square(20)
+	if _, err := Run(g, local.SequentialIDs(g.N()), 10, nil); err == nil {
+		t.Error("expected error: torus too small for ell")
+	}
+	if _, err := Run(g, local.SequentialIDs(g.N()), 1, nil); err == nil {
+		t.Error("expected error: ell too small")
+	}
+	c := grid.Cycle(50)
+	if _, err := Run(c, local.SequentialIDs(50), 3, nil); err == nil {
+		t.Error("expected error: 1-D torus")
+	}
+}

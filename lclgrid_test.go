@@ -1,0 +1,165 @@
+package lclgrid_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	lclgrid "lclgrid"
+)
+
+// The tests below exercise the public facade end to end, the way a
+// downstream user would.
+
+func TestPublicTopology(t *testing.T) {
+	if _, err := lclgrid.NewTorus(); err == nil {
+		t.Error("NewTorus() should fail without dimensions")
+	}
+	g, err := lclgrid.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 64 || g.Dim() != 2 {
+		t.Error("torus shape wrong")
+	}
+	if lclgrid.Square(5).N() != 25 || lclgrid.Cycle(7).N() != 7 {
+		t.Error("constructors wrong")
+	}
+	if lclgrid.Diameter(lclgrid.Square(8)) != 8 {
+		t.Error("diameter wrong")
+	}
+}
+
+func TestPublicSynthesisPipeline(t *testing.T) {
+	p := lclgrid.VertexColoring(5, 2)
+	h, w := lclgrid.DefaultWindow(1)
+	alg, err := lclgrid.Synthesize(p, 1, h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lclgrid.Square(16)
+	out, rounds, err := alg.Run(g, lclgrid.PermutedIDs(g.N(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(g, out); err != nil {
+		t.Fatal(err)
+	}
+	if rounds.Total() <= 0 {
+		t.Error("no rounds accounted")
+	}
+}
+
+func TestPublicClassifyOracle(t *testing.T) {
+	if res := lclgrid.ClassifyOracle(lclgrid.IndependentSet(2), 1); res.Class != lclgrid.ClassO1 {
+		t.Errorf("independent set: %v", res.Class)
+	}
+	if res := lclgrid.ClassifyOracle(lclgrid.VertexColoring(5, 2), 1); res.Class != lclgrid.ClassLogStar {
+		t.Errorf("5-colouring: %v", res.Class)
+	}
+	if res := lclgrid.ClassifyOracle(lclgrid.VertexColoring(2, 2), 1); res.Class != lclgrid.ClassUnknown {
+		t.Errorf("2-colouring: %v", res.Class)
+	}
+}
+
+func TestPublicAnchorsProperty(t *testing.T) {
+	// For every k and seed, anchors form an independent, dominating set
+	// of the k-th power.
+	g := lclgrid.Square(15)
+	f := func(kRaw uint8, seed int64) bool {
+		k := 1 + int(kRaw%3)
+		var r lclgrid.Rounds
+		set := lclgrid.Anchors(g, k, lclgrid.L1, lclgrid.PermutedIDs(g.N(), seed), &r)
+		for u := 0; u < g.N(); u++ {
+			nearest := 1 << 30
+			for v := 0; v < g.N(); v++ {
+				if !set[v] || v == u {
+					continue
+				}
+				if d := g.Dist(u, v, lclgrid.L1); d < nearest {
+					nearest = d
+				}
+			}
+			if set[u] && nearest <= k {
+				return false // not independent
+			}
+			if !set[u] && nearest > k {
+				return false // not dominated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicCyclePipeline(t *testing.T) {
+	p := lclgrid.CycleThreeColoring()
+	alg, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := lclgrid.Cycle(40)
+	out, _, err := alg.Run(c, lclgrid.PermutedIDs(40, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(c, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCustomProblem(t *testing.T) {
+	// A user-defined problem: "no two horizontally adjacent nodes share a
+	// label" with 3 labels; vertically unconstrained. Constant columns
+	// exist, so it is not trivial horizontally but solvable.
+	p := lclgrid.NewProblem("row 3-colouring", []string{"a", "b", "c"}, 2,
+		func(dim, a, b int) bool { return dim == 1 || a != b }, nil)
+	g := lclgrid.Square(9)
+	sol, ok := lclgrid.SolveGlobal(p, g)
+	if !ok {
+		t.Fatal("row colouring should be solvable")
+	}
+	if err := p.Verify(g, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicLMPipeline(t *testing.T) {
+	m := lclgrid.HaltingWriter(1)
+	p := lclgrid.LM(m)
+	g := lclgrid.Square(16) // tile size 4(s+1) = 8 divides 16
+	labels, err := p.SolveLattice(g, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(g, labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := lclgrid.LM(lclgrid.RightLooper()).Verify(g, labels); err == nil {
+		t.Error("looper must reject anchored labelling")
+	}
+}
+
+func TestPublicInvariants(t *testing.T) {
+	g := lclgrid.Square(9)
+	colors := make([]int, g.N())
+	for v := range colors {
+		x, y := g.XY(v)
+		colors[v] = (x+y)%3 + 1
+	}
+	aux := lclgrid.BuildAux(g, lclgrid.MakeGreedy(g, colors))
+	s, err := aux.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s%2 == 0 {
+		t.Error("invariant must be odd on odd torus")
+	}
+}
+
+func TestPublicLogStar(t *testing.T) {
+	if lclgrid.LogStar(65536) != 4 {
+		t.Error("LogStar wrong")
+	}
+}
