@@ -146,3 +146,40 @@ func BenchmarkFourColorDirect(b *testing.B) {
 		}
 	}
 }
+
+// --- Engine synthesis cache ------------------------------------------------
+
+// The cold/cached pair measures the synthesis-cache win of the Engine on
+// the paper's headline problem (4-colouring, k = 3 over 2079 tiles): cold
+// pays the SAT synthesis on every solve, cached pays it once per problem
+// fingerprint.
+
+func BenchmarkEngineSolveCold(b *testing.B) {
+	g := lclgrid.Square(28)
+	ids := lclgrid.PermutedIDs(g.N(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := lclgrid.NewEngine() // fresh cache: every solve synthesizes
+		if _, err := eng.Solve("4col", g, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSolveCached(b *testing.B) {
+	eng := lclgrid.NewEngine()
+	g := lclgrid.Square(28)
+	ids := lclgrid.PermutedIDs(g.N(), 1)
+	if _, err := eng.Solve("4col", g, ids); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Solve("4col", g, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if stats := eng.CacheStats(); stats.Misses != 1 {
+		b.Fatalf("cached benchmark synthesized %d times", stats.Misses)
+	}
+}

@@ -1,9 +1,12 @@
-// Command lclgrid is the command-line front end of the reproduction:
+// Command lclgrid is the command-line front end of the reproduction. All
+// subcommands resolve problems through the package Registry and solve
+// through the synthesis-caching Engine:
 //
+//	lclgrid list                     print the problem registry
 //	lclgrid experiments [-id E3]     regenerate the paper's tables/figures
 //	lclgrid classify -problem 4col   run the one-sided classification oracle
 //	lclgrid synth -problem 4col -k 3 synthesize a normal-form algorithm
-//	lclgrid run -problem 4col -n 28  synthesize, run on an n×n torus, verify
+//	lclgrid run -problem 4col        solve on an n×n torus via the registry's solver
 //	lclgrid table                    print the Theorem 22 orientation table
 package main
 
@@ -11,12 +14,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"text/tabwriter"
 
 	lclgrid "lclgrid"
 	"lclgrid/internal/experiments"
 	"lclgrid/internal/orient"
 )
+
+// engine is the process-wide solving service; every subcommand goes
+// through it, so repeated syntheses within one invocation are cached.
+var engine = lclgrid.NewEngine()
 
 func main() {
 	if len(os.Args) < 2 {
@@ -25,6 +32,8 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Stdout)
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
 	case "classify":
@@ -46,41 +55,35 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lclgrid <experiments|classify|synth|run|table> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|experiments|classify|synth|run|table> [flags]")
 }
 
-func problemByName(name string) (*lclgrid.Problem, error) {
-	switch {
-	case strings.HasSuffix(name, "edgecol"):
-		var k int
-		if _, err := fmt.Sscanf(name, "%dedgecol", &k); err != nil {
-			return nil, fmt.Errorf("bad problem %q", name)
+// lookup resolves a problem key against the engine's registry.
+func lookup(key string) (*lclgrid.ProblemSpec, error) {
+	return engine.Registry().Lookup(key)
+}
+
+// cmdList prints the registry contents so the CLI is discoverable.
+func cmdList(w *os.File) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "KEY\tPROBLEM\tDIMS\tLABELS\tCLASS\tMIN SIDE")
+	for _, spec := range engine.Registry().Specs() {
+		labels := fmt.Sprint(spec.NumLabels)
+		if spec.NumLabels == 0 {
+			labels = "-"
 		}
-		return lclgrid.EdgeColoring(k, 2).Problem, nil
-	case strings.HasSuffix(name, "col"):
-		var k int
-		if _, err := fmt.Sscanf(name, "%dcol", &k); err != nil {
-			return nil, fmt.Errorf("bad problem %q", name)
+		side := fmt.Sprint(spec.MinSide)
+		if spec.SideModulus > 1 {
+			side += fmt.Sprintf(" (mult of %d)", spec.SideModulus)
 		}
-		return lclgrid.VertexColoring(k, 2), nil
-	case name == "mis":
-		return lclgrid.MIS(2).Problem, nil
-	case name == "matching":
-		return lclgrid.MaximalMatching(2).Problem, nil
-	case name == "is":
-		return lclgrid.IndependentSet(2), nil
-	case strings.HasPrefix(name, "orient"):
-		var x []int
-		for _, ch := range name[len("orient"):] {
-			if ch < '0' || ch > '4' {
-				return nil, fmt.Errorf("bad orientation spec %q", name)
-			}
-			x = append(x, int(ch-'0'))
-		}
-		return lclgrid.XOrientation(x, 2).Problem, nil
-	default:
-		return nil, fmt.Errorf("unknown problem %q (try 4col, 5edgecol, mis, matching, is, orient134)", name)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\n",
+			spec.Key, spec.Name, spec.Dims, labels, spec.Class, side)
 	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nfamilies: <k>col, <k>edgecol, orient<digits 0-4>")
+	return nil
 }
 
 func cmdExperiments(args []string) error {
@@ -104,17 +107,22 @@ func cmdExperiments(args []string) error {
 
 func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
-	name := fs.String("problem", "4col", "problem name")
+	name := fs.String("problem", "4col", "problem key (see `lclgrid list`)")
 	maxK := fs.Int("maxk", 3, "largest anchor power to try")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := problemByName(*name)
+	spec, err := lookup(*name)
 	if err != nil {
 		return err
 	}
-	res := lclgrid.ClassifyOracle(p, *maxK)
-	fmt.Printf("%s: %s\n", p, res.Class)
+	if spec.Problem == nil {
+		fmt.Printf("%s: %s (by Theorem 3 the oracle does not apply to L_M)\n", spec.Name, spec.Class)
+		return nil
+	}
+	p := spec.Problem()
+	res := engine.Classify(p, *maxK)
+	fmt.Printf("%s: %s (registry: %s)\n", p, res.Class, spec.Class)
 	for _, a := range res.Attempts {
 		fmt.Printf("  k=%d window %dx%d tiles=%d success=%v\n", a.K, a.H, a.W, a.NumTiles, a.Success)
 	}
@@ -123,58 +131,67 @@ func cmdClassify(args []string) error {
 
 func cmdSynth(args []string) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
-	name := fs.String("problem", "4col", "problem name")
+	name := fs.String("problem", "4col", "problem key (see `lclgrid list`)")
 	k := fs.Int("k", 3, "anchor power")
 	h := fs.Int("h", 0, "window height (0 = paper default)")
 	w := fs.Int("w", 0, "window width (0 = paper default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := problemByName(*name)
+	spec, err := lookup(*name)
 	if err != nil {
 		return err
 	}
+	if spec.Problem == nil {
+		return fmt.Errorf("%s has no SFT form to synthesize against", spec.Name)
+	}
+	p := spec.Problem()
 	if *h == 0 || *w == 0 {
 		*h, *w = lclgrid.DefaultWindow(*k)
 	}
-	alg, err := lclgrid.Synthesize(p, *k, *h, *w)
+	alg, cached, err := engine.Synthesize(p, *k, *h, *w)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("synthesized %s: k=%d window %dx%d tiles=%d decisions=%d conflicts=%d\n",
+	fmt.Printf("synthesized %s: k=%d window %dx%d tiles=%d decisions=%d conflicts=%d cached=%v\n",
 		p.Name(), alg.K, alg.H, alg.W, alg.Graph.NumTiles(),
-		alg.SolverStats.Decisions, alg.SolverStats.Conflicts)
+		alg.SolverStats.Decisions, alg.SolverStats.Conflicts, cached)
 	return nil
 }
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	name := fs.String("problem", "4col", "problem name")
-	k := fs.Int("k", 3, "anchor power")
-	n := fs.Int("n", 28, "torus side")
+	name := fs.String("problem", "4col", "problem key (see `lclgrid list`)")
+	k := fs.Int("k", 0, "force synthesis with this anchor power (0 = registry solver)")
+	n := fs.Int("n", 0, "torus side (0 = smallest the solver supports)")
 	seed := fs.Int64("seed", 1, "identifier seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := problemByName(*name)
+	spec, err := lookup(*name)
 	if err != nil {
 		return err
 	}
-	h, w := lclgrid.DefaultWindow(*k)
-	alg, err := lclgrid.Synthesize(p, *k, h, w)
-	if err != nil {
-		return err
+	if *n < 0 {
+		return fmt.Errorf("torus side must be positive, got %d", *n)
+	}
+	if *n == 0 {
+		// Pick the smallest side the registered solver supports. An
+		// explicit -n is honoured even when it violates the side hints:
+		// running a global problem on an "impossible" torus is exactly
+		// how unsolvability certificates are produced.
+		*n = spec.SmallestSide()
+	}
+	var opts []lclgrid.Option
+	if *k > 0 {
+		opts = append(opts, lclgrid.WithPower(*k))
 	}
 	g := lclgrid.Square(*n)
-	out, rounds, err := alg.Run(g, lclgrid.PermutedIDs(g.N(), *seed))
+	res, err := engine.Solve(*name, g, lclgrid.PermutedIDs(g.N(), *seed), opts...)
 	if err != nil {
 		return err
 	}
-	if err := p.Verify(g, out); err != nil {
-		return fmt.Errorf("output failed verification: %w", err)
-	}
-	fmt.Printf("%s on %d×%d torus: verified, %d rounds (log*(n²)=%d)\n",
-		p.Name(), *n, *n, rounds.Total(), lclgrid.LogStar(*n**n))
+	fmt.Printf("%s on %d×%d torus: %v (log*(n²)=%d)\n", spec.Name, *n, *n, res, lclgrid.LogStar(*n**n))
 	return nil
 }
 

@@ -1,8 +1,14 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"strings"
+	"testing"
+)
 
-func TestProblemByName(t *testing.T) {
+// TestLookup exercises the registry resolution the CLI relies on,
+// including the parameterised families the old name switch supported.
+func TestLookup(t *testing.T) {
 	tests := []struct {
 		name   string
 		labels int
@@ -16,17 +22,53 @@ func TestProblemByName(t *testing.T) {
 		{"is", 2, true},
 		{"orient134", 9, true}, // C(4,1)+C(4,3)+C(4,4) labels
 		{"orient2", 6, true},   // C(4,2) labels
+		{"lm:halt", 0, true},   // no SFT alphabet
 		{"nope", 0, false},
 		{"orient9", 0, false},
 	}
 	for _, tt := range tests {
-		p, err := problemByName(tt.name)
+		spec, err := lookup(tt.name)
 		if tt.ok != (err == nil) {
 			t.Errorf("%s: err = %v, ok want %v", tt.name, err, tt.ok)
 			continue
 		}
-		if err == nil && p.K() != tt.labels {
-			t.Errorf("%s: K = %d, want %d", tt.name, p.K(), tt.labels)
+		if err == nil && spec.NumLabels != tt.labels {
+			t.Errorf("%s: NumLabels = %d, want %d", tt.name, spec.NumLabels, tt.labels)
+		}
+	}
+}
+
+// TestUnknownKeyEnumerates checks the discoverability requirement: an
+// unknown problem error must name the valid keys.
+func TestUnknownKeyEnumerates(t *testing.T) {
+	_, err := lookup("nope")
+	if err == nil {
+		t.Fatal("lookup of unknown key succeeded")
+	}
+	for _, want := range []string{"4col", "mis", "5edgecol", "lm:halt", "<k>col"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-key error does not mention %q: %v", want, err)
+		}
+	}
+}
+
+func TestCmdList(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := cmdList(f); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"KEY", "4col", "Θ(log* n)", "lm:halt", "families:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -53,7 +95,16 @@ func TestCmdSynth(t *testing.T) {
 }
 
 func TestCmdRun(t *testing.T) {
+	// Registry solver path.
+	if err := cmdRun([]string{"-problem", "5col", "-n", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	// Forced synthesis path.
 	if err := cmdRun([]string{"-problem", "5col", "-k", "1", "-n", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	// Default side from the spec.
+	if err := cmdRun([]string{"-problem", "mis"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,155 @@
+package lclgrid
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lclgrid/internal/core"
+)
+
+// Engine is the service front of the package: it resolves problem keys
+// through a Registry and memoises expensive SAT syntheses in a
+// concurrency-safe cache keyed by the canonical problem fingerprint plus
+// the anchor power and window shape. Repeated and concurrent Solve calls
+// for the same problem reuse one synthesized lookup table; UNSAT results
+// are cached too, so the classification oracle never re-proves a failed
+// shape. The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	cache map[synthKey]*synthEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type synthKey struct {
+	fp      string
+	k, h, w int
+}
+
+// synthEntry is a singleflight slot: the first requester synthesizes
+// while later ones wait on ready.
+type synthEntry struct {
+	ready chan struct{}
+	alg   *core.Synthesized
+	err   error
+}
+
+// NewEngine returns an engine over the given registry; nil selects
+// DefaultRegistry().
+func NewEngine(reg ...*Registry) *Engine {
+	r := DefaultRegistry()
+	if len(reg) > 0 && reg[0] != nil {
+		r = reg[0]
+	}
+	return &Engine{reg: r, cache: make(map[synthKey]*synthEntry)}
+}
+
+// Registry returns the engine's problem registry.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// CacheStats is a snapshot of the synthesis cache counters.
+type CacheStats struct {
+	// Hits counts Synthesize calls served from the cache (including
+	// waiters coalesced onto an in-flight synthesis).
+	Hits uint64
+	// Misses counts Synthesize calls that ran the SAT synthesizer; this
+	// is the exact number of syntheses performed.
+	Misses uint64
+	// Entries is the number of cached (fingerprint, k, h, w) slots.
+	Entries int
+}
+
+// CacheStats returns a snapshot of the synthesis cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	entries := len(e.cache)
+	e.mu.Unlock()
+	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: entries}
+}
+
+// Synthesize returns the normal-form algorithm for (p, k, h, w), running
+// the SAT synthesis at most once per (fingerprint, k, h, w) across all
+// goroutines; cached reports whether the result (including a cached
+// UNSAT) was reused.
+func (e *Engine) Synthesize(p *Problem, k, h, w int) (alg *Synthesized, cached bool, err error) {
+	key := synthKey{fp: p.Fingerprint(), k: k, h: h, w: w}
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		<-ent.ready
+		return ent.alg, true, ent.err
+	}
+	ent = &synthEntry{ready: make(chan struct{})}
+	e.cache[key] = ent
+	e.mu.Unlock()
+	e.misses.Add(1)
+	ent.alg, ent.err = core.Synthesize(p, k, h, w)
+	close(ent.ready)
+	return ent.alg, false, ent.err
+}
+
+// Classify runs the §7 one-sided classification oracle through the
+// synthesis cache: same shape schedule and semantics as ClassifyOracle,
+// but failed shapes are cached, so repeated classification of the same
+// problem is cheap.
+func (e *Engine) Classify(p *Problem, maxK int) OracleResult {
+	return core.ClassifyOracleWith(func(p *Problem, k, h, w int) (*Synthesized, error) {
+		alg, _, err := e.Synthesize(p, k, h, w)
+		return alg, err
+	}, p, maxK)
+}
+
+// Solve resolves the problem key through the registry and runs its known
+// best solver — the single service call "solve LCL problem key on torus
+// t". A nil ids selects sequential identifiers; WithPower forces the
+// synthesis path regardless of the registered solver.
+func (e *Engine) Solve(key string, t *Torus, ids []int, opts ...Option) (*Result, error) {
+	spec, err := e.reg.Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	var solver Solver
+	if o.Power > 0 {
+		if spec.Problem == nil {
+			return nil, fmt.Errorf("lclgrid: %s has no SFT form to synthesize against", spec.Name)
+		}
+		solver = NewSynthesisSolver(e, spec.Problem(), o.Power, o.H, o.W)
+	} else {
+		solver = spec.Solver(e)
+	}
+	res, err := solver.Solve(t, ids, opts...)
+	if res != nil && res.Class == ClassUnknown {
+		res.Class = spec.Class
+	}
+	return res, err
+}
+
+// SolveProblem serves an unregistered SFT problem end to end: constant
+// solutions are used when they exist, otherwise cached synthesis is tried
+// up to WithMaxPower, and the Θ(n) brute force is the fallback. This is
+// the generic path for user-defined problems.
+func (e *Engine) SolveProblem(p *Problem, t *Torus, ids []int, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	if o.Power > 0 {
+		return NewSynthesisSolver(e, p, o.Power, o.H, o.W).Solve(t, ids, opts...)
+	}
+	if len(p.ConstantSolutions()) > 0 {
+		return (&ConstantSolver{Problem: p}).Solve(t, ids, opts...)
+	}
+	if oracle := e.Classify(p, o.MaxPower); oracle.Class == ClassLogStar {
+		s := &SynthesisSolver{
+			Problem:  p,
+			Attempts: []SynthAttempt{{oracle.Alg.K, oracle.Alg.H, oracle.Alg.W}},
+			Engine:   e,
+		}
+		return s.Solve(t, ids, opts...)
+	}
+	return (&GlobalSolver{Problem: p}).Solve(t, ids, opts...)
+}

@@ -1,0 +1,126 @@
+package lclgrid_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	lclgrid "lclgrid"
+)
+
+// TestEngineSolveConcurrent hammers Engine.Solve from 16 goroutines and
+// asserts exactly one synthesis per problem fingerprint: the cache-hit
+// counters must account for every call, and every result must still
+// verify.
+func TestEngineSolveConcurrent(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	const goroutines = 16
+	const perGoroutine = 4
+	g := lclgrid.Square(16)
+	ids := lclgrid.PermutedIDs(g.N(), 7)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perGoroutine)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perGoroutine; j++ {
+				res, err := eng.Solve("5col", g, ids)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Verification != lclgrid.Verified {
+					errs <- fmt.Errorf("result not verified: %v", res)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stats := eng.CacheStats()
+	if stats.Misses != 1 {
+		t.Errorf("syntheses = %d, want exactly 1 for one fingerprint", stats.Misses)
+	}
+	if want := uint64(goroutines*perGoroutine - 1); stats.Hits != want {
+		t.Errorf("hits = %d, want %d", stats.Hits, want)
+	}
+	if stats.Entries != 1 {
+		t.Errorf("entries = %d, want 1", stats.Entries)
+	}
+}
+
+// TestEngineCachesAcrossShapes checks that distinct (k, h, w) shapes and
+// distinct problems get distinct cache slots, and that UNSAT outcomes
+// are cached too.
+func TestEngineCachesAcrossShapes(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	p4 := lclgrid.VertexColoring(4, 2)
+	p5 := lclgrid.VertexColoring(5, 2)
+
+	if _, _, err := eng.Synthesize(p4, 1, 3, 2); err == nil {
+		t.Fatal("4col at k=1 should be UNSAT")
+	}
+	if _, cached, err := eng.Synthesize(p4, 1, 3, 2); err == nil || !cached {
+		t.Errorf("UNSAT result not served from cache (cached=%v, err=%v)", cached, err)
+	}
+	if _, _, err := eng.Synthesize(p5, 1, 3, 2); err != nil {
+		t.Fatalf("5col at k=1: %v", err)
+	}
+	stats := eng.CacheStats()
+	if stats.Entries != 2 || stats.Misses != 2 || stats.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 2 misses, 1 hit", stats)
+	}
+}
+
+// TestEngineClassifyUsesCache verifies the oracle reuses cached shapes.
+func TestEngineClassifyUsesCache(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	p := lclgrid.VertexColoring(5, 2)
+	first := eng.Classify(p, 1)
+	if first.Class != lclgrid.ClassLogStar {
+		t.Fatalf("5col classified %v", first.Class)
+	}
+	before := eng.CacheStats()
+	second := eng.Classify(p, 1)
+	if second.Class != lclgrid.ClassLogStar {
+		t.Fatalf("5col re-classified %v", second.Class)
+	}
+	after := eng.CacheStats()
+	if after.Misses != before.Misses {
+		t.Errorf("re-classification synthesized again: %d -> %d misses", before.Misses, after.Misses)
+	}
+}
+
+// TestFingerprint pins the canonical-fingerprint contract the cache key
+// relies on: stable across construction, sensitive to relations, labels
+// and dims, insensitive to the display name.
+func TestFingerprint(t *testing.T) {
+	a := lclgrid.VertexColoring(4, 2)
+	b := lclgrid.VertexColoring(4, 2)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical problems have different fingerprints")
+	}
+	if a.Fingerprint() == lclgrid.VertexColoring(5, 2).Fingerprint() {
+		t.Error("different alphabets share a fingerprint")
+	}
+	if a.Fingerprint() == lclgrid.VertexColoring(4, 1).Fingerprint() {
+		t.Error("different dims share a fingerprint")
+	}
+	renamed := lclgrid.NewProblem("other name", []string{"1", "2", "3", "4"}, 2,
+		func(dim, x, y int) bool { return x != y }, nil)
+	if a.Fingerprint() != renamed.Fingerprint() {
+		t.Error("display name must not change the fingerprint")
+	}
+	relaxed := lclgrid.NewProblem("relaxed", []string{"1", "2", "3", "4"}, 2,
+		func(dim, x, y int) bool { return dim == 1 || x != y }, nil)
+	if a.Fingerprint() == relaxed.Fingerprint() {
+		t.Error("different relations share a fingerprint")
+	}
+}

@@ -1,6 +1,11 @@
 // Cycles: the fully decidable 1-dimensional theory of §4 (Fig. 2).
 // Classify the four example problems by inspecting their output
 // neighbourhood graphs, then synthesize and run optimal algorithms.
+//
+// Cycle problems sit outside the grid Registry/Engine on purpose: in one
+// dimension classification is decidable and synthesis is per-problem
+// exact (CycleProblem.Classify/Synthesize), so there is no oracle or
+// SAT cache to share.
 package main
 
 import (

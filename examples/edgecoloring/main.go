@@ -1,10 +1,11 @@
-// Edgecoloring: the §10 algorithm — a proper 5-edge-colouring of the
-// 2-dimensional torus in Θ(log* n) rounds with the paper's constants
-// (k = 3, row spacing 2(4k+1)² = 338), plus the Theorem 21 parity
-// obstruction for 4 colours on odd tori.
+// Edgecoloring: the §10 algorithm through the registry — a proper
+// 5-edge-colouring of the 2-dimensional torus in Θ(log* n) rounds with
+// the paper's constants (k = 3, row spacing 2(4k+1)² = 338), plus the
+// Theorem 21 parity obstruction for 4 colours on odd tori.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -12,21 +13,23 @@ import (
 )
 
 func main() {
+	eng := lclgrid.NewEngine()
+
 	n := 680 // the paper's constants need sides above 2·338+2
 	g := lclgrid.Square(n)
-	ids := lclgrid.PermutedIDs(g.N(), 1)
-
-	out, rounds, err := lclgrid.EdgeColor5(g, ids, lclgrid.EdgeColorParams{})
+	res, err := eng.Solve("5edgecol", g, lclgrid.PermutedIDs(g.N(), 1))
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("%v\n", res)
+	fmt.Printf("on the %d×%d torus (log*(n²)=%d)\n", n, n, lclgrid.LogStar(n*n))
+
+	// The Result carries both the SFT labelling and the decoded edge
+	// colouring; colour 5 is the sparse "cutting" colour.
+	out := res.Decoded.(*lclgrid.EdgeColors)
 	if err := out.VerifyProper(5); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("edge 5-colouring of the %d×%d torus: verified, %d rounds (log*(n²)=%d)\n",
-		n, n, rounds.Total(), lclgrid.LogStar(n*n))
-
-	// Colour histogram: colour 5 is the sparse "cutting" colour.
 	hist := make([]int, 5)
 	for q := 0; q < 2; q++ {
 		for v := 0; v < g.N(); v++ {
@@ -37,8 +40,9 @@ func main() {
 		fmt.Printf("  colour %d: %6d edges\n", c+1, k)
 	}
 
-	// Theorem 21: 2d colours are impossible on odd tori.
-	if _, ok := lclgrid.SolveGlobal(lclgrid.EdgeColoring(4, 2).Problem, lclgrid.Square(3)); !ok {
+	// Theorem 21: 2d colours are impossible on odd tori; the registry's
+	// global solver doubles as the certificate generator.
+	if _, err := eng.Solve("4edgecol", lclgrid.Square(3), nil); errors.Is(err, lclgrid.ErrUnsolvable) {
 		fmt.Println("edge 4-colouring on a 3×3 torus: UNSAT certificate (Thm 21: nd/2 not an integer)")
 	}
 }

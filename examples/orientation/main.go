@@ -1,77 +1,65 @@
 // Orientation: the exhaustive X-orientation classification of Theorem 22,
-// with a synthesized Θ(log* n) algorithm for X = {1,3,4} (Lemma 23) run
-// and decoded into an explicit edge orientation.
+// with the {1,3,4}-orientation (Lemma 23) solved through the registry's
+// synthesized Θ(log* n) solver and decoded into an explicit edge
+// orientation.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/bits"
 
 	lclgrid "lclgrid"
 )
 
 func main() {
+	eng := lclgrid.NewEngine()
+
+	// The registry resolves every "orient<digits>" key with the Thm 22
+	// classification built in; tally all 32 subsets.
 	fmt.Println("Theorem 22 — in-degree sets X ⊆ {0..4} on 2-dimensional grids:")
 	classes := map[string][]string{}
-	for mask := 0; mask < 32; mask++ {
+	for mask := 1; mask < 32; mask++ {
+		key := "orient"
 		var x []int
 		for d := 0; d <= 4; d++ {
 			if mask&(1<<d) != 0 {
+				key += fmt.Sprint(d)
 				x = append(x, d)
 			}
 		}
-		var cls lclgrid.Class
-		switch {
-		case contains(x, 2):
-			cls = lclgrid.ClassO1
-		case contains(x, 1) && contains(x, 3) && (contains(x, 0) || contains(x, 4)):
-			cls = lclgrid.ClassLogStar
-		default:
-			cls = lclgrid.ClassGlobal
+		spec, err := eng.Registry().Lookup(key)
+		if err != nil {
+			log.Fatal(err)
 		}
-		key := cls.String()
-		classes[key] = append(classes[key], fmt.Sprint(x))
+		cls := spec.Class.String()
+		classes[cls] = append(classes[cls], fmt.Sprint(x))
 	}
+	classes["Θ(n)"] = append(classes["Θ(n)"], "[]") // X=∅ has no labels: never solvable
 	for _, cls := range []string{"O(1)", "Θ(log* n)", "Θ(n)"} {
 		fmt.Printf("  %-10s %d sets: %v\n", cls, len(classes[cls]), classes[cls])
 	}
 
-	// Synthesize and run the {1,3,4}-orientation.
+	// Solve the {1,3,4}-orientation through the engine.
 	x := []int{1, 3, 4}
-	op := lclgrid.XOrientation(x, 2)
-	alg, err := lclgrid.Synthesize(op.Problem, 1, 3, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
 	g := lclgrid.Square(20)
-	out, rounds, err := alg.Run(g, lclgrid.PermutedIDs(g.N(), 3))
+	res, err := eng.Solve("orient134", g, lclgrid.PermutedIDs(g.N(), 3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := op.Verify(g, out); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\n{1,3,4}-orientation on 20×20: verified in %d rounds (k=1, as in Lemma 23)\n", rounds.Total())
+	fmt.Printf("\n{1,3,4}-orientation on 20×20: %v\n", res)
 
 	// Decode and tally the in-degree histogram.
+	op := lclgrid.XOrientation(x, 2)
 	hist := map[int]int{}
 	for v := 0; v < g.N(); v++ {
-		// In-degree = popcount of the label's incoming mask.
-		mask := op.Masks[out[v]]
-		c := 0
-		for m := mask; m != 0; m >>= 1 {
-			c += int(m & 1)
-		}
-		hist[c]++
+		hist[bits.OnesCount(op.Masks[res.Labels[v]])]++
 	}
 	fmt.Printf("in-degree histogram: %v\n", hist)
-}
 
-func contains(x []int, d int) bool {
-	for _, v := range x {
-		if v == d {
-			return true
-		}
+	o := lclgrid.OrientationFromLabels(op, g, res.Labels)
+	if err := o.VerifyX(x); err != nil {
+		log.Fatal(err)
 	}
-	return false
+	fmt.Println("explicit edge orientation decoded and re-verified")
 }

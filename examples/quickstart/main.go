@@ -1,46 +1,68 @@
-// Quickstart: synthesize the paper's headline result — an optimal
-// Θ(log* n) normal-form algorithm for 4-colouring the toroidal grid
-// (§7: fails for k = 1, 2; succeeds for k = 3 over 2079 tiles) — and run
-// it on a torus.
+// Quickstart: the Engine/Registry API. Solve the paper's headline
+// problem — 4-colouring the toroidal grid, Θ(log* n) by a normal-form
+// algorithm synthesized at k = 3 over 2079 tiles (§7) — as a single
+// service call, then show the synthesis cache at work.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	lclgrid "lclgrid"
 )
 
 func main() {
-	p := lclgrid.VertexColoring(4, 2)
+	eng := lclgrid.NewEngine()
 
-	for k := 1; k <= 3; k++ {
-		h, w := lclgrid.DefaultWindow(k)
-		alg, err := lclgrid.Synthesize(p, k, h, w)
-		if err != nil {
-			fmt.Printf("k=%d (%dx%d windows): no normal-form table (expected for k<3)\n", k, h, w)
-			continue
-		}
-		fmt.Printf("k=%d (%dx%d windows): synthesized over %d tiles\n", k, h, w, alg.Graph.NumTiles())
-
-		g := lclgrid.Square(32)
-		ids := lclgrid.PermutedIDs(g.N(), 42)
-		out, rounds, err := alg.Run(g, ids)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := p.Verify(g, out); err != nil {
-			log.Fatalf("verification failed: %v", err)
-		}
-		fmt.Printf("ran A' ∘ S_%d on a 32×32 torus: valid 4-colouring in %d rounds (log*(n²) = %d)\n",
-			k, rounds.Total(), lclgrid.LogStar(32*32))
-
-		// Print a corner of the colouring.
-		for y := 7; y >= 0; y-- {
-			for x := 0; x < 16; x++ {
-				fmt.Print(out[g.At(x, y)] + 1)
-			}
-			fmt.Println()
-		}
+	// The registry maps problem keys to constructors, the paper's
+	// classification and the known best solver.
+	fmt.Println("registered problems:")
+	for _, spec := range eng.Registry().Specs() {
+		fmt.Printf("  %-10s %-28s %s\n", spec.Key, spec.Name, spec.Class)
 	}
+
+	// Solve 4-colouring on a 32×32 torus: one call synthesizes the
+	// lookup table (SAT), runs A' ∘ S_3 and verifies the labelling.
+	g := lclgrid.Square(32)
+	ids := lclgrid.PermutedIDs(g.N(), 42)
+
+	start := time.Now()
+	res, err := eng.Solve("4col", g, ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold := time.Since(start)
+	fmt.Printf("\ncold:   %v  [%v]\n", res, cold)
+
+	// The same call again: the synthesis is served from the engine's
+	// fingerprint-keyed cache — only the Θ(log* n) run remains.
+	start = time.Now()
+	res, err = eng.Solve("4col", g, ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cached: %v  [%v, cache hit=%v]\n", res, time.Since(start), res.CacheHit)
+	stats := eng.CacheStats()
+	fmt.Printf("cache stats: %d hits, %d syntheses, %d entries\n", stats.Hits, stats.Misses, stats.Entries)
+
+	// Print a corner of the colouring.
+	fmt.Printf("\nA' ∘ S_3 on a 32×32 torus: %d rounds (log*(n²) = %d)\n",
+		res.Rounds, lclgrid.LogStar(32*32))
+	for y := 7; y >= 0; y-- {
+		for x := 0; x < 16; x++ {
+			fmt.Print(res.Labels[g.At(x, y)] + 1)
+		}
+		fmt.Println()
+	}
+
+	// User-defined problems go through the same engine: SolveProblem
+	// classifies with the cached oracle and picks the right solver.
+	p := lclgrid.NewProblem("row 3-colouring", []string{"a", "b", "c"}, 2,
+		func(dim, a, b int) bool { return dim == 1 || a != b }, nil)
+	res, err = eng.SolveProblem(p, lclgrid.Square(16), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncustom problem: %v\n", res)
 }

@@ -1,8 +1,9 @@
-// Undecidability: the §6 gadget L_M. For a machine that halts, the
-// Θ(log* n)-style tiling (anchors + quadrant types + execution table)
-// exists and verifies; for a machine that loops, every anchored labelling
-// is rejected and only the Θ(n) 3-colouring escape remains — which is why
-// deciding Θ(log* n) vs Θ(n) on grids is undecidable (Theorem 3).
+// Undecidability: the §6 gadget L_M through the registry's lm:halt and
+// lm:loop entries. For a machine that halts, the Θ(log* n)-style tiling
+// (anchors + quadrant types + execution table) exists and verifies; for a
+// machine that loops, every anchored labelling is rejected and only the
+// Θ(n) 3-colouring escape remains — which is why deciding Θ(log* n) vs
+// Θ(n) on grids is undecidable (Theorem 3).
 package main
 
 import (
@@ -10,25 +11,20 @@ import (
 	"log"
 
 	lclgrid "lclgrid"
-	"lclgrid/internal/grid"
 	"lclgrid/internal/lm"
 )
 
 func main() {
-	halting := lclgrid.HaltingWriter(2)
-	p := lclgrid.LM(halting)
-	n := lm.TileSize(2) * 2
-	g := grid.Square(n)
+	eng := lclgrid.NewEngine()
 
-	labels, err := p.SolveLattice(g, 100)
+	n := lm.TileSize(2) * 2
+	g := lclgrid.Square(n)
+	res, err := eng.Solve("lm:halt", g, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := p.Verify(g, labels); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("machine %q halts in 2 steps: P2 labelling built and verified on %d×%d\n",
-		halting.Name, n, n)
+	fmt.Printf("machine halts in 2 steps: %v\n", res)
+	labels := res.Decoded.([]lm.Label)
 
 	// Draw the type structure of one tile (A = anchor; the execution
 	// table of M sits NE of each anchor on S/W/SW-typed nodes).
@@ -45,20 +41,19 @@ func main() {
 		fmt.Println()
 	}
 
-	looper := lclgrid.RightLooper()
-	lp := lclgrid.LM(looper)
-	if err := lp.Verify(g, labels); err != nil {
+	// The same anchored labelling is rejected for a non-halting machine.
+	looper := lclgrid.LM(lclgrid.RightLooper())
+	if err := looper.Verify(g, labels); err != nil {
 		fmt.Printf("\nmachine %q never halts: the same anchored labelling is rejected:\n  %v\n",
-			looper.Name, err)
+			lclgrid.RightLooper().Name, err)
 	}
-	p1, rounds, err := lp.SolveP1(grid.Square(9))
+
+	// lm:loop falls back to the P1 escape — inherently Θ(n).
+	resLoop, err := eng.Solve("lm:loop", lclgrid.Square(9), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := lp.Verify(grid.Square(9), p1); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("only escape: P1 3-colouring, inherently Θ(n) (%d rounds on 9×9)\n", rounds.Total())
+	fmt.Printf("only escape: %v\n", resLoop)
 }
 
 func markHead(l lm.Label) string {

@@ -1,0 +1,3 @@
+module lclgrid
+
+go 1.24

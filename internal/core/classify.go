@@ -56,6 +56,10 @@ type OracleResult struct {
 	Attempts []Attempt
 }
 
+// SynthesizeFunc is the synthesis dependency of the oracle; callers with
+// a cache (lclgrid.Engine) substitute their memoised variant.
+type SynthesizeFunc func(p *lcl.Problem, k, h, w int) (*Synthesized, error)
+
 // ClassifyOracle implements the §7 synthesis-as-oracle procedure: trivial
 // problems are detected exactly (constant solutions are decidable on
 // toroidal grids); otherwise normal-form synthesis is attempted for
@@ -65,13 +69,20 @@ type OracleResult struct {
 // conjecture the problem global, but (Thm 3) no terminating procedure can
 // confirm this in general.
 func ClassifyOracle(p *lcl.Problem, maxK int) OracleResult {
+	return ClassifyOracleWith(Synthesize, p, maxK)
+}
+
+// ClassifyOracleWith is ClassifyOracle with the synthesis step supplied
+// by the caller; the oracle's shape schedule and one-sided semantics are
+// identical.
+func ClassifyOracleWith(synth SynthesizeFunc, p *lcl.Problem, maxK int) OracleResult {
 	if len(p.ConstantSolutions()) > 0 {
 		return OracleResult{Class: ClassO1}
 	}
 	res := OracleResult{Class: ClassUnknown}
 	for k := 1; k <= maxK; k++ {
 		for _, win := range windowsForK(k) {
-			alg, err := Synthesize(p, k, win[0], win[1])
+			alg, err := synth(p, k, win[0], win[1])
 			att := Attempt{K: k, H: win[0], W: win[1], Success: err == nil}
 			if alg != nil {
 				att.NumTiles = alg.Graph.NumTiles()

@@ -4,28 +4,34 @@
 // the §6 undecidability construction, and the §9/§11 lower-bound
 // invariants. Each experiment prints the paper's claim next to the
 // measured value; EXPERIMENTS.md records a full run.
+//
+// All grid problems are resolved through the package-level Engine and its
+// Registry — one shared synthesis cache across E1–E12, so e.g. the k = 3
+// 4-colouring table is synthesized once even though E3, E8 and the
+// benchmark harness all use it.
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 
+	lclgrid "lclgrid"
 	"lclgrid/internal/coloring"
 	"lclgrid/internal/coordination"
-	"lclgrid/internal/core"
-	"lclgrid/internal/cycle"
-	"lclgrid/internal/edgecolor"
 	"lclgrid/internal/grid"
-	"lclgrid/internal/lcl"
 	"lclgrid/internal/lm"
-	"lclgrid/internal/local"
 	"lclgrid/internal/logstar"
 	"lclgrid/internal/orient"
 	"lclgrid/internal/tiles"
-	"lclgrid/internal/tm"
-	"lclgrid/internal/vertexcolor"
 )
+
+// eng is the shared solving service: every experiment routes problem
+// construction and solving through its Registry, and synthesis results
+// are cached across experiments (and across repeated runs, e.g. the
+// benchmark harness iterating over All()).
+var eng = lclgrid.NewEngine()
 
 // Experiment is a named, runnable reproduction of one paper artefact.
 type Experiment struct {
@@ -52,17 +58,29 @@ func All() []Experiment {
 	}
 }
 
+// problem resolves a registry key to its SFT problem.
+func problem(key string) (*lclgrid.Problem, error) {
+	spec, err := eng.Registry().Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Problem == nil {
+		return nil, fmt.Errorf("experiments: %s has no SFT form", key)
+	}
+	return spec.Problem(), nil
+}
+
 // E1 classifies the four Fig. 2 problems on directed cycles.
 func E1(w io.Writer) error {
 	fmt.Fprintln(w, "problem                      paper      measured")
 	rows := []struct {
-		p     *cycle.Problem
+		p     *lclgrid.CycleProblem
 		paper string
 	}{
-		{cycle.IndependentSet(), "O(1)"},
-		{cycle.ThreeColoring(), "Θ(log* n)"},
-		{cycle.MIS(), "Θ(log* n)"},
-		{cycle.TwoColoring(), "Θ(n)"},
+		{lclgrid.CycleIndependentSet(), "O(1)"},
+		{lclgrid.CycleThreeColoring(), "Θ(log* n)"},
+		{lclgrid.CycleMIS(), "Θ(log* n)"},
+		{lclgrid.CycleTwoColoring(), "Θ(n)"},
 	}
 	for _, r := range rows {
 		cls := r.p.Classify()
@@ -90,10 +108,13 @@ func E2(w io.Writer) error {
 	return nil
 }
 
-// E3 runs the 4-colouring synthesis for k = 1, 2, 3 and then executes the
-// synthesized algorithm on a torus.
+// E3 runs the 4-colouring synthesis for k = 1, 2, 3 through the engine
+// cache and then solves on a torus via the registry's solver.
 func E3(w io.Writer) error {
-	p := lcl.VertexColoring(4, 2)
+	p, err := problem("4col")
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "k  window  tiles  paper      measured")
 	for _, row := range []struct {
 		k, h, wd int
@@ -101,7 +122,7 @@ func E3(w io.Writer) error {
 	}{
 		{1, 3, 2, false}, {2, 5, 3, false}, {3, 7, 5, true},
 	} {
-		alg, err := core.Synthesize(p, row.k, row.h, row.wd)
+		alg, _, err := eng.Synthesize(p, row.k, row.h, row.wd)
 		ok := err == nil
 		nt := tiles.Count(row.k, row.h, row.wd)
 		fmt.Fprintf(w, "%d  %d×%d     %-6d %-10v %v\n", row.k, row.h, row.wd, nt, row.want, ok)
@@ -109,42 +130,41 @@ func E3(w io.Writer) error {
 			return fmt.Errorf("E3: k=%d: synthesis success=%v, paper says %v", row.k, ok, row.want)
 		}
 		if ok {
-			g := grid.Square(28)
-			out, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), 1))
+			g := lclgrid.Square(28)
+			res, err := eng.Solve("4col", g, lclgrid.PermutedIDs(g.N(), 1))
 			if err != nil {
-				return err
+				return fmt.Errorf("E3: %w", err)
 			}
-			if err := p.Verify(g, out); err != nil {
-				return fmt.Errorf("E3: synthesized output invalid: %w", err)
-			}
-			fmt.Fprintf(w, "   run on 28×28 torus: verified 4-colouring, %d rounds, %d SAT conflicts\n",
-				rounds.Total(), alg.SolverStats.Conflicts)
+			fmt.Fprintf(w, "   run on 28×28 torus: %s 4-colouring, %d rounds, %d SAT conflicts\n",
+				res.Verification, res.Rounds, alg.SolverStats.Conflicts)
 		}
 	}
 	return nil
 }
 
-// E4 synthesizes the two minimal Θ(log* n) orientation problems.
+// E4 solves the two minimal Θ(log* n) orientation problems through the
+// registry (synthesized with k = 1 per Lemma 23) and decodes the edge
+// orientations.
 func E4(w io.Writer) error {
-	for _, x := range [][]int{{1, 3, 4}, {0, 1, 3}} {
-		op, alg, err := orient.Synthesize(x)
+	for _, row := range []struct {
+		key string
+		x   []int
+	}{
+		{"orient134", []int{1, 3, 4}},
+		{"orient013", []int{0, 1, 3}},
+	} {
+		g := lclgrid.Square(16)
+		res, err := eng.Solve(row.key, g, lclgrid.PermutedIDs(g.N(), 2))
 		if err != nil {
-			return fmt.Errorf("E4: X=%v: %w", x, err)
+			return fmt.Errorf("E4: X=%v: %w", row.x, err)
 		}
-		g := grid.Square(16)
-		out, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), 2))
-		if err != nil {
+		op := lclgrid.XOrientation(row.x, 2)
+		o := lclgrid.OrientationFromLabels(op, g, res.Labels)
+		if err := o.VerifyX(row.x); err != nil {
 			return err
 		}
-		if err := op.Verify(g, out); err != nil {
-			return err
-		}
-		o := lcl.OrientationFromLabels(op, g, out)
-		if err := o.VerifyX(x); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "X=%v: synthesized with k=%d (paper: k=1), verified on 16×16, %d rounds\n",
-			x, alg.K, rounds.Total())
+		fmt.Fprintf(w, "X=%v: %s (paper: k=1), %s on 16×16, %d rounds\n",
+			row.x, res.Note, res.Verification, res.Rounds)
 	}
 	return nil
 }
@@ -153,35 +173,37 @@ func E4(w io.Writer) error {
 func E5(w io.Writer) error {
 	fmt.Fprintln(w, "k  paper      evidence")
 	// k = 2: unsolvable on odd tori (global).
-	if _, ok := core.SolveGlobal(lcl.VertexColoring(2, 2), grid.Square(5)); ok {
-		return fmt.Errorf("E5: 2-colouring solvable on odd torus")
+	if _, err := eng.Solve("2col", lclgrid.Square(5), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+		return fmt.Errorf("E5: 2-colouring on odd torus: want ErrUnsolvable, got %v", err)
 	}
 	fmt.Fprintln(w, "2  Θ(n)       no solution on 5×5 (odd) torus: SAT certificate")
 	// k = 3: synthesis fails through k = 3 (one-sided global evidence),
 	// solutions exist (7×7).
-	for k := 1; k <= 3; k++ {
-		h, wd := core.DefaultWindow(k)
-		if _, err := core.Synthesize(lcl.VertexColoring(3, 2), k, h, wd); err == nil {
-			return fmt.Errorf("E5: 3-colouring synthesized at k=%d", k)
-		}
-	}
-	if _, ok := core.SolveGlobal(lcl.VertexColoring(3, 2), grid.Square(7)); !ok {
-		return fmt.Errorf("E5: 3-colouring unsolvable on 7×7")
-	}
-	fmt.Fprintln(w, "3  Θ(n)       synthesis UNSAT for k=1..3; solvable on 7×7 (Thm 9 proves Ω(n))")
-	// k = 4: synthesis succeeds (E3) and the §8 direct algorithm works.
-	g := grid.Square(128)
-	var rounds local.Rounds
-	colors, err := vertexcolor.Run(g, local.PermutedIDs(g.N(), 4), 31, &rounds)
+	p3, err := problem("3col")
 	if err != nil {
 		return err
 	}
-	if err := lcl.VertexColoring(4, 2).Verify(g, colors); err != nil {
+	if oracle := eng.Classify(p3, 3); oracle.Class != lclgrid.ClassUnknown {
+		return fmt.Errorf("E5: 3-colouring classified %v at maxK=3", oracle.Class)
+	}
+	if res, err := eng.Solve("3col", lclgrid.Square(7), nil); err != nil || res.Verification != lclgrid.Verified {
+		return fmt.Errorf("E5: 3-colouring on 7×7: err=%v result=%v", err, res)
+	}
+	fmt.Fprintln(w, "3  Θ(n)       synthesis UNSAT for k=1..3; solvable on 7×7 (Thm 9 proves Ω(n))")
+	// k = 4: synthesis succeeds (E3) and the §8 direct algorithm works.
+	g := lclgrid.Square(128)
+	res, err := lclgrid.FourColorSolver{}.Solve(g, lclgrid.PermutedIDs(g.N(), 4), lclgrid.WithEll(31))
+	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "4  Θ(log* n)  synthesis k=3 (E3) + §8 algorithm verified on 128×128 (ell=31, %d rounds)\n", rounds.Total())
+	fmt.Fprintf(w, "4  Θ(log* n)  synthesis k=3 (E3) + §8 algorithm %s on 128×128 (%s, %d rounds)\n",
+		res.Verification, res.Note, res.Rounds)
 	// k = 5: synthesis already at k = 1.
-	if _, err := core.Synthesize(lcl.VertexColoring(5, 2), 1, 3, 2); err != nil {
+	p5, err := problem("5col")
+	if err != nil {
+		return err
+	}
+	if _, _, err := eng.Synthesize(p5, 1, 3, 2); err != nil {
 		return fmt.Errorf("E5: 5-colouring failed at k=1: %w", err)
 	}
 	fmt.Fprintln(w, "5  Θ(log* n)  synthesis k=1 (3×2 windows)")
@@ -191,43 +213,41 @@ func E5(w io.Writer) error {
 // E6 walks the edge-colouring threshold for d = 2.
 func E6(w io.Writer) error {
 	fmt.Fprintln(w, "colours  paper      evidence")
-	if _, ok := core.SolveGlobal(lcl.EdgeColoring(4, 2).Problem, grid.Square(3)); ok {
-		return fmt.Errorf("E6: edge 4-colouring solvable on odd torus")
+	if _, err := eng.Solve("4edgecol", lclgrid.Square(3), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+		return fmt.Errorf("E6: edge 4-colouring on odd torus: want ErrUnsolvable, got %v", err)
 	}
 	fmt.Fprintln(w, "4 (=2d)  Θ(n)       no solution on 3×3 (odd) torus: SAT certificate (Thm 21 parity)")
-	g := grid.Square(4)
-	ep := lcl.EdgeColoring(4, 2)
-	if sol, ok := core.SolveGlobal(ep.Problem, g); !ok || ep.Verify(g, sol) != nil {
-		return fmt.Errorf("E6: edge 4-colouring should exist on 4×4")
+	if res, err := eng.Solve("4edgecol", lclgrid.Square(4), nil); err != nil || res.Verification != lclgrid.Verified {
+		return fmt.Errorf("E6: edge 4-colouring should exist on 4×4: err=%v result=%v", err, res)
 	}
 	fmt.Fprintln(w, "4 (=2d)  —          solvable on even tori (4×4 SAT witness)")
 
-	big := grid.Square(680)
-	out, rounds, err := edgecolor.Run(big, local.PermutedIDs(big.N(), 1), edgecolor.Params{})
+	big := lclgrid.Square(680)
+	res, err := eng.Solve("5edgecol", big, lclgrid.PermutedIDs(big.N(), 1))
 	if err != nil {
 		return err
 	}
-	if err := out.VerifyProper(5); err != nil {
+	if err := res.Decoded.(*lclgrid.EdgeColors).VerifyProper(5); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "5 (=2d+1) Θ(log* n) §10 algorithm verified on 680×680 (paper constants k=3, spacing 338; %d rounds)\n",
-		rounds.Total())
+	fmt.Fprintf(w, "5 (=2d+1) Θ(log* n) §10 algorithm %s on 680×680 (paper constants k=3, spacing 338; %d rounds)\n",
+		res.Verification, res.Rounds)
 	return nil
 }
 
-// E7 prints the full Theorem 22 table and validates the Θ(log* n) cases
-// by synthesis and two global cases by unsolvability certificates.
+// E7 prints the full Theorem 22 table and validates two global cases by
+// unsolvability certificates (the Θ(log* n) cases are synthesized in E4).
 func E7(w io.Writer) error {
-	counts := map[core.Class]int{}
+	counts := map[lclgrid.Class]int{}
 	for _, row := range orient.Table() {
 		counts[row.Class]++
 		fmt.Fprintf(w, "X=%-14s %s\n", fmt.Sprint(row.X), row.Class)
 	}
-	if counts[core.ClassO1] != 16 || counts[core.ClassLogStar] != 3 || counts[core.ClassGlobal] != 13 {
+	if counts[lclgrid.ClassO1] != 16 || counts[lclgrid.ClassLogStar] != 3 || counts[lclgrid.ClassGlobal] != 13 {
 		return fmt.Errorf("E7: class counts %v do not match Thm 22", counts)
 	}
-	if _, ok := core.SolveGlobal(lcl.XOrientation([]int{1, 3}, 2).Problem, grid.Square(3)); ok {
-		return fmt.Errorf("E7: {1,3}-orientation solvable on odd torus (Lemma 24 violated)")
+	if _, err := eng.Solve("orient13", lclgrid.Square(3), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+		return fmt.Errorf("E7: {1,3}-orientation on odd torus: want ErrUnsolvable, got %v (Lemma 24)", err)
 	}
 	fmt.Fprintln(w, "spot check: {1,3} unsolvable on 3×3 (Lemma 24); {1,3,4}/{0,1,3} synthesized (E4)")
 	return nil
@@ -235,65 +255,56 @@ func E7(w io.Writer) error {
 
 // E8 measures the Θ(log* n) vs Θ(n) round scaling of Fig. 1/Thm 2 using
 // the k = 1 synthesized 5-colouring against the gather-and-solve
-// baseline.
+// baseline; the engine cache makes the per-size solves share one
+// synthesis.
 func E8(w io.Writer) error {
-	alg, err := core.Synthesize(lcl.VertexColoring(5, 2), 1, 3, 2)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintln(w, "n      log*(n²)  normal-form rounds  global rounds (=diameter)")
 	prev := 0
 	for _, n := range []int{16, 32, 64, 128, 256} {
-		g := grid.Square(n)
-		out, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), int64(n)))
+		g := lclgrid.Square(n)
+		res, err := eng.Solve("5col", g, lclgrid.PermutedIDs(g.N(), int64(n)))
 		if err != nil {
 			return err
 		}
-		if err := lcl.VertexColoring(5, 2).Verify(g, out); err != nil {
-			return err
+		fmt.Fprintf(w, "%-6d %-9d %-19d %d\n", n, logstar.LogStar(n*n), res.Rounds, lclgrid.Diameter(g))
+		if prev != 0 && res.Rounds > 3*prev {
+			return fmt.Errorf("E8: rounds grew superlogarithmically: %d -> %d", prev, res.Rounds)
 		}
-		fmt.Fprintf(w, "%-6d %-9d %-19d %d\n", n, logstar.LogStar(n*n), rounds.Total(), core.Diameter(g))
-		if prev != 0 && rounds.Total() > 3*prev {
-			return fmt.Errorf("E8: rounds grew superlogarithmically: %d -> %d", prev, rounds.Total())
-		}
-		prev = rounds.Total()
+		prev = res.Rounds
 	}
 	fmt.Fprintln(w, "normal-form rounds stay near-constant (log* growth); the baseline grows linearly.")
 	return nil
 }
 
-// E9 exercises the §6 construction: for a halting machine the solver
-// produces a P2 labelling accepted by the checker; for a non-halting
-// machine anchored labellings are rejected and only the Θ(n) P1 escape
-// remains.
+// E9 exercises the §6 construction through the lm:halt and lm:loop
+// registry entries: for a halting machine the solver produces a P2
+// labelling accepted by the checker; for a non-halting machine anchored
+// labellings are rejected and only the Θ(n) P1 escape remains.
 func E9(w io.Writer) error {
-	halting := tm.HaltingWriter(2)
-	p := lm.New(halting)
 	n := lm.TileSize(2) * 2
-	g := grid.Square(n)
-	labels, err := p.SolveLattice(g, 100)
+	g := lclgrid.Square(n)
+	res, err := eng.Solve("lm:halt", g, nil)
 	if err != nil {
 		return err
 	}
-	if err := p.Verify(g, labels); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "halting M (%s, s=2): P2 labelling constructed and verified on %d×%d\n", halting.Name, n, n)
+	fmt.Fprintf(w, "halting M (writer-2, s=2): P2 labelling %s on %d×%d (%s)\n",
+		res.Verification, n, n, res.Note)
 
-	looper := lm.New(tm.RightLooper())
+	labels := res.Decoded.([]lm.Label)
+	looper := lclgrid.LM(lclgrid.RightLooper())
 	if err := looper.Verify(g, labels); err == nil {
 		return fmt.Errorf("E9: anchored labelling accepted for non-halting machine")
 	}
 	fmt.Fprintln(w, "non-halting M (right-looper): anchored labellings rejected by the checker")
 
-	p1, rounds, err := looper.SolveP1(grid.Square(9))
+	resLoop, err := eng.Solve("lm:loop", lclgrid.Square(9), nil)
 	if err != nil {
 		return err
 	}
-	if err := looper.Verify(grid.Square(9), p1); err != nil {
-		return err
+	if resLoop.Class != lclgrid.ClassGlobal {
+		return fmt.Errorf("E9: lm:loop classed %v, want Θ(n)", resLoop.Class)
 	}
-	fmt.Fprintf(w, "non-halting M: only the P1 (3-colouring) escape remains — Θ(n) (%d rounds on 9×9)\n", rounds.Total())
+	fmt.Fprintf(w, "non-halting M: only the P1 (3-colouring) escape remains — Θ(n) (%d rounds on 9×9)\n", resLoop.Rounds)
 	return nil
 }
 
@@ -326,17 +337,17 @@ func oddNote(n int) string {
 	return ""
 }
 
-// E11 verifies the Theorem 25 invariant on solver-generated
+// E11 verifies the Theorem 25 invariant on registry-solved
 // {0,3,4}-orientations.
 func E11(w io.Writer) error {
-	op := lcl.XOrientation([]int{0, 3, 4}, 2)
 	for _, n := range []int{4, 6} {
-		g := grid.Square(n)
-		sol, ok := core.SolveGlobal(op.Problem, g)
-		if !ok {
-			return fmt.Errorf("E11: no {0,3,4}-orientation on %d×%d", n, n)
+		g := lclgrid.Square(n)
+		res, err := eng.Solve("orient034", g, nil)
+		if err != nil {
+			return fmt.Errorf("E11: no {0,3,4}-orientation on %d×%d: %w", n, n, err)
 		}
-		o := lcl.OrientationFromLabels(op, g, sol)
+		op := lclgrid.XOrientation([]int{0, 3, 4}, 2)
+		o := lclgrid.OrientationFromLabels(op, g, res.Labels)
 		r, err := coordination.Orient034Invariant(o)
 		if err != nil {
 			return fmt.Errorf("E11: n=%d: %w", n, err)
@@ -368,16 +379,11 @@ func E12(w io.Writer) error {
 // E8RoundsFor4Coloring reports the synthesized 4-colouring (k=3) round
 // account for a given torus side; used by the benchmark harness.
 func E8RoundsFor4Coloring(n int) (int, error) {
-	alg, err := core.Synthesize(lcl.VertexColoring(4, 2), 3, 7, 5)
+	res, err := eng.Solve("4col", lclgrid.Square(n), lclgrid.PermutedIDs(n*n, 1))
 	if err != nil {
 		return 0, err
 	}
-	g := grid.Square(n)
-	_, rounds, err := alg.Run(g, local.PermutedIDs(g.N(), 1))
-	if err != nil {
-		return 0, err
-	}
-	return rounds.Total(), nil
+	return res.Rounds, nil
 }
 
 // MISRoundBound re-exports the anchor round bound for documentation

@@ -14,6 +14,9 @@
 package lcl
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 
 	"lclgrid/internal/grid"
@@ -151,4 +154,45 @@ func (p *Problem) Verify(t *grid.Torus, labelling []int) error {
 // String implements fmt.Stringer.
 func (p *Problem) String() string {
 	return fmt.Sprintf("%s (%d labels, %d-dimensional)", p.name, p.K(), p.dims)
+}
+
+// Fingerprint returns a canonical content hash of the problem: the label
+// names, the per-dimension relation bitmaps and the node predicate, but
+// not the display name. Two problems with the same fingerprint are the
+// same constraint system, so synthesized lookup tables (which are pure
+// label-index functions) can be shared between them; engine-level
+// synthesis caches key on this value.
+func (p *Problem) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	writeInt(p.dims)
+	writeInt(len(p.labels))
+	for _, l := range p.labels {
+		writeInt(len(l))
+		h.Write([]byte(l))
+	}
+	pack := func(bits []bool) {
+		b := byte(0)
+		for i, ok := range bits {
+			if ok {
+				b |= 1 << (i % 8)
+			}
+			if i%8 == 7 {
+				h.Write([]byte{b})
+				b = 0
+			}
+		}
+		if len(bits)%8 != 0 {
+			h.Write([]byte{b})
+		}
+	}
+	pack(p.nodeOK)
+	for _, rel := range p.allowed {
+		pack(rel)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

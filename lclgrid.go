@@ -2,14 +2,48 @@
 // (Brandt et al., PODC 2017): the complexity theory of locally checkable
 // labelling problems on toroidal oriented grids in the LOCAL model.
 //
-// The package exposes the full pipeline of the paper:
+// # Primary entry point: the Solver/Result/Engine layer
+//
+// The package is organised around three concepts that turn "solve LCL
+// problem P on torus T" into a single service call:
+//
+//   - Solver is the uniform algorithm interface — Solve(t, ids, opts)
+//     returns a structured *Result carrying the labelling, the exact
+//     round account, the complexity Class, the solver name and a
+//     verification status. Every algorithm of the paper is an adapter:
+//     SynthesisSolver (§7 normal forms), GlobalSolver (the Θ(n) brute
+//     force and unsolvability certificates), ConstantSolver (O(1)
+//     problems), FourColorSolver (§8), EdgeColorSolver (§10) and
+//     LMSolver (§6).
+//   - Registry maps problem keys ("4col", "mis", "5edgecol",
+//     "orient034", "lm:halt", ...) to ProblemSpecs: a constructor, the
+//     paper's classification and the known best solver. Beyond the
+//     registered keys it resolves the parameterised families "<k>col",
+//     "<k>edgecol" and "orient<digits>". DefaultRegistry returns the
+//     paper's catalogue.
+//   - Engine resolves keys through a Registry and memoises SAT
+//     syntheses in a concurrency-safe cache keyed by the canonical
+//     Problem.Fingerprint plus the anchor power and window shape, so
+//     repeated and concurrent Solve calls pay the expensive synthesis
+//     once per problem.
+//
+// A minimal session:
+//
+//	eng := lclgrid.NewEngine()
+//	res, err := eng.Solve("4col", lclgrid.Square(32), nil)
+//	// res.Labels, res.Rounds, res.Class, res.Verification ...
+//
+// # The underlying pipeline
+//
+// The paper's machinery remains exported for direct use:
 //
 //   - Problem definitions in nearest-neighbour SFT form and a catalogue
 //     of the paper's concrete problems (vertex/edge colouring,
 //     X-orientations, MIS, matchings): NewProblem, VertexColoring,
 //     EdgeColoring, XOrientation, MIS, MaximalMatching.
 //   - The normal form A' ∘ S_k of §5/§7 and its automatic synthesis:
-//     Synthesize, ClassifyOracle, DefaultWindow.
+//     Synthesize, ClassifyOracle, DefaultWindow (Engine.Synthesize and
+//     Engine.Classify are the cached equivalents).
 //   - The Θ(n) brute-force baseline and solvability certificates:
 //     SolveGlobal.
 //   - The decidable 1-dimensional (cycle) theory of §4: CycleProblem and
@@ -102,6 +136,20 @@ func MIS(dims int) *lcl.MISProblem { return lcl.MIS(dims) }
 // MaximalMatching returns the maximal matching problem.
 func MaximalMatching(dims int) *lcl.MatchingProblem { return lcl.MaximalMatching(dims) }
 
+// EdgeColors is an explicit edge colouring, decodable to and from the
+// SFT alphabet of EdgeColoring.
+type EdgeColors = lcl.EdgeColors
+
+// Orientation is an explicit edge orientation, decodable from the SFT
+// alphabet of XOrientation.
+type Orientation = lcl.Orientation
+
+// OrientationFromLabels decodes an SFT labelling of an X-orientation
+// problem into the explicit edge orientation.
+func OrientationFromLabels(p *lcl.OrientationProblem, t *Torus, labelling []int) *Orientation {
+	return lcl.OrientationFromLabels(p, t, labelling)
+}
+
 // IndependentSet returns the (trivial) independent set problem.
 func IndependentSet(dims int) *Problem { return lcl.IndependentSet(dims) }
 
@@ -133,8 +181,12 @@ func Synthesize(p *Problem, k, h, w int) (*Synthesized, error) { return core.Syn
 // (3×2 for k=1, 7×5 for k=3).
 func DefaultWindow(k int) (h, w int) { return core.DefaultWindow(k) }
 
-// ClassifyOracle runs the one-sided classification oracle of §7.
-func ClassifyOracle(p *Problem, maxK int) core.OracleResult { return core.ClassifyOracle(p, maxK) }
+// OracleResult is the outcome of the one-sided classification oracle.
+type OracleResult = core.OracleResult
+
+// ClassifyOracle runs the one-sided classification oracle of §7 without
+// caching; Engine.Classify is the cached equivalent.
+func ClassifyOracle(p *Problem, maxK int) OracleResult { return core.ClassifyOracle(p, maxK) }
 
 // SolveGlobal decides solvability of p on t and returns a solution — the
 // Θ(n) brute-force baseline and unsolvability certificate generator.

@@ -1,0 +1,161 @@
+package lclgrid_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	lclgrid "lclgrid"
+)
+
+// TestRegistryRoundTrip is the round-trip contract of the registry:
+// every registered key constructs, carries a classification consistent
+// with its problem, solves on a small torus through the engine, and the
+// problem's Verify accepts the labelling.
+func TestRegistryRoundTrip(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	for _, spec := range eng.Registry().Specs() {
+		spec := spec
+		t.Run(spec.Key, func(t *testing.T) {
+			if spec.Key == "5edgecol" && testing.Short() {
+				t.Skip("§10 needs a 680×680 torus")
+			}
+			// Construct.
+			if spec.Problem != nil {
+				p := spec.Problem()
+				if p.K() != spec.NumLabels {
+					t.Errorf("NumLabels %d, problem has %d", spec.NumLabels, p.K())
+				}
+				if p.Dims() != spec.Dims {
+					t.Errorf("Dims %d, problem has %d", spec.Dims, p.Dims())
+				}
+				// Classify: O(1) iff a constant solution exists (§6).
+				if (spec.Class == lclgrid.ClassO1) != (len(p.ConstantSolutions()) > 0) {
+					t.Errorf("class %v inconsistent with constant solutions %v",
+						spec.Class, p.ConstantSolutions())
+				}
+			}
+			// Solve.
+			side := spec.SmallestSide()
+			g := lclgrid.Square(side)
+			res, err := eng.Solve(spec.Key, g, lclgrid.PermutedIDs(g.N(), 1))
+			if err != nil {
+				t.Fatalf("solve on %d×%d: %v", side, side, err)
+			}
+			if res.Verification != lclgrid.Verified {
+				t.Errorf("result not verified: %v", res)
+			}
+			if res.Solver == "" || res.Problem == "" {
+				t.Errorf("result missing provenance: %v", res)
+			}
+			// A solved Θ(log* n) problem must report that class; global
+			// solvers report the registered class.
+			if res.Class != spec.Class {
+				t.Errorf("result class %v, spec class %v", res.Class, spec.Class)
+			}
+			// Verify independently of the solver's own check.
+			if err := spec.CheckResult(g, res); err != nil {
+				t.Errorf("CheckResult: %v", err)
+			}
+		})
+	}
+}
+
+// TestRegistryFamilies checks the parameterised families that replace
+// the old per-command name switches.
+func TestRegistryFamilies(t *testing.T) {
+	reg := lclgrid.DefaultRegistry()
+	for _, tt := range []struct {
+		key   string
+		class lclgrid.Class
+	}{
+		{"6col", lclgrid.ClassLogStar},
+		{"2col", lclgrid.ClassGlobal},
+		{"6edgecol", lclgrid.ClassLogStar},
+		{"orient24", lclgrid.ClassO1},
+		{"orient0134", lclgrid.ClassLogStar},
+		{"orient04", lclgrid.ClassGlobal},
+	} {
+		spec, err := reg.Lookup(tt.key)
+		if err != nil {
+			t.Errorf("%s: %v", tt.key, err)
+			continue
+		}
+		if spec.Class != tt.class {
+			t.Errorf("%s: class %v, want %v", tt.key, spec.Class, tt.class)
+		}
+	}
+	for _, bad := range []string{"", "col", "0col", "orient", "orient5", "xedgecol", "nope"} {
+		if _, err := reg.Lookup(bad); err == nil {
+			t.Errorf("%q: lookup should fail", bad)
+		}
+	}
+}
+
+// TestUnknownKeyError checks that unknown keys enumerate the valid ones.
+func TestUnknownKeyError(t *testing.T) {
+	_, err := lclgrid.DefaultRegistry().Lookup("unknown-problem")
+	if err == nil {
+		t.Fatal("lookup succeeded")
+	}
+	for _, want := range []string{"4col", "mis", "5edgecol", "orient034", "lm:halt", "<k>col", "<k>edgecol"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not enumerate %q: %v", want, err)
+		}
+	}
+}
+
+// TestGlobalSolverCertificates checks that unsolvable instances surface
+// ErrUnsolvable (the §7 certificate path).
+func TestGlobalSolverCertificates(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	if _, err := eng.Solve("2col", lclgrid.Square(5), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+		t.Errorf("2col on odd torus: want ErrUnsolvable, got %v", err)
+	}
+	if _, err := eng.Solve("4edgecol", lclgrid.Square(3), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+		t.Errorf("4edgecol on odd torus: want ErrUnsolvable, got %v", err)
+	}
+}
+
+// TestSolveProblemAuto checks the generic path for unregistered
+// problems: classification through the cached oracle, then the right
+// solver.
+func TestSolveProblemAuto(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	// Trivial: the empty independent set is a constant solution.
+	res, err := eng.SolveProblem(lclgrid.IndependentSet(2), lclgrid.Square(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != lclgrid.ClassO1 || res.Rounds != 0 {
+		t.Errorf("independent set: %v, want O(1) in 0 rounds", res)
+	}
+	// A user-defined problem with no constant solution but a k = 1
+	// normal form: "no two horizontally adjacent nodes share a label".
+	rowCol := lclgrid.NewProblem("row 3-colouring", []string{"a", "b", "c"}, 2,
+		func(dim, a, b int) bool { return dim == 1 || a != b }, nil)
+	res, err = eng.SolveProblem(rowCol, lclgrid.Square(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != lclgrid.ClassLogStar {
+		t.Errorf("row colouring: %v, want Θ(log* n) by synthesis", res)
+	}
+	// Θ(log* n): 5-colouring synthesizes at k = 1.
+	res, err = eng.SolveProblem(lclgrid.VertexColoring(5, 2), lclgrid.Square(16), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != lclgrid.ClassLogStar {
+		t.Errorf("5col: %v, want Θ(log* n)", res)
+	}
+	// Global fallback: 3-colouring (oracle UNSAT through maxK).
+	res, err = eng.SolveProblem(lclgrid.VertexColoring(3, 2), lclgrid.Square(6), nil,
+		lclgrid.WithMaxPower(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != "global brute force" {
+		t.Errorf("3col fell to %q, want the global baseline", res.Solver)
+	}
+}

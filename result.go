@@ -1,0 +1,135 @@
+package lclgrid
+
+import "fmt"
+
+// VerifyStatus records whether a Result's labelling was checked against
+// the problem definition.
+type VerifyStatus int
+
+const (
+	// Unverified means verification was skipped (WithVerify(false)).
+	Unverified VerifyStatus = iota
+	// Verified means the labelling passed the problem's checker.
+	Verified
+	// VerifyFailed means the labelling was rejected; solvers return an
+	// error alongside, so a VerifyFailed Result is only seen by callers
+	// that inspect partial results.
+	VerifyFailed
+)
+
+// String implements fmt.Stringer.
+func (s VerifyStatus) String() string {
+	switch s {
+	case Verified:
+		return "verified"
+	case VerifyFailed:
+		return "verification failed"
+	default:
+		return "unverified"
+	}
+}
+
+// Result is the structured outcome of a Solver run: the labelling, the
+// exact round account, the complexity class of the problem, the solver
+// that produced it and its verification status. It is the uniform return
+// shape of every solver adapter and of Engine.Solve.
+type Result struct {
+	// Problem is the display name of the problem instance.
+	Problem string
+	// Solver names the algorithm that produced the labelling.
+	Solver string
+	// Class is the complexity class of the problem: what the run proves
+	// (a successful synthesis proves Θ(log* n)) or the paper's known
+	// classification for the registered problem.
+	Class Class
+	// Labels is the labelling in the problem's SFT alphabet, indexed by
+	// node. It is nil for problems without an SFT encoding in this
+	// codebase (the L_M gadget); Decoded then carries the labelling.
+	Labels []int
+	// Decoded optionally carries the solver-native structure: a
+	// *lclgrid.EdgeColors for edge colourings, []lm.Label for L_M.
+	Decoded any
+	// Rounds is the exact LOCAL round account of the run, including
+	// power-graph simulation overheads.
+	Rounds int
+	// Verification reports whether the labelling was checked.
+	Verification VerifyStatus
+	// CacheHit reports that the run reused an engine-cached synthesis
+	// instead of re-running the SAT synthesizer.
+	CacheHit bool
+	// Note is a short solver-specific detail for humans (chosen
+	// parameters, fallback paths).
+	Note string
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s via %s: %s, %d rounds, %s", r.Problem, r.Solver, r.Class, r.Rounds, r.Verification)
+	if r.Note != "" {
+		s += " (" + r.Note + ")"
+	}
+	return s
+}
+
+// Options collects the per-call knobs of Solver.Solve and Engine.Solve.
+// Construct with the With* functional options; zero knobs select the
+// registered solver's defaults.
+type Options struct {
+	// Verify enables checking the labelling against the problem
+	// definition (default true).
+	Verify bool
+	// Power forces the synthesis path with this anchor power; 0 keeps
+	// the solver's default strategy.
+	Power int
+	// H, W override the anchor window shape when Power is set; 0 selects
+	// DefaultWindow(Power).
+	H, W int
+	// MaxPower bounds the powers tried by auto-classification solvers
+	// (default 3, the paper's largest).
+	MaxPower int
+	// Ell is the §8 ball parameter for the direct 4-colouring; 0 retries
+	// automatically.
+	Ell int
+	// EdgeParams are the §10 constants; the zero value selects the
+	// paper's defaults.
+	EdgeParams EdgeColorParams
+	// MaxSteps bounds the Turing-machine simulation of L_M solvers
+	// (default 100).
+	MaxSteps int
+}
+
+// Option is a functional option for Solver.Solve and Engine.Solve.
+type Option func(*Options)
+
+func buildOptions(opts []Option) Options {
+	o := Options{Verify: true, MaxPower: 3, MaxSteps: 100}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithVerify toggles labelling verification (on by default).
+func WithVerify(v bool) Option { return func(o *Options) { o.Verify = v } }
+
+// WithPower forces synthesis with anchor power k instead of the
+// registered solver's default strategy.
+func WithPower(k int) Option { return func(o *Options) { o.Power = k } }
+
+// WithWindow overrides the anchor window shape used with WithPower.
+func WithWindow(h, w int) Option { return func(o *Options) { o.H, o.W = h, w } }
+
+// WithMaxPower bounds the anchor powers tried by auto-classifying
+// solvers.
+func WithMaxPower(k int) Option { return func(o *Options) { o.MaxPower = k } }
+
+// WithEll fixes the §8 ball parameter instead of the automatic retry.
+func WithEll(ell int) Option { return func(o *Options) { o.Ell = ell } }
+
+// WithEdgeColorParams overrides the §10 constants.
+func WithEdgeColorParams(p EdgeColorParams) Option {
+	return func(o *Options) { o.EdgeParams = p }
+}
+
+// WithMaxSteps bounds the Turing-machine simulation of L_M solvers.
+func WithMaxSteps(n int) Option { return func(o *Options) { o.MaxSteps = n } }
