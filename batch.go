@@ -1,0 +1,121 @@
+package lclgrid
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchItem is the outcome of one request in a batch: exactly one of
+// Result and Err is meaningful (Err nil means Result is set). Items are
+// returned in the order of the requests that produced them.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// BatchStats aggregates one SolveBatch call.
+type BatchStats struct {
+	// Requests is the number of requests in the batch.
+	Requests int `json:"requests"`
+	// Errors counts requests that failed (including ones cancelled by the
+	// batch context).
+	Errors int `json:"errors"`
+	// CacheHits counts successful requests whose synthesis was served
+	// from the engine cache (Result.CacheHit); requests solved without a
+	// synthesis do not count.
+	CacheHits int `json:"cache_hits"`
+	// Workers is the worker pool size the batch ran with.
+	Workers int `json:"workers"`
+	// Wall is the wall-clock duration of the whole batch; per-request
+	// durations are in each Result.Elapsed.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Add accumulates another batch's statistics into s (Workers keeps the
+// maximum pool size seen) — for callers like the JSONL CLI that dispatch
+// one logical batch as several worker-pool rounds.
+func (s *BatchStats) Add(o BatchStats) {
+	s.Requests += o.Requests
+	s.Errors += o.Errors
+	s.CacheHits += o.CacheHits
+	s.Wall += o.Wall
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+}
+
+// SolveBatch serves a batch of requests on a bounded worker pool and
+// returns one BatchItem per request, in input order, plus aggregate
+// statistics. The pool size comes from WithWorkers (default
+// runtime.GOMAXPROCS(0), never more than the number of requests); opts
+// configure only the batch itself — per-request knobs (verification,
+// forced power, ...) are fields of each SolveRequest.
+//
+// Duplicate work coalesces through the engine's synthesis cache: a batch
+// of requests sharing a problem fingerprint performs the SAT synthesis
+// exactly once however many workers run.
+//
+// Cancellation is per batch: when ctx is cancelled every not-yet-started
+// request fails immediately with the context's error (an
+// already-cancelled ctx performs zero syntheses), and in-flight requests
+// abort at their next checkpoint. Per-request failures are recorded in
+// their BatchItem and never abort the rest of the batch.
+func (e *Engine) SolveBatch(ctx context.Context, reqs []SolveRequest, opts ...Option) ([]BatchItem, BatchStats) {
+	o := buildOptions(opts)
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	start := time.Now()
+	items := make([]BatchItem, len(reqs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					items[i] = BatchItem{Err: err}
+					continue
+				}
+				items[i] = e.solveItem(ctx, reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	stats := BatchStats{Requests: len(reqs), Workers: workers, Wall: time.Since(start)}
+	for _, it := range items {
+		switch {
+		case it.Err != nil:
+			stats.Errors++
+		case it.Result != nil && it.Result.CacheHit:
+			stats.CacheHits++
+		}
+	}
+	return items, stats
+}
+
+// solveItem serves one batch request, converting a panic into the item's
+// error: requests are wire-decodable values, and the batch contract is
+// that no single request — however malformed — aborts the rest.
+func (e *Engine) solveItem(ctx context.Context, req SolveRequest) (item BatchItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			item = BatchItem{Err: fmt.Errorf("lclgrid: request panicked: %v", r)}
+		}
+	}()
+	res, err := e.Solve(ctx, req)
+	return BatchItem{Result: res, Err: err}
+}

@@ -1,6 +1,7 @@
 package lclgrid_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -29,13 +30,14 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	// Print the table once for the record, then benchmark silently.
+	ctx := context.Background()
 	fmt.Fprintf(os.Stderr, "--- %s: %s ---\n", exp.ID, exp.Title)
-	if err := exp.Run(os.Stderr); err != nil {
+	if err := exp.Run(ctx, os.Stderr); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := exp.Run(io.Discard); err != nil {
+		if err := exp.Run(ctx, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,7 +79,7 @@ func BenchmarkAnchorsK3(b *testing.B) {
 }
 
 func BenchmarkNormalForm4ColouringApply(b *testing.B) {
-	alg, err := lclgrid.Synthesize(lclgrid.VertexColoring(4, 2), 3, 7, 5)
+	alg, err := lclgrid.Synthesize(context.Background(), lclgrid.VertexColoring(4, 2), 3, 7, 5)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func BenchmarkGlobalBaseline3Colouring(b *testing.B) {
 	g := lclgrid.Square(12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := lclgrid.SolveGlobal(p, g); !ok {
+		if _, ok, err := lclgrid.SolveGlobal(context.Background(), p, g); !ok || err != nil {
 			b.Fatal("unsolvable")
 		}
 	}
@@ -155,31 +157,73 @@ func BenchmarkFourColorDirect(b *testing.B) {
 // fingerprint.
 
 func BenchmarkEngineSolveCold(b *testing.B) {
-	g := lclgrid.Square(28)
-	ids := lclgrid.PermutedIDs(g.N(), 1)
+	ctx := context.Background()
+	req := lclgrid.SolveRequest{Key: "4col", N: 28, Seed: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := lclgrid.NewEngine() // fresh cache: every solve synthesizes
-		if _, err := eng.Solve("4col", g, ids); err != nil {
+		if _, err := eng.Solve(ctx, req); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEngineSolveCached(b *testing.B) {
+	ctx := context.Background()
 	eng := lclgrid.NewEngine()
-	g := lclgrid.Square(28)
-	ids := lclgrid.PermutedIDs(g.N(), 1)
-	if _, err := eng.Solve("4col", g, ids); err != nil { // warm the cache
+	req := lclgrid.SolveRequest{Key: "4col", N: 28, Seed: 1}
+	if _, err := eng.Solve(ctx, req); err != nil { // warm the cache
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Solve("4col", g, ids); err != nil {
+		if _, err := eng.Solve(ctx, req); err != nil {
 			b.Fatal(err)
 		}
 	}
 	if stats := eng.CacheStats(); stats.Misses != 1 {
 		b.Fatalf("cached benchmark synthesized %d times", stats.Misses)
 	}
+}
+
+// BenchmarkEngineSolveBatch measures batch throughput over a mixed
+// 32-request workload (four problem fingerprints, eight tori each) at
+// 1, 4 and 16 workers — the first perf trajectory numbers for the
+// request/response path. The engine is warmed so the numbers measure
+// pool scheduling plus the Θ(log* n)/O(1) runs, not the one-off SAT
+// syntheses.
+func BenchmarkEngineSolveBatch(b *testing.B) {
+	ctx := context.Background()
+	keys := []string{"5col", "mis", "orient134", "is"}
+	var reqs []lclgrid.SolveRequest
+	for i := 0; i < 32; i++ {
+		reqs = append(reqs, lclgrid.SolveRequest{Key: keys[i%len(keys)], N: 16, Seed: int64(i + 1)})
+	}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := lclgrid.NewEngine()
+			items, _ := eng.SolveBatch(ctx, reqs, lclgrid.WithWorkers(workers)) // warm the cache
+			for i, it := range items {
+				if it.Err != nil {
+					b.Fatalf("request %d: %v", i, it.Err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				items, stats := eng.SolveBatch(ctx, reqs, lclgrid.WithWorkers(workers))
+				if stats.Errors != 0 {
+					b.Fatalf("batch errors: %+v, first item err %v", stats, firstErr(items))
+				}
+			}
+		})
+	}
+}
+
+func firstErr(items []lclgrid.BatchItem) error {
+	for _, it := range items {
+		if it.Err != nil {
+			return it.Err
+		}
+	}
+	return nil
 }

@@ -1,20 +1,28 @@
 // Command lclgrid is the command-line front end of the reproduction. All
 // subcommands resolve problems through the package Registry and solve
-// through the synthesis-caching Engine:
+// through the synthesis-caching Engine under a signal-cancellable
+// context (Ctrl-C aborts an in-flight SAT synthesis cleanly):
 //
 //	lclgrid list                     print the problem registry
 //	lclgrid experiments [-id E3]     regenerate the paper's tables/figures
 //	lclgrid classify -problem 4col   run the one-sided classification oracle
 //	lclgrid synth -problem 4col -k 3 synthesize a normal-form algorithm
 //	lclgrid run -problem 4col        solve on an n×n torus via the registry's solver
+//	lclgrid batch [-workers 8]       serve JSONL SolveRequests from stdin
 //	lclgrid table                    print the Theorem 22 orientation table
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"text/tabwriter"
+	"time"
 
 	lclgrid "lclgrid"
 	"lclgrid/internal/experiments"
@@ -30,18 +38,25 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// One signal-scoped context for the whole invocation: Ctrl-C cancels
+	// in-flight solves at their next checkpoint instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
 		err = cmdList(os.Stdout)
 	case "experiments":
-		err = cmdExperiments(os.Args[2:])
+		err = cmdExperiments(ctx, os.Args[2:])
 	case "classify":
-		err = cmdClassify(os.Args[2:])
+		err = cmdClassify(ctx, os.Args[2:])
 	case "synth":
-		err = cmdSynth(os.Args[2:])
+		err = cmdSynth(ctx, os.Args[2:])
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(ctx, os.Args[2:])
+	case "batch":
+		err = cmdBatch(ctx, os.Args[2:], os.Stdin, os.Stdout)
 	case "table":
 		err = cmdTable()
 	default:
@@ -55,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|experiments|classify|synth|run|table> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|experiments|classify|synth|run|batch|table> [flags]")
 }
 
 // lookup resolves a problem key against the engine's registry.
@@ -86,18 +101,24 @@ func cmdList(w *os.File) error {
 	return nil
 }
 
-func cmdExperiments(args []string) error {
+func cmdExperiments(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	id := fs.String("id", "", "run a single experiment id (e.g. E3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	for _, e := range experiments.All() {
+		if err := ctx.Err(); err != nil {
+			// A signal landing inside a non-engine experiment (pure
+			// computation, ctx unused) is still honoured between
+			// experiments.
+			return err
+		}
 		if *id != "" && e.ID != *id {
 			continue
 		}
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		if err := e.Run(os.Stdout); err != nil {
+		if err := e.Run(ctx, os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println()
@@ -105,7 +126,7 @@ func cmdExperiments(args []string) error {
 	return nil
 }
 
-func cmdClassify(args []string) error {
+func cmdClassify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	name := fs.String("problem", "4col", "problem key (see `lclgrid list`)")
 	maxK := fs.Int("maxk", 3, "largest anchor power to try")
@@ -121,7 +142,10 @@ func cmdClassify(args []string) error {
 		return nil
 	}
 	p := spec.Problem()
-	res := engine.Classify(p, *maxK)
+	res := engine.Classify(ctx, p, *maxK)
+	if res.Err != nil {
+		return res.Err
+	}
 	fmt.Printf("%s: %s (registry: %s)\n", p, res.Class, spec.Class)
 	for _, a := range res.Attempts {
 		fmt.Printf("  k=%d window %dx%d tiles=%d success=%v\n", a.K, a.H, a.W, a.NumTiles, a.Success)
@@ -129,7 +153,7 @@ func cmdClassify(args []string) error {
 	return nil
 }
 
-func cmdSynth(args []string) error {
+func cmdSynth(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	name := fs.String("problem", "4col", "problem key (see `lclgrid list`)")
 	k := fs.Int("k", 3, "anchor power")
@@ -149,7 +173,7 @@ func cmdSynth(args []string) error {
 	if *h == 0 || *w == 0 {
 		*h, *w = lclgrid.DefaultWindow(*k)
 	}
-	alg, cached, err := engine.Synthesize(p, *k, *h, *w)
+	alg, cached, err := engine.Synthesize(ctx, p, *k, *h, *w)
 	if err != nil {
 		return err
 	}
@@ -159,7 +183,7 @@ func cmdSynth(args []string) error {
 	return nil
 }
 
-func cmdRun(args []string) error {
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	name := fs.String("problem", "4col", "problem key (see `lclgrid list`)")
 	k := fs.Int("k", 0, "force synthesis with this anchor power (0 = registry solver)")
@@ -182,17 +206,171 @@ func cmdRun(args []string) error {
 		// how unsolvability certificates are produced.
 		*n = spec.SmallestSide()
 	}
-	var opts []lclgrid.Option
-	if *k > 0 {
-		opts = append(opts, lclgrid.WithPower(*k))
-	}
-	g := lclgrid.Square(*n)
-	res, err := engine.Solve(*name, g, lclgrid.PermutedIDs(g.N(), *seed), opts...)
+	// Pass explicit IDs rather than Seed: the request's Seed field treats
+	// 0 as "sequential", but the flag's -seed 0 means the seed-0
+	// permutation (the historical CLI behaviour).
+	res, err := engine.Solve(ctx, lclgrid.SolveRequest{
+		Key: *name, N: *n, IDs: lclgrid.PermutedIDs(*n**n, *seed), Power: *k,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %d×%d torus: %v (log*(n²)=%d)\n", spec.Name, *n, *n, res, lclgrid.LogStar(*n**n))
+	fmt.Printf("%s on %d×%d torus: %v (log*(n²)=%d, %v)\n", spec.Name, *n, *n, res, lclgrid.LogStar(*n**n), res.Elapsed.Round(time.Microsecond))
 	return nil
+}
+
+// batchLine is one JSONL output record of `lclgrid batch`: the index and
+// key echo the request; exactly one of result and error is present.
+type batchLine struct {
+	Index  int             `json:"index"`
+	Key    string          `json:"key,omitempty"`
+	Result *lclgrid.Result `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// decodedRequest is one element of the background decode stream: a
+// request, or the decode error that ended the stream.
+type decodedRequest struct {
+	req lclgrid.SolveRequest
+	err error
+}
+
+// cmdBatch streams JSONL SolveRequests from in to out: a background
+// goroutine decodes requests, the main loop dispatches whatever has
+// arrived (up to -chunk per worker-pool round) and writes one JSON
+// result line per request, in input order. A slow producer therefore
+// gets each request served as it arrives rather than waiting for a full
+// chunk, and the batch deadline fires even while blocked on input.
+// Per-request failures become {"error": ...} lines and do not fail the
+// process; I/O and decode errors do, and a deadline/cancel that cost
+// requests (failed them or left input unserved) sets a non-zero exit.
+func cmdBatch(ctx context.Context, args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	chunk := fs.Int("chunk", 64, "max requests dispatched per worker-pool round")
+	timeout := fs.Duration("timeout", 0, "deadline for the whole batch (0 = none)")
+	labels := fs.Bool("labels", true, "include the labelling in result lines")
+	stats := fs.Bool("stats", false, "print aggregate batch stats to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *chunk < 1 {
+		return fmt.Errorf("chunk must be positive, got %d", *chunk)
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// The decoder goroutine is the only reader of `in`; it ends the
+	// stream by closing the channel (after an error element for anything
+	// but EOF). It may outlive cmdBatch blocked in Decode — that is fine,
+	// the process is about to exit and nothing waits on it.
+	reqCh := make(chan decodedRequest)
+	go func() {
+		defer close(reqCh)
+		dec := json.NewDecoder(bufio.NewReader(in))
+		for {
+			var req lclgrid.SolveRequest
+			if err := dec.Decode(&req); err != nil {
+				if err != io.EOF {
+					reqCh <- decodedRequest{err: err}
+				}
+				return
+			}
+			reqCh <- decodedRequest{req: req}
+		}
+	}()
+
+	enc := json.NewEncoder(out)
+	var total lclgrid.BatchStats
+	index := 0
+	var ctxFailed, decodeErr error
+	eof := false
+	for !eof && decodeErr == nil && ctxFailed == nil {
+		reqs := make([]lclgrid.SolveRequest, 0, *chunk)
+		// Block for the round's first request — or the deadline.
+		select {
+		case d, ok := <-reqCh:
+			switch {
+			case !ok:
+				eof = true
+			case d.err != nil:
+				decodeErr = fmt.Errorf("request %d: %w", index, d.err)
+			default:
+				reqs = append(reqs, d.req)
+			}
+		case <-ctx.Done():
+			// Expired while waiting for input: unless the stream is
+			// cleanly finished, input may remain unserved — signal the
+			// truncation instead of exiting 0 on a cut-short batch. A
+			// request already decoded still gets its (ctx-error) output
+			// line: every consumed request must produce exactly one line.
+			select {
+			case d, ok := <-reqCh:
+				switch {
+				case !ok:
+					eof = true
+				case d.err != nil:
+					decodeErr = fmt.Errorf("request %d: %w", index, d.err)
+				default:
+					reqs = append(reqs, d.req)
+					ctxFailed = ctx.Err()
+				}
+			default:
+				ctxFailed = ctx.Err()
+			}
+		}
+		// Greedily take whatever else has already arrived, without
+		// blocking, so a fast producer still gets full pool rounds.
+		for len(reqs) > 0 && len(reqs) < *chunk && decodeErr == nil {
+			select {
+			case d, ok := <-reqCh:
+				switch {
+				case !ok:
+					eof = true
+				case d.err != nil:
+					decodeErr = fmt.Errorf("request %d: %w", index+len(reqs), d.err)
+				default:
+					reqs = append(reqs, d.req)
+					continue
+				}
+			default:
+			}
+			break
+		}
+		items, st := engine.SolveBatch(ctx, reqs, lclgrid.WithWorkers(*workers))
+		total.Add(st)
+		for i, it := range items {
+			line := batchLine{Index: index + i, Key: reqs[i].Key}
+			if it.Err != nil {
+				line.Error = it.Err.Error()
+				if lclgrid.IsContextError(it.Err) {
+					ctxFailed = it.Err
+				}
+			} else {
+				line.Result = it.Result
+				if !*labels && line.Result != nil {
+					stripped := *line.Result
+					stripped.Labels = nil
+					line.Result = &stripped
+				}
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+		index += len(items)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "batch: %d requests, %d errors, %d cache hits, %v wall\n",
+			total.Requests, total.Errors, total.CacheHits, total.Wall.Round(time.Millisecond))
+	}
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return ctxFailed
 }
 
 func cmdTable() error {

@@ -1,10 +1,18 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
+
+	lclgrid "lclgrid"
 )
+
+var bg = context.Background()
 
 // TestLookup exercises the registry resolution the CLI relies on,
 // including the parameterised families the old name switch supported.
@@ -80,31 +88,149 @@ func TestCmdTable(t *testing.T) {
 }
 
 func TestCmdClassify(t *testing.T) {
-	if err := cmdClassify([]string{"-problem", "is", "-maxk", "1"}); err != nil {
+	if err := cmdClassify(bg, []string{"-problem", "is", "-maxk", "1"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdSynth(t *testing.T) {
-	if err := cmdSynth([]string{"-problem", "5col", "-k", "1"}); err != nil {
+	if err := cmdSynth(bg, []string{"-problem", "5col", "-k", "1"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdSynth([]string{"-problem", "3col", "-k", "1"}); err == nil {
+	if err := cmdSynth(bg, []string{"-problem", "3col", "-k", "1"}); err == nil {
 		t.Error("3-colouring synthesis at k=1 should fail")
 	}
 }
 
 func TestCmdRun(t *testing.T) {
 	// Registry solver path.
-	if err := cmdRun([]string{"-problem", "5col", "-n", "16"}); err != nil {
+	if err := cmdRun(bg, []string{"-problem", "5col", "-n", "16"}); err != nil {
 		t.Fatal(err)
 	}
 	// Forced synthesis path.
-	if err := cmdRun([]string{"-problem", "5col", "-k", "1", "-n", "16"}); err != nil {
+	if err := cmdRun(bg, []string{"-problem", "5col", "-k", "1", "-n", "16"}); err != nil {
 		t.Fatal(err)
 	}
 	// Default side from the spec.
-	if err := cmdRun([]string{"-problem", "mis"}); err != nil {
+	if err := cmdRun(bg, []string{"-problem", "mis"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// decodeBatchLines parses cmdBatch's JSONL output.
+func decodeBatchLines(t *testing.T, out []byte) []batchLine {
+	t.Helper()
+	var lines []batchLine
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line batchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("output line %d is not JSON: %v\n%s", len(lines), err, sc.Text())
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// TestCmdBatch is the JSONL serving contract: one request line in, one
+// JSON result line out.
+func TestCmdBatch(t *testing.T) {
+	in := strings.NewReader(`{"key":"4col","n":16}` + "\n")
+	var out bytes.Buffer
+	if err := cmdBatch(bg, nil, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeBatchLines(t, out.Bytes())
+	if len(lines) != 1 {
+		t.Fatalf("got %d output lines, want exactly 1:\n%s", len(lines), out.String())
+	}
+	line := lines[0]
+	if line.Error != "" || line.Result == nil {
+		t.Fatalf("request failed: %+v", line)
+	}
+	if line.Index != 0 || line.Key != "4col" {
+		t.Errorf("line does not echo the request: %+v", line)
+	}
+	if line.Result.Verification != lclgrid.Verified {
+		t.Errorf("result not verified: %v", line.Result)
+	}
+	if len(line.Result.Labels) != 16*16 {
+		t.Errorf("result carries %d labels, want 256", len(line.Result.Labels))
+	}
+}
+
+// TestCmdBatchMixed streams several requests, including failures, and
+// checks order, per-request errors and the -labels=false stripping.
+func TestCmdBatchMixed(t *testing.T) {
+	reqs := []string{
+		`{"key":"5col","n":16,"seed":1}`,
+		`{"key":"nope"}`,
+		`{"key":"2col","n":5}`,
+		`{"key":"5col","n":16,"seed":2}`,
+	}
+	in := strings.NewReader(strings.Join(reqs, "\n") + "\n")
+	var out bytes.Buffer
+	if err := cmdBatch(bg, []string{"-labels=false", "-workers", "2", "-chunk", "2"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeBatchLines(t, out.Bytes())
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out.String())
+	}
+	for i, line := range lines {
+		if line.Index != i {
+			t.Errorf("line %d has index %d; output must preserve input order", i, line.Index)
+		}
+	}
+	if lines[0].Error != "" || lines[3].Error != "" {
+		t.Errorf("good requests failed: %+v / %+v", lines[0], lines[3])
+	}
+	if lines[1].Error == "" || lines[2].Error == "" {
+		t.Errorf("bad requests succeeded: %+v / %+v", lines[1], lines[2])
+	}
+	if len(lines[0].Result.Labels) != 0 {
+		t.Errorf("-labels=false left %d labels in the result", len(lines[0].Result.Labels))
+	}
+}
+
+// TestCmdBatchBadJSON: a malformed line fails the command after the
+// preceding complete requests were served.
+func TestCmdBatchBadJSON(t *testing.T) {
+	in := strings.NewReader(`{"key":"5col","n":16}` + "\n" + `{not json}` + "\n")
+	var out bytes.Buffer
+	if err := cmdBatch(bg, nil, in, &out); err == nil {
+		t.Fatal("malformed JSONL must fail the command")
+	}
+}
+
+// TestCmdBatchCancelledEmitsConsumedLines: every request the command
+// consumes produces exactly one output line even when the context is
+// already dead, and the cancellation surfaces as a non-zero exit.
+func TestCmdBatchCancelledEmitsConsumedLines(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	in := strings.NewReader(
+		`{"key":"5col","n":16}` + "\n" + `{"key":"mis","n":12}` + "\n" + `{"key":"is","n":4}` + "\n")
+	var out bytes.Buffer
+	err := cmdBatch(ctx, nil, in, &out)
+	if err == nil {
+		t.Fatal("cancelled batch with unserved input must fail the command")
+	}
+	lines := decodeBatchLines(t, out.Bytes())
+	for i, line := range lines {
+		if line.Index != i {
+			t.Errorf("line %d has index %d", i, line.Index)
+		}
+		if line.Error == "" {
+			t.Errorf("line %d: want a context error, got %+v", i, line)
+		}
+	}
+	// Which select branch wins the race with a dead context is not
+	// deterministic, so the command may stop consuming at any point —
+	// but it must never consume a request without emitting its line,
+	// and it performed zero syntheses either way.
+	if len(lines) > 3 {
+		t.Errorf("got %d lines for 3 requests", len(lines))
 	}
 }

@@ -1,20 +1,29 @@
 package lclgrid
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lclgrid/internal/core"
 )
 
-// Engine is the service front of the package: it resolves problem keys
+// Engine is the service front of the package: it resolves SolveRequests
 // through a Registry and memoises expensive SAT syntheses in a
 // concurrency-safe cache keyed by the canonical problem fingerprint plus
 // the anchor power and window shape. Repeated and concurrent Solve calls
 // for the same problem reuse one synthesized lookup table; UNSAT results
 // are cached too, so the classification oracle never re-proves a failed
-// shape. The zero value is not usable; construct with NewEngine.
+// shape.
+//
+// Every entry point takes a context.Context and honours cancellation all
+// the way down into the SAT search: a cancelled request aborts an
+// in-flight synthesis it owns, and a request waiting on another
+// request's synthesis detaches on its own context without disturbing the
+// shared work. The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	reg *Registry
 
@@ -31,11 +40,17 @@ type synthKey struct {
 }
 
 // synthEntry is a singleflight slot: the first requester synthesizes
-// while later ones wait on ready.
+// while later ones wait on ready. An entry whose synthesis was aborted by
+// its owner's context is removed from the cache before ready is closed,
+// so an abort never poisons the slot — waiters observe the context error
+// and re-run the election.
 type synthEntry struct {
 	ready chan struct{}
 	alg   *core.Synthesized
 	err   error
+	// failed marks an entry whose synthesis panicked: it was removed
+	// from the cache, so waiters must not report it as a cache hit.
+	failed bool
 }
 
 // NewEngine returns an engine over the given registry; nil selects
@@ -52,18 +67,29 @@ func NewEngine(reg ...*Registry) *Engine {
 func (e *Engine) Registry() *Registry { return e.reg }
 
 // CacheStats is a snapshot of the synthesis cache counters.
+//
+// Snapshot semantics: Entries is read under the cache lock, while Hits
+// and Misses are independent atomic counters read without it. A snapshot
+// taken while solves are in flight is therefore not a single consistent
+// cut — Hits+Misses may disagree with the number of Synthesize calls
+// that have fully returned, and Entries may lag an in-flight miss. Each
+// counter is individually monotone (until Reset) and exact once the
+// engine is quiescent.
 type CacheStats struct {
-	// Hits counts Synthesize calls served from the cache (including
-	// waiters coalesced onto an in-flight synthesis).
+	// Hits counts Synthesize calls served from the cache, including
+	// waiters coalesced onto an in-flight synthesis. Waiters that detach
+	// on their own cancelled context are not counted.
 	Hits uint64
 	// Misses counts Synthesize calls that ran the SAT synthesizer; this
-	// is the exact number of syntheses performed.
+	// is the exact number of syntheses started (an aborted synthesis
+	// counts, its entry just never enters the cache).
 	Misses uint64
 	// Entries is the number of cached (fingerprint, k, h, w) slots.
 	Entries int
 }
 
-// CacheStats returns a snapshot of the synthesis cache counters.
+// CacheStats returns a snapshot of the synthesis cache counters; see the
+// CacheStats type for the snapshot semantics.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	entries := len(e.cache)
@@ -71,50 +97,203 @@ func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: entries}
 }
 
+// Evict removes the cached synthesis (including a cached UNSAT) for
+// (p, k, h, w) and reports whether an entry was removed. An in-flight
+// synthesis is left alone — evicting it would let a concurrent caller
+// start a duplicate of work that is still running.
+func (e *Engine) Evict(p *Problem, k, h, w int) bool {
+	key := synthKey{fp: p.Fingerprint(), k: k, h: h, w: w}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.cache[key]
+	if !ok || !ent.done() {
+		return false
+	}
+	delete(e.cache, key)
+	return true
+}
+
+// Reset removes every completed cache entry and zeroes the hit/miss
+// counters, returning the number of entries removed. In-flight
+// syntheses are left to complete and stay cached; long-lived services
+// can therefore call Reset periodically to bound cache growth without
+// racing their own traffic.
+func (e *Engine) Reset() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	removed := 0
+	for key, ent := range e.cache {
+		if !ent.done() {
+			continue
+		}
+		delete(e.cache, key)
+		removed++
+	}
+	e.hits.Store(0)
+	e.misses.Store(0)
+	return removed
+}
+
+// done reports whether the entry's synthesis has completed (ready
+// closed); it must only be called while holding e.mu or after receiving
+// from ready.
+func (ent *synthEntry) done() bool {
+	select {
+	case <-ent.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline
+// (the shared core predicate; the singleflight re-election below and the
+// oracle's abort detection must agree on it).
+func isCtxErr(err error) bool { return core.IsContextError(err) }
+
 // Synthesize returns the normal-form algorithm for (p, k, h, w), running
 // the SAT synthesis at most once per (fingerprint, k, h, w) across all
 // goroutines; cached reports whether the result (including a cached
 // UNSAT) was reused.
-func (e *Engine) Synthesize(p *Problem, k, h, w int) (alg *Synthesized, cached bool, err error) {
-	key := synthKey{fp: p.Fingerprint(), k: k, h: h, w: w}
-	e.mu.Lock()
-	ent, ok := e.cache[key]
-	if ok {
-		e.mu.Unlock()
-		e.hits.Add(1)
-		<-ent.ready
-		return ent.alg, true, ent.err
+//
+// Cancellation: the first requester of a key owns the synthesis and runs
+// it under its own ctx; cancelling that ctx aborts the SAT search, the
+// dead entry is removed from the cache before waiters are woken (no
+// poisoned slot), and a subsequent call re-synthesizes. Waiters
+// coalesced onto an in-flight synthesis detach with their own ctx's
+// error the moment it is cancelled; the shared synthesis keeps running
+// for the remaining waiters.
+func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *Synthesized, cached bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
-	ent = &synthEntry{ready: make(chan struct{})}
-	e.cache[key] = ent
-	e.mu.Unlock()
-	e.misses.Add(1)
-	ent.alg, ent.err = core.Synthesize(p, k, h, w)
-	close(ent.ready)
-	return ent.alg, false, ent.err
+	key := synthKey{fp: p.Fingerprint(), k: k, h: h, w: w}
+	for {
+		e.mu.Lock()
+		ent, ok := e.cache[key]
+		if ok {
+			e.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, false, ctx.Err() // detach; the synthesis continues
+			case <-ent.ready:
+			}
+			if isCtxErr(ent.err) {
+				// The owner aborted; its entry is already gone from the
+				// cache. Re-run the election (we may become the owner).
+				continue
+			}
+			if ent.failed {
+				// The owner panicked; nothing was cached. Report the
+				// failure without counting a hit — and without retrying,
+				// which would just re-run the panicking synthesis.
+				return nil, false, ent.err
+			}
+			e.hits.Add(1)
+			return ent.alg, true, ent.err
+		}
+		ent = &synthEntry{ready: make(chan struct{})}
+		e.cache[key] = ent
+		e.mu.Unlock()
+		e.misses.Add(1)
+		func() {
+			// Panic safety: a panic below (user-supplied Problem callbacks
+			// run inside the synthesis) must not leave the entry registered
+			// with ready never closed — that would deadlock every later
+			// request for this key. Unregister, fail the waiters, then let
+			// the panic propagate to this caller.
+			defer func() {
+				if r := recover(); r != nil {
+					e.mu.Lock()
+					delete(e.cache, key)
+					e.mu.Unlock()
+					ent.err = fmt.Errorf("lclgrid: synthesis panicked: %v", r)
+					ent.failed = true
+					close(ent.ready)
+					panic(r)
+				}
+			}()
+			ent.alg, ent.err = core.Synthesize(ctx, p, k, h, w)
+		}()
+		if isCtxErr(ent.err) {
+			// Remove the aborted entry before waking waiters so no caller
+			// can coalesce onto a poisoned slot.
+			e.mu.Lock()
+			delete(e.cache, key)
+			e.mu.Unlock()
+		}
+		close(ent.ready)
+		return ent.alg, false, ent.err
+	}
 }
 
 // Classify runs the §7 one-sided classification oracle through the
 // synthesis cache: same shape schedule and semantics as ClassifyOracle,
 // but failed shapes are cached, so repeated classification of the same
-// problem is cheap.
-func (e *Engine) Classify(p *Problem, maxK int) OracleResult {
-	return core.ClassifyOracleWith(func(p *Problem, k, h, w int) (*Synthesized, error) {
-		alg, _, err := e.Synthesize(p, k, h, w)
+// problem is cheap. Cancelling ctx aborts the schedule; the context's
+// error is recorded in OracleResult.Err.
+func (e *Engine) Classify(ctx context.Context, p *Problem, maxK int) OracleResult {
+	return core.ClassifyOracleWith(ctx, func(ctx context.Context, p *Problem, k, h, w int) (*Synthesized, error) {
+		alg, _, err := e.Synthesize(ctx, p, k, h, w)
 		return alg, err
 	}, p, maxK)
 }
 
-// Solve resolves the problem key through the registry and runs its known
-// best solver — the single service call "solve LCL problem key on torus
-// t". A nil ids selects sequential identifiers; WithPower forces the
-// synthesis path regardless of the registered solver.
-func (e *Engine) Solve(key string, t *Torus, ids []int, opts ...Option) (*Result, error) {
-	spec, err := e.reg.Lookup(key)
+// Solve serves one SolveRequest: the problem is resolved through the
+// registry (Key) or taken inline (Problem), the torus and identifier
+// assignment are built from the request, and the known best solver runs
+// under ctx. The returned Result carries the request's wall-clock
+// duration in Elapsed. A cancelled ctx aborts promptly — before any work
+// when already cancelled, or mid-synthesis at the next checkpoint.
+func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := e.solve(ctx, req)
+	if res != nil {
+		// Stamp the duration on a shallow copy: the pointer may still be
+		// the solver's own Result, which the engine never writes through.
+		stamped := *res
+		stamped.Elapsed = time.Since(start)
+		res = &stamped
+	}
+	return res, err
+}
+
+func (e *Engine) solve(ctx context.Context, req SolveRequest) (*Result, error) {
+	switch {
+	case req.Key != "" && req.Problem != nil:
+		return nil, fmt.Errorf("lclgrid: request sets both Key %q and an inline Problem; choose one", req.Key)
+	case req.Key == "" && req.Problem == nil:
+		return nil, fmt.Errorf("lclgrid: request names no problem (set Key or Problem)")
+	}
+	o := req.options()
+	if req.Problem != nil {
+		t, err := req.torus(nil)
+		if err != nil {
+			return nil, err
+		}
+		if req.Problem.Dims() != t.Dim() {
+			return nil, fmt.Errorf("lclgrid: %d-dimensional problem %s on a %d-dimensional torus", req.Problem.Dims(), req.Problem.Name(), t.Dim())
+		}
+		ids, err := req.ids(t)
+		if err != nil {
+			return nil, err
+		}
+		return e.solveProblem(ctx, req.Problem, t, ids, o)
+	}
+	spec, err := e.reg.Lookup(req.Key)
 	if err != nil {
 		return nil, err
 	}
-	o := buildOptions(opts)
+	t, err := req.torus(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Dims != 0 && spec.Dims != t.Dim() {
+		return nil, fmt.Errorf("lclgrid: %s is registered for %d-dimensional grids, torus is %d-dimensional", spec.Key, spec.Dims, t.Dim())
+	}
 	var solver Solver
 	if o.Power > 0 {
 		if spec.Problem == nil {
@@ -124,32 +303,68 @@ func (e *Engine) Solve(key string, t *Torus, ids []int, opts ...Option) (*Result
 	} else {
 		solver = spec.Solver(e)
 	}
-	res, err := solver.Solve(t, ids, opts...)
-	if res != nil && res.Class == ClassUnknown {
-		res.Class = spec.Class
+	ids, err := req.ids(t)
+	if err != nil {
+		return nil, err
 	}
-	return res, err
+	res, err := solver.Solve(ctx, t, ids, withOptions(o))
+	if err != nil && o.Power == 0 && spec.Problem != nil && errors.Is(err, ErrTorusTooSmall) {
+		// The registered Θ(log* n) normal form needs a larger torus than
+		// the request asked for; the problem is still solvable there, so
+		// serve it with the Θ(n) baseline. The Result records the solver
+		// actually used; the class stays the problem's classification.
+		//
+		// The fallback is deliberately scoped to ErrTorusTooSmall
+		// (synthesis-backed solvers): at normal-form scale the brute
+		// force is cheap. Direct-algorithm specs with large minimum
+		// sides (5edgecol, 680+) are NOT redirected — their alphabets
+		// make the SAT baseline intractable, so an honest error beats an
+		// open-ended solve.
+		res, err = (&GlobalSolver{Problem: spec.Problem(), KnownClass: spec.Class}).
+			Solve(ctx, t, ids, withOptions(o))
+	}
+	if err != nil {
+		return res, err
+	}
+	if res != nil && res.Class == ClassUnknown && spec.Class != ClassUnknown {
+		// Fill the registered classification on a copy: the solver owns
+		// the Result it returned and may legitimately share or reuse it,
+		// so the registry fallback must not mutate it in place.
+		filled := *res
+		filled.Class = spec.Class
+		res = &filled
+	}
+	return res, nil
 }
 
-// SolveProblem serves an unregistered SFT problem end to end: constant
-// solutions are used when they exist, otherwise cached synthesis is tried
-// up to WithMaxPower, and the Θ(n) brute force is the fallback. This is
-// the generic path for user-defined problems.
-func (e *Engine) SolveProblem(p *Problem, t *Torus, ids []int, opts ...Option) (*Result, error) {
-	o := buildOptions(opts)
+// solveProblem serves an inline (possibly unregistered) SFT problem end
+// to end: constant solutions are used when they exist, otherwise cached
+// synthesis is tried up to MaxPower through the classification oracle,
+// and the Θ(n) brute force is the fallback — including when a
+// synthesized normal form exists but needs a larger torus than the
+// request asked for (same semantics as the registered-key path).
+func (e *Engine) solveProblem(ctx context.Context, p *Problem, t *Torus, ids []int, o Options) (*Result, error) {
 	if o.Power > 0 {
-		return NewSynthesisSolver(e, p, o.Power, o.H, o.W).Solve(t, ids, opts...)
+		return NewSynthesisSolver(e, p, o.Power, o.H, o.W).Solve(ctx, t, ids, withOptions(o))
 	}
 	if len(p.ConstantSolutions()) > 0 {
-		return (&ConstantSolver{Problem: p}).Solve(t, ids, opts...)
+		return (&ConstantSolver{Problem: p}).Solve(ctx, t, ids, withOptions(o))
 	}
-	if oracle := e.Classify(p, o.MaxPower); oracle.Class == ClassLogStar {
+	oracle := e.Classify(ctx, p, o.MaxPower)
+	if oracle.Err != nil {
+		return nil, oracle.Err
+	}
+	if oracle.Class == ClassLogStar {
 		s := &SynthesisSolver{
 			Problem:  p,
 			Attempts: []SynthAttempt{{oracle.Alg.K, oracle.Alg.H, oracle.Alg.W}},
 			Engine:   e,
 		}
-		return s.Solve(t, ids, opts...)
+		res, err := s.Solve(ctx, t, ids, withOptions(o))
+		if err != nil && errors.Is(err, ErrTorusTooSmall) {
+			return (&GlobalSolver{Problem: p, KnownClass: ClassLogStar}).Solve(ctx, t, ids, withOptions(o))
+		}
+		return res, err
 	}
-	return (&GlobalSolver{Problem: p}).Solve(t, ids, opts...)
+	return (&GlobalSolver{Problem: p}).Solve(ctx, t, ids, withOptions(o))
 }

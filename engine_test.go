@@ -1,12 +1,20 @@
 package lclgrid_test
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	lclgrid "lclgrid"
 )
+
+var bg = context.Background()
 
 // TestEngineSolveConcurrent hammers Engine.Solve from 16 goroutines and
 // asserts exactly one synthesis per problem fingerprint: the cache-hit
@@ -26,7 +34,7 @@ func TestEngineSolveConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < perGoroutine; j++ {
-				res, err := eng.Solve("5col", g, ids)
+				res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "5col", Torus: g, IDs: ids})
 				if err != nil {
 					errs <- err
 					return
@@ -64,13 +72,13 @@ func TestEngineCachesAcrossShapes(t *testing.T) {
 	p4 := lclgrid.VertexColoring(4, 2)
 	p5 := lclgrid.VertexColoring(5, 2)
 
-	if _, _, err := eng.Synthesize(p4, 1, 3, 2); err == nil {
+	if _, _, err := eng.Synthesize(bg, p4, 1, 3, 2); err == nil {
 		t.Fatal("4col at k=1 should be UNSAT")
 	}
-	if _, cached, err := eng.Synthesize(p4, 1, 3, 2); err == nil || !cached {
+	if _, cached, err := eng.Synthesize(bg, p4, 1, 3, 2); err == nil || !cached {
 		t.Errorf("UNSAT result not served from cache (cached=%v, err=%v)", cached, err)
 	}
-	if _, _, err := eng.Synthesize(p5, 1, 3, 2); err != nil {
+	if _, _, err := eng.Synthesize(bg, p5, 1, 3, 2); err != nil {
 		t.Fatalf("5col at k=1: %v", err)
 	}
 	stats := eng.CacheStats()
@@ -83,12 +91,12 @@ func TestEngineCachesAcrossShapes(t *testing.T) {
 func TestEngineClassifyUsesCache(t *testing.T) {
 	eng := lclgrid.NewEngine()
 	p := lclgrid.VertexColoring(5, 2)
-	first := eng.Classify(p, 1)
+	first := eng.Classify(bg, p, 1)
 	if first.Class != lclgrid.ClassLogStar {
 		t.Fatalf("5col classified %v", first.Class)
 	}
 	before := eng.CacheStats()
-	second := eng.Classify(p, 1)
+	second := eng.Classify(bg, p, 1)
 	if second.Class != lclgrid.ClassLogStar {
 		t.Fatalf("5col re-classified %v", second.Class)
 	}
@@ -122,5 +130,471 @@ func TestFingerprint(t *testing.T) {
 		func(dim, x, y int) bool { return dim == 1 || x != y }, nil)
 	if a.Fingerprint() == relaxed.Fingerprint() {
 		t.Error("different relations share a fingerprint")
+	}
+}
+
+// --- request/response wire format ------------------------------------------
+
+// TestSolveRequestJSONRoundTrip pins the wire contract of SolveRequest:
+// every JSON-visible field survives a marshal/unmarshal cycle.
+func TestSolveRequestJSONRoundTrip(t *testing.T) {
+	req := lclgrid.SolveRequest{
+		Key:      "4col",
+		Sides:    []int{16, 20},
+		N:        16,
+		IDs:      []int{3, 1, 2},
+		Seed:     99,
+		NoVerify: true,
+		Power:    3,
+		H:        7,
+		W:        5,
+		MaxPower: 2,
+		Ell:      31,
+		MaxSteps: 50,
+		EdgeParams: lclgrid.EdgeColorParams{
+			K: 3, RowSpacing: 338, MoveCap: 156,
+		},
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back lclgrid.SolveRequest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, back) {
+		t.Errorf("request round-trip mismatch:\n sent %+v\n got  %+v", req, back)
+	}
+	// The minimal service form decodes too.
+	var minimal lclgrid.SolveRequest
+	if err := json.Unmarshal([]byte(`{"key":"4col","n":16}`), &minimal); err != nil {
+		t.Fatal(err)
+	}
+	if minimal.Key != "4col" || minimal.N != 16 {
+		t.Errorf("minimal request decoded as %+v", minimal)
+	}
+}
+
+// TestResultJSONRoundTrip pins the wire contract of Result, including
+// the textual Class and VerifyStatus tokens.
+func TestResultJSONRoundTrip(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "5col", N: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back lclgrid.Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Errorf("result round-trip mismatch:\n sent %+v\n got  %+v", *res, back)
+	}
+	if back.Class != lclgrid.ClassLogStar || back.Verification != lclgrid.Verified {
+		t.Errorf("class/verification tokens decoded as %v/%v", back.Class, back.Verification)
+	}
+	if back.Elapsed <= 0 {
+		t.Error("Elapsed not stamped or not round-tripped")
+	}
+}
+
+// --- registry fallback aliasing (regression) --------------------------------
+
+// sharedResultSolver returns the same *Result on every call, the way a
+// caching solver adapter legitimately might.
+type sharedResultSolver struct{ res *lclgrid.Result }
+
+func (s *sharedResultSolver) Name() string { return "shared-result" }
+func (s *sharedResultSolver) Solve(ctx context.Context, t *lclgrid.Torus, ids []int, opts ...lclgrid.Option) (*lclgrid.Result, error) {
+	return s.res, nil
+}
+
+// TestSolveDoesNotMutateSolverResult is the regression test for the
+// registry class fallback: Engine.Solve must fill a missing Class on a
+// copy, never by writing through the solver's returned pointer.
+func TestSolveDoesNotMutateSolverResult(t *testing.T) {
+	shared := &lclgrid.Result{Problem: "shared", Solver: "shared-result", Class: lclgrid.ClassUnknown}
+	reg := lclgrid.NewRegistry()
+	if err := reg.Register(&lclgrid.ProblemSpec{
+		Key:   "shared",
+		Name:  "shared",
+		Class: lclgrid.ClassLogStar,
+		Solver: func(e *lclgrid.Engine) lclgrid.Solver {
+			return &sharedResultSolver{res: shared}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng := lclgrid.NewEngine(reg)
+	res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "shared", N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != lclgrid.ClassLogStar {
+		t.Errorf("returned class = %v, want the registered ClassLogStar", res.Class)
+	}
+	if shared.Class != lclgrid.ClassUnknown {
+		t.Errorf("solver's shared Result was mutated: Class = %v", shared.Class)
+	}
+	if shared.Elapsed != 0 {
+		t.Errorf("solver's shared Result was mutated: Elapsed = %v", shared.Elapsed)
+	}
+	if res == shared {
+		t.Error("engine returned the solver's pointer after changing the class")
+	}
+}
+
+// --- cache maintenance ------------------------------------------------------
+
+func TestEngineEvictAndReset(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	p5 := lclgrid.VertexColoring(5, 2)
+	p6 := lclgrid.VertexColoring(6, 2)
+	for _, p := range []*lclgrid.Problem{p5, p6} {
+		if _, _, err := eng.Synthesize(bg, p, 1, 3, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !eng.Evict(p5, 1, 3, 2) {
+		t.Error("Evict of a cached entry reported false")
+	}
+	if eng.Evict(p5, 1, 3, 2) {
+		t.Error("Evict of a missing entry reported true")
+	}
+	if got := eng.CacheStats().Entries; got != 1 {
+		t.Errorf("entries after evict = %d, want 1", got)
+	}
+	// The evicted shape re-synthesizes.
+	if _, cached, err := eng.Synthesize(bg, p5, 1, 3, 2); err != nil || cached {
+		t.Errorf("post-evict synthesize: cached=%v err=%v, want a fresh miss", cached, err)
+	}
+	if removed := eng.Reset(); removed != 2 {
+		t.Errorf("Reset removed %d entries, want 2", removed)
+	}
+	stats := eng.CacheStats()
+	if stats.Entries != 0 || stats.Hits != 0 || stats.Misses != 0 {
+		t.Errorf("stats after Reset = %+v, want all zero", stats)
+	}
+}
+
+// --- cancellation -----------------------------------------------------------
+
+// TestBatchPreCancelled: a batch under an already-cancelled context
+// returns promptly with context.Canceled for every request and performs
+// zero syntheses.
+func TestBatchPreCancelled(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	reqs := []lclgrid.SolveRequest{
+		{Key: "5col", N: 16},
+		{Key: "mis", N: 12},
+		{Key: "4col", N: 28},
+	}
+	done := make(chan struct{})
+	var items []lclgrid.BatchItem
+	var stats lclgrid.BatchStats
+	go func() {
+		items, stats = eng.SolveBatch(ctx, reqs, lclgrid.WithWorkers(2))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-cancelled batch did not return promptly")
+	}
+	if len(items) != len(reqs) || stats.Errors != len(reqs) {
+		t.Fatalf("items=%d stats=%+v, want every request failed", len(items), stats)
+	}
+	for i, it := range items {
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Errorf("item %d: err = %v, want context.Canceled", i, it.Err)
+		}
+		if it.Result != nil {
+			t.Errorf("item %d carries a result", i)
+		}
+	}
+	if got := eng.CacheStats().Misses; got != 0 {
+		t.Errorf("pre-cancelled batch performed %d syntheses, want 0", got)
+	}
+}
+
+// TestCancelMidSynthesisNoPoison: cancelling the context during a cold
+// synthesis returns context.Canceled without leaving a poisoned cache
+// entry — a subsequent uncancelled call succeeds and caches normally.
+func TestCancelMidSynthesisNoPoison(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	ctx, cancel := context.WithCancel(bg)
+	p := lclgrid.VertexColoring(4, 2)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := eng.Synthesize(ctx, p, 3, 7, 5)
+		errCh <- err
+	}()
+	// Wait until the synthesis owns its cache slot, then cancel. The k=3
+	// synthesis takes ~100ms, so the cancel lands mid-flight.
+	for eng.CacheStats().Misses == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			// On a very slow cancel delivery the synthesis may have won the
+			// race; that is not a poisoning bug, but the test loses its
+			// subject.
+			if err == nil {
+				t.Skip("synthesis completed before the cancel was observed")
+			}
+			t.Fatalf("cancelled synthesis returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled synthesis never returned")
+	}
+	if got := eng.CacheStats().Entries; got != 0 {
+		t.Fatalf("aborted synthesis left %d cache entries (poisoned slot)", got)
+	}
+	// A subsequent uncancelled request succeeds.
+	alg, cached, err := eng.Synthesize(bg, p, 3, 7, 5)
+	if err != nil || alg == nil {
+		t.Fatalf("post-cancel synthesize failed: %v", err)
+	}
+	if cached {
+		t.Error("post-cancel synthesize claims a cache hit; the aborted entry leaked")
+	}
+	if res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "4col", N: 28}); err != nil || !res.CacheHit {
+		t.Errorf("post-cancel solve: err=%v cacheHit=%v, want cached success", err, res.CacheHit)
+	}
+}
+
+// TestWaiterDetachesOnOwnContext: a request coalesced onto another
+// request's in-flight synthesis returns its own context's error when
+// cancelled, while the shared synthesis keeps running and caches.
+func TestWaiterDetachesOnOwnContext(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	p := lclgrid.VertexColoring(4, 2)
+
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := eng.Synthesize(bg, p, 3, 7, 5)
+		ownerDone <- err
+	}()
+	for eng.CacheStats().Misses == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	waiterCtx, cancelWaiter := context.WithCancel(bg)
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := eng.Synthesize(waiterCtx, p, 3, 7, 5)
+		waiterDone <- err
+	}()
+	cancelWaiter()
+	select {
+	case err := <-waiterDone:
+		// nil is possible only if the owner finished before the waiter's
+		// cancel was observed — accept either outcome, but a detached
+		// waiter must report its own context's error.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter returned %v, want context.Canceled (or a completed result)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled waiter never detached")
+	}
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner synthesis failed: %v", err)
+	}
+	if got := eng.CacheStats().Entries; got != 1 {
+		t.Errorf("entries = %d, want the owner's synthesis cached", got)
+	}
+}
+
+// --- batch execution --------------------------------------------------------
+
+// TestSolveBatchCoalesces is the batch acceptance contract: 32 requests
+// sharing 4 distinct problem fingerprints on 16 workers perform exactly
+// 4 syntheses and come back in input order.
+func TestSolveBatchCoalesces(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	keys := []string{"5col", "mis", "orient134", "orient013"}
+	names := map[string]string{}
+	for _, k := range keys {
+		spec, err := eng.Registry().Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names[k] = spec.Name
+	}
+	var reqs []lclgrid.SolveRequest
+	for i := 0; i < 32; i++ {
+		reqs = append(reqs, lclgrid.SolveRequest{Key: keys[i%len(keys)], N: 16, Seed: int64(i + 1)})
+	}
+	items, stats := eng.SolveBatch(bg, reqs, lclgrid.WithWorkers(16))
+	if len(items) != 32 {
+		t.Fatalf("got %d items for 32 requests", len(items))
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("request %d (%s): %v", i, reqs[i].Key, it.Err)
+		}
+		if want := names[reqs[i].Key]; it.Result.Problem != want {
+			t.Errorf("item %d out of order: problem %q, want %q", i, it.Result.Problem, want)
+		}
+		if it.Result.Verification != lclgrid.Verified {
+			t.Errorf("item %d not verified: %v", i, it.Result)
+		}
+		if it.Result.Elapsed <= 0 {
+			t.Errorf("item %d missing Elapsed", i)
+		}
+	}
+	if got := eng.CacheStats().Misses; got != 4 {
+		t.Errorf("batch performed %d syntheses, want exactly 4 (one per fingerprint)", got)
+	}
+	if stats.Requests != 32 || stats.Errors != 0 || stats.Workers != 16 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.CacheHits != 32-4 {
+		t.Errorf("stats.CacheHits = %d, want 28 (every request beyond the 4 cold ones)", stats.CacheHits)
+	}
+	if stats.Wall <= 0 {
+		t.Error("stats.Wall not recorded")
+	}
+}
+
+// TestSolveBatchMixedFailures: per-request failures stay per-request.
+func TestSolveBatchMixedFailures(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	reqs := []lclgrid.SolveRequest{
+		{Key: "5col", N: 16},
+		{Key: "nope"},       // unknown key
+		{Key: "2col", N: 5}, // unsolvable: odd torus
+		{},                  // no problem named
+		{Key: "5col", N: 16, IDs: []int{1, 2, 3}}, // ids do not cover the torus
+		{Key: "5col", N: 16, Seed: 2},
+	}
+	items, stats := eng.SolveBatch(bg, reqs)
+	if stats.Errors != 4 {
+		t.Errorf("errors = %d, want 4", stats.Errors)
+	}
+	if items[0].Err != nil || items[5].Err != nil {
+		t.Errorf("good requests failed: %v, %v", items[0].Err, items[5].Err)
+	}
+	if items[1].Err == nil || items[3].Err == nil {
+		t.Error("bad requests succeeded")
+	}
+	if !errors.Is(items[2].Err, lclgrid.ErrUnsolvable) {
+		t.Errorf("odd-torus 2col: err = %v, want ErrUnsolvable", items[2].Err)
+	}
+	// A wire-settable IDs slice of the wrong length is a per-request
+	// error, never a panic that takes down the batch.
+	if items[4].Err == nil || !strings.Contains(items[4].Err.Error(), "ids") {
+		t.Errorf("short ids: err = %v, want a per-request ids validation error", items[4].Err)
+	}
+}
+
+// TestSolveTooSmallTorusFallsBack: a request below the registered normal
+// form's minimum side is served by the Θ(n) baseline instead of failing.
+func TestSolveTooSmallTorusFallsBack(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "4col", N: 16})
+	if err != nil {
+		t.Fatalf("4col on 16×16 (below MinTorusSide 28): %v", err)
+	}
+	if res.Solver != "global brute force" {
+		t.Errorf("solver = %q, want the global fallback", res.Solver)
+	}
+	if res.Class != lclgrid.ClassLogStar {
+		t.Errorf("class = %v, want the problem's registered Θ(log* n)", res.Class)
+	}
+	if res.Verification != lclgrid.Verified {
+		t.Errorf("fallback result not verified: %v", res)
+	}
+	// Forcing synthesis must NOT fall back: the caller asked for the
+	// normal form specifically.
+	if _, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "4col", N: 16, Power: 3}); !errors.Is(err, lclgrid.ErrTorusTooSmall) {
+		t.Errorf("forced synthesis on a small torus: err = %v, want ErrTorusTooSmall", err)
+	}
+	// The inline-problem path has the same fallback semantics as the
+	// registered-key path.
+	res, err = eng.Solve(bg, lclgrid.SolveRequest{Problem: lclgrid.VertexColoring(4, 2), N: 16})
+	if err != nil {
+		t.Fatalf("inline 4col on 16×16: %v", err)
+	}
+	if res.Solver != "global brute force" || res.Class != lclgrid.ClassLogStar {
+		t.Errorf("inline fallback: solver=%q class=%v, want global brute force / Θ(log* n)", res.Solver, res.Class)
+	}
+}
+
+// TestInlineProblemDims: a non-2-dimensional inline problem is served by
+// the Θ(n) baseline (the oracle has no synthesis to attempt) instead of
+// panicking, and a problem/torus dimension mismatch is a request error.
+func TestInlineProblemDims(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	res, err := eng.Solve(bg, lclgrid.SolveRequest{Problem: lclgrid.VertexColoring(4, 3), Sides: []int{6, 6, 6}})
+	if err != nil {
+		t.Fatalf("3-dimensional 4-colouring: %v", err)
+	}
+	if res.Solver != "global brute force" || res.Verification != lclgrid.Verified {
+		t.Errorf("3-d problem served by %q (%v), want the verified global baseline", res.Solver, res.Verification)
+	}
+	if _, err := eng.Solve(bg, lclgrid.SolveRequest{Problem: lclgrid.VertexColoring(4, 2), Sides: []int{6, 6, 6}}); err == nil {
+		t.Error("2-d problem on a 3-d torus must be a request error")
+	}
+	if _, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "4col", Sides: []int{6, 6, 6}}); err == nil {
+		t.Error("2-d registered key on a 3-d torus must be a request error")
+	}
+}
+
+// TestMalformedShapeRequests: wire-settable synthesis shapes (Power, H,
+// W) with negative values are per-request errors, never panics — and
+// repeating the same malformed request must not deadlock on a poisoned
+// singleflight entry.
+func TestMalformedShapeRequests(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	bad := lclgrid.SolveRequest{Key: "4col", N: 16, Power: 1, H: -1, W: 2}
+	done := make(chan struct{})
+	var items []lclgrid.BatchItem
+	go func() {
+		items, _ = eng.SolveBatch(bg, []lclgrid.SolveRequest{bad, bad, {Key: "5col", N: 16}}, lclgrid.WithWorkers(1))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("repeated malformed request deadlocked the batch")
+	}
+	for i := 0; i < 2; i++ {
+		if items[i].Err == nil || !strings.Contains(items[i].Err.Error(), "must be positive") {
+			t.Errorf("malformed request %d: err = %v, want a positive-parameters error", i, items[i].Err)
+		}
+	}
+	if items[2].Err != nil {
+		t.Errorf("well-formed request after malformed ones failed: %v", items[2].Err)
+	}
+	// Direct engine calls get the same error instead of a panic.
+	if _, _, err := eng.Synthesize(bg, lclgrid.VertexColoring(4, 2), 1, -1, 2); err == nil {
+		t.Error("negative window must be an error")
+	}
+}
+
+// TestSolveRequestEdgeParamsReachSolver: the wire-settable EdgeParams
+// override the §10 constants inside the edge-colouring solver. Custom
+// constants cannot actually succeed on small tori (the construction
+// needs paper-scale spacing), so the proof of plumbing is the
+// params-specific failure instead of the default-constants one.
+func TestSolveRequestEdgeParamsReachSolver(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	_, err := eng.Solve(bg, lclgrid.SolveRequest{
+		Key: "5edgecol", N: 40, Seed: 1,
+		EdgeParams: lclgrid.EdgeColorParams{K: 3, RowSpacing: 18, MoveCap: 150},
+	})
+	if err == nil || !strings.Contains(err.Error(), "150 moves") {
+		t.Errorf("custom EdgeParams did not reach the solver: err = %v", err)
 	}
 }

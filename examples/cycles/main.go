@@ -2,10 +2,11 @@
 // Classify the four example problems by inspecting their output
 // neighbourhood graphs, then synthesize and run optimal algorithms.
 //
-// Cycle problems sit outside the grid Registry/Engine on purpose: in one
-// dimension classification is decidable and synthesis is per-problem
-// exact (CycleProblem.Classify/Synthesize), so there is no oracle or
-// SAT cache to share.
+// Cycle problems sit outside the grid SolveRequest/Engine API on
+// purpose: in one dimension classification is decidable and synthesis is
+// per-problem exact (CycleProblem.Classify/Synthesize), so there is no
+// oracle, SAT cache or batch pool to share — and nothing long-running
+// enough to want a context.
 package main
 
 import (

@@ -1,10 +1,11 @@
-// Edgecoloring: the §10 algorithm through the registry — a proper
-// 5-edge-colouring of the 2-dimensional torus in Θ(log* n) rounds with
-// the paper's constants (k = 3, row spacing 2(4k+1)² = 338), plus the
-// Theorem 21 parity obstruction for 4 colours on odd tori.
+// Edgecoloring: the §10 algorithm through the request/response API — a
+// proper 5-edge-colouring of the 2-dimensional torus in Θ(log* n) rounds
+// with the paper's constants (k = 3, row spacing 2(4k+1)² = 338), plus
+// the Theorem 21 parity obstruction for 4 colours on odd tori.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -14,10 +15,11 @@ import (
 
 func main() {
 	eng := lclgrid.NewEngine()
+	ctx := context.Background()
 
 	n := 680 // the paper's constants need sides above 2·338+2
 	g := lclgrid.Square(n)
-	res, err := eng.Solve("5edgecol", g, lclgrid.PermutedIDs(g.N(), 1))
+	res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "5edgecol", Torus: g, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func main() {
 
 	// Theorem 21: 2d colours are impossible on odd tori; the registry's
 	// global solver doubles as the certificate generator.
-	if _, err := eng.Solve("4edgecol", lclgrid.Square(3), nil); errors.Is(err, lclgrid.ErrUnsolvable) {
+	if _, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "4edgecol", N: 3}); errors.Is(err, lclgrid.ErrUnsolvable) {
 		fmt.Println("edge 4-colouring on a 3×3 torus: UNSAT certificate (Thm 21: nd/2 not an integer)")
 	}
 }

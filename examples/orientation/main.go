@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/bits"
@@ -14,6 +15,7 @@ import (
 
 func main() {
 	eng := lclgrid.NewEngine()
+	ctx := context.Background()
 
 	// The registry resolves every "orient<digits>" key with the Thm 22
 	// classification built in; tally all 32 subsets.
@@ -43,7 +45,7 @@ func main() {
 	// Solve the {1,3,4}-orientation through the engine.
 	x := []int{1, 3, 4}
 	g := lclgrid.Square(20)
-	res, err := eng.Solve("orient134", g, lclgrid.PermutedIDs(g.N(), 3))
+	res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "orient134", Torus: g, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

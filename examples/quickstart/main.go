@@ -1,10 +1,14 @@
-// Quickstart: the Engine/Registry API. Solve the paper's headline
-// problem — 4-colouring the toroidal grid, Θ(log* n) by a normal-form
-// algorithm synthesized at k = 3 over 2079 tiles (§7) — as a single
-// service call, then show the synthesis cache at work.
+// Quickstart: the context-aware request/response API. Solve the paper's
+// headline problem — 4-colouring the toroidal grid, Θ(log* n) by a
+// normal-form algorithm synthesized at k = 3 over 2079 tiles (§7) — as a
+// single cancellable service call, then batch a mixed workload through
+// the bounded worker pool and show the synthesis cache coalescing the
+// duplicate requests.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"time"
@@ -14,6 +18,7 @@ import (
 
 func main() {
 	eng := lclgrid.NewEngine()
+	ctx := context.Background()
 
 	// The registry maps problem keys to constructors, the paper's
 	// classification and the known best solver.
@@ -22,45 +27,69 @@ func main() {
 		fmt.Printf("  %-10s %-28s %s\n", spec.Key, spec.Name, spec.Class)
 	}
 
-	// Solve 4-colouring on a 32×32 torus: one call synthesizes the
+	// Solve 4-colouring on a 32×32 torus: one request synthesizes the
 	// lookup table (SAT), runs A' ∘ S_3 and verifies the labelling.
-	g := lclgrid.Square(32)
-	ids := lclgrid.PermutedIDs(g.N(), 42)
-
-	start := time.Now()
-	res, err := eng.Solve("4col", g, ids)
+	// Requests are plain JSON-able values.
+	req := lclgrid.SolveRequest{Key: "4col", N: 32, Seed: 42}
+	res, err := eng.Solve(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cold := time.Since(start)
-	fmt.Printf("\ncold:   %v  [%v]\n", res, cold)
+	fmt.Printf("\ncold:   %v  [%v]\n", res, res.Elapsed.Round(time.Microsecond))
 
-	// The same call again: the synthesis is served from the engine's
+	// The same request again: the synthesis is served from the engine's
 	// fingerprint-keyed cache — only the Θ(log* n) run remains.
-	start = time.Now()
-	res, err = eng.Solve("4col", g, ids)
+	res, err = eng.Solve(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cached: %v  [%v, cache hit=%v]\n", res, time.Since(start), res.CacheHit)
+	fmt.Printf("cached: %v  [%v, cache hit=%v]\n", res, res.Elapsed.Round(time.Microsecond), res.CacheHit)
 	stats := eng.CacheStats()
 	fmt.Printf("cache stats: %d hits, %d syntheses, %d entries\n", stats.Hits, stats.Misses, stats.Entries)
 
-	// Print a corner of the colouring.
-	fmt.Printf("\nA' ∘ S_3 on a 32×32 torus: %d rounds (log*(n²) = %d)\n",
-		res.Rounds, lclgrid.LogStar(32*32))
-	for y := 7; y >= 0; y-- {
-		for x := 0; x < 16; x++ {
-			fmt.Print(res.Labels[g.At(x, y)] + 1)
-		}
-		fmt.Println()
-	}
+	// Requests and results round-trip through JSON — this is exactly what
+	// the `lclgrid batch` JSONL front end speaks.
+	wire, _ := json.Marshal(req)
+	fmt.Printf("\nwire form of the request: %s\n", wire)
 
-	// User-defined problems go through the same engine: SolveProblem
-	// classifies with the cached oracle and picks the right solver.
+	// Deadlines are honoured all the way down into the tile enumeration
+	// and the SAT search: an impossible deadline aborts the k = 3 cold
+	// synthesis at the next checkpoint instead of blocking the caller.
+	eng2 := lclgrid.NewEngine()
+	hurried, cancel := context.WithTimeout(ctx, time.Millisecond)
+	_, err = eng2.Solve(hurried, lclgrid.SolveRequest{Key: "4col", N: 28})
+	cancel()
+	fmt.Printf("1ms deadline on a cold synthesis: %v\n", err)
+	// The abort does not poison the cache: the same request succeeds.
+	if _, err := eng2.Solve(ctx, lclgrid.SolveRequest{Key: "4col", N: 28}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("...and the same request succeeds afterwards")
+
+	// Batches run on a bounded worker pool, preserve input order, and
+	// coalesce duplicate syntheses: 12 requests over 3 distinct problems
+	// cost 3 syntheses however many workers run.
+	var reqs []lclgrid.SolveRequest
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs,
+			lclgrid.SolveRequest{Key: "5col", N: 16, Seed: int64(i + 1)},
+			lclgrid.SolveRequest{Key: "orient134", N: 16, Seed: int64(i + 1)},
+			lclgrid.SolveRequest{Key: "orient013", N: 16, Seed: int64(i + 1)},
+		)
+	}
+	items, bstats := eng.SolveBatch(ctx, reqs, lclgrid.WithWorkers(4))
+	for _, it := range items[:3] {
+		fmt.Printf("  %v\n", it.Result)
+	}
+	fmt.Printf("batch: %d requests, %d errors, %d cache hits, %d workers, %v wall\n",
+		bstats.Requests, bstats.Errors, bstats.CacheHits, bstats.Workers, bstats.Wall.Round(time.Microsecond))
+
+	// Inline problems go through the same engine: the request carries the
+	// *Problem, the cached one-sided oracle classifies it and the best
+	// applicable solver runs.
 	p := lclgrid.NewProblem("row 3-colouring", []string{"a", "b", "c"}, 2,
 		func(dim, a, b int) bool { return dim == 1 || a != b }, nil)
-	res, err = eng.SolveProblem(p, lclgrid.Square(16), nil)
+	res, err = eng.Solve(ctx, lclgrid.SolveRequest{Problem: p, N: 16})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,10 +17,11 @@ import (
 
 func main() {
 	eng := lclgrid.NewEngine()
+	ctx := context.Background()
 
 	n := lm.TileSize(2) * 2
 	g := lclgrid.Square(n)
-	res, err := eng.Solve("lm:halt", g, nil)
+	res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "lm:halt", Torus: g})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func main() {
 	}
 
 	// lm:loop falls back to the P1 escape — inherently Θ(n).
-	resLoop, err := eng.Solve("lm:loop", lclgrid.Square(9), nil)
+	resLoop, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "lm:loop", N: 9})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package coordination
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -124,9 +125,9 @@ func TestOrient034Invariant(t *testing.T) {
 	op := lcl.XOrientation([]int{0, 3, 4}, 2)
 	for _, n := range []int{4, 6} {
 		g := grid.Square(n)
-		sol, ok := core.SolveGlobal(op.Problem, g)
-		if !ok {
-			t.Fatalf("n=%d: no {0,3,4}-orientation found", n)
+		sol, ok, err := core.SolveGlobal(context.Background(), op.Problem, g)
+		if !ok || err != nil {
+			t.Fatalf("n=%d: no {0,3,4}-orientation found (err=%v)", n, err)
 		}
 		if err := op.Verify(g, sol); err != nil {
 			t.Fatal(err)

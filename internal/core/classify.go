@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"lclgrid/internal/lcl"
@@ -42,6 +44,37 @@ func (c Class) String() string {
 	}
 }
 
+// classTokens are the stable ASCII wire names of the classes, used by the
+// JSON request/response encoding (MarshalText/UnmarshalText).
+var classTokens = map[Class]string{
+	ClassUnknown: "unknown",
+	ClassO1:      "O(1)",
+	ClassLogStar: "logstar",
+	ClassGlobal:  "global",
+}
+
+// MarshalText encodes the class as its stable wire token ("unknown",
+// "O(1)", "logstar", "global"), making Class round-trippable through
+// encoding/json.
+func (c Class) MarshalText() ([]byte, error) {
+	tok, ok := classTokens[c]
+	if !ok {
+		return nil, fmt.Errorf("core: cannot marshal invalid class %d", int(c))
+	}
+	return []byte(tok), nil
+}
+
+// UnmarshalText decodes a wire token produced by MarshalText.
+func (c *Class) UnmarshalText(b []byte) error {
+	for cls, tok := range classTokens {
+		if tok == string(b) {
+			*c = cls
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown class token %q", b)
+}
+
 // Attempt records one synthesis attempt made by the oracle.
 type Attempt struct {
 	K, H, W  int
@@ -54,11 +87,15 @@ type OracleResult struct {
 	Class    Class
 	Alg      *Synthesized // non-nil iff Class == ClassLogStar
 	Attempts []Attempt
+	// Err is non-nil when the oracle was aborted by its context before the
+	// shape schedule completed; Class is then ClassUnknown and must not be
+	// interpreted as a classification.
+	Err error
 }
 
 // SynthesizeFunc is the synthesis dependency of the oracle; callers with
 // a cache (lclgrid.Engine) substitute their memoised variant.
-type SynthesizeFunc func(p *lcl.Problem, k, h, w int) (*Synthesized, error)
+type SynthesizeFunc func(ctx context.Context, p *lcl.Problem, k, h, w int) (*Synthesized, error)
 
 // ClassifyOracle implements the §7 synthesis-as-oracle procedure: trivial
 // problems are detected exactly (constant solutions are decidable on
@@ -67,22 +104,30 @@ type SynthesizeFunc func(p *lcl.Problem, k, h, w int) (*Synthesized, error)
 // succeeds the problem is Θ(log* n) and an optimal algorithm is returned;
 // if all attempts fail the result is ClassUnknown — the caller may
 // conjecture the problem global, but (Thm 3) no terminating procedure can
-// confirm this in general.
-func ClassifyOracle(p *lcl.Problem, maxK int) OracleResult {
-	return ClassifyOracleWith(Synthesize, p, maxK)
+// confirm this in general. Cancelling ctx aborts the schedule; the
+// context's error is recorded in OracleResult.Err.
+func ClassifyOracle(ctx context.Context, p *lcl.Problem, maxK int) OracleResult {
+	return ClassifyOracleWith(ctx, Synthesize, p, maxK)
 }
 
 // ClassifyOracleWith is ClassifyOracle with the synthesis step supplied
 // by the caller; the oracle's shape schedule and one-sided semantics are
 // identical.
-func ClassifyOracleWith(synth SynthesizeFunc, p *lcl.Problem, maxK int) OracleResult {
+func ClassifyOracleWith(ctx context.Context, synth SynthesizeFunc, p *lcl.Problem, maxK int) OracleResult {
 	if len(p.ConstantSolutions()) > 0 {
 		return OracleResult{Class: ClassO1}
 	}
 	res := OracleResult{Class: ClassUnknown}
+	if p.Dims() != 2 {
+		// Normal-form synthesis is implemented for 2-dimensional problems
+		// only; for other dimensions the oracle simply has no attempts to
+		// make and the classification stays open (callers fall back to
+		// the Θ(n) baseline).
+		return res
+	}
 	for k := 1; k <= maxK; k++ {
 		for _, win := range windowsForK(k) {
-			alg, err := synth(p, k, win[0], win[1])
+			alg, err := synth(ctx, p, k, win[0], win[1])
 			att := Attempt{K: k, H: win[0], W: win[1], Success: err == nil}
 			if alg != nil {
 				att.NumTiles = alg.Graph.NumTiles()
@@ -93,7 +138,11 @@ func ClassifyOracleWith(synth SynthesizeFunc, p *lcl.Problem, maxK int) OracleRe
 				res.Alg = alg
 				return res
 			}
-			if err != ErrUnsatisfiable {
+			if IsContextError(err) {
+				res.Err = err
+				return res
+			}
+			if !errors.Is(err, ErrUnsatisfiable) {
 				// Construction errors are bugs, not UNSAT results.
 				panic(fmt.Sprintf("core: synthesis failed structurally: %v", err))
 			}

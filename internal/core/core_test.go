@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"lclgrid/internal/coloring"
 	"lclgrid/internal/grid"
@@ -12,7 +14,7 @@ import (
 )
 
 func TestBuildTileGraphK1(t *testing.T) {
-	tg, err := BuildTileGraph(1, 3, 2)
+	tg, err := BuildTileGraph(context.Background(), 1, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,13 +43,13 @@ func TestDefaultWindow(t *testing.T) {
 // with 7×5 windows over exactly 2079 tiles.
 func TestSynthesize4ColouringMatchesPaper(t *testing.T) {
 	p := lcl.VertexColoring(4, 2)
-	if _, err := Synthesize(p, 1, 3, 2); !errors.Is(err, ErrUnsatisfiable) {
+	if _, err := Synthesize(context.Background(), p, 1, 3, 2); !errors.Is(err, ErrUnsatisfiable) {
 		t.Errorf("k=1: err = %v, want ErrUnsatisfiable", err)
 	}
-	if _, err := Synthesize(p, 2, 5, 3); !errors.Is(err, ErrUnsatisfiable) {
+	if _, err := Synthesize(context.Background(), p, 2, 5, 3); !errors.Is(err, ErrUnsatisfiable) {
 		t.Errorf("k=2: err = %v, want ErrUnsatisfiable", err)
 	}
-	alg, err := Synthesize(p, 3, 7, 5)
+	alg, err := Synthesize(context.Background(), p, 3, 7, 5)
 	if err != nil {
 		t.Fatalf("k=3: %v", err)
 	}
@@ -58,7 +60,7 @@ func TestSynthesize4ColouringMatchesPaper(t *testing.T) {
 
 func TestSynthesized4ColouringRuns(t *testing.T) {
 	p := lcl.VertexColoring(4, 2)
-	alg, err := Synthesize(p, 3, 7, 5)
+	alg, err := Synthesize(context.Background(), p, 3, 7, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestSynthesized4ColouringRuns(t *testing.T) {
 // is synthesizable with k = 1.
 func TestSynthesizeOrientation134(t *testing.T) {
 	op := lcl.XOrientation([]int{1, 3, 4}, 2)
-	alg, err := Synthesize(op.Problem, 1, 3, 3)
+	alg, err := Synthesize(context.Background(), op.Problem, 1, 3, 3)
 	if err != nil {
 		t.Fatalf("k=1: %v", err)
 	}
@@ -108,7 +110,7 @@ func TestSynthesizeOrientation134(t *testing.T) {
 // at k = 1 (anchors themselves are a valid solution).
 func TestSynthesizeMIS(t *testing.T) {
 	mp := lcl.MIS(2)
-	alg, err := Synthesize(mp.Problem, 1, 3, 3)
+	alg, err := Synthesize(context.Background(), mp.Problem, 1, 3, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +132,7 @@ func TestSynthesize3ColouringFails(t *testing.T) {
 	p := lcl.VertexColoring(3, 2)
 	for k := 1; k <= 2; k++ {
 		h, w := DefaultWindow(k)
-		if _, err := Synthesize(p, k, h, w); !errors.Is(err, ErrUnsatisfiable) {
+		if _, err := Synthesize(context.Background(), p, k, h, w); !errors.Is(err, ErrUnsatisfiable) {
 			t.Errorf("k=%d: err = %v, want ErrUnsatisfiable", k, err)
 		}
 	}
@@ -138,8 +140,8 @@ func TestSynthesize3ColouringFails(t *testing.T) {
 
 func TestSynthesizeDeterministic(t *testing.T) {
 	p := lcl.VertexColoring(5, 2)
-	a1, err1 := Synthesize(p, 1, 3, 2)
-	a2, err2 := Synthesize(p, 1, 3, 2)
+	a1, err1 := Synthesize(context.Background(), p, 1, 3, 2)
+	a2, err2 := Synthesize(context.Background(), p, 1, 3, 2)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -151,14 +153,14 @@ func TestSynthesizeDeterministic(t *testing.T) {
 }
 
 func TestSynthesizeRejectsNon2D(t *testing.T) {
-	if _, err := Synthesize(lcl.VertexColoring(3, 1), 1, 3, 2); err == nil {
+	if _, err := Synthesize(context.Background(), lcl.VertexColoring(3, 1), 1, 3, 2); err == nil {
 		t.Error("expected dimension error")
 	}
 }
 
 func TestRunRejectsSmallTorus(t *testing.T) {
 	p := lcl.VertexColoring(5, 2)
-	alg, err := Synthesize(p, 1, 3, 2)
+	alg, err := Synthesize(context.Background(), p, 1, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,22 +172,22 @@ func TestRunRejectsSmallTorus(t *testing.T) {
 
 func TestSolveGlobalColourings(t *testing.T) {
 	// 2-colouring: solvable iff n even (global problem).
-	if _, ok := SolveGlobal(lcl.VertexColoring(2, 2), grid.Square(5)); ok {
-		t.Error("2-colouring on odd torus should be unsolvable")
+	if _, ok, err := SolveGlobal(context.Background(), lcl.VertexColoring(2, 2), grid.Square(5)); ok || err != nil {
+		t.Errorf("2-colouring on odd torus should be unsolvable (ok=%v err=%v)", ok, err)
 	}
 	g := grid.Square(6)
-	sol, ok := SolveGlobal(lcl.VertexColoring(2, 2), g)
-	if !ok {
-		t.Fatal("2-colouring on even torus should be solvable")
+	sol, ok, err := SolveGlobal(context.Background(), lcl.VertexColoring(2, 2), g)
+	if !ok || err != nil {
+		t.Fatalf("2-colouring on even torus should be solvable (err=%v)", err)
 	}
 	if err := lcl.VertexColoring(2, 2).Verify(g, sol); err != nil {
 		t.Fatal(err)
 	}
 	// 3-colouring solvable on 7×7 (global in time, but solutions exist).
 	g7 := grid.Square(7)
-	sol, ok = SolveGlobal(lcl.VertexColoring(3, 2), g7)
-	if !ok {
-		t.Fatal("3-colouring on 7×7 should be solvable")
+	sol, ok, err = SolveGlobal(context.Background(), lcl.VertexColoring(3, 2), g7)
+	if !ok || err != nil {
+		t.Fatalf("3-colouring on 7×7 should be solvable (err=%v)", err)
 	}
 	if err := lcl.VertexColoring(3, 2).Verify(g7, sol); err != nil {
 		t.Fatal(err)
@@ -194,14 +196,14 @@ func TestSolveGlobalColourings(t *testing.T) {
 
 func TestSolveGlobalEdgeColouringParity(t *testing.T) {
 	// Thm 21: no edge 2d-colouring for odd n.
-	if _, ok := SolveGlobal(lcl.EdgeColoring(4, 2).Problem, grid.Square(3)); ok {
-		t.Error("edge 4-colouring on odd torus should be unsolvable")
+	if _, ok, err := SolveGlobal(context.Background(), lcl.EdgeColoring(4, 2).Problem, grid.Square(3)); ok || err != nil {
+		t.Errorf("edge 4-colouring on odd torus should be unsolvable (ok=%v err=%v)", ok, err)
 	}
 	g := grid.Square(4)
 	ep := lcl.EdgeColoring(4, 2)
-	sol, ok := SolveGlobal(ep.Problem, g)
-	if !ok {
-		t.Fatal("edge 4-colouring on even torus should be solvable")
+	sol, ok, err := SolveGlobal(context.Background(), ep.Problem, g)
+	if !ok || err != nil {
+		t.Fatalf("edge 4-colouring on even torus should be solvable (err=%v)", err)
 	}
 	if err := ep.Verify(g, sol); err != nil {
 		t.Fatal(err)
@@ -210,28 +212,74 @@ func TestSolveGlobalEdgeColouringParity(t *testing.T) {
 
 func TestSolveGlobalOrientationParity(t *testing.T) {
 	// Lemma 24: no {1,3}-orientation for odd n.
-	if _, ok := SolveGlobal(lcl.XOrientation([]int{1, 3}, 2).Problem, grid.Square(3)); ok {
-		t.Error("{1,3}-orientation on odd torus should be unsolvable")
+	if _, ok, err := SolveGlobal(context.Background(), lcl.XOrientation([]int{1, 3}, 2).Problem, grid.Square(3)); ok || err != nil {
+		t.Errorf("{1,3}-orientation on odd torus should be unsolvable (ok=%v err=%v)", ok, err)
 	}
 }
 
 func TestClassifyOracle(t *testing.T) {
-	if res := ClassifyOracle(lcl.IndependentSet(2), 1); res.Class != ClassO1 {
+	if res := ClassifyOracle(context.Background(), lcl.IndependentSet(2), 1); res.Class != ClassO1 {
 		t.Errorf("independent set class = %v, want O(1)", res.Class)
 	}
-	if res := ClassifyOracle(lcl.XOrientation([]int{2}, 2).Problem, 1); res.Class != ClassO1 {
+	if res := ClassifyOracle(context.Background(), lcl.XOrientation([]int{2}, 2).Problem, 1); res.Class != ClassO1 {
 		t.Errorf("X={2} class = %v, want O(1)", res.Class)
 	}
-	res := ClassifyOracle(lcl.VertexColoring(5, 2), 1)
+	res := ClassifyOracle(context.Background(), lcl.VertexColoring(5, 2), 1)
 	if res.Class != ClassLogStar || res.Alg == nil {
 		t.Errorf("5-colouring class = %v, want Θ(log* n)", res.Class)
 	}
-	res = ClassifyOracle(lcl.VertexColoring(3, 2), 2)
+	res = ClassifyOracle(context.Background(), lcl.VertexColoring(3, 2), 2)
 	if res.Class != ClassUnknown {
 		t.Errorf("3-colouring class = %v, want unknown", res.Class)
 	}
 	if len(res.Attempts) == 0 {
 		t.Error("expected recorded attempts")
+	}
+}
+
+// TestSynthesizeCancelled checks the ctx plumbing end to end at the core
+// layer: a pre-cancelled context aborts before the SAT search, and a
+// context cancelled mid-search aborts an in-flight synthesis at the next
+// checkpoint instead of running to completion.
+func TestSynthesizeCancelled(t *testing.T) {
+	p := lcl.VertexColoring(4, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Synthesize(ctx, p, 3, 7, 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-flight: 3-colouring at k=4 is a multi-second UNSAT search; a
+	// 20ms deadline must abort it long before the search would finish.
+	ctx, cancel = context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Synthesize(ctx, lcl.VertexColoring(3, 2), 4, 9, 7)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancel took %v, checkpoints are not being honoured", elapsed)
+	}
+}
+
+func TestClassTextRoundTrip(t *testing.T) {
+	for _, c := range []Class{ClassUnknown, ClassO1, ClassLogStar, ClassGlobal} {
+		b, err := c.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Class
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Errorf("class %v round-tripped to %v via %q", c, back, b)
+		}
+	}
+	var c Class
+	if err := c.UnmarshalText([]byte("nope")); err == nil {
+		t.Error("unknown token must not unmarshal")
 	}
 }
 
@@ -259,8 +307,8 @@ func TestDiameter(t *testing.T) {
 
 func TestSolveGlobalWithRounds(t *testing.T) {
 	g := grid.Square(6)
-	_, ok, rounds := SolveGlobalWithRounds(lcl.VertexColoring(3, 2), g)
-	if !ok || rounds.Total() != Diameter(g) {
+	_, ok, rounds, err := SolveGlobalWithRounds(context.Background(), lcl.VertexColoring(3, 2), g)
+	if !ok || err != nil || rounds.Total() != Diameter(g) {
 		t.Errorf("rounds = %d, want %d", rounds.Total(), Diameter(g))
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"lclgrid/internal/grid"
 	"lclgrid/internal/lcl"
 	"lclgrid/internal/local"
@@ -23,8 +25,10 @@ func Diameter(t *grid.Torus) int {
 // (one variable per node and label) — this is the Θ(n) brute-force
 // baseline of §7 ("gather the entire input at a single node and solve the
 // problem globally") as well as the (un)solvability certificate generator
-// used for global problems such as 2-colouring on odd tori.
-func SolveGlobal(p *lcl.Problem, t *grid.Torus) ([]int, bool) {
+// used for global problems such as 2-colouring on odd tori. A cancelled
+// ctx aborts the SAT search and surfaces the context's error; in that
+// case the solvability answer is meaningless and must be ignored.
+func SolveGlobal(ctx context.Context, p *lcl.Problem, t *grid.Torus) ([]int, bool, error) {
 	n, kk := t.N(), p.K()
 	s := sat.NewSolver(n * kk)
 	v := func(node, a int) int { return node*kk + a }
@@ -57,8 +61,12 @@ func SolveGlobal(p *lcl.Problem, t *grid.Torus) ([]int, bool) {
 			}
 		}
 	}
-	if !s.Solve() {
-		return nil, false
+	ok, err := s.SolveContext(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
 	}
 	out := make([]int, n)
 	for node := 0; node < n; node++ {
@@ -70,16 +78,16 @@ func SolveGlobal(p *lcl.Problem, t *grid.Torus) ([]int, bool) {
 			}
 		}
 	}
-	return out, true
+	return out, true, nil
 }
 
 // SolveGlobalWithRounds is SolveGlobal with the round accounting of the
 // brute-force LOCAL algorithm it models: every node gathers the whole
 // labelled torus (Diameter rounds) and deterministically solves the
 // tiling, so all nodes agree on the same solution.
-func SolveGlobalWithRounds(p *lcl.Problem, t *grid.Torus) ([]int, bool, *local.Rounds) {
+func SolveGlobalWithRounds(ctx context.Context, p *lcl.Problem, t *grid.Torus) ([]int, bool, *local.Rounds, error) {
 	rounds := &local.Rounds{}
 	rounds.Add(Diameter(t))
-	out, ok := SolveGlobal(p, t)
-	return out, ok, rounds
+	out, ok, err := SolveGlobal(ctx, p, t)
+	return out, ok, rounds, err
 }

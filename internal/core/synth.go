@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -17,6 +18,28 @@ import (
 // the problem global — a larger k or window may succeed — which is
 // exactly why classification is only one-sided.
 var ErrUnsatisfiable = errors.New("core: no normal-form table for these parameters")
+
+// ErrTorusTooSmall is returned by Synthesized.Run when the torus is below
+// the normal form's MinTorusSide: the window-plus-margin regions no
+// longer embed isometrically, so the lookup table does not apply. The
+// problem itself may still be solvable on the torus by other means (the
+// Θ(n) baseline).
+var ErrTorusTooSmall = errors.New("core: torus too small for this normal form")
+
+// TorusTooSmallError builds the canonical ErrTorusTooSmall-wrapping
+// error for a shape — shared by the pre-synthesis fail-fast check and
+// Synthesized.Run so the message cannot drift between them.
+func TorusTooSmallError(k, h, w int) error {
+	return fmt.Errorf("%w: side must be at least %d for k=%d, %dx%d windows", ErrTorusTooSmall, MinTorusSideFor(k, h, w), k, h, w)
+}
+
+// IsContextError reports whether err is a context cancellation or
+// deadline expiry — the predicate the singleflight cache, the oracle and
+// the solver adapters all share to recognise an aborted (as opposed to
+// failed) operation.
+func IsContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Synthesized is a synthesized normal-form algorithm A = A' ∘ S_k for an
 // LCL problem on 2-dimensional grids: anchors are an MIS of G^(k), and
@@ -51,16 +74,24 @@ func DefaultWindow(k int) (h, w int) {
 // anchor power k and window dimensions h×w, following §7: it builds the
 // neighbourhood graph of tiles and solves the induced constraint
 // satisfaction problem with the CDCL SAT solver. The problem must be
-// 2-dimensional.
-func Synthesize(p *lcl.Problem, k, h, w int) (*Synthesized, error) {
+// 2-dimensional. Cancelling ctx (or letting its deadline expire) aborts
+// an in-flight SAT search promptly; the context's error is returned
+// unwrapped so callers can detect it with errors.Is.
+func Synthesize(ctx context.Context, p *lcl.Problem, k, h, w int) (*Synthesized, error) {
 	if p.Dims() != 2 {
 		return nil, fmt.Errorf("core: synthesis implemented for 2-dimensional problems, %s is %d-dimensional", p.Name(), p.Dims())
 	}
-	tg, err := BuildTileGraph(k, h, w)
+	if k < 1 || h < 1 || w < 1 {
+		// These parameters arrive from the wire (SolveRequest.Power/H/W);
+		// reject them here rather than reaching the tile enumerator's
+		// panic.
+		return nil, fmt.Errorf("core: synthesis parameters must be positive, got k=%d window %dx%d", k, h, w)
+	}
+	tg, err := BuildTileGraph(ctx, k, h, w)
 	if err != nil {
 		return nil, err
 	}
-	table, stats, err := solveTileCSP(p, tg)
+	table, stats, err := solveTileCSP(ctx, p, tg)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +113,7 @@ func Synthesize(p *lcl.Problem, k, h, w int) (*Synthesized, error) {
 // the per-dimension relations hold across every edge of the tile graph.
 // At-most-one constraints are unnecessary because all edge constraints are
 // negative: any chosen label among a tile's true variables works.
-func solveTileCSP(p *lcl.Problem, tg *TileGraph) ([]int, sat.Stats, error) {
+func solveTileCSP(ctx context.Context, p *lcl.Problem, tg *TileGraph) ([]int, sat.Stats, error) {
 	nt, kk := tg.NumTiles(), p.K()
 	s := sat.NewSolver(nt * kk)
 	v := func(t, a int) int { return t*kk + a }
@@ -119,7 +150,11 @@ func solveTileCSP(p *lcl.Problem, tg *TileGraph) ([]int, sat.Stats, error) {
 	for _, e := range tg.VEdges {
 		addEdge(1, e[0], e[1]) // south tile is the node, north tile its dim-1 successor
 	}
-	if !s.Solve() {
+	ok, err := s.SolveContext(ctx)
+	if err != nil {
+		return nil, s.Stats, err
+	}
+	if !ok {
 		return nil, s.Stats, ErrUnsatisfiable
 	}
 	table := make([]int, nt)
@@ -138,16 +173,23 @@ func solveTileCSP(p *lcl.Problem, tg *TileGraph) ([]int, sat.Stats, error) {
 	return table, s.Stats, nil
 }
 
-// MinTorusSide returns the smallest torus side on which the synthesized
-// algorithm is guaranteed correct: window-plus-margin regions must embed
-// isometrically in the plane so that every observed window is one of the
-// enumerated tiles.
-func (s *Synthesized) MinTorusSide() int {
-	m := s.H + 1
-	if s.W+1 > m {
-		m = s.W + 1
+// MinTorusSideFor returns the smallest torus side on which a normal form
+// with anchor power k and h×w windows is guaranteed correct:
+// window-plus-margin regions must embed isometrically in the plane so
+// that every observed window is one of the enumerated tiles. It depends
+// only on the shape, so callers can reject too-small tori before paying
+// for a synthesis.
+func MinTorusSideFor(k, h, w int) int {
+	m := h + 1
+	if w+1 > m {
+		m = w + 1
 	}
-	return 2 * (m + 2*s.K)
+	return 2 * (m + 2*k)
+}
+
+// MinTorusSide returns MinTorusSideFor the algorithm's own shape.
+func (s *Synthesized) MinTorusSide() int {
+	return MinTorusSideFor(s.K, s.H, s.W)
 }
 
 // GatherRadius returns the radius (in grid hops) a node needs to see its
@@ -175,7 +217,7 @@ func (s *Synthesized) Run(t *grid.Torus, ids []int) ([]int, *local.Rounds, error
 		return nil, nil, errors.New("core: synthesized algorithms run on 2-dimensional tori")
 	}
 	if min := s.MinTorusSide(); t.NX() < min || t.NY() < min {
-		return nil, nil, fmt.Errorf("core: torus side must be at least %d for k=%d, %dx%d windows", min, s.K, s.H, s.W)
+		return nil, nil, TorusTooSmallError(s.K, s.H, s.W)
 	}
 	rounds := &local.Rounds{}
 	anchors := coloring.Anchors(t, s.K, grid.L1, ids, rounds)

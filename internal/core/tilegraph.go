@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lclgrid/internal/tiles"
@@ -34,19 +35,29 @@ type TileGraph struct {
 }
 
 // BuildTileGraph enumerates the tiles and edges for power k and window
-// dimensions h×w.
-func BuildTileGraph(k, h, w int) (*TileGraph, error) {
+// dimensions h×w. The three tile enumerations dominate synthesis time for
+// large powers, so they run under ctx and a cancel aborts construction
+// with the context's error.
+func BuildTileGraph(ctx context.Context, k, h, w int) (*TileGraph, error) {
+	tls, err := tiles.EnumerateContext(ctx, k, h, w)
+	if err != nil {
+		return nil, err
+	}
 	tg := &TileGraph{
 		K:     k,
 		H:     h,
 		W:     w,
-		Tiles: tiles.Enumerate(k, h, w),
+		Tiles: tls,
 		Index: make(map[string]int),
 	}
 	for i, p := range tg.Tiles {
 		tg.Index[p.Key()] = i
 	}
-	for _, joint := range tiles.Enumerate(k, h, w+1) {
+	hJoints, err := tiles.EnumerateContext(ctx, k, h, w+1)
+	if err != nil {
+		return nil, err
+	}
+	for _, joint := range hJoints {
 		west, east := joint.Sub(0, 0, h, w), joint.Sub(0, 1, h, w)
 		wi, ok1 := tg.Index[west.Key()]
 		ei, ok2 := tg.Index[east.Key()]
@@ -55,7 +66,11 @@ func BuildTileGraph(k, h, w int) (*TileGraph, error) {
 		}
 		tg.HEdges = append(tg.HEdges, [2]int{wi, ei})
 	}
-	for _, joint := range tiles.Enumerate(k, h+1, w) {
+	vJoints, err := tiles.EnumerateContext(ctx, k, h+1, w)
+	if err != nil {
+		return nil, err
+	}
+	for _, joint := range vJoints {
 		north, south := joint.Sub(0, 0, h, w), joint.Sub(1, 0, h, w)
 		ni, ok1 := tg.Index[north.Key()]
 		si, ok2 := tg.Index[south.Key()]

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -34,10 +35,12 @@ import (
 var eng = lclgrid.NewEngine()
 
 // Experiment is a named, runnable reproduction of one paper artefact.
+// Run honours ctx: experiments routed through the engine abort at the
+// next synthesis checkpoint when the context is cancelled.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(w io.Writer) error
+	Run   func(ctx context.Context, w io.Writer) error
 }
 
 // All returns every experiment in id order.
@@ -71,7 +74,7 @@ func problem(key string) (*lclgrid.Problem, error) {
 }
 
 // E1 classifies the four Fig. 2 problems on directed cycles.
-func E1(w io.Writer) error {
+func E1(ctx context.Context, w io.Writer) error {
 	fmt.Fprintln(w, "problem                      paper      measured")
 	rows := []struct {
 		p     *lclgrid.CycleProblem
@@ -93,7 +96,7 @@ func E1(w io.Writer) error {
 }
 
 // E2 reproduces the §7 tile counts.
-func E2(w io.Writer) error {
+func E2(ctx context.Context, w io.Writer) error {
 	fmt.Fprintln(w, "power  window  paper  measured")
 	for _, row := range []struct{ k, h, wd, want int }{
 		{1, 3, 2, 16},
@@ -110,7 +113,7 @@ func E2(w io.Writer) error {
 
 // E3 runs the 4-colouring synthesis for k = 1, 2, 3 through the engine
 // cache and then solves on a torus via the registry's solver.
-func E3(w io.Writer) error {
+func E3(ctx context.Context, w io.Writer) error {
 	p, err := problem("4col")
 	if err != nil {
 		return err
@@ -122,7 +125,7 @@ func E3(w io.Writer) error {
 	}{
 		{1, 3, 2, false}, {2, 5, 3, false}, {3, 7, 5, true},
 	} {
-		alg, _, err := eng.Synthesize(p, row.k, row.h, row.wd)
+		alg, _, err := eng.Synthesize(ctx, p, row.k, row.h, row.wd)
 		ok := err == nil
 		nt := tiles.Count(row.k, row.h, row.wd)
 		fmt.Fprintf(w, "%d  %d×%d     %-6d %-10v %v\n", row.k, row.h, row.wd, nt, row.want, ok)
@@ -131,7 +134,7 @@ func E3(w io.Writer) error {
 		}
 		if ok {
 			g := lclgrid.Square(28)
-			res, err := eng.Solve("4col", g, lclgrid.PermutedIDs(g.N(), 1))
+			res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "4col", Torus: g, Seed: 1})
 			if err != nil {
 				return fmt.Errorf("E3: %w", err)
 			}
@@ -145,7 +148,7 @@ func E3(w io.Writer) error {
 // E4 solves the two minimal Θ(log* n) orientation problems through the
 // registry (synthesized with k = 1 per Lemma 23) and decodes the edge
 // orientations.
-func E4(w io.Writer) error {
+func E4(ctx context.Context, w io.Writer) error {
 	for _, row := range []struct {
 		key string
 		x   []int
@@ -154,7 +157,7 @@ func E4(w io.Writer) error {
 		{"orient013", []int{0, 1, 3}},
 	} {
 		g := lclgrid.Square(16)
-		res, err := eng.Solve(row.key, g, lclgrid.PermutedIDs(g.N(), 2))
+		res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: row.key, Torus: g, Seed: 2})
 		if err != nil {
 			return fmt.Errorf("E4: X=%v: %w", row.x, err)
 		}
@@ -170,10 +173,10 @@ func E4(w io.Writer) error {
 }
 
 // E5 walks the vertex-colouring threshold.
-func E5(w io.Writer) error {
+func E5(ctx context.Context, w io.Writer) error {
 	fmt.Fprintln(w, "k  paper      evidence")
 	// k = 2: unsolvable on odd tori (global).
-	if _, err := eng.Solve("2col", lclgrid.Square(5), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+	if _, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "2col", N: 5}); !errors.Is(err, lclgrid.ErrUnsolvable) {
 		return fmt.Errorf("E5: 2-colouring on odd torus: want ErrUnsolvable, got %v", err)
 	}
 	fmt.Fprintln(w, "2  Θ(n)       no solution on 5×5 (odd) torus: SAT certificate")
@@ -183,16 +186,16 @@ func E5(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if oracle := eng.Classify(p3, 3); oracle.Class != lclgrid.ClassUnknown {
+	if oracle := eng.Classify(ctx, p3, 3); oracle.Class != lclgrid.ClassUnknown {
 		return fmt.Errorf("E5: 3-colouring classified %v at maxK=3", oracle.Class)
 	}
-	if res, err := eng.Solve("3col", lclgrid.Square(7), nil); err != nil || res.Verification != lclgrid.Verified {
+	if res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "3col", N: 7}); err != nil || res.Verification != lclgrid.Verified {
 		return fmt.Errorf("E5: 3-colouring on 7×7: err=%v result=%v", err, res)
 	}
 	fmt.Fprintln(w, "3  Θ(n)       synthesis UNSAT for k=1..3; solvable on 7×7 (Thm 9 proves Ω(n))")
 	// k = 4: synthesis succeeds (E3) and the §8 direct algorithm works.
 	g := lclgrid.Square(128)
-	res, err := lclgrid.FourColorSolver{}.Solve(g, lclgrid.PermutedIDs(g.N(), 4), lclgrid.WithEll(31))
+	res, err := lclgrid.FourColorSolver{}.Solve(ctx, g, lclgrid.PermutedIDs(g.N(), 4), lclgrid.WithEll(31))
 	if err != nil {
 		return err
 	}
@@ -203,7 +206,7 @@ func E5(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, _, err := eng.Synthesize(p5, 1, 3, 2); err != nil {
+	if _, _, err := eng.Synthesize(ctx, p5, 1, 3, 2); err != nil {
 		return fmt.Errorf("E5: 5-colouring failed at k=1: %w", err)
 	}
 	fmt.Fprintln(w, "5  Θ(log* n)  synthesis k=1 (3×2 windows)")
@@ -211,19 +214,18 @@ func E5(w io.Writer) error {
 }
 
 // E6 walks the edge-colouring threshold for d = 2.
-func E6(w io.Writer) error {
+func E6(ctx context.Context, w io.Writer) error {
 	fmt.Fprintln(w, "colours  paper      evidence")
-	if _, err := eng.Solve("4edgecol", lclgrid.Square(3), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+	if _, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "4edgecol", N: 3}); !errors.Is(err, lclgrid.ErrUnsolvable) {
 		return fmt.Errorf("E6: edge 4-colouring on odd torus: want ErrUnsolvable, got %v", err)
 	}
 	fmt.Fprintln(w, "4 (=2d)  Θ(n)       no solution on 3×3 (odd) torus: SAT certificate (Thm 21 parity)")
-	if res, err := eng.Solve("4edgecol", lclgrid.Square(4), nil); err != nil || res.Verification != lclgrid.Verified {
+	if res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "4edgecol", N: 4}); err != nil || res.Verification != lclgrid.Verified {
 		return fmt.Errorf("E6: edge 4-colouring should exist on 4×4: err=%v result=%v", err, res)
 	}
 	fmt.Fprintln(w, "4 (=2d)  —          solvable on even tori (4×4 SAT witness)")
 
-	big := lclgrid.Square(680)
-	res, err := eng.Solve("5edgecol", big, lclgrid.PermutedIDs(big.N(), 1))
+	res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "5edgecol", N: 680, Seed: 1})
 	if err != nil {
 		return err
 	}
@@ -237,7 +239,7 @@ func E6(w io.Writer) error {
 
 // E7 prints the full Theorem 22 table and validates two global cases by
 // unsolvability certificates (the Θ(log* n) cases are synthesized in E4).
-func E7(w io.Writer) error {
+func E7(ctx context.Context, w io.Writer) error {
 	counts := map[lclgrid.Class]int{}
 	for _, row := range orient.Table() {
 		counts[row.Class]++
@@ -246,7 +248,7 @@ func E7(w io.Writer) error {
 	if counts[lclgrid.ClassO1] != 16 || counts[lclgrid.ClassLogStar] != 3 || counts[lclgrid.ClassGlobal] != 13 {
 		return fmt.Errorf("E7: class counts %v do not match Thm 22", counts)
 	}
-	if _, err := eng.Solve("orient13", lclgrid.Square(3), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+	if _, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "orient13", N: 3}); !errors.Is(err, lclgrid.ErrUnsolvable) {
 		return fmt.Errorf("E7: {1,3}-orientation on odd torus: want ErrUnsolvable, got %v (Lemma 24)", err)
 	}
 	fmt.Fprintln(w, "spot check: {1,3} unsolvable on 3×3 (Lemma 24); {1,3,4}/{0,1,3} synthesized (E4)")
@@ -257,12 +259,12 @@ func E7(w io.Writer) error {
 // the k = 1 synthesized 5-colouring against the gather-and-solve
 // baseline; the engine cache makes the per-size solves share one
 // synthesis.
-func E8(w io.Writer) error {
+func E8(ctx context.Context, w io.Writer) error {
 	fmt.Fprintln(w, "n      log*(n²)  normal-form rounds  global rounds (=diameter)")
 	prev := 0
 	for _, n := range []int{16, 32, 64, 128, 256} {
 		g := lclgrid.Square(n)
-		res, err := eng.Solve("5col", g, lclgrid.PermutedIDs(g.N(), int64(n)))
+		res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "5col", Torus: g, Seed: int64(n)})
 		if err != nil {
 			return err
 		}
@@ -280,10 +282,10 @@ func E8(w io.Writer) error {
 // registry entries: for a halting machine the solver produces a P2
 // labelling accepted by the checker; for a non-halting machine anchored
 // labellings are rejected and only the Θ(n) P1 escape remains.
-func E9(w io.Writer) error {
+func E9(ctx context.Context, w io.Writer) error {
 	n := lm.TileSize(2) * 2
 	g := lclgrid.Square(n)
-	res, err := eng.Solve("lm:halt", g, nil)
+	res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "lm:halt", Torus: g})
 	if err != nil {
 		return err
 	}
@@ -297,7 +299,7 @@ func E9(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "non-halting M (right-looper): anchored labellings rejected by the checker")
 
-	resLoop, err := eng.Solve("lm:loop", lclgrid.Square(9), nil)
+	resLoop, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "lm:loop", N: 9})
 	if err != nil {
 		return err
 	}
@@ -309,7 +311,7 @@ func E9(w io.Writer) error {
 }
 
 // E10 verifies the §9 row invariants on sampled greedy 3-colourings.
-func E10(w io.Writer) error {
+func E10(ctx context.Context, w io.Writer) error {
 	for _, n := range []int{6, 9, 12} {
 		g := grid.Square(n)
 		rng := rand.New(rand.NewSource(int64(n)))
@@ -339,10 +341,10 @@ func oddNote(n int) string {
 
 // E11 verifies the Theorem 25 invariant on registry-solved
 // {0,3,4}-orientations.
-func E11(w io.Writer) error {
+func E11(ctx context.Context, w io.Writer) error {
 	for _, n := range []int{4, 6} {
 		g := lclgrid.Square(n)
-		res, err := eng.Solve("orient034", g, nil)
+		res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "orient034", Torus: g})
 		if err != nil {
 			return fmt.Errorf("E11: no {0,3,4}-orientation on %d×%d: %w", n, n, err)
 		}
@@ -358,7 +360,7 @@ func E11(w io.Writer) error {
 }
 
 // E12 measures the corner-coordination radius of Theorem 27.
-func E12(w io.Writer) error {
+func E12(ctx context.Context, w io.Writer) error {
 	fmt.Fprintln(w, "m     n=m²    sight radius  2√n bound  ball size C(r+2,2) ok")
 	for _, m := range []int{10, 25, 50, 100} {
 		rad := coordination.CornerSightRadius(m)
@@ -379,7 +381,7 @@ func E12(w io.Writer) error {
 // E8RoundsFor4Coloring reports the synthesized 4-colouring (k=3) round
 // account for a given torus side; used by the benchmark harness.
 func E8RoundsFor4Coloring(n int) (int, error) {
-	res, err := eng.Solve("4col", lclgrid.Square(n), lclgrid.PermutedIDs(n*n, 1))
+	res, err := eng.Solve(context.Background(), lclgrid.SolveRequest{Key: "4col", N: n, Seed: 1})
 	if err != nil {
 		return 0, err
 	}

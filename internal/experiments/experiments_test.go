@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestAllExperiments(t *testing.T) {
 	for _, e := range All() {
 		t.Run(e.ID, func(t *testing.T) {
 			var sb strings.Builder
-			if err := e.Run(&sb); err != nil {
+			if err := e.Run(context.Background(), &sb); err != nil {
 				t.Fatalf("%s (%s): %v\noutput so far:\n%s", e.ID, e.Title, err, sb.String())
 			}
 			if sb.Len() == 0 {

@@ -8,6 +8,7 @@
 package orient
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,13 +72,14 @@ func AllSubsets() [][]int {
 // Synthesize builds a normal-form algorithm for a Θ(log* n)
 // X-orientation problem (Lemma 23 reports success with k = 1). It fails
 // with core.ErrUnsatisfiable for problems outside the Θ(log* n) class.
-func Synthesize(x []int) (*lcl.OrientationProblem, *core.Synthesized, error) {
+// Cancelling ctx aborts the SAT search with the context's error.
+func Synthesize(ctx context.Context, x []int) (*lcl.OrientationProblem, *core.Synthesized, error) {
 	if len(x) == 0 {
 		return nil, nil, fmt.Errorf("orient: empty X has no solutions")
 	}
 	op := lcl.XOrientation(x, 2)
 	for _, win := range [][2]int{{3, 3}, {5, 5}} {
-		alg, err := core.Synthesize(op.Problem, (win[0]-1)/2, win[0], win[1])
+		alg, err := core.Synthesize(ctx, op.Problem, (win[0]-1)/2, win[0], win[1])
 		if err == nil {
 			return op, alg, nil
 		}

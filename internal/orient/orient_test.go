@@ -1,6 +1,7 @@
 package orient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -78,7 +79,7 @@ func TestFlipDuality(t *testing.T) {
 // minimal Θ(log* n) orientation problems synthesize with k = 1.
 func TestSynthesizeLogStarCases(t *testing.T) {
 	for _, x := range [][]int{{1, 3, 4}, {0, 1, 3}} {
-		op, alg, err := Synthesize(x)
+		op, alg, err := Synthesize(context.Background(), x)
 		if err != nil {
 			t.Fatalf("X=%v: %v", x, err)
 		}
@@ -104,10 +105,10 @@ func TestSynthesizeLogStarCases(t *testing.T) {
 }
 
 func TestSynthesizeGlobalFails(t *testing.T) {
-	if _, _, err := Synthesize([]int{0, 4}); !errors.Is(err, core.ErrUnsatisfiable) {
+	if _, _, err := Synthesize(context.Background(), []int{0, 4}); !errors.Is(err, core.ErrUnsatisfiable) {
 		t.Errorf("X={0,4}: err = %v, want ErrUnsatisfiable", err)
 	}
-	if _, _, err := Synthesize(nil); err == nil {
+	if _, _, err := Synthesize(context.Background(), nil); err == nil {
 		t.Error("empty X should fail")
 	}
 }

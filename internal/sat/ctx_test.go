@@ -1,0 +1,88 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSolveContextResumesSoundly is the regression test for resuming
+// after an abort: a context checkpoint fires at the top of the search
+// loop, which can leave a decision enqueued on the trail but not yet
+// propagated. A subsequent SolveContext must drop those stale decisions
+// before its top-level propagation — otherwise a conflict that merely
+// refutes the decision would be recorded as formula-level
+// unsatisfiability.
+func TestSolveContextResumesSoundly(t *testing.T) {
+	// (x0 ∨ x1) ∧ (x0 ∨ ¬x1): satisfiable, exactly by x0 = true.
+	s := NewSolver(2)
+	s.AddClause(Pos(0), Pos(1))
+	s.AddClause(Pos(0), Neg(1))
+	// Reproduce the state an abort leaves behind: a decision ¬x0 at
+	// level 1, enqueued but not propagated (the checkpoint fires between
+	// the decision and the next propagate call).
+	s.lim = append(s.lim, len(s.trail))
+	if !s.enqueue(Neg(0), -1) {
+		t.Fatal("setup: decision did not enqueue")
+	}
+	ok, err := s.SolveContext(context.Background())
+	if err != nil {
+		t.Fatalf("resume errored: %v", err)
+	}
+	if !ok {
+		t.Fatal("resume decided UNSAT; refuting the stale decision was mistaken for refuting the formula")
+	}
+	if !s.Value(0) {
+		t.Error("model does not satisfy the formula")
+	}
+}
+
+// TestSolveContextPreCancelled: an already-cancelled context aborts
+// before any search.
+func TestSolveContextPreCancelled(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(Pos(0), Neg(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The same solver still decides with a live context.
+	if ok, err := s.SolveContext(context.Background()); !ok || err != nil {
+		t.Fatalf("post-cancel solve: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSolveContextDeadline: an expired deadline aborts a long search
+// promptly with DeadlineExceeded.
+func TestSolveContextDeadline(t *testing.T) {
+	// PHP(10,9) is exponentially hard for CDCL without symmetry breaking.
+	const pigeons, holes = 10, 9
+	s := NewSolver(pigeons * holes)
+	v := func(p, h int) int { return p*holes + h }
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = Pos(v(p, h))
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(Neg(v(p1, h)), Neg(v(p2, h)))
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.SolveContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("abort took %v, checkpoints not honoured", elapsed)
+	}
+}

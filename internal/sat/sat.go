@@ -8,7 +8,10 @@
 // LCL tilings on small tori (the Θ(n) brute-force baseline).
 package sat
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Lit is a literal: variable index v with sign, encoded as 2v (positive)
 // or 2v+1 (negative).
@@ -359,25 +362,55 @@ func luby(i int) int {
 }
 
 // Solve decides satisfiability. When it returns true, Value reports a
-// satisfying assignment.
+// satisfying assignment. It is SolveContext with a background context
+// (never interrupted).
 func (s *Solver) Solve() bool {
+	ok, _ := s.SolveContext(context.Background())
+	return ok
+}
+
+// ctxCheckInterval is how many search-loop iterations pass between
+// ctx.Err() checkpoints. Each iteration performs at least one unit
+// propagation pass, so even on hard instances a cancel or deadline is
+// observed within a fraction of a millisecond while the check itself
+// stays off the hot path.
+const ctxCheckInterval = 1024
+
+// SolveContext decides satisfiability under a context: the CDCL search
+// loop checks ctx.Err() every ctxCheckInterval iterations (and at every
+// restart), so a cancelled context or an expired deadline aborts an
+// in-flight search promptly with the context's error. The solver is left
+// in an unspecified (but non-corrupt) search state after an abort; it is
+// safe to call SolveContext again with a live context to resume deciding
+// the same formula.
+func (s *Solver) SolveContext(ctx context.Context) (bool, error) {
 	if s.unsat {
-		return false
+		return false, nil
 	}
+	// A previous aborted call may have left decisions on the trail; drop
+	// to level 0 so the top-level propagation below only ever proves
+	// formula-level unsatisfiability, not refutation of stale decisions.
+	s.backtrack(0)
 	if confl := s.propagate(); confl >= 0 {
 		s.unsat = true
-		return false
+		return false, nil
 	}
 	restart := 1
 	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		budget := 256 * luby(restart)
-		res := s.search(budget)
+		res, err := s.search(ctx, budget)
+		if err != nil {
+			return false, err
+		}
 		switch res {
 		case lTrue:
-			return true
+			return true, nil
 		case lFalse:
 			s.unsat = true
-			return false
+			return false, nil
 		}
 		s.backtrack(0)
 		s.Stats.Restarts++
@@ -386,39 +419,47 @@ func (s *Solver) Solve() bool {
 }
 
 // search runs CDCL until a model is found (lTrue), unsatisfiability is
-// proven (lFalse), or the conflict budget is exhausted (lUndef).
-func (s *Solver) search(budget int) int8 {
+// proven (lFalse), the conflict budget is exhausted (lUndef), or the
+// context is cancelled (non-nil error).
+func (s *Solver) search(ctx context.Context, budget int) (int8, error) {
 	conflicts := 0
+	steps := 0
 	for {
+		steps++
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return lUndef, err
+			}
+		}
 		confl := s.propagate()
 		if confl >= 0 {
 			conflicts++
 			s.Stats.Conflicts++
 			if len(s.lim) == 0 {
-				return lFalse
+				return lFalse, nil
 			}
 			learnt, backLevel := s.analyze(confl)
 			s.backtrack(backLevel)
 			if len(learnt) == 1 {
 				if !s.enqueue(learnt[0], -1) {
-					return lFalse
+					return lFalse, nil
 				}
 			} else {
 				ci := s.attachClause(learnt)
 				s.Stats.Learned++
 				if !s.enqueue(learnt[0], ci) {
-					return lFalse
+					return lFalse, nil
 				}
 			}
 			s.decayActivities()
 			if conflicts >= budget {
-				return lUndef
+				return lUndef, nil
 			}
 			continue
 		}
 		v := s.pickBranchVar()
 		if v < 0 {
-			return lTrue // all variables assigned, no conflict
+			return lTrue, nil // all variables assigned, no conflict
 		}
 		s.Stats.Decisions++
 		s.lim = append(s.lim, len(s.trail))

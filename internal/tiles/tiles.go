@@ -17,7 +17,10 @@
 // both counts.
 package tiles
 
-import "strings"
+import (
+	"context"
+	"strings"
+)
 
 // Pattern is an h×w 0/1 window in screen coordinates (row 0 is the
 // northernmost row), stored row-major.
@@ -95,8 +98,22 @@ type enumerator struct {
 }
 
 // Enumerate returns all tiles for the given power k and window dimensions
-// h×w, in lexicographic order of their bit strings.
+// h×w, in lexicographic order of their bit strings. It is
+// EnumerateContext with a background context (never interrupted).
 func Enumerate(k, h, w int) []Pattern {
+	out, _ := EnumerateContext(context.Background(), k, h, w)
+	return out
+}
+
+// ctxCheckInterval is how many backtrack steps pass between ctx.Err()
+// checkpoints in EnumerateContext.
+const ctxCheckInterval = 4096
+
+// EnumerateContext is Enumerate under a context: the backtracking search
+// checks ctx.Err() every ctxCheckInterval steps, so a cancel or an
+// expired deadline aborts a large enumeration (k = 3 with 7×5 windows
+// visits millions of partial patterns) promptly with the context's error.
+func EnumerateContext(ctx context.Context, k, h, w int) ([]Pattern, error) {
 	if k < 1 || h < 1 || w < 1 {
 		panic("tiles: parameters must be positive")
 	}
@@ -118,10 +135,22 @@ func Enumerate(k, h, w int) []Pattern {
 	}
 
 	var out []Pattern
+	var ctxErr error
+	steps := 0
 	ones := make([]cell, 0, h*w)
 	bits := make([]bool, h*w)
 	var rec func(idx int)
 	rec = func(idx int) {
+		if ctxErr != nil {
+			return
+		}
+		steps++
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return
+			}
+		}
 		if idx == len(e.window) {
 			if e.extendable(ones) {
 				out = append(out, Pattern{H: h, W: w, Bits: append([]bool(nil), bits...)})
@@ -144,7 +173,10 @@ func Enumerate(k, h, w int) []Pattern {
 		bits[idx] = false
 	}
 	rec(0)
-	return out
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return out, nil
 }
 
 // Count returns the number of tiles for the given parameters.

@@ -2,14 +2,17 @@
 // (Brandt et al., PODC 2017): the complexity theory of locally checkable
 // labelling problems on toroidal oriented grids in the LOCAL model.
 //
-// # Primary entry point: the Solver/Result/Engine layer
+// # Primary entry point: the request/response Engine layer
 //
-// The package is organised around three concepts that turn "solve LCL
-// problem P on torus T" into a single service call:
+// The package is organised around four concepts that turn "solve LCL
+// problem P on torus T" into a cancellable service call:
 //
-//   - Solver is the uniform algorithm interface — Solve(t, ids, opts)
-//     returns a structured *Result carrying the labelling, the exact
-//     round account, the complexity Class, the solver name and a
+//   - SolveRequest is the unit of service: a problem (registry key or
+//     inline *Problem), a torus shape, an identifier assignment and the
+//     solver knobs, all JSON round-trippable.
+//   - Solver is the uniform algorithm interface — Solve(ctx, t, ids,
+//     opts) returns a structured *Result carrying the labelling, the
+//     exact round account, the complexity Class, the solver name and a
 //     verification status. Every algorithm of the paper is an adapter:
 //     SynthesisSolver (§7 normal forms), GlobalSolver (the Θ(n) brute
 //     force and unsolvability certificates), ConstantSolver (O(1)
@@ -21,17 +24,24 @@
 //     registered keys it resolves the parameterised families "<k>col",
 //     "<k>edgecol" and "orient<digits>". DefaultRegistry returns the
 //     paper's catalogue.
-//   - Engine resolves keys through a Registry and memoises SAT
-//     syntheses in a concurrency-safe cache keyed by the canonical
-//     Problem.Fingerprint plus the anchor power and window shape, so
-//     repeated and concurrent Solve calls pay the expensive synthesis
-//     once per problem.
+//   - Engine serves requests — Solve(ctx, req) one at a time,
+//     SolveBatch(ctx, reqs) on a bounded worker pool preserving input
+//     order — and memoises SAT syntheses in a concurrency-safe cache
+//     keyed by the canonical Problem.Fingerprint plus the anchor power
+//     and window shape, so repeated and concurrent requests pay the
+//     expensive synthesis once per problem. Context cancellation
+//     reaches all the way into the tile enumeration and the CDCL SAT
+//     loop, so a deadline aborts an in-flight synthesis promptly.
 //
 // A minimal session:
 //
 //	eng := lclgrid.NewEngine()
-//	res, err := eng.Solve("4col", lclgrid.Square(32), nil)
-//	// res.Labels, res.Rounds, res.Class, res.Verification ...
+//	res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "4col", N: 32})
+//	// res.Labels, res.Rounds, res.Class, res.Verification, res.Elapsed ...
+//
+// Batches coalesce duplicate syntheses and report aggregate stats:
+//
+//	items, stats := eng.SolveBatch(ctx, reqs, lclgrid.WithWorkers(8))
 //
 // # The underlying pipeline
 //
@@ -59,6 +69,8 @@
 package lclgrid
 
 import (
+	"context"
+
 	"lclgrid/internal/coloring"
 	"lclgrid/internal/coordination"
 	"lclgrid/internal/core"
@@ -173,9 +185,22 @@ type Synthesized = core.Synthesized
 // parameters (the problem may still be Θ(log* n) for larger k).
 var ErrUnsatisfiable = core.ErrUnsatisfiable
 
+// ErrTorusTooSmall reports that a synthesized normal form does not apply
+// on the given torus (below its MinTorusSide); Engine.Solve falls back to
+// the Θ(n) baseline in that case unless synthesis was forced.
+var ErrTorusTooSmall = core.ErrTorusTooSmall
+
+// IsContextError reports whether err is a context cancellation or
+// deadline expiry — the distinction between an aborted request and a
+// failed one, used by services to decide retries and exit codes.
+func IsContextError(err error) bool { return core.IsContextError(err) }
+
 // Synthesize searches for a normal-form algorithm with anchor power k and
-// h×w anchor windows (§7).
-func Synthesize(p *Problem, k, h, w int) (*Synthesized, error) { return core.Synthesize(p, k, h, w) }
+// h×w anchor windows (§7). Cancelling ctx aborts the tile enumeration or
+// the SAT search at the next checkpoint with the context's error.
+func Synthesize(ctx context.Context, p *Problem, k, h, w int) (*Synthesized, error) {
+	return core.Synthesize(ctx, p, k, h, w)
+}
 
 // DefaultWindow returns the window shape the paper uses for power k
 // (3×2 for k=1, 7×5 for k=3).
@@ -185,12 +210,20 @@ func DefaultWindow(k int) (h, w int) { return core.DefaultWindow(k) }
 type OracleResult = core.OracleResult
 
 // ClassifyOracle runs the one-sided classification oracle of §7 without
-// caching; Engine.Classify is the cached equivalent.
-func ClassifyOracle(p *Problem, maxK int) OracleResult { return core.ClassifyOracle(p, maxK) }
+// caching; Engine.Classify is the cached equivalent. Cancelling ctx
+// aborts the shape schedule (OracleResult.Err carries the context's
+// error).
+func ClassifyOracle(ctx context.Context, p *Problem, maxK int) OracleResult {
+	return core.ClassifyOracle(ctx, p, maxK)
+}
 
 // SolveGlobal decides solvability of p on t and returns a solution — the
-// Θ(n) brute-force baseline and unsolvability certificate generator.
-func SolveGlobal(p *Problem, t *Torus) ([]int, bool) { return core.SolveGlobal(p, t) }
+// Θ(n) brute-force baseline and unsolvability certificate generator. The
+// error is non-nil exactly when ctx was cancelled, in which case the
+// solvability answer is meaningless.
+func SolveGlobal(ctx context.Context, p *Problem, t *Torus) ([]int, bool, error) {
+	return core.SolveGlobal(ctx, p, t)
+}
 
 // Diameter returns the torus diameter (the brute-force round cost).
 func Diameter(t *Torus) int { return core.Diameter(t) }

@@ -1,6 +1,7 @@
 package lclgrid_test
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -32,7 +33,7 @@ func TestPublicTopology(t *testing.T) {
 func TestPublicSynthesisPipeline(t *testing.T) {
 	p := lclgrid.VertexColoring(5, 2)
 	h, w := lclgrid.DefaultWindow(1)
-	alg, err := lclgrid.Synthesize(p, 1, h, w)
+	alg, err := lclgrid.Synthesize(context.Background(), p, 1, h, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,13 +51,13 @@ func TestPublicSynthesisPipeline(t *testing.T) {
 }
 
 func TestPublicClassifyOracle(t *testing.T) {
-	if res := lclgrid.ClassifyOracle(lclgrid.IndependentSet(2), 1); res.Class != lclgrid.ClassO1 {
+	if res := lclgrid.ClassifyOracle(context.Background(), lclgrid.IndependentSet(2), 1); res.Class != lclgrid.ClassO1 {
 		t.Errorf("independent set: %v", res.Class)
 	}
-	if res := lclgrid.ClassifyOracle(lclgrid.VertexColoring(5, 2), 1); res.Class != lclgrid.ClassLogStar {
+	if res := lclgrid.ClassifyOracle(context.Background(), lclgrid.VertexColoring(5, 2), 1); res.Class != lclgrid.ClassLogStar {
 		t.Errorf("5-colouring: %v", res.Class)
 	}
-	if res := lclgrid.ClassifyOracle(lclgrid.VertexColoring(2, 2), 1); res.Class != lclgrid.ClassUnknown {
+	if res := lclgrid.ClassifyOracle(context.Background(), lclgrid.VertexColoring(2, 2), 1); res.Class != lclgrid.ClassUnknown {
 		t.Errorf("2-colouring: %v", res.Class)
 	}
 }
@@ -116,9 +117,9 @@ func TestPublicCustomProblem(t *testing.T) {
 	p := lclgrid.NewProblem("row 3-colouring", []string{"a", "b", "c"}, 2,
 		func(dim, a, b int) bool { return dim == 1 || a != b }, nil)
 	g := lclgrid.Square(9)
-	sol, ok := lclgrid.SolveGlobal(p, g)
-	if !ok {
-		t.Fatal("row colouring should be solvable")
+	sol, ok, err := lclgrid.SolveGlobal(context.Background(), p, g)
+	if !ok || err != nil {
+		t.Fatalf("row colouring should be solvable (err=%v)", err)
 	}
 	if err := p.Verify(g, sol); err != nil {
 		t.Fatal(err)

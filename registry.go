@@ -10,9 +10,9 @@ import (
 )
 
 // ProblemSpec is one registry entry: a problem constructor, the paper's
-// classification of it, and the known best solver. Specs are what the
-// CLI, the experiments and downstream services resolve problem keys
-// against.
+// classification of it, and the known best solver. Specs are what
+// SolveRequest keys — from the CLI, the `lclgrid batch` JSONL front
+// end, the experiments and downstream services — resolve against.
 type ProblemSpec struct {
 	// Key is the registry lookup key ("4col", "mis", "lm:halt", ...).
 	Key string
@@ -33,8 +33,9 @@ type ProblemSpec struct {
 	// Problem constructs the SFT form; nil for problems without an int
 	// SFT encoding here (the L_M gadget).
 	Problem func() *Problem
-	// Solver returns the known best solver; the engine provides cached
-	// synthesis to solvers that want it.
+	// Solver returns the known best solver (context-aware; see the
+	// Solver interface); the engine provides cached synthesis to solvers
+	// that want it.
 	Solver func(e *Engine) Solver
 	// Verify checks a Result against the problem definition (used when
 	// Labels is nil and the SFT Verify does not apply).

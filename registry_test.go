@@ -1,6 +1,7 @@
 package lclgrid_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 			// Solve.
 			side := spec.SmallestSide()
 			g := lclgrid.Square(side)
-			res, err := eng.Solve(spec.Key, g, lclgrid.PermutedIDs(g.N(), 1))
+			res, err := eng.Solve(context.Background(), lclgrid.SolveRequest{Key: spec.Key, Torus: g, Seed: 1})
 			if err != nil {
 				t.Fatalf("solve on %d×%d: %v", side, side, err)
 			}
@@ -109,21 +110,22 @@ func TestUnknownKeyError(t *testing.T) {
 // ErrUnsolvable (the §7 certificate path).
 func TestGlobalSolverCertificates(t *testing.T) {
 	eng := lclgrid.NewEngine()
-	if _, err := eng.Solve("2col", lclgrid.Square(5), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+	if _, err := eng.Solve(context.Background(), lclgrid.SolveRequest{Key: "2col", N: 5}); !errors.Is(err, lclgrid.ErrUnsolvable) {
 		t.Errorf("2col on odd torus: want ErrUnsolvable, got %v", err)
 	}
-	if _, err := eng.Solve("4edgecol", lclgrid.Square(3), nil); !errors.Is(err, lclgrid.ErrUnsolvable) {
+	if _, err := eng.Solve(context.Background(), lclgrid.SolveRequest{Key: "4edgecol", N: 3}); !errors.Is(err, lclgrid.ErrUnsolvable) {
 		t.Errorf("4edgecol on odd torus: want ErrUnsolvable, got %v", err)
 	}
 }
 
-// TestSolveProblemAuto checks the generic path for unregistered
-// problems: classification through the cached oracle, then the right
-// solver.
-func TestSolveProblemAuto(t *testing.T) {
+// TestSolveInlineProblemAuto checks the generic path for unregistered
+// problems carried inline in the request: classification through the
+// cached oracle, then the right solver.
+func TestSolveInlineProblemAuto(t *testing.T) {
 	eng := lclgrid.NewEngine()
+	ctx := context.Background()
 	// Trivial: the empty independent set is a constant solution.
-	res, err := eng.SolveProblem(lclgrid.IndependentSet(2), lclgrid.Square(12), nil)
+	res, err := eng.Solve(ctx, lclgrid.SolveRequest{Problem: lclgrid.IndependentSet(2), N: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestSolveProblemAuto(t *testing.T) {
 	// normal form: "no two horizontally adjacent nodes share a label".
 	rowCol := lclgrid.NewProblem("row 3-colouring", []string{"a", "b", "c"}, 2,
 		func(dim, a, b int) bool { return dim == 1 || a != b }, nil)
-	res, err = eng.SolveProblem(rowCol, lclgrid.Square(12), nil)
+	res, err = eng.Solve(ctx, lclgrid.SolveRequest{Problem: rowCol, N: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestSolveProblemAuto(t *testing.T) {
 		t.Errorf("row colouring: %v, want Θ(log* n) by synthesis", res)
 	}
 	// Θ(log* n): 5-colouring synthesizes at k = 1.
-	res, err = eng.SolveProblem(lclgrid.VertexColoring(5, 2), lclgrid.Square(16), nil)
+	res, err = eng.Solve(ctx, lclgrid.SolveRequest{Problem: lclgrid.VertexColoring(5, 2), N: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,12 +152,15 @@ func TestSolveProblemAuto(t *testing.T) {
 		t.Errorf("5col: %v, want Θ(log* n)", res)
 	}
 	// Global fallback: 3-colouring (oracle UNSAT through maxK).
-	res, err = eng.SolveProblem(lclgrid.VertexColoring(3, 2), lclgrid.Square(6), nil,
-		lclgrid.WithMaxPower(1))
+	res, err = eng.Solve(ctx, lclgrid.SolveRequest{Problem: lclgrid.VertexColoring(3, 2), N: 6, MaxPower: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Solver != "global brute force" {
 		t.Errorf("3col fell to %q, want the global baseline", res.Solver)
+	}
+	// A request naming both a key and an inline problem is ambiguous.
+	if _, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "4col", Problem: rowCol, N: 12}); err == nil {
+		t.Error("request with both Key and Problem must fail")
 	}
 }

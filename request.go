@@ -1,0 +1,119 @@
+package lclgrid
+
+import (
+	"fmt"
+)
+
+// SolveRequest is the unit of service of the request/response API: "solve
+// this LCL problem on this torus with these knobs". A request names a
+// problem either by registry key (Key) or inline (Problem, programmatic
+// callers only), a torus shape, an identifier assignment and the solver
+// options. The zero values of the option fields select the same defaults
+// as a bare solver call: verification on, MaxPower 3, MaxSteps 100.
+//
+// SolveRequest is JSON round-trippable, which is what the `lclgrid batch`
+// JSONL front end decodes, e.g.:
+//
+//	{"key":"4col","n":32,"seed":7}
+//	{"key":"orient134","sides":[16,20],"power":1}
+//
+// Problem and Torus are programmatic-only fields (function-valued and
+// graph-valued respectively) and are excluded from the wire form.
+type SolveRequest struct {
+	// Key selects a registered problem (see Registry.Lookup). Exactly one
+	// of Key and Problem must be set.
+	Key string `json:"key,omitempty"`
+	// Problem supplies an inline, possibly unregistered SFT problem; the
+	// engine classifies it with the cached one-sided oracle and picks the
+	// best applicable solver (constant fill / synthesis / global brute
+	// force).
+	Problem *Problem `json:"-"`
+
+	// Torus is an explicit torus; when nil the shape is built from Sides
+	// (general) or N (the n×n square), in that order. When all three are
+	// unset, a Key request defaults to the smallest torus the registered
+	// solver supports; an explicit shape is honoured even when it violates
+	// the spec's side hints (that is how unsolvability certificates are
+	// produced).
+	Torus *Torus `json:"-"`
+	Sides []int  `json:"sides,omitempty"`
+	N     int    `json:"n,omitempty"`
+
+	// IDs is the identifier assignment; nil selects sequential
+	// identifiers, unless Seed is non-zero, which selects the
+	// deterministic pseudorandom assignment PermutedIDs(n, Seed).
+	IDs  []int `json:"ids,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+
+	// NoVerify skips checking the labelling against the problem
+	// definition (verification is on by default).
+	NoVerify bool `json:"no_verify,omitempty"`
+	// Power forces the synthesis path with this anchor power; H and W
+	// override the anchor window shape (0 selects DefaultWindow(Power)).
+	Power int `json:"power,omitempty"`
+	H     int `json:"h,omitempty"`
+	W     int `json:"w,omitempty"`
+	// MaxPower bounds the powers tried when classifying an inline
+	// problem (0 selects the default 3, the paper's largest).
+	MaxPower int `json:"max_power,omitempty"`
+	// Ell fixes the §8 ball parameter (0 retries automatically).
+	Ell int `json:"ell,omitempty"`
+	// EdgeParams override the §10 constants for edge-colouring solvers
+	// (the zero value selects the paper's defaults, which need torus
+	// sides above 679 for d = 2).
+	EdgeParams EdgeColorParams `json:"edge_params,omitzero"`
+	// MaxSteps bounds the Turing-machine simulation of L_M solvers (0
+	// selects the default 100).
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// options resolves the request's knobs into the Options a solver adapter
+// consumes.
+func (r *SolveRequest) options() Options {
+	o := buildOptions(nil)
+	o.Verify = !r.NoVerify
+	o.Power, o.H, o.W, o.Ell = r.Power, r.H, r.W, r.Ell
+	o.EdgeParams = r.EdgeParams
+	if r.MaxPower > 0 {
+		o.MaxPower = r.MaxPower
+	}
+	if r.MaxSteps > 0 {
+		o.MaxSteps = r.MaxSteps
+	}
+	return o
+}
+
+// torus resolves the request's torus shape; spec (nil for inline
+// problems) supplies the default side when no shape is given.
+func (r *SolveRequest) torus(spec *ProblemSpec) (*Torus, error) {
+	switch {
+	case r.Torus != nil:
+		return r.Torus, nil
+	case len(r.Sides) > 0:
+		return NewTorus(r.Sides...)
+	case r.N > 0:
+		return Square(r.N), nil
+	case r.N < 0:
+		return nil, fmt.Errorf("lclgrid: torus side must be positive, got %d", r.N)
+	case spec != nil:
+		return Square(spec.SmallestSide()), nil
+	}
+	return nil, fmt.Errorf("lclgrid: request needs a torus shape (set N, Sides or Torus)")
+}
+
+// ids resolves the request's identifier assignment for the torus; nil
+// means "let the solver fill sequential identifiers". An explicit IDs
+// slice must cover the torus exactly — this is a wire-settable field, so
+// a mismatch is a per-request error, never a panic deeper in a solver.
+func (r *SolveRequest) ids(t *Torus) ([]int, error) {
+	if r.IDs != nil {
+		if len(r.IDs) != t.N() {
+			return nil, fmt.Errorf("lclgrid: request has %d ids for a %d-node torus", len(r.IDs), t.N())
+		}
+		return r.IDs, nil
+	}
+	if r.Seed != 0 {
+		return PermutedIDs(t.N(), r.Seed), nil
+	}
+	return nil, nil
+}

@@ -1,6 +1,9 @@
 package lclgrid
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // VerifyStatus records whether a Result's labelling was checked against
 // the problem definition.
@@ -29,37 +32,73 @@ func (s VerifyStatus) String() string {
 	}
 }
 
+// verifyTokens are the stable wire names used by the JSON encoding.
+var verifyTokens = map[VerifyStatus]string{
+	Unverified:   "unverified",
+	Verified:     "verified",
+	VerifyFailed: "failed",
+}
+
+// MarshalText encodes the status as its wire token ("unverified",
+// "verified", "failed"), making VerifyStatus round-trippable through
+// encoding/json.
+func (s VerifyStatus) MarshalText() ([]byte, error) {
+	tok, ok := verifyTokens[s]
+	if !ok {
+		return nil, fmt.Errorf("lclgrid: cannot marshal invalid verify status %d", int(s))
+	}
+	return []byte(tok), nil
+}
+
+// UnmarshalText decodes a wire token produced by MarshalText.
+func (s *VerifyStatus) UnmarshalText(b []byte) error {
+	for st, tok := range verifyTokens {
+		if tok == string(b) {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("lclgrid: unknown verify status token %q", b)
+}
+
 // Result is the structured outcome of a Solver run: the labelling, the
 // exact round account, the complexity class of the problem, the solver
 // that produced it and its verification status. It is the uniform return
-// shape of every solver adapter and of Engine.Solve.
+// shape of every solver adapter and of Engine.Solve, and it is JSON
+// round-trippable (Class and Verification marshal as stable text tokens;
+// Decoded is solver-native and excluded from the wire form).
 type Result struct {
 	// Problem is the display name of the problem instance.
-	Problem string
+	Problem string `json:"problem"`
 	// Solver names the algorithm that produced the labelling.
-	Solver string
+	Solver string `json:"solver"`
 	// Class is the complexity class of the problem: what the run proves
 	// (a successful synthesis proves Θ(log* n)) or the paper's known
 	// classification for the registered problem.
-	Class Class
+	Class Class `json:"class"`
 	// Labels is the labelling in the problem's SFT alphabet, indexed by
 	// node. It is nil for problems without an SFT encoding in this
 	// codebase (the L_M gadget); Decoded then carries the labelling.
-	Labels []int
+	Labels []int `json:"labels,omitempty"`
 	// Decoded optionally carries the solver-native structure: a
-	// *lclgrid.EdgeColors for edge colourings, []lm.Label for L_M.
-	Decoded any
+	// *lclgrid.EdgeColors for edge colourings, []lm.Label for L_M. It is
+	// not part of the JSON wire form.
+	Decoded any `json:"-"`
 	// Rounds is the exact LOCAL round account of the run, including
 	// power-graph simulation overheads.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Verification reports whether the labelling was checked.
-	Verification VerifyStatus
+	Verification VerifyStatus `json:"verification"`
 	// CacheHit reports that the run reused an engine-cached synthesis
 	// instead of re-running the SAT synthesizer.
-	CacheHit bool
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Note is a short solver-specific detail for humans (chosen
 	// parameters, fallback paths).
-	Note string
+	Note string `json:"note,omitempty"`
+	// Elapsed is the wall-clock duration of the request, stamped by
+	// Engine.Solve and Engine.SolveBatch (zero when the solver adapter is
+	// called directly). It marshals as integer nanoseconds.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 }
 
 // String implements fmt.Stringer with a one-line summary.
@@ -71,9 +110,11 @@ func (r *Result) String() string {
 	return s
 }
 
-// Options collects the per-call knobs of Solver.Solve and Engine.Solve.
-// Construct with the With* functional options; zero knobs select the
-// registered solver's defaults.
+// Options collects the per-call knobs of Solver.Solve and the batch
+// execution knobs of Engine.SolveBatch. Construct with the With*
+// functional options; zero knobs select the registered solver's
+// defaults. Request-level knobs arrive through SolveRequest fields when
+// solving through Engine.Solve.
 type Options struct {
 	// Verify enables checking the labelling against the problem
 	// definition (default true).
@@ -96,9 +137,14 @@ type Options struct {
 	// MaxSteps bounds the Turing-machine simulation of L_M solvers
 	// (default 100).
 	MaxSteps int
+	// Workers bounds the worker pool of Engine.SolveBatch; 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
 }
 
-// Option is a functional option for Solver.Solve and Engine.Solve.
+// Option is a functional option for Solver.Solve (all knobs) and
+// Engine.SolveBatch (batch-level knobs only — WithWorkers; per-request
+// knobs travel inside each SolveRequest).
 type Option func(*Options)
 
 func buildOptions(opts []Option) Options {
@@ -108,6 +154,10 @@ func buildOptions(opts []Option) Options {
 	}
 	return o
 }
+
+// withOptions replaces the whole option set at once; the engine uses it
+// to hand a SolveRequest's resolved options to a solver adapter.
+func withOptions(o Options) Option { return func(dst *Options) { *dst = o } }
 
 // WithVerify toggles labelling verification (on by default).
 func WithVerify(v bool) Option { return func(o *Options) { o.Verify = v } }
@@ -133,3 +183,7 @@ func WithEdgeColorParams(p EdgeColorParams) Option {
 
 // WithMaxSteps bounds the Turing-machine simulation of L_M solvers.
 func WithMaxSteps(n int) Option { return func(o *Options) { o.MaxSteps = n } }
+
+// WithWorkers bounds the Engine.SolveBatch worker pool (default
+// runtime.GOMAXPROCS(0)).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }

@@ -1,6 +1,7 @@
 package lclgrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -22,8 +23,11 @@ type Solver interface {
 	// Solve runs the algorithm on the torus with the given identifier
 	// assignment (nil selects sequential identifiers) and returns a
 	// structured Result. The labelling is verified unless
-	// WithVerify(false) is passed.
-	Solve(t *Torus, ids []int, opts ...Option) (*Result, error)
+	// WithVerify(false) is passed. Cancelling ctx aborts the run: an
+	// already-cancelled context returns its error before any work, and
+	// solvers backed by a SAT search (synthesis, global brute force)
+	// abort an in-flight search at the next checkpoint.
+	Solve(ctx context.Context, t *Torus, ids []int, opts ...Option) (*Result, error)
 }
 
 // ErrUnsolvable reports that the problem has no solution at all on the
@@ -82,16 +86,19 @@ func NewSynthesisSolver(e *Engine, p *Problem, k, h, w int) *SynthesisSolver {
 func (s *SynthesisSolver) Name() string { return "normal-form synthesis" }
 
 // synthesize runs one attempt, through the engine cache when available.
-func (s *SynthesisSolver) synthesize(a SynthAttempt) (*core.Synthesized, bool, error) {
+func (s *SynthesisSolver) synthesize(ctx context.Context, a SynthAttempt) (*core.Synthesized, bool, error) {
 	if s.Engine != nil {
-		return s.Engine.Synthesize(s.Problem, a.K, a.H, a.W)
+		return s.Engine.Synthesize(ctx, s.Problem, a.K, a.H, a.W)
 	}
-	alg, err := core.Synthesize(s.Problem, a.K, a.H, a.W)
+	alg, err := core.Synthesize(ctx, s.Problem, a.K, a.H, a.W)
 	return alg, false, err
 }
 
 // Solve implements Solver.
-func (s *SynthesisSolver) Solve(t *Torus, ids []int, opts ...Option) (*Result, error) {
+func (s *SynthesisSolver) Solve(ctx context.Context, t *Torus, ids []int, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := buildOptions(opts)
 	attempts := s.Attempts
 	if o.Power > 0 {
@@ -103,8 +110,17 @@ func (s *SynthesisSolver) Solve(t *Torus, ids []int, opts ...Option) (*Result, e
 	}
 	var lastErr error = ErrUnsatisfiable
 	for _, a := range attempts {
-		alg, cached, err := s.synthesize(a)
+		// Fail fast before paying for a synthesis the torus cannot run:
+		// the minimum side depends only on the attempt's shape.
+		if min := core.MinTorusSideFor(a.K, a.H, a.W); t.Dim() == 2 && (t.NX() < min || t.NY() < min) {
+			lastErr = core.TorusTooSmallError(a.K, a.H, a.W)
+			continue
+		}
+		alg, cached, err := s.synthesize(ctx, a)
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -147,9 +163,15 @@ type GlobalSolver struct {
 func (s *GlobalSolver) Name() string { return "global brute force" }
 
 // Solve implements Solver.
-func (s *GlobalSolver) Solve(t *Torus, ids []int, opts ...Option) (*Result, error) {
+func (s *GlobalSolver) Solve(ctx context.Context, t *Torus, ids []int, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := buildOptions(opts)
-	out, ok, rounds := core.SolveGlobalWithRounds(s.Problem, t)
+	out, ok, rounds, err := core.SolveGlobalWithRounds(ctx, s.Problem, t)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("lclgrid: %s on torus %v: %w", s.Problem.Name(), t.Sides(), ErrUnsolvable)
 	}
@@ -180,7 +202,10 @@ type ConstantSolver struct {
 func (s *ConstantSolver) Name() string { return "constant fill" }
 
 // Solve implements Solver.
-func (s *ConstantSolver) Solve(t *Torus, ids []int, opts ...Option) (*Result, error) {
+func (s *ConstantSolver) Solve(ctx context.Context, t *Torus, ids []int, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := buildOptions(opts)
 	consts := s.Problem.ConstantSolutions()
 	if len(consts) == 0 {
@@ -216,7 +241,10 @@ type FourColorSolver struct{}
 func (FourColorSolver) Name() string { return "§8 direct 4-colouring" }
 
 // Solve implements Solver.
-func (s FourColorSolver) Solve(t *Torus, ids []int, opts ...Option) (*Result, error) {
+func (s FourColorSolver) Solve(ctx context.Context, t *Torus, ids []int, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := buildOptions(opts)
 	ids = fillIDs(t, ids)
 	var rounds local.Rounds
@@ -262,7 +290,10 @@ type EdgeColorSolver struct {
 func (s *EdgeColorSolver) Name() string { return "§10 direct edge colouring" }
 
 // Solve implements Solver.
-func (s *EdgeColorSolver) Solve(t *Torus, ids []int, opts ...Option) (*Result, error) {
+func (s *EdgeColorSolver) Solve(ctx context.Context, t *Torus, ids []int, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := buildOptions(opts)
 	params := s.Params
 	if o.EdgeParams != (EdgeColorParams{}) {
@@ -315,7 +346,10 @@ type LMSolver struct {
 func (s *LMSolver) Name() string { return "§6 L_M construction" }
 
 // Solve implements Solver.
-func (s *LMSolver) Solve(t *Torus, ids []int, opts ...Option) (*Result, error) {
+func (s *LMSolver) Solve(ctx context.Context, t *Torus, ids []int, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := buildOptions(opts)
 	class := ClassGlobal
 	if s.Halts {
