@@ -4,15 +4,20 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
+	"slices"
 	"time"
 )
 
-// BatchItem is the outcome of one request in a batch: exactly one of
-// Result and Err is meaningful (Err nil means Result is set). Items are
-// returned in the order of the requests that produced them.
+// BatchItem is the outcome of one request in a batch or stream: Err nil
+// means the request succeeded and Result is set; Err non-nil means it
+// failed, usually with a nil Result — except that a labelling rejected
+// by verification arrives as a partial Result alongside its error, the
+// same convention as Solver.Solve. Index is the 0-based position of the
+// request that produced the item in its input sequence — SolveBatch
+// returns items sorted by it, while SolveStream yields them in
+// completion order.
 type BatchItem struct {
+	Index  int
 	Result *Result
 	Err    error
 }
@@ -35,25 +40,16 @@ type BatchStats struct {
 	Wall time.Duration `json:"wall_ns"`
 }
 
-// Add accumulates another batch's statistics into s (Workers keeps the
-// maximum pool size seen) — for callers like the JSONL CLI that dispatch
-// one logical batch as several worker-pool rounds.
-func (s *BatchStats) Add(o BatchStats) {
-	s.Requests += o.Requests
-	s.Errors += o.Errors
-	s.CacheHits += o.CacheHits
-	s.Wall += o.Wall
-	if o.Workers > s.Workers {
-		s.Workers = o.Workers
-	}
-}
-
 // SolveBatch serves a batch of requests on a bounded worker pool and
 // returns one BatchItem per request, in input order, plus aggregate
-// statistics. The pool size comes from WithWorkers (default
-// runtime.GOMAXPROCS(0), never more than the number of requests); opts
-// configure only the batch itself — per-request knobs (verification,
-// forced power, ...) are fields of each SolveRequest.
+// statistics. It is the order-preserving collector over SolveStream:
+// results are computed concurrently and reassembled by BatchItem.Index.
+// The pool size comes from WithWorkers (default runtime.GOMAXPROCS(0),
+// never more than the number of requests); opts configure only the
+// batch itself — per-request knobs (verification, forced power, ...)
+// are fields of each SolveRequest. Callers that want results as they
+// complete, or that cannot hold the whole batch in memory, should range
+// over SolveStream directly.
 //
 // Duplicate work coalesces through the engine's synthesis cache: a batch
 // of requests sharing a problem fingerprint performs the SAT synthesis
@@ -75,26 +71,24 @@ func (e *Engine) SolveBatch(ctx context.Context, reqs []SolveRequest, opts ...Op
 	}
 	start := time.Now()
 	items := make([]BatchItem, len(reqs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(reqs) {
-					return
+	if len(reqs) > 0 {
+		o.Workers = workers
+		yielded := make([]bool, len(reqs))
+		for it := range e.SolveStream(ctx, slices.Values(reqs), withOptions(o)) {
+			items[it.Index] = it
+			yielded[it.Index] = true
+		}
+		if err := ctx.Err(); err != nil {
+			// A cancelled stream stops pulling requests; the batch
+			// contract is one item per request, so the never-pulled tail
+			// fails here with the context's error.
+			for i := range items {
+				if !yielded[i] {
+					items[i] = BatchItem{Index: i, Err: err}
 				}
-				if err := ctx.Err(); err != nil {
-					items[i] = BatchItem{Err: err}
-					continue
-				}
-				items[i] = e.solveItem(ctx, reqs[i])
 			}
-		}()
+		}
 	}
-	wg.Wait()
 	stats := BatchStats{Requests: len(reqs), Workers: workers, Wall: time.Since(start)}
 	for _, it := range items {
 		switch {

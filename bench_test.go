@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"testing"
 
 	lclgrid "lclgrid"
@@ -226,4 +227,62 @@ func firstErr(items []lclgrid.BatchItem) error {
 		}
 	}
 	return nil
+}
+
+// BenchmarkEngineSolveStream is the streaming counterpart of
+// BenchmarkEngineSolveBatch: the same warmed 32-request workload
+// consumed through SolveStream in completion order. The delta against
+// SolveBatch is the cost of order-preserving collection.
+func BenchmarkEngineSolveStream(b *testing.B) {
+	ctx := context.Background()
+	keys := []string{"5col", "mis", "orient134", "is"}
+	var reqs []lclgrid.SolveRequest
+	for i := 0; i < 32; i++ {
+		reqs = append(reqs, lclgrid.SolveRequest{Key: keys[i%len(keys)], N: 16, Seed: int64(i + 1)})
+	}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := lclgrid.NewEngine()
+			if items, _ := eng.SolveBatch(ctx, reqs, lclgrid.WithWorkers(workers)); firstErr(items) != nil { // warm the cache
+				b.Fatal(firstErr(items))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for it, err := range eng.SolveStream(ctx, slices.Values(reqs), lclgrid.WithWorkers(workers)) {
+					if err != nil {
+						b.Fatalf("request %d: %v", it.Index, err)
+					}
+					n++
+				}
+				if n != len(reqs) {
+					b.Fatalf("stream yielded %d items for %d requests", n, len(reqs))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSolveDiskWarm pairs with BenchmarkEngineSolveCold:
+// the same fresh-engine-per-solve workload, but over a disk-warmed
+// cache directory, so every solve deserializes the k = 3 4-colouring
+// table instead of re-running the SAT synthesis. The cold/disk-warm
+// ratio is the value of `lclgrid warm -cache-dir` on a service restart.
+func BenchmarkEngineSolveDiskWarm(b *testing.B) {
+	ctx := context.Background()
+	dir := b.TempDir()
+	req := lclgrid.SolveRequest{Key: "4col", N: 28, Seed: 1}
+	if _, err := lclgrid.NewEngine(lclgrid.WithCacheDir(dir)).Solve(ctx, req); err != nil { // warm the directory
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := lclgrid.NewEngine(lclgrid.WithCacheDir(dir)) // fresh process-equivalent: cold memory, warm disk
+		if _, err := eng.Solve(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		if misses := eng.CacheStats().Misses; misses != 0 {
+			b.Fatalf("disk-warmed solve synthesized %d times", misses)
+		}
+	}
 }

@@ -1,0 +1,442 @@
+package lclgrid
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"lclgrid/internal/core"
+)
+
+// SynthKey identifies one synthesis in a SynthCache: the canonical
+// problem fingerprint (Problem.Fingerprint) plus the anchor power and
+// window shape. Two problems with the same fingerprint are the same
+// constraint system, so their lookup tables are interchangeable.
+type SynthKey struct {
+	Fingerprint string `json:"fingerprint"`
+	K           int    `json:"k"`
+	H           int    `json:"h"`
+	W           int    `json:"w"`
+}
+
+// String returns a compact human-readable form (truncated fingerprint
+// plus shape), used by logging observers.
+func (k SynthKey) String() string {
+	fp := k.Fingerprint
+	if len(fp) > 12 {
+		fp = fp[:12]
+	}
+	return fmt.Sprintf("%s/k%d/%dx%d", fp, k.K, k.H, k.W)
+}
+
+// CachedSynthesis is the value a SynthCache stores for a key: exactly
+// one of Alg and Err is meaningful. Err records a cached failure — most
+// importantly ErrUnsatisfiable, so the classification oracle never
+// re-proves a failed shape — and is replayed to every later requester
+// of the key. Alg may have a nil Problem when it was loaded from disk
+// (the table is a pure label-index function); Engine.Synthesize stamps
+// the requester's problem onto a copy before returning it.
+type CachedSynthesis struct {
+	Alg *Synthesized
+	Err error
+}
+
+// SynthCache is the pluggable storage behind the engine's synthesis
+// memoisation. The engine keeps the singleflight coordination to
+// itself — an in-flight synthesis never appears in a SynthCache; only
+// completed outcomes are stored — so implementations are plain
+// key-value stores with eviction. Implementations must be safe for
+// concurrent use.
+//
+// Built-in implementations: NewMemoryCache (unbounded, the engine
+// default), NewLRUCache (capacity-bounded with least-recently-used
+// eviction) and NewDiskCache (a persistent layer over either).
+type SynthCache interface {
+	// Get returns the cached outcome for key and whether one exists.
+	Get(key SynthKey) (CachedSynthesis, bool)
+	// Put stores the outcome for key, replacing any previous entry.
+	Put(key SynthKey, val CachedSynthesis)
+	// Evict removes the entry for key, reporting whether one existed.
+	Evict(key SynthKey) bool
+	// Reset removes every entry and zeroes the counters, returning the
+	// number of entries removed.
+	Reset() int
+	// Stats returns a snapshot of the cache counters.
+	Stats() CacheStats
+}
+
+// CacheStats is a snapshot of synthesis-cache counters.
+//
+// Snapshot semantics: the counters are read independently, so a
+// snapshot taken while solves are in flight is not a single consistent
+// cut — Hits+Misses may disagree with the number of Synthesize calls
+// that have fully returned, and Entries may lag an in-flight miss. Each
+// counter is individually monotone (until Reset) and exact once the
+// engine is quiescent.
+type CacheStats struct {
+	// Hits counts lookups served from the cache. On Engine.CacheStats
+	// this includes waiters coalesced onto an in-flight synthesis;
+	// waiters that detach on their own cancelled context are not
+	// counted.
+	Hits uint64
+	// Misses counts lookups that found nothing. On Engine.CacheStats
+	// this is the exact number of SAT syntheses started (an aborted
+	// synthesis counts, its entry just never enters the cache).
+	Misses uint64
+	// Entries is the number of cached (fingerprint, k, h, w) slots.
+	// In-flight syntheses are not entries.
+	Entries int
+	// Evictions counts entries removed by Evict calls or by a bounded
+	// cache making room (Reset removals are not evictions).
+	Evictions uint64
+}
+
+// evictNotifier is implemented by the built-in caches so the engine can
+// observe capacity evictions (Observer.CacheEvict) without widening the
+// SynthCache interface.
+type evictNotifier interface {
+	setOnEvict(fn func(SynthKey))
+}
+
+// --- In-memory cache (unbounded and LRU-bounded) ---------------------------
+
+// lruCache is the built-in in-memory SynthCache: a map plus a recency
+// list. capacity 0 means unbounded (the engine default); a positive
+// capacity evicts the least-recently-used entry on overflow.
+type lruCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[SynthKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	onEvict   func(SynthKey) // capacity evictions only, called without mu
+}
+
+type lruEntry struct {
+	key SynthKey
+	val CachedSynthesis
+}
+
+// NewMemoryCache returns the engine's default synthesis cache: an
+// unbounded concurrency-safe in-memory map.
+func NewMemoryCache() SynthCache { return newLRU(0) }
+
+// NewLRUCache returns an in-memory synthesis cache bounded to capacity
+// entries; inserting beyond the bound evicts the least-recently-used
+// entry. A capacity below 1 selects the unbounded NewMemoryCache
+// behaviour.
+func NewLRUCache(capacity int) SynthCache { return newLRU(capacity) }
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[SynthKey]*list.Element),
+	}
+}
+
+func (c *lruCache) setOnEvict(fn func(SynthKey)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
+}
+
+func (c *lruCache) Get(key SynthKey) (CachedSynthesis, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return CachedSynthesis{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) Put(key SynthKey, val CachedSynthesis) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	var evicted []SynthKey
+	var notify func(SynthKey)
+	if c.capacity > 0 {
+		for c.ll.Len() > c.capacity {
+			back := c.ll.Back()
+			ent := back.Value.(*lruEntry)
+			c.ll.Remove(back)
+			delete(c.items, ent.key)
+			c.evictions++
+			evicted = append(evicted, ent.key)
+		}
+		notify = c.onEvict
+	}
+	c.mu.Unlock()
+	if notify != nil {
+		for _, k := range evicted {
+			notify(k)
+		}
+	}
+}
+
+func (c *lruCache) Evict(key SynthKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.evictions++
+	return true
+}
+
+func (c *lruCache) Reset() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := len(c.items)
+	c.ll.Init()
+	c.items = make(map[SynthKey]*list.Element)
+	c.hits, c.misses, c.evictions = 0, 0, 0
+	return removed
+}
+
+func (c *lruCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Entries:   len(c.items),
+		Evictions: c.evictions,
+	}
+}
+
+// --- Disk-backed cache ------------------------------------------------------
+
+// diskCache layers persistence under an in-memory SynthCache: every
+// successfully synthesized table (and every cached UNSAT) is serialized
+// to a JSON file under dir, and a Get that misses the inner cache loads
+// from disk, so tables survive process restarts. Writes are atomic
+// (temp file + rename) and file names are keyed by the problem
+// fingerprint and shape, so concurrent engines can safely share a
+// directory. Failures other than UNSAT (malformed shapes, structural
+// errors) stay in the inner cache only.
+//
+// I/O is best-effort: an unreadable or corrupt file is treated as a
+// miss (and removed, so the next Put heals it), and a failed write
+// leaves the in-memory entry intact.
+type diskCache struct {
+	dir   string
+	inner SynthCache
+
+	// mu serialises the disk interactions — load-and-promote (Get's
+	// file read + inner.Put), file writes and file removals — across
+	// ALL keys: without it a Get that read a file could re-promote an
+	// entry a concurrent Evict just removed. Disk traffic is cold-path
+	// only (the in-memory layer absorbs the steady state and is checked
+	// before the lock), so a single mutex costs nothing measurable.
+	mu sync.Mutex
+
+	// diskHits counts Gets served by deserializing a file; folded into
+	// Stats so the disk layer's effectiveness is observable.
+	diskHits atomic.Uint64
+}
+
+// NewDiskCache returns a SynthCache that persists synthesized lookup
+// tables (and cached UNSAT results) as JSON files under dir, layered
+// over inner (nil selects a fresh NewMemoryCache). The directory is
+// created if needed; creation failure is the only error path. See
+// WithCacheDir for attaching one to an engine, and Engine.Warm for
+// filling one from the registry catalogue.
+func NewDiskCache(dir string, inner SynthCache) (SynthCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("lclgrid: disk cache needs a directory")
+	}
+	if inner == nil {
+		inner = NewMemoryCache()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lclgrid: disk cache: %w", err)
+	}
+	return &diskCache{dir: dir, inner: inner}, nil
+}
+
+func (c *diskCache) setOnEvict(fn func(SynthKey)) {
+	if en, ok := c.inner.(evictNotifier); ok {
+		en.setOnEvict(fn)
+	}
+}
+
+// diskRecord is the file format: the key for sanity checking plus
+// either an UNSAT marker or the wire form of the table.
+type diskRecord struct {
+	Key   SynthKey              `json:"key"`
+	Unsat bool                  `json:"unsat,omitempty"`
+	Alg   *core.SynthesizedWire `json:"alg,omitempty"`
+}
+
+// path returns the cache file for a key, or "" when the key is not
+// safely encodable as a file name (fingerprints are lowercase hex in
+// practice, but SynthCache is a public seam and keys may come from
+// anywhere — never let one escape the cache directory).
+func (c *diskCache) path(key SynthKey) string {
+	if key.Fingerprint == "" || len(key.Fingerprint) > 128 {
+		return ""
+	}
+	for _, ch := range key.Fingerprint {
+		switch {
+		case ch >= '0' && ch <= '9', ch >= 'a' && ch <= 'f':
+		default:
+			return ""
+		}
+	}
+	return filepath.Join(c.dir, fmt.Sprintf("%s-k%d-%dx%d.synth.json", key.Fingerprint, key.K, key.H, key.W))
+}
+
+func (c *diskCache) Get(key SynthKey) (CachedSynthesis, bool) {
+	if val, ok := c.inner.Get(key); ok {
+		return val, true
+	}
+	path := c.path(key)
+	if path == "" {
+		return CachedSynthesis{}, false
+	}
+	// The read and the promotion into the memory layer happen under mu
+	// so a concurrent Evict cannot interleave (read file → evict both
+	// layers → promote stale entry back).
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return CachedSynthesis{}, false
+	}
+	val, err := decodeDiskRecord(data, key)
+	if err != nil {
+		// Corrupt or mismatched: drop the file so the next Put heals it.
+		os.Remove(path)
+		return CachedSynthesis{}, false
+	}
+	c.diskHits.Add(1)
+	c.inner.Put(key, val)
+	return val, true
+}
+
+func decodeDiskRecord(data []byte, key SynthKey) (CachedSynthesis, error) {
+	var rec diskRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return CachedSynthesis{}, err
+	}
+	if rec.Key != key {
+		return CachedSynthesis{}, fmt.Errorf("lclgrid: cache file is for %v, not %v", rec.Key, key)
+	}
+	if rec.Unsat {
+		return CachedSynthesis{Err: ErrUnsatisfiable}, nil
+	}
+	if rec.Alg == nil {
+		return CachedSynthesis{}, fmt.Errorf("lclgrid: cache file carries neither a table nor an UNSAT marker")
+	}
+	if rec.Alg.K != key.K || rec.Alg.H != key.H || rec.Alg.W != key.W {
+		return CachedSynthesis{}, fmt.Errorf("lclgrid: cache file table shape disagrees with its key")
+	}
+	alg, err := rec.Alg.Decode()
+	if err != nil {
+		return CachedSynthesis{}, err
+	}
+	return CachedSynthesis{Alg: alg}, nil
+}
+
+func (c *diskCache) Put(key SynthKey, val CachedSynthesis) {
+	c.inner.Put(key, val)
+	rec := diskRecord{Key: key}
+	switch {
+	case val.Err == nil && val.Alg != nil:
+		rec.Alg = val.Alg.Wire()
+	case errors.Is(val.Err, ErrUnsatisfiable):
+		rec.Unsat = true
+	default:
+		// Other failures (malformed shapes, structural errors, panics
+		// converted upstream) are process-local; do not persist them.
+		return
+	}
+	path := c.path(key)
+	if path == "" {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*.synth.json")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+func (c *diskCache) Evict(key SynthKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := c.inner.Evict(key)
+	if path := c.path(key); path != "" {
+		if err := os.Remove(path); err == nil {
+			removed = true
+		}
+	}
+	return removed
+}
+
+// Reset clears the in-memory layer only: the disk files are the
+// persistence the layer exists for, so bounding memory with periodic
+// Resets does not throw warm state away. Remove the directory (or Evict
+// individual keys) to clear the disk.
+func (c *diskCache) Reset() int {
+	n := c.inner.Reset()
+	c.diskHits.Store(0)
+	return n
+}
+
+// Stats reports the two layers as one: Entries is the number of tables
+// resident in memory (not the number of files on disk), and lookups
+// served by deserializing a file count as Hits rather than Misses —
+// each disk hit first missed the memory layer, so the fold moves it
+// from one column to the other. The engine-level view is simpler
+// still: with a warm directory, Engine.CacheStats().Misses stays zero
+// across process restarts.
+func (c *diskCache) Stats() CacheStats {
+	s := c.inner.Stats()
+	h := c.diskHits.Load()
+	s.Hits += h
+	if s.Misses >= h {
+		s.Misses -= h
+	} else {
+		s.Misses = 0
+	}
+	return s
+}

@@ -1,0 +1,387 @@
+package lclgrid_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+
+	lclgrid "lclgrid"
+)
+
+// TestLRUCacheBounds: a capacity-bounded engine cache evicts the
+// least-recently-used table and re-synthesizes it on demand.
+func TestLRUCacheBounds(t *testing.T) {
+	eng := lclgrid.NewEngine(lclgrid.WithCacheCapacity(1))
+	p5 := lclgrid.VertexColoring(5, 2)
+	p6 := lclgrid.VertexColoring(6, 2)
+	if _, _, err := eng.Synthesize(bg, p5, 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Synthesize(bg, p6, 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	stats := eng.CacheStats()
+	if stats.Entries != 1 {
+		t.Errorf("entries = %d, want the capacity bound 1", stats.Entries)
+	}
+	if stats.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", stats.Evictions)
+	}
+	// p6 is resident, p5 was evicted.
+	if _, cached, err := eng.Synthesize(bg, p6, 1, 3, 2); err != nil || !cached {
+		t.Errorf("most recent entry not resident: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := eng.Synthesize(bg, p5, 1, 3, 2); err != nil || cached {
+		t.Errorf("evicted entry served from cache: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestLRUCacheRecency: a Get refreshes recency, so the hot entry
+// survives an insertion at capacity.
+func TestLRUCacheRecency(t *testing.T) {
+	cache := lclgrid.NewLRUCache(2)
+	a := lclgrid.SynthKey{Fingerprint: "a", K: 1, H: 3, W: 2}
+	b := lclgrid.SynthKey{Fingerprint: "b", K: 1, H: 3, W: 2}
+	c := lclgrid.SynthKey{Fingerprint: "c", K: 1, H: 3, W: 2}
+	cache.Put(a, lclgrid.CachedSynthesis{Err: lclgrid.ErrUnsatisfiable})
+	cache.Put(b, lclgrid.CachedSynthesis{Err: lclgrid.ErrUnsatisfiable})
+	if _, ok := cache.Get(a); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	cache.Put(c, lclgrid.CachedSynthesis{Err: lclgrid.ErrUnsatisfiable})
+	if _, ok := cache.Get(a); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := cache.Get(b); ok {
+		t.Error("least recently used entry survived the capacity bound")
+	}
+	if s := cache.Stats(); s.Entries != 2 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 1 eviction", s)
+	}
+}
+
+// TestDiskCacheRoundTrip is the persistence acceptance contract: a
+// fresh engine over a warmed cache directory re-solves a previously
+// synthesized problem with zero syntheses (Misses == 0), the
+// process-restart case being modelled by constructing a new engine.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	req := lclgrid.SolveRequest{Key: "5col", N: 16, Seed: 3}
+
+	eng1 := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	res1, err := eng1.Solve(bg, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng1.CacheStats().Misses; got != 1 {
+		t.Fatalf("cold engine performed %d syntheses, want 1", got)
+	}
+
+	// "Restart": a brand-new engine sharing only the directory.
+	eng2 := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	res2, err := eng2.Solve(bg, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := eng2.CacheStats()
+	if stats.Misses != 0 {
+		t.Errorf("disk-warmed engine performed %d syntheses, want 0", stats.Misses)
+	}
+	if stats.Hits != 1 {
+		t.Errorf("disk-warmed engine hits = %d, want 1", stats.Hits)
+	}
+	if !res2.CacheHit {
+		t.Error("disk-served result does not record the cache hit")
+	}
+	if res2.Verification != lclgrid.Verified {
+		t.Errorf("disk-served result not verified: %v", res2)
+	}
+	if res2.Rounds != res1.Rounds || !slices.Equal(res1.Labels, res2.Labels) {
+		t.Errorf("disk-served labelling differs from the synthesized one:\n %v\n %v", res1, res2)
+	}
+}
+
+// TestDiskCacheUnsatPersists: cached UNSAT outcomes survive restarts
+// too, so a disk-warmed classification never re-proves a failed shape.
+func TestDiskCacheUnsatPersists(t *testing.T) {
+	dir := t.TempDir()
+	p4 := lclgrid.VertexColoring(4, 2)
+
+	eng1 := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	if _, _, err := eng1.Synthesize(bg, p4, 1, 3, 2); !errors.Is(err, lclgrid.ErrUnsatisfiable) {
+		t.Fatalf("4col at k=1: err = %v, want ErrUnsatisfiable", err)
+	}
+
+	eng2 := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	_, cached, err := eng2.Synthesize(bg, p4, 1, 3, 2)
+	if !errors.Is(err, lclgrid.ErrUnsatisfiable) || !cached {
+		t.Errorf("restarted engine: cached=%v err=%v, want a cached UNSAT", cached, err)
+	}
+	if got := eng2.CacheStats().Misses; got != 0 {
+		t.Errorf("restarted engine re-proved the UNSAT shape (%d syntheses)", got)
+	}
+}
+
+// TestDiskCacheCorruptFile: a corrupt cache file is a miss, not an
+// error — the engine re-synthesizes and heals the file.
+func TestDiskCacheCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	req := lclgrid.SolveRequest{Key: "5col", N: 16}
+	if _, err := lclgrid.NewEngine(lclgrid.WithCacheDir(dir)).Solve(bg, req); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.synth.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files = %v (err %v), want exactly 1", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	res, err := eng.Solve(bg, req)
+	if err != nil {
+		t.Fatalf("solve over a corrupt cache file: %v", err)
+	}
+	if res.Verification != lclgrid.Verified {
+		t.Errorf("result not verified: %v", res)
+	}
+	if got := eng.CacheStats().Misses; got != 1 {
+		t.Errorf("corrupt file served without a synthesis (misses = %d, want 1)", got)
+	}
+	// The healed file serves the next restart.
+	eng3 := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	if _, err := eng3.Solve(bg, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng3.CacheStats().Misses; got != 0 {
+		t.Errorf("healed file not served (misses = %d, want 0)", got)
+	}
+}
+
+// TestDiskCacheEvictRemovesFile: Evict reaches through to the disk, so
+// an evicted table is really gone across restarts.
+func TestDiskCacheEvictRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	p5 := lclgrid.VertexColoring(5, 2)
+	eng1 := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	if _, _, err := eng1.Synthesize(bg, p5, 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !eng1.Evict(p5, 1, 3, 2) {
+		t.Fatal("Evict reported no entry")
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.synth.json")); len(files) != 0 {
+		t.Errorf("cache files after Evict: %v, want none", files)
+	}
+	eng2 := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	if _, cached, err := eng2.Synthesize(bg, p5, 1, 3, 2); err != nil || cached {
+		t.Errorf("evicted table still served: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestEngineWarm: Warm pre-synthesizes the synthesis-backed catalogue
+// keys, skips the rest, fails on unknown keys, and reports zero
+// syntheses on a second pass.
+func TestEngineWarm(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	ws, err := eng.Warm(bg, "5col", "mis", "is", "3col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Problems != 4 || ws.Warmed != 2 || ws.Skipped != 2 {
+		t.Errorf("stats = %+v, want 4 problems, 2 warmed (5col, mis), 2 skipped (is, 3col)", ws)
+	}
+	if ws.Syntheses != 2 {
+		t.Errorf("syntheses = %d, want 2", ws.Syntheses)
+	}
+	again, err := eng.Warm(bg, "5col", "mis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Syntheses != 0 || again.Warmed != 2 {
+		t.Errorf("re-warm stats = %+v, want 0 syntheses, 2 warmed", again)
+	}
+	// Warmed solves are pure cache hits.
+	res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "5col", N: 16})
+	if err != nil || !res.CacheHit {
+		t.Errorf("post-warm solve: err=%v cacheHit=%v", err, res.CacheHit)
+	}
+	if _, err := eng.Warm(bg, "nope"); err == nil {
+		t.Error("warming an unknown key must fail")
+	}
+	// A cancelled context aborts the sweep with its error.
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := eng.Warm(ctx, "5col"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled warm: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEngineWarmReportsUnwarmableKeys: a synthesis-backed key none of
+// whose attempt shapes admits a table is not silently "examined" — it
+// is counted in Failed and named in the returned error, after the rest
+// of the sweep completed.
+func TestEngineWarmReportsUnwarmableKeys(t *testing.T) {
+	reg := lclgrid.DefaultRegistry()
+	if err := reg.Register(&lclgrid.ProblemSpec{
+		Key: "doomed", Name: "doomed", Class: lclgrid.ClassLogStar,
+		Problem: func() *lclgrid.Problem { return lclgrid.VertexColoring(4, 2) },
+		Solver: func(e *lclgrid.Engine) lclgrid.Solver {
+			// 4-colouring is UNSAT at k=1 with 3×2 windows.
+			return &lclgrid.SynthesisSolver{
+				Problem:  lclgrid.VertexColoring(4, 2),
+				Attempts: []lclgrid.SynthAttempt{{K: 1, H: 3, W: 2}},
+				Engine:   e,
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng := lclgrid.NewEngine(lclgrid.WithRegistry(reg))
+	ws, err := eng.Warm(bg, "doomed", "5col")
+	if err == nil || !strings.Contains(err.Error(), "doomed") {
+		t.Errorf("err = %v, want an error naming the unwarmable key", err)
+	}
+	if ws.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", ws.Failed)
+	}
+	if ws.Warmed != 1 {
+		t.Errorf("Warmed = %d, want 1 — the sweep must finish past the failed key", ws.Warmed)
+	}
+}
+
+// TestCacheChurnRace hammers Synthesize from several goroutines while
+// others Evict and Reset concurrently — the cache-churn soak the
+// singleflight redesign must survive under -race. Correctness here is
+// "no race, no deadlock, no panic, and every synthesis outcome is the
+// right one for its key".
+func TestCacheChurnRace(t *testing.T) {
+	eng := lclgrid.NewEngine(lclgrid.WithCacheCapacity(2))
+	problems := []*lclgrid.Problem{
+		lclgrid.VertexColoring(5, 2),
+		lclgrid.VertexColoring(6, 2),
+		lclgrid.VertexColoring(7, 2),
+	}
+	unsat := lclgrid.VertexColoring(4, 2) // UNSAT at k=1
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p := problems[(g+i)%len(problems)]
+				alg, _, err := eng.Synthesize(bg, p, 1, 3, 2)
+				if err != nil || alg == nil {
+					errs <- err
+					return
+				}
+				if _, _, err := eng.Synthesize(bg, unsat, 1, 3, 2); !errors.Is(err, lclgrid.ErrUnsatisfiable) {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds*len(problems); i++ {
+			eng.Evict(problems[i%len(problems)], 1, 3, 2)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			eng.Reset()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("churn race produced a wrong outcome: %v", err)
+	}
+	// The engine still serves correctly after the churn.
+	res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "5col", N: 16})
+	if err != nil || res.Verification != lclgrid.Verified {
+		t.Fatalf("post-churn solve: res=%v err=%v", res, err)
+	}
+}
+
+// TestDiskCacheSharedDirChurn: two engines over one directory with
+// concurrent warms and evictions stay consistent (atomic writes mean a
+// reader never sees a torn file).
+func TestDiskCacheSharedDirChurn(t *testing.T) {
+	dir := t.TempDir()
+	p5 := lclgrid.VertexColoring(5, 2)
+	engA := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	engB := lclgrid.NewEngine(lclgrid.WithCacheDir(dir))
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for _, eng := range []*lclgrid.Engine{engA, engB} {
+		wg.Add(1)
+		go func(e *lclgrid.Engine) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if alg, _, err := e.Synthesize(bg, p5, 1, 3, 2); err != nil || alg == nil {
+					errs <- err
+					return
+				}
+				e.Evict(p5, 1, 3, 2)
+			}
+		}(eng)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("shared-directory churn failed: %v", err)
+	}
+}
+
+// TestNewEngineCustomCache: WithCache installs the caller's SynthCache
+// and the engine routes every completed synthesis through it.
+func TestNewEngineCustomCache(t *testing.T) {
+	cache := lclgrid.NewMemoryCache()
+	eng := lclgrid.NewEngine(lclgrid.WithCache(cache))
+	p5 := lclgrid.VertexColoring(5, 2)
+	if _, _, err := eng.Synthesize(bg, p5, 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	key := lclgrid.SynthKey{Fingerprint: p5.Fingerprint(), K: 1, H: 3, W: 2}
+	val, ok := cache.Get(key)
+	if !ok || val.Alg == nil || val.Err != nil {
+		t.Fatalf("custom cache does not hold the synthesis: ok=%v val=%+v", ok, val)
+	}
+	// A table planted in the cache is served without a synthesis.
+	eng2 := lclgrid.NewEngine(lclgrid.WithCache(cache))
+	if _, cached, err := eng2.Synthesize(bg, p5, 1, 3, 2); err != nil || !cached {
+		t.Errorf("planted table not served: cached=%v err=%v", cached, err)
+	}
+	if got := eng2.CacheStats().Misses; got != 0 {
+		t.Errorf("engine over a warm custom cache synthesized %d times", got)
+	}
+}
+
+// TestWithCacheDirPanicsOnBadDir pins the documented construction-time
+// failure mode: an unusable cache directory is a configuration error.
+func TestWithCacheDirPanicsOnBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Error("WithCacheDir over a regular file did not panic")
+		} else if !strings.Contains(r.(string), "WithCacheDir") {
+			t.Errorf("panic %v does not name WithCacheDir", r)
+		}
+	}()
+	lclgrid.NewEngine(lclgrid.WithCacheDir(filepath.Join(file, "sub")))
+}

@@ -8,8 +8,12 @@
 //	lclgrid classify -problem 4col   run the one-sided classification oracle
 //	lclgrid synth -problem 4col -k 3 synthesize a normal-form algorithm
 //	lclgrid run -problem 4col        solve on an n×n torus via the registry's solver
-//	lclgrid batch [-workers 8]       serve JSONL SolveRequests from stdin
+//	lclgrid batch [-workers 8]       stream JSONL SolveRequests from stdin
+//	lclgrid warm [-cache-dir d]      pre-synthesize the registry catalogue
 //	lclgrid table                    print the Theorem 22 orientation table
+//
+// batch and warm accept -cache-dir to persist synthesized lookup tables
+// across invocations, and -v to log engine events to stderr.
 package main
 
 import (
@@ -19,8 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -29,8 +36,9 @@ import (
 	"lclgrid/internal/orient"
 )
 
-// engine is the process-wide solving service; every subcommand goes
-// through it, so repeated syntheses within one invocation are cached.
+// engine is the process-wide solving service for the subcommands without
+// engine flags; batch and warm build their own (cache directory and
+// observer are per-invocation configuration).
 var engine = lclgrid.NewEngine()
 
 func main() {
@@ -57,6 +65,8 @@ func main() {
 		err = cmdRun(ctx, os.Args[2:])
 	case "batch":
 		err = cmdBatch(ctx, os.Args[2:], os.Stdin, os.Stdout)
+	case "warm":
+		err = cmdWarm(ctx, os.Args[2:], os.Stdout)
 	case "table":
 		err = cmdTable()
 	default:
@@ -70,7 +80,80 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|experiments|classify|synth|run|batch|table> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|experiments|classify|synth|run|batch|warm|table> [flags]")
+}
+
+// buildEngine constructs the engine for subcommands with engine flags:
+// an optional disk-persisted synthesis cache and an optional stderr
+// event logger.
+func buildEngine(verbose bool, cacheDir string) (*lclgrid.Engine, error) {
+	var opts []lclgrid.EngineOption
+	if cacheDir != "" {
+		cache, err := lclgrid.NewDiskCache(cacheDir, lclgrid.NewMemoryCache())
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, lclgrid.WithCache(cache))
+	}
+	if verbose {
+		opts = append(opts, lclgrid.WithObserver(newLogObserver(os.Stderr)))
+	}
+	return lclgrid.NewEngine(opts...), nil
+}
+
+// logObserver is the -v observer: one stderr line per engine event.
+type logObserver struct {
+	l *log.Logger
+}
+
+func newLogObserver(w io.Writer) *logObserver {
+	return &logObserver{l: log.New(w, "engine: ", log.Ltime|log.Lmicroseconds)}
+}
+
+func reqLabel(req lclgrid.SolveRequest) string {
+	name := req.Key
+	if name == "" && req.Problem != nil {
+		name = req.Problem.Name()
+	}
+	switch {
+	case len(req.Sides) > 0:
+		return fmt.Sprintf("%s sides=%v", name, req.Sides)
+	case req.N > 0:
+		return fmt.Sprintf("%s n=%d", name, req.N)
+	}
+	return name
+}
+
+func (o *logObserver) RequestStart(req lclgrid.SolveRequest) {
+	o.l.Printf("request start %s", reqLabel(req))
+}
+
+func (o *logObserver) RequestEnd(req lclgrid.SolveRequest, res *lclgrid.Result, err error) {
+	if err != nil {
+		o.l.Printf("request end   %s error: %v", reqLabel(req), err)
+		return
+	}
+	o.l.Printf("request end   %s via %q, %d rounds, %v", reqLabel(req), res.Solver, res.Rounds, res.Elapsed.Round(time.Microsecond))
+}
+
+func (o *logObserver) SynthesisStart(key lclgrid.SynthKey) {
+	o.l.Printf("synthesis start %v", key)
+}
+
+func (o *logObserver) SynthesisEnd(key lclgrid.SynthKey, elapsed time.Duration, err error) {
+	if err != nil {
+		o.l.Printf("synthesis end   %v in %v: %v", key, elapsed.Round(time.Microsecond), err)
+		return
+	}
+	o.l.Printf("synthesis end   %v in %v", key, elapsed.Round(time.Microsecond))
+}
+
+func (o *logObserver) CacheHit(key lclgrid.SynthKey)   { o.l.Printf("cache hit   %v", key) }
+func (o *logObserver) CacheMiss(key lclgrid.SynthKey)  { o.l.Printf("cache miss  %v", key) }
+func (o *logObserver) CacheEvict(key lclgrid.SynthKey) { o.l.Printf("cache evict %v", key) }
+
+func (o *logObserver) Fallback(req lclgrid.SolveRequest, cause error) {
+	o.l.Printf("fallback to Θ(n) baseline for %s: %v", reqLabel(req), cause)
 }
 
 // lookup resolves a problem key against the engine's registry.
@@ -219,6 +302,39 @@ func cmdRun(ctx context.Context, args []string) error {
 	return nil
 }
 
+func cmdWarm(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("warm", flag.ExitOnError)
+	problems := fs.String("problems", "", "comma-separated registry keys (empty = every registered key)")
+	cacheDir := fs.String("cache-dir", "", "persist synthesized tables under this directory")
+	verbose := fs.Bool("v", false, "log engine events to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := buildEngine(*verbose, *cacheDir)
+	if err != nil {
+		return err
+	}
+	var keys []string
+	if *problems != "" {
+		for _, k := range strings.Split(*problems, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				keys = append(keys, k)
+			}
+		}
+	}
+	start := time.Now()
+	ws, err := eng.Warm(ctx, keys...)
+	// Print the (possibly partial) stats even on failure: the operator
+	// should see how far the sweep got before the error.
+	line := fmt.Sprintf("warm: %d problems examined, %d warmed, %d skipped (no synthesis), %d syntheses performed",
+		ws.Problems, ws.Warmed, ws.Skipped, ws.Syntheses)
+	if ws.Failed > 0 {
+		line += fmt.Sprintf(", %d failed", ws.Failed)
+	}
+	fmt.Fprintf(out, "%s, %v\n", line, time.Since(start).Round(time.Millisecond))
+	return err
+}
+
 // batchLine is one JSONL output record of `lclgrid batch`: the index and
 // key echo the request; exactly one of result and error is present.
 type batchLine struct {
@@ -235,32 +351,37 @@ type decodedRequest struct {
 	err error
 }
 
-// cmdBatch streams JSONL SolveRequests from in to out: a background
-// goroutine decodes requests, the main loop dispatches whatever has
-// arrived (up to -chunk per worker-pool round) and writes one JSON
-// result line per request, in input order. A slow producer therefore
-// gets each request served as it arrives rather than waiting for a full
-// chunk, and the batch deadline fires even while blocked on input.
+// cmdBatch streams JSONL SolveRequests from in to out end to end: a
+// background goroutine decodes requests, the engine's SolveStream pulls
+// them into a bounded worker pool as workers free up, and each result is
+// encoded the moment it completes — by default in completion order
+// (each line's "index" identifies its request), with -ordered buffering
+// only as much as needed to restore input order. Memory stays
+// O(workers) on the default path however long the input stream is.
 // Per-request failures become {"error": ...} lines and do not fail the
 // process; I/O and decode errors do, and a deadline/cancel that cost
-// requests (failed them or left input unserved) sets a non-zero exit.
+// requests (failed them or stopped consumption early) sets a non-zero
+// exit.
 func cmdBatch(ctx context.Context, args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	chunk := fs.Int("chunk", 64, "max requests dispatched per worker-pool round")
 	timeout := fs.Duration("timeout", 0, "deadline for the whole batch (0 = none)")
 	labels := fs.Bool("labels", true, "include the labelling in result lines")
 	stats := fs.Bool("stats", false, "print aggregate batch stats to stderr")
+	ordered := fs.Bool("ordered", false, "emit results in input order instead of completion order")
+	cacheDir := fs.String("cache-dir", "", "persist synthesized tables under this directory")
+	verbose := fs.Bool("v", false, "log engine events to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if *chunk < 1 {
-		return fmt.Errorf("chunk must be positive, got %d", *chunk)
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	eng, err := buildEngine(*verbose, *cacheDir)
+	if err != nil {
+		return err
 	}
 
 	// The decoder goroutine is the only reader of `in`; it ends the
@@ -283,94 +404,137 @@ func cmdBatch(ctx context.Context, args []string, in io.Reader, out io.Writer) e
 		}
 	}()
 
+	// keys echoes each request's problem key onto its output line; the
+	// map holds only in-flight indexes (deleted once emitted), keeping
+	// the streaming path O(workers). It is written by the request
+	// sequence (SolveStream's producer goroutine) and read by the
+	// consuming loop below.
+	var (
+		keyMu sync.Mutex
+		keys  = make(map[int]string)
+	)
+	// produceErr is written by the request sequence and read only after
+	// the stream is fully drained (the stream's goroutines form the
+	// happens-before edge).
+	var produceErr error
+	consumed := 0
+	reqSeq := func(yield func(lclgrid.SolveRequest) bool) {
+		// consume records one decoded element's bookkeeping (key echo,
+		// decode-error formatting) and hands the request to the stream;
+		// it reports whether the sequence should keep going.
+		consume := func(d decodedRequest, ok bool) bool {
+			if !ok {
+				return false // clean EOF
+			}
+			if d.err != nil {
+				produceErr = fmt.Errorf("request %d: %w", consumed, d.err)
+				return false
+			}
+			keyMu.Lock()
+			keys[consumed] = d.req.Key
+			keyMu.Unlock()
+			consumed++
+			return yield(d.req)
+		}
+		for {
+			select {
+			case d, ok := <-reqCh:
+				if !consume(d, ok) {
+					return
+				}
+			case <-ctx.Done():
+				// Expired while waiting for input. A deadline firing right
+				// as the input finishes must not fail a fully-served
+				// batch, so re-check the channel without blocking: a clean
+				// close is EOF, a pending request is consumed (it still
+				// gets its one — ctx-error — output line) and only then is
+				// the run marked truncated.
+				select {
+				case d, ok := <-reqCh:
+					if ok && d.err == nil {
+						produceErr = ctx.Err()
+					}
+					consume(d, ok)
+				default:
+					produceErr = ctx.Err()
+				}
+				return
+			}
+		}
+	}
+
 	enc := json.NewEncoder(out)
 	var total lclgrid.BatchStats
-	index := 0
-	var ctxFailed, decodeErr error
-	eof := false
-	for !eof && decodeErr == nil && ctxFailed == nil {
-		reqs := make([]lclgrid.SolveRequest, 0, *chunk)
-		// Block for the round's first request — or the deadline.
-		select {
-		case d, ok := <-reqCh:
-			switch {
-			case !ok:
-				eof = true
-			case d.err != nil:
-				decodeErr = fmt.Errorf("request %d: %w", index, d.err)
-			default:
-				reqs = append(reqs, d.req)
+	var itemCtxErr error
+	start := time.Now()
+	emit := func(it lclgrid.BatchItem) error {
+		keyMu.Lock()
+		key := keys[it.Index]
+		delete(keys, it.Index)
+		keyMu.Unlock()
+		line := batchLine{Index: it.Index, Key: key}
+		total.Requests++
+		if it.Err != nil {
+			total.Errors++
+			line.Error = it.Err.Error()
+			if lclgrid.IsContextError(it.Err) {
+				itemCtxErr = it.Err
 			}
-		case <-ctx.Done():
-			// Expired while waiting for input: unless the stream is
-			// cleanly finished, input may remain unserved — signal the
-			// truncation instead of exiting 0 on a cut-short batch. A
-			// request already decoded still gets its (ctx-error) output
-			// line: every consumed request must produce exactly one line.
-			select {
-			case d, ok := <-reqCh:
-				switch {
-				case !ok:
-					eof = true
-				case d.err != nil:
-					decodeErr = fmt.Errorf("request %d: %w", index, d.err)
-				default:
-					reqs = append(reqs, d.req)
-					ctxFailed = ctx.Err()
-				}
-			default:
-				ctxFailed = ctx.Err()
+		} else {
+			if it.Result != nil && it.Result.CacheHit {
+				total.CacheHits++
+			}
+			line.Result = it.Result
+			if !*labels && line.Result != nil {
+				stripped := *line.Result
+				stripped.Labels = nil
+				line.Result = &stripped
 			}
 		}
-		// Greedily take whatever else has already arrived, without
-		// blocking, so a fast producer still gets full pool rounds.
-		for len(reqs) > 0 && len(reqs) < *chunk && decodeErr == nil {
-			select {
-			case d, ok := <-reqCh:
-				switch {
-				case !ok:
-					eof = true
-				case d.err != nil:
-					decodeErr = fmt.Errorf("request %d: %w", index+len(reqs), d.err)
-				default:
-					reqs = append(reqs, d.req)
-					continue
+		return enc.Encode(line)
+	}
+
+	stream := eng.SolveStream(ctx, reqSeq, lclgrid.WithWorkers(*workers))
+	if *ordered {
+		// Reorder collector: hold completed items only until their
+		// predecessors arrive. Every request pulled from the input yields
+		// exactly one item, so the buffer always drains.
+		next := 0
+		pending := make(map[int]lclgrid.BatchItem)
+		for it := range stream {
+			pending[it.Index] = it
+			for {
+				p, ok := pending[next]
+				if !ok {
+					break
 				}
-			default:
+				delete(pending, next)
+				next++
+				if err := emit(p); err != nil {
+					return err
+				}
 			}
-			break
 		}
-		items, st := engine.SolveBatch(ctx, reqs, lclgrid.WithWorkers(*workers))
-		total.Add(st)
-		for i, it := range items {
-			line := batchLine{Index: index + i, Key: reqs[i].Key}
-			if it.Err != nil {
-				line.Error = it.Err.Error()
-				if lclgrid.IsContextError(it.Err) {
-					ctxFailed = it.Err
-				}
-			} else {
-				line.Result = it.Result
-				if !*labels && line.Result != nil {
-					stripped := *line.Result
-					stripped.Labels = nil
-					line.Result = &stripped
-				}
-			}
-			if err := enc.Encode(line); err != nil {
+	} else {
+		for it := range stream {
+			if err := emit(it); err != nil {
 				return err
 			}
 		}
-		index += len(items)
 	}
+	total.Wall = time.Since(start)
+
 	if *stats {
 		fmt.Fprintf(os.Stderr, "batch: %d requests, %d errors, %d cache hits, %v wall\n",
 			total.Requests, total.Errors, total.CacheHits, total.Wall.Round(time.Millisecond))
 	}
-	if decodeErr != nil {
-		return decodeErr
+	if produceErr != nil && !lclgrid.IsContextError(produceErr) {
+		return produceErr // a decode error names its request
 	}
-	return ctxFailed
+	if itemCtxErr != nil {
+		return itemCtxErr
+	}
+	return produceErr
 }
 
 func cmdTable() error {

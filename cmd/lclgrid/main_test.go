@@ -161,7 +161,8 @@ func TestCmdBatch(t *testing.T) {
 }
 
 // TestCmdBatchMixed streams several requests, including failures, and
-// checks order, per-request errors and the -labels=false stripping.
+// checks -ordered output order, per-request errors and the
+// -labels=false stripping.
 func TestCmdBatchMixed(t *testing.T) {
 	reqs := []string{
 		`{"key":"5col","n":16,"seed":1}`,
@@ -171,7 +172,7 @@ func TestCmdBatchMixed(t *testing.T) {
 	}
 	in := strings.NewReader(strings.Join(reqs, "\n") + "\n")
 	var out bytes.Buffer
-	if err := cmdBatch(bg, []string{"-labels=false", "-workers", "2", "-chunk", "2"}, in, &out); err != nil {
+	if err := cmdBatch(bg, []string{"-labels=false", "-workers", "2", "-ordered"}, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := decodeBatchLines(t, out.Bytes())
@@ -180,7 +181,7 @@ func TestCmdBatchMixed(t *testing.T) {
 	}
 	for i, line := range lines {
 		if line.Index != i {
-			t.Errorf("line %d has index %d; output must preserve input order", i, line.Index)
+			t.Errorf("line %d has index %d; -ordered output must preserve input order", i, line.Index)
 		}
 	}
 	if lines[0].Error != "" || lines[3].Error != "" {
@@ -191,6 +192,106 @@ func TestCmdBatchMixed(t *testing.T) {
 	}
 	if len(lines[0].Result.Labels) != 0 {
 		t.Errorf("-labels=false left %d labels in the result", len(lines[0].Result.Labels))
+	}
+}
+
+// TestCmdBatchUnordered: the default (streaming) output carries every
+// request exactly once — indexes form a permutation and each line
+// echoes its own request's key — even when completion order differs
+// from input order.
+func TestCmdBatchUnordered(t *testing.T) {
+	reqs := []string{
+		`{"key":"5col","n":16,"seed":1}`,
+		`{"key":"is","n":4}`,
+		`{"key":"mis","n":12}`,
+		`{"key":"5col","n":16,"seed":2}`,
+		`{"key":"nope"}`,
+	}
+	wantKeys := []string{"5col", "is", "mis", "5col", "nope"}
+	in := strings.NewReader(strings.Join(reqs, "\n") + "\n")
+	var out bytes.Buffer
+	if err := cmdBatch(bg, []string{"-workers", "4"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeBatchLines(t, out.Bytes())
+	if len(lines) != len(reqs) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(reqs), out.String())
+	}
+	seen := make(map[int]batchLine)
+	for _, line := range lines {
+		if _, dup := seen[line.Index]; dup {
+			t.Fatalf("index %d emitted twice", line.Index)
+		}
+		seen[line.Index] = line
+	}
+	for i, want := range wantKeys {
+		line, ok := seen[i]
+		if !ok {
+			t.Fatalf("no output line for request %d", i)
+		}
+		if line.Key != want {
+			t.Errorf("line for request %d echoes key %q, want %q", i, line.Key, want)
+		}
+	}
+	if seen[4].Error == "" {
+		t.Error("unknown-key request did not produce an error line")
+	}
+}
+
+// TestCmdBatchCacheDir: a second batch invocation over the same
+// -cache-dir is served from disk (the result records the cache hit and
+// the engine is a fresh process-equivalent instance).
+func TestCmdBatchCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	run := func() []batchLine {
+		in := strings.NewReader(`{"key":"5col","n":16}` + "\n")
+		var out bytes.Buffer
+		if err := cmdBatch(bg, []string{"-cache-dir", dir}, in, &out); err != nil {
+			t.Fatal(err)
+		}
+		return decodeBatchLines(t, out.Bytes())
+	}
+	first := run()
+	if len(first) != 1 || first[0].Error != "" {
+		t.Fatalf("first run: %+v", first)
+	}
+	if first[0].Result.CacheHit {
+		t.Error("first run claims a cache hit on an empty cache directory")
+	}
+	second := run()
+	if len(second) != 1 || second[0].Error != "" {
+		t.Fatalf("second run: %+v", second)
+	}
+	if !second[0].Result.CacheHit {
+		t.Error("second run with the same -cache-dir did not hit the disk cache")
+	}
+}
+
+// TestCmdWarm: warming a cache directory makes a rerun perform zero
+// syntheses — the CLI face of the disk round-trip contract.
+func TestCmdWarm(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := cmdWarm(bg, []string{"-problems", "5col,mis,is", "-cache-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	first := out.String()
+	if !strings.Contains(first, "2 warmed") || !strings.Contains(first, "1 skipped") {
+		t.Errorf("first warm output: %q, want 2 warmed (5col, mis) and 1 skipped (is)", first)
+	}
+	if strings.Contains(first, " 0 syntheses") {
+		t.Errorf("first warm performed no syntheses: %q", first)
+	}
+	out.Reset()
+	if err := cmdWarm(bg, []string{"-problems", "5col,mis,is", "-cache-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	second := out.String()
+	if !strings.Contains(second, "0 syntheses performed") {
+		t.Errorf("re-warm over a warm directory synthesized again: %q", second)
+	}
+	if err := cmdWarm(bg, []string{"-problems", "nope"}, &out); err == nil {
+		t.Error("warming an unknown key must fail")
 	}
 }
 

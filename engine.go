@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,12 +13,25 @@ import (
 )
 
 // Engine is the service front of the package: it resolves SolveRequests
-// through a Registry and memoises expensive SAT syntheses in a
-// concurrency-safe cache keyed by the canonical problem fingerprint plus
-// the anchor power and window shape. Repeated and concurrent Solve calls
+// through a Registry and memoises expensive SAT syntheses in a pluggable
+// SynthCache keyed by the canonical problem fingerprint plus the anchor
+// power and window shape (SynthKey). Repeated and concurrent Solve calls
 // for the same problem reuse one synthesized lookup table; UNSAT results
 // are cached too, so the classification oracle never re-proves a failed
 // shape.
+//
+// The execution layer has three composable seams:
+//
+//   - Streaming: SolveStream serves an iterator of requests on a bounded
+//     worker pool and yields each result the moment it completes;
+//     SolveBatch is the order-preserving collector over it.
+//   - Caching: the SynthCache behind Synthesize is chosen at
+//     construction (WithCache, WithCacheCapacity, WithCacheDir) — the
+//     disk-backed layer persists lookup tables across process restarts,
+//     and Warm pre-synthesizes a catalogue on startup.
+//   - Observability: Observers installed with WithObserver receive
+//     request, synthesis and cache events from the engine and its
+//     singleflight path.
 //
 // Every entry point takes a context.Context and honours cancellation all
 // the way down into the SAT search: a cancelled request aborts an
@@ -25,76 +39,144 @@ import (
 // request's synthesis detaches on its own context without disturbing the
 // shared work. The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	reg *Registry
+	reg   *Registry
+	cache SynthCache
+	obs   []Observer
 
-	mu    sync.Mutex
-	cache map[synthKey]*synthEntry
+	mu       sync.Mutex
+	inflight map[SynthKey]*synthEntry
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
 
-type synthKey struct {
-	fp      string
-	k, h, w int
-}
-
 // synthEntry is a singleflight slot: the first requester synthesizes
-// while later ones wait on ready. An entry whose synthesis was aborted by
-// its owner's context is removed from the cache before ready is closed,
-// so an abort never poisons the slot — waiters observe the context error
-// and re-run the election.
+// while later ones wait on ready. In-flight slots live in the engine's
+// inflight map, never in the SynthCache; a completed outcome is Put in
+// the cache before the slot is retired, and an entry whose synthesis was
+// aborted by its owner's context is retired without a Put — waiters
+// observe the context error and re-run the election, so an abort never
+// poisons anything.
 type synthEntry struct {
 	ready chan struct{}
 	alg   *core.Synthesized
 	err   error
-	// failed marks an entry whose synthesis panicked: it was removed
-	// from the cache, so waiters must not report it as a cache hit.
+	// failed marks an entry whose synthesis panicked: nothing was
+	// cached, so waiters must not report it as a cache hit.
 	failed bool
 }
 
-// NewEngine returns an engine over the given registry; nil selects
-// DefaultRegistry().
-func NewEngine(reg ...*Registry) *Engine {
-	r := DefaultRegistry()
-	if len(reg) > 0 && reg[0] != nil {
-		r = reg[0]
+// EngineOption configures NewEngine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	reg      *Registry
+	cache    SynthCache
+	capacity int
+	cacheDir string
+	obs      []Observer
+}
+
+// WithRegistry selects the problem registry (default DefaultRegistry()).
+func WithRegistry(r *Registry) EngineOption {
+	return func(c *engineConfig) { c.reg = r }
+}
+
+// WithCache installs a custom SynthCache. It overrides WithCacheCapacity
+// and is itself wrapped by WithCacheDir when both are given.
+func WithCache(cache SynthCache) EngineOption {
+	return func(c *engineConfig) { c.cache = cache }
+}
+
+// WithCacheCapacity bounds the default in-memory synthesis cache to n
+// entries with least-recently-used eviction (n < 1 keeps it unbounded).
+// Ignored when WithCache supplies an explicit cache.
+func WithCacheCapacity(n int) EngineOption {
+	return func(c *engineConfig) { c.capacity = n }
+}
+
+// WithCacheDir layers disk persistence under the synthesis cache:
+// synthesized lookup tables (and cached UNSAT results) are serialized
+// under dir and survive process restarts. It panics when the directory
+// cannot be created — construction-time configuration errors should not
+// be silently dropped; callers that need an error path can build the
+// layer themselves with NewDiskCache and pass it via WithCache.
+func WithCacheDir(dir string) EngineOption {
+	return func(c *engineConfig) { c.cacheDir = dir }
+}
+
+// WithObserver installs an Observer; repeated options compose (every
+// observer receives every event, in installation order).
+func WithObserver(o Observer) EngineOption {
+	return func(c *engineConfig) {
+		if o != nil {
+			c.obs = append(c.obs, o)
+		}
 	}
-	return &Engine{reg: r, cache: make(map[synthKey]*synthEntry)}
+}
+
+// NewEngine returns an engine configured by opts: the registry, the
+// synthesis cache (unbounded in-memory by default; see WithCache,
+// WithCacheCapacity and WithCacheDir) and the observers.
+func NewEngine(opts ...EngineOption) *Engine {
+	var cfg engineConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.reg == nil {
+		cfg.reg = DefaultRegistry()
+	}
+	cache := cfg.cache
+	if cache == nil {
+		if cfg.capacity > 0 {
+			cache = NewLRUCache(cfg.capacity)
+		} else {
+			cache = NewMemoryCache()
+		}
+	}
+	if cfg.cacheDir != "" {
+		layered, err := NewDiskCache(cfg.cacheDir, cache)
+		if err != nil {
+			panic(fmt.Sprintf("lclgrid: WithCacheDir(%q): %v", cfg.cacheDir, err))
+		}
+		cache = layered
+	}
+	e := &Engine{
+		reg:      cfg.reg,
+		cache:    cache,
+		obs:      cfg.obs,
+		inflight: make(map[SynthKey]*synthEntry),
+	}
+	if len(e.obs) > 0 {
+		if en, ok := cache.(evictNotifier); ok {
+			en.setOnEvict(e.observeCacheEvict)
+		}
+	}
+	return e
 }
 
 // Registry returns the engine's problem registry.
 func (e *Engine) Registry() *Registry { return e.reg }
 
-// CacheStats is a snapshot of the synthesis cache counters.
-//
-// Snapshot semantics: Entries is read under the cache lock, while Hits
-// and Misses are independent atomic counters read without it. A snapshot
-// taken while solves are in flight is therefore not a single consistent
-// cut — Hits+Misses may disagree with the number of Synthesize calls
-// that have fully returned, and Entries may lag an in-flight miss. Each
-// counter is individually monotone (until Reset) and exact once the
-// engine is quiescent.
-type CacheStats struct {
-	// Hits counts Synthesize calls served from the cache, including
-	// waiters coalesced onto an in-flight synthesis. Waiters that detach
-	// on their own cancelled context are not counted.
-	Hits uint64
-	// Misses counts Synthesize calls that ran the SAT synthesizer; this
-	// is the exact number of syntheses started (an aborted synthesis
-	// counts, its entry just never enters the cache).
-	Misses uint64
-	// Entries is the number of cached (fingerprint, k, h, w) slots.
-	Entries int
-}
+// Cache returns the engine's synthesis cache — useful for inspecting
+// the store-level counters of a bounded or disk-backed cache (the
+// engine-level singleflight-aware counters are in CacheStats).
+func (e *Engine) Cache() SynthCache { return e.cache }
 
-// CacheStats returns a snapshot of the synthesis cache counters; see the
-// CacheStats type for the snapshot semantics.
+// CacheStats returns a snapshot of the engine-level synthesis counters:
+// Hits and Misses follow the singleflight semantics (waiters coalesced
+// onto an in-flight synthesis count as hits; Misses is the exact number
+// of SAT syntheses started), Entries and Evictions come from the
+// underlying SynthCache. See the CacheStats type for the snapshot
+// semantics.
 func (e *Engine) CacheStats() CacheStats {
-	e.mu.Lock()
-	entries := len(e.cache)
-	e.mu.Unlock()
-	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: entries}
+	cs := e.cache.Stats()
+	return CacheStats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Entries:   cs.Entries,
+		Evictions: cs.Evictions,
+	}
 }
 
 // Evict removes the cached synthesis (including a cached UNSAT) for
@@ -102,48 +184,32 @@ func (e *Engine) CacheStats() CacheStats {
 // synthesis is left alone — evicting it would let a concurrent caller
 // start a duplicate of work that is still running.
 func (e *Engine) Evict(p *Problem, k, h, w int) bool {
-	key := synthKey{fp: p.Fingerprint(), k: k, h: h, w: w}
+	key := SynthKey{Fingerprint: p.Fingerprint(), K: k, H: h, W: w}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.cache[key]
-	if !ok || !ent.done() {
+	_, inflight := e.inflight[key]
+	e.mu.Unlock()
+	if inflight {
 		return false
 	}
-	delete(e.cache, key)
-	return true
+	removed := e.cache.Evict(key)
+	if removed {
+		e.observeCacheEvict(key)
+	}
+	return removed
 }
 
 // Reset removes every completed cache entry and zeroes the hit/miss
 // counters, returning the number of entries removed. In-flight
 // syntheses are left to complete and stay cached; long-lived services
 // can therefore call Reset periodically to bound cache growth without
-// racing their own traffic.
+// racing their own traffic (or bound it structurally with
+// WithCacheCapacity). On a disk-backed cache Reset clears the in-memory
+// layer only; the files persist.
 func (e *Engine) Reset() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	removed := 0
-	for key, ent := range e.cache {
-		if !ent.done() {
-			continue
-		}
-		delete(e.cache, key)
-		removed++
-	}
+	removed := e.cache.Reset()
 	e.hits.Store(0)
 	e.misses.Store(0)
 	return removed
-}
-
-// done reports whether the entry's synthesis has completed (ready
-// closed); it must only be called while holding e.mu or after receiving
-// from ready.
-func (ent *synthEntry) done() bool {
-	select {
-	case <-ent.ready:
-		return true
-	default:
-		return false
-	}
 }
 
 // isCtxErr reports whether err is a context cancellation or deadline
@@ -151,14 +217,29 @@ func (ent *synthEntry) done() bool {
 // oracle's abort detection must agree on it).
 func isCtxErr(err error) bool { return core.IsContextError(err) }
 
+// withProblem attaches p to a cache-loaded algorithm: tables
+// deserialized from disk carry no problem (it is function-valued), and
+// the stamp must go on a copy because the cached value is shared between
+// goroutines.
+func withProblem(alg *Synthesized, p *Problem) *Synthesized {
+	if alg == nil || alg.Problem != nil {
+		return alg
+	}
+	stamped := *alg
+	stamped.Problem = p
+	return &stamped
+}
+
 // Synthesize returns the normal-form algorithm for (p, k, h, w), running
 // the SAT synthesis at most once per (fingerprint, k, h, w) across all
 // goroutines; cached reports whether the result (including a cached
-// UNSAT) was reused.
+// UNSAT) was reused. Completed outcomes live in the engine's SynthCache
+// — with a disk-backed cache a table synthesized by an earlier process
+// is a hit here, not a new synthesis.
 //
 // Cancellation: the first requester of a key owns the synthesis and runs
 // it under its own ctx; cancelling that ctx aborts the SAT search, the
-// dead entry is removed from the cache before waiters are woken (no
+// dead singleflight slot is retired without entering the cache (no
 // poisoned slot), and a subsequent call re-synthesizes. Waiters
 // coalesced onto an in-flight synthesis detach with their own ctx's
 // error the moment it is cancelled; the shared synthesis keeps running
@@ -167,11 +248,16 @@ func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
-	key := synthKey{fp: p.Fingerprint(), k: k, h: h, w: w}
+	key := SynthKey{Fingerprint: p.Fingerprint(), K: k, H: h, W: w}
 	for {
+		// Fast path: a completed outcome in the cache.
+		if val, ok := e.cache.Get(key); ok {
+			e.hits.Add(1)
+			e.observeCacheHit(key)
+			return withProblem(val.Alg, p), true, val.Err
+		}
 		e.mu.Lock()
-		ent, ok := e.cache[key]
-		if ok {
+		if ent, ok := e.inflight[key]; ok {
 			e.mu.Unlock()
 			select {
 			case <-ctx.Done():
@@ -179,8 +265,8 @@ func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *
 			case <-ent.ready:
 			}
 			if isCtxErr(ent.err) {
-				// The owner aborted; its entry is already gone from the
-				// cache. Re-run the election (we may become the owner).
+				// The owner aborted; its slot is already retired. Re-run
+				// the election (we may become the owner).
 				continue
 			}
 			if ent.failed {
@@ -190,41 +276,63 @@ func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *
 				return nil, false, ent.err
 			}
 			e.hits.Add(1)
-			return ent.alg, true, ent.err
+			e.observeCacheHit(key)
+			return withProblem(ent.alg, p), true, ent.err
 		}
-		ent = &synthEntry{ready: make(chan struct{})}
-		e.cache[key] = ent
+		ent := &synthEntry{ready: make(chan struct{})}
+		e.inflight[key] = ent
 		e.mu.Unlock()
+		// Double-check the cache: a previous owner may have completed
+		// between our Get miss and taking the lock. Waiters that raced
+		// onto our slot in the meantime are fed the cached outcome.
+		if val, ok := e.cache.Get(key); ok {
+			e.retire(key)
+			ent.alg, ent.err = val.Alg, val.Err
+			close(ent.ready)
+			e.hits.Add(1)
+			e.observeCacheHit(key)
+			return withProblem(val.Alg, p), true, val.Err
+		}
 		e.misses.Add(1)
+		e.observeCacheMiss(key)
+		e.observeSynthesisStart(key)
+		start := time.Now()
 		func() {
 			// Panic safety: a panic below (user-supplied Problem callbacks
-			// run inside the synthesis) must not leave the entry registered
+			// run inside the synthesis) must not leave the slot registered
 			// with ready never closed — that would deadlock every later
 			// request for this key. Unregister, fail the waiters, then let
 			// the panic propagate to this caller.
 			defer func() {
 				if r := recover(); r != nil {
-					e.mu.Lock()
-					delete(e.cache, key)
-					e.mu.Unlock()
+					e.retire(key)
 					ent.err = fmt.Errorf("lclgrid: synthesis panicked: %v", r)
 					ent.failed = true
+					e.observeSynthesisEnd(key, time.Since(start), ent.err)
 					close(ent.ready)
 					panic(r)
 				}
 			}()
 			ent.alg, ent.err = core.Synthesize(ctx, p, k, h, w)
 		}()
-		if isCtxErr(ent.err) {
-			// Remove the aborted entry before waking waiters so no caller
-			// can coalesce onto a poisoned slot.
-			e.mu.Lock()
-			delete(e.cache, key)
-			e.mu.Unlock()
+		e.observeSynthesisEnd(key, time.Since(start), ent.err)
+		if !isCtxErr(ent.err) {
+			// Cache the completed outcome (success, UNSAT or a structural
+			// failure) before retiring the slot, so no later Get can miss
+			// a result that a waiter is about to observe.
+			e.cache.Put(key, CachedSynthesis{Alg: ent.alg, Err: ent.err})
 		}
+		e.retire(key)
 		close(ent.ready)
 		return ent.alg, false, ent.err
 	}
+}
+
+// retire removes the singleflight slot for key.
+func (e *Engine) retire(key SynthKey) {
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
 }
 
 // Classify runs the §7 one-sided classification oracle through the
@@ -239,18 +347,99 @@ func (e *Engine) Classify(ctx context.Context, p *Problem, maxK int) OracleResul
 	}, p, maxK)
 }
 
+// WarmStats summarises one Engine.Warm call.
+type WarmStats struct {
+	// Problems is the number of registry keys examined.
+	Problems int `json:"problems"`
+	// Warmed counts keys that are now backed by a cached lookup table.
+	Warmed int `json:"warmed"`
+	// Skipped counts keys whose best solver needs no synthesis (direct
+	// algorithms, constant fills, brute force, the L_M gadget).
+	Skipped int `json:"skipped"`
+	// Failed counts synthesis-backed keys none of whose attempt shapes
+	// admitted a table; Warm also returns an error naming them.
+	Failed int `json:"failed,omitempty"`
+	// Syntheses counts cold SAT syntheses performed by this call — zero
+	// when everything was already cached (e.g. a disk-warmed restart).
+	Syntheses int `json:"syntheses"`
+}
+
+// Warm pre-synthesizes the lookup tables behind the given registry keys
+// (every registered key when none are given), so a long-lived service
+// pays its SAT costs at startup instead of on first request. Keys whose
+// best solver needs no synthesis are skipped; unknown keys abort the
+// sweep. A synthesis-backed key none of whose attempt shapes admits a
+// table is counted in WarmStats.Failed and reported in the returned
+// error — after the rest of the sweep completes, so one unservable key
+// does not leave the catalogue cold. With a disk-backed cache
+// (WithCacheDir), Warm is the catalogue loader: a warmed directory
+// makes every later engine start with Syntheses == 0. Cancelling ctx
+// aborts the sweep with the context's error.
+func (e *Engine) Warm(ctx context.Context, keys ...string) (WarmStats, error) {
+	if len(keys) == 0 {
+		keys = e.reg.Keys()
+	}
+	var stats WarmStats
+	var failed []string
+	for _, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		spec, err := e.reg.Lookup(key)
+		if err != nil {
+			return stats, err
+		}
+		stats.Problems++
+		ss, ok := spec.Solver(e).(*SynthesisSolver)
+		if !ok || spec.Problem == nil {
+			stats.Skipped++
+			continue
+		}
+		warmed := false
+		for _, a := range ss.Attempts {
+			_, cached, err := e.Synthesize(ctx, ss.Problem, a.K, a.H, a.W)
+			if isCtxErr(err) {
+				// An aborted call ran no synthesis to completion (or only
+				// waited on someone else's); it must not inflate Syntheses.
+				return stats, err
+			}
+			if !cached {
+				stats.Syntheses++
+			}
+			if err == nil {
+				stats.Warmed++
+				warmed = true
+				break
+			}
+			// UNSAT (now cached, so the miss is not repaid) or a
+			// structural failure: try the solver's next attempt shape.
+		}
+		if !warmed {
+			stats.Failed++
+			failed = append(failed, key)
+		}
+	}
+	if len(failed) > 0 {
+		return stats, fmt.Errorf("lclgrid: warm: no lookup table admitted for %s (every attempt shape failed); live requests for these keys will fail too", strings.Join(failed, ", "))
+	}
+	return stats, nil
+}
+
 // Solve serves one SolveRequest: the problem is resolved through the
 // registry (Key) or taken inline (Problem), the torus and identifier
 // assignment are built from the request, and the known best solver runs
 // under ctx. The returned Result carries the request's wall-clock
 // duration in Elapsed. A cancelled ctx aborts promptly — before any work
 // when already cancelled, or mid-synthesis at the next checkpoint.
+// Observers see a RequestStart/RequestEnd pair for every call.
 func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*Result, error) {
 	start := time.Now()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	e.observeRequestStart(req)
+	var res *Result
+	var err error
+	if err = ctx.Err(); err == nil {
+		res, err = e.solve(ctx, req)
 	}
-	res, err := e.solve(ctx, req)
 	if res != nil {
 		// Stamp the duration on a shallow copy: the pointer may still be
 		// the solver's own Result, which the engine never writes through.
@@ -258,6 +447,7 @@ func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*Result, error) {
 		stamped.Elapsed = time.Since(start)
 		res = &stamped
 	}
+	e.observeRequestEnd(req, res, err)
 	return res, err
 }
 
@@ -281,7 +471,7 @@ func (e *Engine) solve(ctx context.Context, req SolveRequest) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.solveProblem(ctx, req.Problem, t, ids, o)
+		return e.solveProblem(ctx, req, req.Problem, t, ids, o)
 	}
 	spec, err := e.reg.Lookup(req.Key)
 	if err != nil {
@@ -320,6 +510,7 @@ func (e *Engine) solve(ctx context.Context, req SolveRequest) (*Result, error) {
 		// sides (5edgecol, 680+) are NOT redirected — their alphabets
 		// make the SAT baseline intractable, so an honest error beats an
 		// open-ended solve.
+		e.observeFallback(req, err)
 		res, err = (&GlobalSolver{Problem: spec.Problem(), KnownClass: spec.Class}).
 			Solve(ctx, t, ids, withOptions(o))
 	}
@@ -343,7 +534,7 @@ func (e *Engine) solve(ctx context.Context, req SolveRequest) (*Result, error) {
 // and the Θ(n) brute force is the fallback — including when a
 // synthesized normal form exists but needs a larger torus than the
 // request asked for (same semantics as the registered-key path).
-func (e *Engine) solveProblem(ctx context.Context, p *Problem, t *Torus, ids []int, o Options) (*Result, error) {
+func (e *Engine) solveProblem(ctx context.Context, req SolveRequest, p *Problem, t *Torus, ids []int, o Options) (*Result, error) {
 	if o.Power > 0 {
 		return NewSynthesisSolver(e, p, o.Power, o.H, o.W).Solve(ctx, t, ids, withOptions(o))
 	}
@@ -362,6 +553,7 @@ func (e *Engine) solveProblem(ctx context.Context, p *Problem, t *Torus, ids []i
 		}
 		res, err := s.Solve(ctx, t, ids, withOptions(o))
 		if err != nil && errors.Is(err, ErrTorusTooSmall) {
+			e.observeFallback(req, err)
 			return (&GlobalSolver{Problem: p, KnownClass: ClassLogStar}).Solve(ctx, t, ids, withOptions(o))
 		}
 		return res, err

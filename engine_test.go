@@ -230,7 +230,7 @@ func TestSolveDoesNotMutateSolverResult(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	eng := lclgrid.NewEngine(reg)
+	eng := lclgrid.NewEngine(lclgrid.WithRegistry(reg))
 	res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "shared", N: 4})
 	if err != nil {
 		t.Fatal(err)

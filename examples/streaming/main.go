@@ -1,0 +1,72 @@
+// Command streaming walks the service-layer seams of the Engine: a
+// disk-persisted synthesis cache warmed at startup, an observer
+// counting every engine event, and SolveStream yielding results in
+// completion order while SolveBatch collects the same work in input
+// order.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"slices"
+
+	lclgrid "lclgrid"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A disk-backed cache directory: synthesized lookup tables (and
+	// proven-UNSAT shapes) are serialized here and survive restarts. A
+	// real service points this at a persistent volume; Warm loads the
+	// catalogue it plans to serve.
+	cacheDir := filepath.Join(os.TempDir(), "lclgrid-example-cache")
+	var counts lclgrid.CountingObserver
+	eng := lclgrid.NewEngine(
+		lclgrid.WithCacheDir(cacheDir),
+		lclgrid.WithObserver(&counts),
+	)
+	ws, err := eng.Warm(ctx, "5col", "mis", "orient134")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm: %d warmed, %d syntheses (0 on every restart after the first run)\n",
+		ws.Warmed, ws.Syntheses)
+
+	// A workload with duplicate fingerprints: the syntheses coalesce
+	// through the cache however the requests are executed.
+	keys := []string{"5col", "mis", "orient134", "is"}
+	var reqs []lclgrid.SolveRequest
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, lclgrid.SolveRequest{Key: keys[i%len(keys)], N: 16, Seed: int64(i + 1)})
+	}
+
+	// SolveStream yields each result the moment it completes — the
+	// indexes below arrive out of input order, and memory stays
+	// O(workers) however long the request sequence is.
+	fmt.Println("\nstreaming, in completion order:")
+	for item, err := range eng.SolveStream(ctx, slices.Values(reqs), lclgrid.WithWorkers(4)) {
+		if err != nil {
+			fmt.Printf("  #%d failed: %v\n", item.Index, err)
+			continue
+		}
+		fmt.Printf("  #%-2d %-28s %-8v %4d rounds  cache_hit=%v\n",
+			item.Index, item.Result.Problem, item.Result.Class, item.Result.Rounds, item.Result.CacheHit)
+	}
+
+	// SolveBatch is the order-preserving collector over the same pool.
+	items, stats := eng.SolveBatch(ctx, reqs, lclgrid.WithWorkers(4))
+	fmt.Printf("\nbatch, in input order: %d requests, %d errors, %d cache hits, %v wall\n",
+		stats.Requests, stats.Errors, stats.CacheHits, stats.Wall)
+	for _, item := range items[:4] {
+		fmt.Printf("  #%-2d %s\n", item.Index, item.Result)
+	}
+
+	// The observer saw everything: requests, syntheses, cache traffic.
+	c := counts.Counts()
+	fmt.Printf("\nobserved: %d requests, %d syntheses (%v in SAT), %d cache hits, %d misses\n",
+		c.Requests, c.Syntheses, c.SynthesisTime.Round(1e6), c.CacheHits, c.CacheMisses)
+}

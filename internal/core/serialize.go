@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lclgrid/internal/tiles"
+)
+
+// SynthesizedWire is the persistence form of a Synthesized normal-form
+// algorithm: everything Run/Apply need — the shape, the node's window
+// offset, the tile set and the lookup table — in a JSON-encodable
+// struct. The problem itself is function-valued and cannot be
+// serialized; only its display name rides along for humans inspecting a
+// cache directory, and Decode leaves Synthesized.Problem nil (the
+// lookup table is a pure label-index function, so callers attach their
+// own problem when they need one — the disk cache is keyed by the
+// problem fingerprint, which guarantees the table matches). The tile
+// graph's edges and the SAT statistics are synthesis-time artefacts and
+// are not persisted either.
+type SynthesizedWire struct {
+	// Problem is the display name of the problem the table was
+	// synthesized for (informational only).
+	Problem string `json:"problem,omitempty"`
+	K       int    `json:"k"`
+	H       int    `json:"h"`
+	W       int    `json:"w"`
+	OffR    int    `json:"off_r"`
+	OffC    int    `json:"off_c"`
+	// Tiles holds the canonical tile keys (tiles.Pattern.Key format:
+	// rows of 0/1 joined by '|'), in table order.
+	Tiles []string `json:"tiles"`
+	// Table[i] is the output label index for Tiles[i].
+	Table []int `json:"table"`
+}
+
+// Wire returns the persistence form of the algorithm.
+func (s *Synthesized) Wire() *SynthesizedWire {
+	w := &SynthesizedWire{
+		K:    s.K,
+		H:    s.H,
+		W:    s.W,
+		OffR: s.OffR,
+		OffC: s.OffC,
+	}
+	if s.Problem != nil {
+		w.Problem = s.Problem.Name()
+	}
+	w.Tiles = make([]string, len(s.Graph.Tiles))
+	for i, p := range s.Graph.Tiles {
+		w.Tiles[i] = p.Key()
+	}
+	w.Table = append([]int(nil), s.Table...)
+	return w
+}
+
+// Decode validates the wire form and rebuilds the runnable algorithm.
+// The input may come from a cache file on disk, so every structural
+// invariant is checked — shape positivity, tile-key geometry,
+// duplicate tiles, table length and label-index sign — and a violation
+// is an error, never a panic. The rebuilt algorithm has a nil Problem
+// and an empty SolverStats, and its tile graph carries no edges (they
+// are only needed during synthesis); label indices cannot be
+// range-checked without the problem, which is why callers should keep
+// verification on for disk-loaded tables.
+func (w *SynthesizedWire) Decode() (*Synthesized, error) {
+	if w.K < 1 || w.H < 1 || w.W < 1 {
+		return nil, fmt.Errorf("core: wire form has non-positive shape k=%d window %dx%d", w.K, w.H, w.W)
+	}
+	if w.OffR < 0 || w.OffR >= w.H || w.OffC < 0 || w.OffC >= w.W {
+		return nil, fmt.Errorf("core: wire form offset (%d,%d) outside the %dx%d window", w.OffR, w.OffC, w.H, w.W)
+	}
+	if len(w.Tiles) == 0 {
+		return nil, fmt.Errorf("core: wire form has no tiles")
+	}
+	if len(w.Table) != len(w.Tiles) {
+		return nil, fmt.Errorf("core: wire form has %d table entries for %d tiles", len(w.Table), len(w.Tiles))
+	}
+	tg := &TileGraph{
+		K:     w.K,
+		H:     w.H,
+		W:     w.W,
+		Tiles: make([]tiles.Pattern, len(w.Tiles)),
+		Index: make(map[string]int, len(w.Tiles)),
+	}
+	for i, key := range w.Tiles {
+		p, err := parseTileKey(key, w.H, w.W)
+		if err != nil {
+			return nil, fmt.Errorf("core: wire tile %d: %w", i, err)
+		}
+		if _, dup := tg.Index[key]; dup {
+			return nil, fmt.Errorf("core: wire tile %d duplicates key %s", i, key)
+		}
+		tg.Tiles[i] = p
+		tg.Index[key] = i
+	}
+	for i, lbl := range w.Table {
+		if lbl < 0 {
+			return nil, fmt.Errorf("core: wire table entry %d is negative (%d)", i, lbl)
+		}
+	}
+	return &Synthesized{
+		K:     w.K,
+		H:     w.H,
+		W:     w.W,
+		OffR:  w.OffR,
+		OffC:  w.OffC,
+		Graph: tg,
+		Table: append([]int(nil), w.Table...),
+	}, nil
+}
+
+// parseTileKey parses one canonical tile key, insisting on the exact
+// h×w geometry and the 0/1 alphabet (tiles.ParsePattern assumes
+// well-formed input; cache files are not trusted to be).
+func parseTileKey(key string, h, w int) (tiles.Pattern, error) {
+	rows := strings.Split(key, "|")
+	if len(rows) != h {
+		return tiles.Pattern{}, fmt.Errorf("key %q has %d rows, want %d", key, len(rows), h)
+	}
+	for _, row := range rows {
+		if len(row) != w {
+			return tiles.Pattern{}, fmt.Errorf("key %q has a row of width %d, want %d", key, len(row), w)
+		}
+		for _, ch := range row {
+			if ch != '0' && ch != '1' {
+				return tiles.Pattern{}, fmt.Errorf("key %q contains %q, want 0/1", key, ch)
+			}
+		}
+	}
+	return tiles.ParsePattern(key), nil
+}

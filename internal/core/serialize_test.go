@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/local"
+)
+
+// TestSynthesizedWireRoundTrip: Wire → JSON → Decode reproduces an
+// algorithm that runs identically to the original.
+func TestSynthesizedWireRoundTrip(t *testing.T) {
+	p := lcl.VertexColoring(5, 2)
+	alg, err := Synthesize(context.Background(), p, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(alg.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire SynthesizedWire
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Problem != p.Name() {
+		t.Errorf("wire problem name %q, want %q", wire.Problem, p.Name())
+	}
+	back, err := wire.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Problem != nil {
+		t.Error("decoded algorithm must not invent a problem")
+	}
+	if back.K != alg.K || back.H != alg.H || back.W != alg.W || back.OffR != alg.OffR || back.OffC != alg.OffC {
+		t.Errorf("shape mismatch: %+v vs %+v", back, alg)
+	}
+	if back.Graph.NumTiles() != alg.Graph.NumTiles() {
+		t.Errorf("tiles %d, want %d", back.Graph.NumTiles(), alg.Graph.NumTiles())
+	}
+	g := grid.Square(16)
+	ids := local.PermutedIDs(g.N(), 7)
+	want, wantRounds, err := alg.Run(g, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotRounds, err := back.Run(g, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantRounds.Total() != gotRounds.Total() {
+		t.Errorf("rounds %d, want %d", gotRounds.Total(), wantRounds.Total())
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("label %d differs: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if err := p.Verify(g, got); err != nil {
+		t.Errorf("decoded algorithm's output rejected: %v", err)
+	}
+}
+
+// TestSynthesizedWireDecodeRejectsCorruption: every structural
+// invariant of the wire form is validated — corrupted cache files must
+// fail decoding, never panic at Run time.
+func TestSynthesizedWireDecodeRejectsCorruption(t *testing.T) {
+	p := lcl.VertexColoring(5, 2)
+	alg, err := Synthesize(context.Background(), p, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := alg.Wire()
+	mutate := func(fn func(w *SynthesizedWire)) *SynthesizedWire {
+		data, _ := json.Marshal(good)
+		var w SynthesizedWire
+		if err := json.Unmarshal(data, &w); err != nil {
+			t.Fatal(err)
+		}
+		fn(&w)
+		return &w
+	}
+	cases := map[string]*SynthesizedWire{
+		"zero shape":      mutate(func(w *SynthesizedWire) { w.K = 0 }),
+		"offset outside":  mutate(func(w *SynthesizedWire) { w.OffR = w.H }),
+		"no tiles":        mutate(func(w *SynthesizedWire) { w.Tiles = nil; w.Table = nil }),
+		"table too short": mutate(func(w *SynthesizedWire) { w.Table = w.Table[:1] }),
+		"negative label":  mutate(func(w *SynthesizedWire) { w.Table[0] = -1 }),
+		"bad tile rows":   mutate(func(w *SynthesizedWire) { w.Tiles[0] = "01" }),
+		"bad tile width":  mutate(func(w *SynthesizedWire) { w.Tiles[0] = "0|0|0" }),
+		"bad tile chars":  mutate(func(w *SynthesizedWire) { w.Tiles[0] = "0x|00|00" }),
+		"duplicate tile":  mutate(func(w *SynthesizedWire) { w.Tiles[1] = w.Tiles[0] }),
+	}
+	for name, w := range cases {
+		if _, err := w.Decode(); err == nil {
+			t.Errorf("%s: Decode accepted a corrupt wire form", name)
+		}
+	}
+	if _, err := good.Decode(); err != nil {
+		t.Errorf("pristine wire form rejected: %v", err)
+	}
+}

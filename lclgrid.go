@@ -25,13 +25,20 @@
 //     "<k>edgecol" and "orient<digits>". DefaultRegistry returns the
 //     paper's catalogue.
 //   - Engine serves requests — Solve(ctx, req) one at a time,
-//     SolveBatch(ctx, reqs) on a bounded worker pool preserving input
-//     order — and memoises SAT syntheses in a concurrency-safe cache
-//     keyed by the canonical Problem.Fingerprint plus the anchor power
-//     and window shape, so repeated and concurrent requests pay the
-//     expensive synthesis once per problem. Context cancellation
-//     reaches all the way into the tile enumeration and the CDCL SAT
-//     loop, so a deadline aborts an in-flight synthesis promptly.
+//     SolveStream(ctx, reqs) yielding results as they complete from a
+//     bounded worker pool, SolveBatch(ctx, reqs) as the
+//     order-preserving collector over the stream — and memoises SAT
+//     syntheses in a pluggable SynthCache keyed by the canonical
+//     Problem.Fingerprint plus the anchor power and window shape, so
+//     repeated and concurrent requests pay the expensive synthesis once
+//     per problem. The cache is chosen at construction (in-memory by
+//     default, LRU-bounded with WithCacheCapacity, persisted across
+//     process restarts with WithCacheDir; Engine.Warm pre-synthesizes a
+//     catalogue on startup), and Observers installed with WithObserver
+//     see every request, synthesis and cache event. Context
+//     cancellation reaches all the way into the tile enumeration and
+//     the CDCL SAT loop, so a deadline aborts an in-flight synthesis
+//     promptly.
 //
 // A minimal session:
 //
@@ -39,9 +46,11 @@
 //	res, err := eng.Solve(ctx, lclgrid.SolveRequest{Key: "4col", N: 32})
 //	// res.Labels, res.Rounds, res.Class, res.Verification, res.Elapsed ...
 //
-// Batches coalesce duplicate syntheses and report aggregate stats:
+// Batches coalesce duplicate syntheses and report aggregate stats, and
+// streams yield each result the moment it is ready:
 //
 //	items, stats := eng.SolveBatch(ctx, reqs, lclgrid.WithWorkers(8))
+//	for item, err := range eng.SolveStream(ctx, reqSeq) { ... }
 //
 // # The underlying pipeline
 //
@@ -63,9 +72,10 @@
 //   - The §6 undecidability gadget L_M: LM, HaltingWriter, RightLooper.
 //   - The §9/§11 lower-bound invariants: BuildAux, Orient034Invariant.
 //
-// Runnable walkthroughs live in examples/, and the benchmark harness in
-// bench_test.go regenerates every quantitative claim of the paper (see
-// DESIGN.md and EXPERIMENTS.md).
+// Runnable walkthroughs live in examples/ (see the README for a guided
+// tour), and the benchmark harness in bench_test.go regenerates every
+// quantitative claim of the paper — run `go test -bench=.` or `lclgrid
+// experiments`.
 package lclgrid
 
 import (

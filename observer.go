@@ -1,0 +1,194 @@
+package lclgrid
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Observer receives engine lifecycle events: one pair per request, one
+// pair per SAT synthesis actually run, and one event per cache
+// interaction. Install with NewEngine(WithObserver(...)); several
+// observers compose (each receives every event, in installation
+// order).
+//
+// Callbacks are invoked synchronously on the goroutine doing the work —
+// from inside the engine's request path and its singleflight synthesis
+// path — so they must be fast and must be safe for concurrent use
+// (batch and stream execution deliver events from many workers at
+// once). An observer must not call back into the engine it observes.
+//
+// Embed NopObserver to implement only the events you care about.
+type Observer interface {
+	// RequestStart fires when Engine.Solve accepts a request (including
+	// each request of a batch or stream).
+	RequestStart(req SolveRequest)
+	// RequestEnd fires when the request completes; exactly one of res
+	// and err is meaningful (res may be non-nil alongside err for
+	// partial results, e.g. a labelling that failed verification).
+	RequestEnd(req SolveRequest, res *Result, err error)
+	// SynthesisStart fires when a SAT synthesis is elected to run (a
+	// cache miss that this goroutine now owns).
+	SynthesisStart(key SynthKey)
+	// SynthesisEnd fires when that synthesis returns; err is nil on
+	// success, ErrUnsatisfiable-wrapping on a proven non-table, or the
+	// context's error on an abort.
+	SynthesisEnd(key SynthKey, elapsed time.Duration, err error)
+	// CacheHit fires when a synthesis lookup is served from the cache,
+	// including waiters coalesced onto an in-flight synthesis.
+	CacheHit(key SynthKey)
+	// CacheMiss fires when a synthesis lookup finds nothing and a
+	// synthesis is started (it always precedes SynthesisStart).
+	CacheMiss(key SynthKey)
+	// CacheEvict fires when a cache entry is removed by Engine.Evict or
+	// by a capacity-bounded cache making room (not on Reset).
+	CacheEvict(key SynthKey)
+	// Fallback fires when a request aimed at a synthesized normal form
+	// is redirected to the Θ(n) baseline because the torus is below the
+	// normal form's minimum side; cause is the ErrTorusTooSmall-wrapping
+	// error that triggered the redirect.
+	Fallback(req SolveRequest, cause error)
+}
+
+// NopObserver is an Observer that ignores every event; embed it to
+// implement a partial observer that stays compatible when events are
+// added.
+type NopObserver struct{}
+
+func (NopObserver) RequestStart(SolveRequest)                   {}
+func (NopObserver) RequestEnd(SolveRequest, *Result, error)     {}
+func (NopObserver) SynthesisStart(SynthKey)                     {}
+func (NopObserver) SynthesisEnd(SynthKey, time.Duration, error) {}
+func (NopObserver) CacheHit(SynthKey)                           {}
+func (NopObserver) CacheMiss(SynthKey)                          {}
+func (NopObserver) CacheEvict(SynthKey)                         {}
+func (NopObserver) Fallback(SolveRequest, error)                {}
+
+// ObserverCounts is a snapshot of a CountingObserver.
+type ObserverCounts struct {
+	// Requests and RequestErrors count RequestStart events and the
+	// subset of RequestEnd events carrying an error.
+	Requests      uint64 `json:"requests"`
+	RequestErrors uint64 `json:"request_errors"`
+	// Syntheses counts SAT syntheses started; SynthesisErrors the ones
+	// that returned an error (UNSAT proofs and aborts included).
+	// SynthesisTime is the cumulative wall-clock time inside the
+	// synthesizer.
+	Syntheses       uint64        `json:"syntheses"`
+	SynthesisErrors uint64        `json:"synthesis_errors"`
+	SynthesisTime   time.Duration `json:"synthesis_time_ns"`
+	// CacheHits / CacheMisses / CacheEvicts count the cache events.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheEvicts uint64 `json:"cache_evicts"`
+	// Fallbacks counts too-small-torus redirects to the Θ(n) baseline.
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// CountingObserver is a built-in Observer that tallies every event in
+// atomic counters — the cheapest way to see what an engine is doing.
+// The zero value is ready to use; read a consistent-enough snapshot
+// with Counts. It is safe to share one CountingObserver between
+// engines.
+type CountingObserver struct {
+	requests        atomic.Uint64
+	requestErrors   atomic.Uint64
+	syntheses       atomic.Uint64
+	synthesisErrors atomic.Uint64
+	synthesisNanos  atomic.Int64
+	cacheHits       atomic.Uint64
+	cacheMisses     atomic.Uint64
+	cacheEvicts     atomic.Uint64
+	fallbacks       atomic.Uint64
+}
+
+var _ Observer = (*CountingObserver)(nil)
+
+// Counts returns a snapshot of the counters. Like CacheStats, the
+// counters are read independently: a snapshot taken while requests are
+// in flight is not a single consistent cut, but each counter is exact
+// once the engine is quiescent.
+func (c *CountingObserver) Counts() ObserverCounts {
+	return ObserverCounts{
+		Requests:        c.requests.Load(),
+		RequestErrors:   c.requestErrors.Load(),
+		Syntheses:       c.syntheses.Load(),
+		SynthesisErrors: c.synthesisErrors.Load(),
+		SynthesisTime:   time.Duration(c.synthesisNanos.Load()),
+		CacheHits:       c.cacheHits.Load(),
+		CacheMisses:     c.cacheMisses.Load(),
+		CacheEvicts:     c.cacheEvicts.Load(),
+		Fallbacks:       c.fallbacks.Load(),
+	}
+}
+
+func (c *CountingObserver) RequestStart(SolveRequest) { c.requests.Add(1) }
+
+func (c *CountingObserver) RequestEnd(_ SolveRequest, _ *Result, err error) {
+	if err != nil {
+		c.requestErrors.Add(1)
+	}
+}
+
+func (c *CountingObserver) SynthesisStart(SynthKey) { c.syntheses.Add(1) }
+
+func (c *CountingObserver) SynthesisEnd(_ SynthKey, elapsed time.Duration, err error) {
+	c.synthesisNanos.Add(int64(elapsed))
+	if err != nil {
+		c.synthesisErrors.Add(1)
+	}
+}
+
+func (c *CountingObserver) CacheHit(SynthKey)            { c.cacheHits.Add(1) }
+func (c *CountingObserver) CacheMiss(SynthKey)           { c.cacheMisses.Add(1) }
+func (c *CountingObserver) CacheEvict(SynthKey)          { c.cacheEvicts.Add(1) }
+func (c *CountingObserver) Fallback(SolveRequest, error) { c.fallbacks.Add(1) }
+
+// --- engine-side fan-out ----------------------------------------------------
+
+func (e *Engine) observeRequestStart(req SolveRequest) {
+	for _, o := range e.obs {
+		o.RequestStart(req)
+	}
+}
+
+func (e *Engine) observeRequestEnd(req SolveRequest, res *Result, err error) {
+	for _, o := range e.obs {
+		o.RequestEnd(req, res, err)
+	}
+}
+
+func (e *Engine) observeSynthesisStart(key SynthKey) {
+	for _, o := range e.obs {
+		o.SynthesisStart(key)
+	}
+}
+
+func (e *Engine) observeSynthesisEnd(key SynthKey, elapsed time.Duration, err error) {
+	for _, o := range e.obs {
+		o.SynthesisEnd(key, elapsed, err)
+	}
+}
+
+func (e *Engine) observeCacheHit(key SynthKey) {
+	for _, o := range e.obs {
+		o.CacheHit(key)
+	}
+}
+
+func (e *Engine) observeCacheMiss(key SynthKey) {
+	for _, o := range e.obs {
+		o.CacheMiss(key)
+	}
+}
+
+func (e *Engine) observeCacheEvict(key SynthKey) {
+	for _, o := range e.obs {
+		o.CacheEvict(key)
+	}
+}
+
+func (e *Engine) observeFallback(req SolveRequest, cause error) {
+	for _, o := range e.obs {
+		o.Fallback(req, cause)
+	}
+}

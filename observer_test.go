@@ -1,0 +1,131 @@
+package lclgrid_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	lclgrid "lclgrid"
+)
+
+// TestCountingObserver walks one engine lifecycle past a
+// CountingObserver and checks every counter: cold solve (miss +
+// synthesis), warm solve (hit), a too-small-torus fallback, an evict
+// and a failing request.
+func TestCountingObserver(t *testing.T) {
+	var c lclgrid.CountingObserver
+	eng := lclgrid.NewEngine(lclgrid.WithObserver(&c))
+
+	if _, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "5col", N: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "5col", N: 16, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	counts := c.Counts()
+	if counts.Requests != 2 || counts.RequestErrors != 0 {
+		t.Errorf("requests = %d/%d errors, want 2/0", counts.Requests, counts.RequestErrors)
+	}
+	if counts.Syntheses != 1 || counts.CacheMisses != 1 {
+		t.Errorf("syntheses/misses = %d/%d, want 1/1", counts.Syntheses, counts.CacheMisses)
+	}
+	if counts.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", counts.CacheHits)
+	}
+	if counts.SynthesisTime <= 0 {
+		t.Error("synthesis time not accumulated")
+	}
+
+	// 4col below the normal form's minimum side redirects to the Θ(n)
+	// baseline: a Fallback event.
+	if _, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "4col", N: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Counts().Fallbacks; got != 1 {
+		t.Errorf("fallbacks = %d, want 1", got)
+	}
+
+	if !eng.Evict(lclgrid.VertexColoring(5, 2), 1, 3, 2) {
+		t.Fatal("evict found no entry")
+	}
+	if got := c.Counts().CacheEvicts; got != 1 {
+		t.Errorf("evicts = %d, want 1", got)
+	}
+
+	if _, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "nope"}); err == nil {
+		t.Fatal("unknown key succeeded")
+	}
+	if got := c.Counts().RequestErrors; got != 1 {
+		t.Errorf("request errors = %d, want 1", got)
+	}
+}
+
+// TestObserverLRUEviction: a capacity eviction inside the bounded cache
+// surfaces as a CacheEvict event even though the engine never called
+// Evict.
+func TestObserverLRUEviction(t *testing.T) {
+	var c lclgrid.CountingObserver
+	eng := lclgrid.NewEngine(lclgrid.WithCacheCapacity(1), lclgrid.WithObserver(&c))
+	if _, _, err := eng.Synthesize(bg, lclgrid.VertexColoring(5, 2), 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Synthesize(bg, lclgrid.VertexColoring(6, 2), 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Counts().CacheEvicts; got != 1 {
+		t.Errorf("capacity eviction not observed: evicts = %d, want 1", got)
+	}
+}
+
+// eventObserver records the ordered event names for one key, to pin the
+// miss → start → end sequencing contract.
+type eventObserver struct {
+	lclgrid.NopObserver
+	mu     sync.Mutex
+	events []string
+}
+
+func (o *eventObserver) record(ev string) {
+	o.mu.Lock()
+	o.events = append(o.events, ev)
+	o.mu.Unlock()
+}
+
+func (o *eventObserver) SynthesisStart(lclgrid.SynthKey) { o.record("synth-start") }
+func (o *eventObserver) SynthesisEnd(_ lclgrid.SynthKey, _ time.Duration, _ error) {
+	o.record("synth-end")
+}
+func (o *eventObserver) CacheHit(lclgrid.SynthKey)  { o.record("hit") }
+func (o *eventObserver) CacheMiss(lclgrid.SynthKey) { o.record("miss") }
+
+// TestObserverEventOrder: a cold synthesis emits miss, synth-start,
+// synth-end in that order, then a warm lookup emits hit — and multiple
+// observers both see everything.
+func TestObserverEventOrder(t *testing.T) {
+	var seq eventObserver
+	var c lclgrid.CountingObserver
+	eng := lclgrid.NewEngine(lclgrid.WithObserver(&seq), lclgrid.WithObserver(&c))
+	p := lclgrid.VertexColoring(5, 2)
+	if _, _, err := eng.Synthesize(bg, p, 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Synthesize(bg, p, 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"miss", "synth-start", "synth-end", "hit"}
+	seq.mu.Lock()
+	got := append([]string(nil), seq.events...)
+	seq.mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+	counts := c.Counts()
+	if counts.CacheMisses != 1 || counts.CacheHits != 1 || counts.Syntheses != 1 {
+		t.Errorf("second observer saw %+v, want 1 miss / 1 hit / 1 synthesis", counts)
+	}
+}

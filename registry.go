@@ -131,28 +131,50 @@ func (r *Registry) Lookup(key string) (*ProblemSpec, error) {
 		key, strings.Join(r.Keys(), ", "))
 }
 
-// familySpec constructs a spec for the parameterised families.
+// Family parameter bounds. Keys reach this parser straight off the wire
+// (the `lclgrid batch` JSONL front end), so the alphabets they imply
+// must be bounded: an unchecked "<k>col" would allocate O(k²)-bit
+// relation bitmaps, and the edge-colouring alphabet grows like k⁴.
+// The caps are far above anything the paper (or a tractable SAT call)
+// uses.
+const (
+	maxFamilyVertexColors = 1024
+	maxFamilyEdgeColors   = 8
+)
+
+// familySpec constructs a spec for the parameterised families. Keys are
+// validated strictly — exact round-trip formatting, bounded parameters,
+// and (for orientations) X a non-empty set of out-degrees from
+// {0,...,4} with no repeated digits — so a malformed or adversarial key
+// yields the unknown-key error instead of a huge allocation (see
+// FuzzRegistryLookup).
 func familySpec(key string) *ProblemSpec {
 	switch {
 	case strings.HasSuffix(key, "edgecol"):
 		var k int
-		if _, err := fmt.Sscanf(key, "%dedgecol", &k); err != nil || k < 4 || fmt.Sprintf("%dedgecol", k) != key {
+		if _, err := fmt.Sscanf(key, "%dedgecol", &k); err != nil || k < 4 || k > maxFamilyEdgeColors || fmt.Sprintf("%dedgecol", k) != key {
 			return nil
 		}
 		return edgeColoringSpec(key, k)
 	case strings.HasSuffix(key, "col"):
 		var k int
-		if _, err := fmt.Sscanf(key, "%dcol", &k); err != nil || k < 2 || fmt.Sprintf("%dcol", k) != key {
+		if _, err := fmt.Sscanf(key, "%dcol", &k); err != nil || k < 2 || k > maxFamilyVertexColors || fmt.Sprintf("%dcol", k) != key {
 			return nil
 		}
 		return vertexColoringSpec(key, k)
 	case strings.HasPrefix(key, "orient"):
 		var x []int
+		var seen [5]bool
 		for _, ch := range key[len("orient"):] {
 			if ch < '0' || ch > '4' {
 				return nil
 			}
-			x = append(x, int(ch-'0'))
+			d := int(ch - '0')
+			if seen[d] {
+				return nil // X is a set of out-degrees; "orient00" is no key
+			}
+			seen[d] = true
+			x = append(x, d)
 		}
 		if len(x) == 0 {
 			return nil

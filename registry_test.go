@@ -93,6 +93,69 @@ func TestRegistryFamilies(t *testing.T) {
 	}
 }
 
+// FuzzRegistryLookup fuzzes the <k>col / <k>edgecol / orient<digits>
+// family key parser: for arbitrary keys, Lookup must either fail
+// cleanly or return a well-formed spec whose Key round-trips — never
+// panic, and never accept a parameter outside the documented bounds
+// (unbounded k would imply O(k²)-bit relation bitmaps allocated
+// straight off the wire).
+func FuzzRegistryLookup(f *testing.F) {
+	for _, seed := range []string{
+		"4col", "2col", "0col", "1col", "-4col", "04col", "1025col",
+		"99999999999999999999col", "col", "xcol", "4COL", " 4col",
+		"4edgecol", "5edgecol", "3edgecol", "9edgecol", "edgecol", "-5edgecol",
+		"orient", "orient2", "orient034", "orient01234", "orient00",
+		"orient43210", "orient5", "orient-1", "orient2x",
+		"", "mis", "lm:halt", "nope", "4col ", "4colcol", "4edgecolcol",
+	} {
+		f.Add(seed)
+	}
+	reg := lclgrid.DefaultRegistry()
+	f.Fuzz(func(t *testing.T, key string) {
+		spec, err := reg.Lookup(key)
+		if err != nil {
+			if spec != nil {
+				t.Errorf("%q: non-nil spec alongside error %v", key, err)
+			}
+			return
+		}
+		if spec.Key != key {
+			t.Errorf("%q: resolved spec carries key %q", key, spec.Key)
+		}
+		if spec.Solver == nil {
+			t.Errorf("%q: spec has no solver", key)
+		}
+		if spec.Name == "" {
+			t.Errorf("%q: spec has no name", key)
+		}
+		if spec.Problem != nil {
+			if k := spec.Problem().K(); k != spec.NumLabels {
+				t.Errorf("%q: NumLabels %d but problem has %d labels", key, spec.NumLabels, k)
+			}
+		}
+	})
+}
+
+// TestRegistryFamilyBounds pins the wire-hardening of the family
+// parser: parameters beyond the documented caps and orientation keys
+// with repeated digits are unknown keys, not huge allocations.
+func TestRegistryFamilyBounds(t *testing.T) {
+	reg := lclgrid.DefaultRegistry()
+	for _, bad := range []string{
+		"1025col", "100000col", "9edgecol", "1000edgecol",
+		"orient00", "orient22", "orient01230",
+	} {
+		if _, err := reg.Lookup(bad); err == nil {
+			t.Errorf("%q: lookup should fail (outside family bounds)", bad)
+		}
+	}
+	for _, good := range []string{"1024col", "8edgecol", "orient01234"} {
+		if _, err := reg.Lookup(good); err != nil {
+			t.Errorf("%q: lookup failed at the family bound: %v", good, err)
+		}
+	}
+}
+
 // TestUnknownKeyError checks that unknown keys enumerate the valid ones.
 func TestUnknownKeyError(t *testing.T) {
 	_, err := lclgrid.DefaultRegistry().Lookup("unknown-problem")

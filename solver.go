@@ -261,7 +261,9 @@ func (s FourColorSolver) Solve(ctx context.Context, t *Torus, ids []int, opts ..
 		return nil, err
 	}
 	res := &Result{
-		Problem: fmt.Sprintf("%d-colouring", 4),
+		// Name the problem through the catalogue constructor so the
+		// display name agrees with the registry and verifier everywhere.
+		Problem: lcl.VertexColoring(4, t.Dim()).Name(),
 		Solver:  s.Name(),
 		Class:   ClassLogStar,
 		Labels:  out,

@@ -1,0 +1,119 @@
+package lclgrid
+
+import (
+	"context"
+	"iter"
+	"runtime"
+	"sync"
+)
+
+// SolveStream serves an iterator of requests on a bounded worker pool
+// (WithWorkers, default runtime.GOMAXPROCS(0)) and yields each result
+// the moment it completes — a slow request (a cold SAT synthesis, say)
+// never blocks a fast one's result. BatchItem.Index carries the 0-based
+// position of the request in the input sequence, so callers that need
+// input order can reassemble it (SolveBatch is exactly that collector).
+//
+// Memory is O(workers): requests are pulled from reqs only as workers
+// free up, and results are handed to the consumer unbuffered — a huge
+// (or unbounded) JSONL stream flows through without ever being resident.
+// Duplicate syntheses coalesce through the engine's cache exactly as in
+// SolveBatch.
+//
+// Cancellation and termination: when ctx is cancelled, already-started
+// requests abort at their next checkpoint and already-pulled requests
+// fail immediately with the context's error (carried in their
+// BatchItems) — every request pulled from reqs yields exactly one item.
+// Requests not yet pulled when the cancel lands are never pulled, so
+// the stream terminates promptly even over an unbounded input sequence
+// (SolveBatch synthesizes the missing items itself, preserving its
+// one-item-per-request contract). Breaking out of the consuming loop
+// stops the pool the same way: no further requests are pulled,
+// in-flight SAT work is aborted via a derived context, and the
+// stream's own goroutines drain. One caveat is outside the stream's
+// control: the pull happens inside reqs itself, so a sequence that is
+// blocked waiting for its source (a channel, a network read) keeps its
+// goroutine parked until the source yields once more or ends — an
+// input sequence backed by an external source should select on its own
+// cancellation signal alongside the source. Per-request failures are
+// recorded in their BatchItem (and mirrored as the iterator's second
+// value) and never stop the stream.
+func (e *Engine) SolveStream(ctx context.Context, reqs iter.Seq[SolveRequest], opts ...Option) iter.Seq2[BatchItem, error] {
+	o := buildOptions(opts)
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return func(yield func(BatchItem, error) bool) {
+		// The derived context aborts in-flight solver work when the
+		// consumer stops early; on a normal drain it is cancelled only
+		// after every worker has finished.
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		// done releases any goroutine blocked handing work forward when
+		// the consumer breaks out of the loop.
+		done := make(chan struct{})
+		defer close(done)
+
+		type job struct {
+			index int
+			req   SolveRequest
+		}
+		jobs := make(chan job)
+		results := make(chan BatchItem)
+
+		go func() {
+			defer close(jobs)
+			index := 0
+			for req := range reqs {
+				select {
+				case jobs <- job{index: index, req: req}:
+				case <-done:
+					return
+				case <-ctx.Done():
+					// Stop pulling — the input may be unbounded and every
+					// further request would only become an error item. This
+					// request was already pulled, so it still gets its item.
+					select {
+					case results <- BatchItem{Index: index, Err: ctx.Err()}:
+					case <-done:
+					}
+					return
+				}
+				index++
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					var it BatchItem
+					if err := ctx.Err(); err != nil {
+						it = BatchItem{Index: j.index, Err: err}
+					} else {
+						it = e.solveItem(ctx, j.req)
+						it.Index = j.index
+					}
+					select {
+					case results <- it:
+					case <-done:
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
+
+		for it := range results {
+			if !yield(it, it.Err) {
+				return
+			}
+		}
+	}
+}

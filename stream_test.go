@@ -1,0 +1,247 @@
+package lclgrid_test
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	lclgrid "lclgrid"
+)
+
+// gatedSolver blocks every Solve until release is closed — a stand-in
+// for a slow SAT synthesis with a deterministic trigger.
+type gatedSolver struct {
+	release chan struct{}
+	name    string
+}
+
+func (s *gatedSolver) Name() string { return s.name }
+
+func (s *gatedSolver) Solve(ctx context.Context, t *lclgrid.Torus, ids []int, opts ...lclgrid.Option) (*lclgrid.Result, error) {
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &lclgrid.Result{Problem: s.name, Solver: s.name, Class: lclgrid.ClassO1}, nil
+}
+
+// instantSolver returns immediately.
+type instantSolver struct{ name string }
+
+func (s *instantSolver) Name() string { return s.name }
+
+func (s *instantSolver) Solve(ctx context.Context, t *lclgrid.Torus, ids []int, opts ...lclgrid.Option) (*lclgrid.Result, error) {
+	return &lclgrid.Result{Problem: s.name, Solver: s.name, Class: lclgrid.ClassO1}, nil
+}
+
+// gatedEngine builds an engine whose "slow" key blocks until the
+// returned channel is closed and whose "fast" key returns immediately.
+func gatedEngine(t *testing.T) (*lclgrid.Engine, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	reg := lclgrid.NewRegistry()
+	if err := reg.Register(&lclgrid.ProblemSpec{
+		Key: "slow", Name: "slow", Class: lclgrid.ClassO1,
+		Solver: func(e *lclgrid.Engine) lclgrid.Solver { return &gatedSolver{release: release, name: "slow"} },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(&lclgrid.ProblemSpec{
+		Key: "fast", Name: "fast", Class: lclgrid.ClassO1,
+		Solver: func(e *lclgrid.Engine) lclgrid.Solver { return &instantSolver{name: "fast"} },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return lclgrid.NewEngine(lclgrid.WithRegistry(reg)), release
+}
+
+// TestSolveStreamYieldsOutOfOrder is the streaming acceptance contract:
+// a slow request must not block a fast request's result. The slow
+// solver is gated on a channel that is only closed AFTER the fast
+// result has been observed, so the test deadlocks (and times out)
+// rather than passes if the stream head-of-line blocks.
+func TestSolveStreamYieldsOutOfOrder(t *testing.T) {
+	eng, release := gatedEngine(t)
+	reqs := []lclgrid.SolveRequest{
+		{Key: "slow", N: 4}, // index 0, dispatched first
+		{Key: "fast", N: 4}, // index 1, must be yielded first
+	}
+	var got []lclgrid.BatchItem
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for it, err := range eng.SolveStream(bg, slices.Values(reqs), lclgrid.WithWorkers(2)) {
+			if err != nil {
+				t.Errorf("item %d: %v", it.Index, err)
+			}
+			got = append(got, it)
+			if len(got) == 1 {
+				// The fast result arrived while the slow one is still
+				// blocked; only now may the slow solve finish.
+				close(release)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not complete: the slow request blocked the fast one")
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d items, want 2", len(got))
+	}
+	if got[0].Index != 1 || got[0].Result.Problem != "fast" {
+		t.Errorf("first yielded item is %+v, want the fast request (index 1)", got[0])
+	}
+	if got[1].Index != 0 || got[1].Result.Problem != "slow" {
+		t.Errorf("second yielded item is %+v, want the slow request (index 0)", got[1])
+	}
+}
+
+// TestSolveStreamErrorMirror: the iterator's second value mirrors the
+// item's error, so `for item, err := range` reads naturally.
+func TestSolveStreamErrorMirror(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	reqs := []lclgrid.SolveRequest{
+		{Key: "is", N: 4},
+		{Key: "nope"},
+	}
+	for it, err := range eng.SolveStream(bg, slices.Values(reqs), lclgrid.WithWorkers(1)) {
+		if !errors.Is(err, it.Err) || (err == nil) != (it.Err == nil) {
+			t.Errorf("item %d: iterator err %v does not mirror item err %v", it.Index, err, it.Err)
+		}
+	}
+}
+
+// TestSolveStreamPreCancelled: an already-cancelled context performs
+// zero syntheses, and every item the stream does yield (it stops
+// pulling once it observes the cancel, so never-pulled requests yield
+// nothing — SolveBatch is the collector that fills those in) carries
+// the context's error.
+func TestSolveStreamPreCancelled(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	reqs := []lclgrid.SolveRequest{{Key: "5col", N: 16}, {Key: "mis", N: 12}, {Key: "4col", N: 28}}
+	n := 0
+	for it, err := range eng.SolveStream(ctx, slices.Values(reqs), lclgrid.WithWorkers(2)) {
+		n++
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("item %d: err = %v, want context.Canceled", it.Index, err)
+		}
+		if it.Result != nil {
+			t.Errorf("item %d carries a result", it.Index)
+		}
+	}
+	if n > len(reqs) {
+		t.Errorf("stream yielded %d items for %d requests", n, len(reqs))
+	}
+	if got := eng.CacheStats().Misses; got != 0 {
+		t.Errorf("pre-cancelled stream performed %d syntheses, want 0", got)
+	}
+}
+
+// TestSolveStreamEarlyBreak: breaking out of the consuming loop stops
+// the pool — the producer stops pulling requests, blocked goroutines
+// drain, and the engine stays usable. The input sequence is unbounded,
+// so a stream that kept pulling would never return.
+func TestSolveStreamEarlyBreak(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	endless := func(yield func(lclgrid.SolveRequest) bool) {
+		for {
+			if !yield(lclgrid.SolveRequest{Key: "is", N: 4}) {
+				return
+			}
+		}
+	}
+	before := runtime.NumGoroutine()
+	seen := 0
+	for it := range eng.SolveStream(bg, iter.Seq[lclgrid.SolveRequest](endless), lclgrid.WithWorkers(4)) {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+		if seen++; seen >= 8 {
+			break
+		}
+	}
+	// The pool tears down asynchronously after the break; give it a
+	// bounded moment to drain before asserting no goroutines leaked.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+2 {
+		t.Errorf("goroutines after early break: %d, was %d before the stream", got, before)
+	}
+	// The engine is still serviceable.
+	if res, err := eng.Solve(bg, lclgrid.SolveRequest{Key: "is", N: 4}); err != nil || res.Verification != lclgrid.Verified {
+		t.Errorf("engine unusable after early break: res=%v err=%v", res, err)
+	}
+}
+
+// TestSolveStreamCancelEndsUnboundedInput: cancelling the context mid
+// stream terminates it even when the input sequence is unbounded — the
+// producer stops pulling instead of converting the infinite tail into
+// an infinite run of error items.
+func TestSolveStreamCancelEndsUnboundedInput(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	endless := func(yield func(lclgrid.SolveRequest) bool) {
+		for {
+			if !yield(lclgrid.SolveRequest{Key: "is", N: 4}) {
+				return
+			}
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n := 0
+		for range eng.SolveStream(ctx, endless, lclgrid.WithWorkers(2)) {
+			if n++; n == 5 {
+				cancel()
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled stream over an unbounded input never terminated")
+	}
+}
+
+// TestSolveStreamMatchesBatch: collecting a stream by index is
+// item-for-item identical to SolveBatch over the same requests.
+func TestSolveStreamMatchesBatch(t *testing.T) {
+	eng := lclgrid.NewEngine()
+	var reqs []lclgrid.SolveRequest
+	keys := []string{"5col", "mis", "is", "orient2"}
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, lclgrid.SolveRequest{Key: keys[i%len(keys)], N: 16, Seed: int64(i + 1)})
+	}
+	fromStream := make([]lclgrid.BatchItem, len(reqs))
+	for it := range eng.SolveStream(bg, slices.Values(reqs), lclgrid.WithWorkers(4)) {
+		fromStream[it.Index] = it
+	}
+	items, _ := eng.SolveBatch(bg, reqs, lclgrid.WithWorkers(4))
+	for i := range items {
+		if (items[i].Err == nil) != (fromStream[i].Err == nil) {
+			t.Errorf("item %d: batch err %v vs stream err %v", i, items[i].Err, fromStream[i].Err)
+			continue
+		}
+		if items[i].Err != nil {
+			continue
+		}
+		if items[i].Result.Problem != fromStream[i].Result.Problem ||
+			items[i].Result.Rounds != fromStream[i].Result.Rounds ||
+			!slices.Equal(items[i].Result.Labels, fromStream[i].Result.Labels) {
+			t.Errorf("item %d: batch and stream results differ:\n %v\n %v", i, items[i].Result, fromStream[i].Result)
+		}
+	}
+}
