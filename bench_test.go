@@ -263,6 +263,33 @@ func BenchmarkEngineSolveStream(b *testing.B) {
 	}
 }
 
+// BenchmarkClassifySequential / BenchmarkClassifyParallel measure the
+// racing window sweep of the classification oracle on a cold cache.
+// The subject is MIS at k = 1: the 3×2 window is a ~4ms UNSAT proof and
+// the 3×3 window a ~12ms successful synthesis, so the sequential sweep
+// pays their sum while the parallel sweep pays roughly the maximum —
+// on ≥4 cores the parallel wall-clock sits below the sequential sum of
+// the attempt times. The engine cache is reset every iteration so each
+// classification is genuinely cold (exactly one completed synthesis per
+// winning fingerprint; the parallel run may additionally start-and-
+// abort the losing candidate).
+func benchClassifyCold(b *testing.B, workers int) {
+	ctx := context.Background()
+	eng := lclgrid.NewEngine(lclgrid.WithSynthWorkers(workers))
+	p := lclgrid.MIS(2).Problem
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		res := eng.Classify(ctx, p, 1)
+		if res.Class != lclgrid.ClassLogStar {
+			b.Fatalf("classification drifted: %v (err %v)", res.Class, res.Err)
+		}
+	}
+}
+
+func BenchmarkClassifySequential(b *testing.B) { benchClassifyCold(b, 1) }
+func BenchmarkClassifyParallel(b *testing.B)   { benchClassifyCold(b, 0) } // 0 = GOMAXPROCS
+
 // BenchmarkEngineSolveDiskWarm pairs with BenchmarkEngineSolveCold:
 // the same fresh-engine-per-solve workload, but over a disk-warmed
 // cache directory, so every solve deserializes the k = 3 4-colouring

@@ -59,6 +59,14 @@ type CachedSynthesis struct {
 type SynthCache interface {
 	// Get returns the cached outcome for key and whether one exists.
 	Get(key SynthKey) (CachedSynthesis, bool)
+	// Contains reports whether a completed outcome for key exists,
+	// without counting a hit or miss, refreshing recency, or promoting a
+	// disk entry into memory. It is the planner's non-blocking probe: a
+	// Plan can say "this shape will be served from cache" without
+	// paying Get's side effects (a disk-backed cache answers with a
+	// stat, not a read). The answer is advisory — a concurrent Evict may
+	// invalidate it before the entry is used.
+	Contains(key SynthKey) bool
 	// Put stores the outcome for key, replacing any previous entry.
 	Put(key SynthKey, val CachedSynthesis)
 	// Evict removes the entry for key, reporting whether one existed.
@@ -162,6 +170,13 @@ func (c *lruCache) Get(key SynthKey) (CachedSynthesis, bool) {
 	c.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) Contains(key SynthKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
 }
 
 func (c *lruCache) Put(key SynthKey, val CachedSynthesis) {
@@ -360,6 +375,22 @@ func decodeDiskRecord(data []byte, key SynthKey) (CachedSynthesis, error) {
 		return CachedSynthesis{}, err
 	}
 	return CachedSynthesis{Alg: alg}, nil
+}
+
+// Contains probes both layers without promoting: the memory layer by
+// map lookup, the disk layer by a bare stat. A file that would later
+// fail to decode still answers true — the probe is advisory, and the
+// self-healing Get path resolves the lie at execution time.
+func (c *diskCache) Contains(key SynthKey) bool {
+	if c.inner.Contains(key) {
+		return true
+	}
+	path := c.path(key)
+	if path == "" {
+		return false
+	}
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func (c *diskCache) Put(key SynthKey, val CachedSynthesis) {

@@ -231,14 +231,8 @@ func TestEngineWarmReportsUnwarmableKeys(t *testing.T) {
 	if err := reg.Register(&lclgrid.ProblemSpec{
 		Key: "doomed", Name: "doomed", Class: lclgrid.ClassLogStar,
 		Problem: func() *lclgrid.Problem { return lclgrid.VertexColoring(4, 2) },
-		Solver: func(e *lclgrid.Engine) lclgrid.Solver {
-			// 4-colouring is UNSAT at k=1 with 3×2 windows.
-			return &lclgrid.SynthesisSolver{
-				Problem:  lclgrid.VertexColoring(4, 2),
-				Attempts: []lclgrid.SynthAttempt{{K: 1, H: 3, W: 2}},
-				Engine:   e,
-			}
-		},
+		// 4-colouring is UNSAT at k=1 with 3×2 windows.
+		Attempts: []lclgrid.SynthAttempt{{K: 1, H: 3, W: 2}},
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,8 @@
 // through the synthesis-caching Engine under a signal-cancellable
 // context (Ctrl-C aborts an in-flight SAT synthesis cleanly):
 //
-//	lclgrid list                     print the problem registry
+//	lclgrid list [-v]                print the problem registry (-v adds plan hints)
+//	lclgrid explain '<request>'      print the ranked solve plan without solving
 //	lclgrid experiments [-id E3]     regenerate the paper's tables/figures
 //	lclgrid classify -problem 4col   run the one-sided classification oracle
 //	lclgrid synth -problem 4col -k 3 synthesize a normal-form algorithm
@@ -13,7 +14,8 @@
 //	lclgrid table                    print the Theorem 22 orientation table
 //
 // batch and warm accept -cache-dir to persist synthesized lookup tables
-// across invocations, and -v to log engine events to stderr.
+// across invocations, and -v to log engine events to stderr; `batch
+// -explain` prints each request's plan as JSONL instead of solving.
 package main
 
 import (
@@ -54,7 +56,9 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "list":
-		err = cmdList(os.Stdout)
+		err = cmdList(os.Args[2:], os.Stdout)
+	case "explain":
+		err = cmdExplain(os.Args[2:], os.Stdin, os.Stdout)
 	case "experiments":
 		err = cmdExperiments(ctx, os.Args[2:])
 	case "classify":
@@ -80,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|experiments|classify|synth|run|batch|warm|table> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|experiments|classify|synth|run|batch|warm|table> [flags]")
 }
 
 // buildEngine constructs the engine for subcommands with engine flags:
@@ -156,15 +160,50 @@ func (o *logObserver) Fallback(req lclgrid.SolveRequest, cause error) {
 	o.l.Printf("fallback to Θ(n) baseline for %s: %v", reqLabel(req), cause)
 }
 
+func (o *logObserver) PlanBuilt(req lclgrid.SolveRequest, plan *lclgrid.Plan) {
+	kinds := make([]string, len(plan.Strategies))
+	for i := range plan.Strategies {
+		kinds[i] = string(plan.Strategies[i].Kind)
+		if plan.Strategies[i].Skip != "" {
+			kinds[i] += "(skip)"
+		}
+	}
+	o.l.Printf("plan built    %s: %s", reqLabel(req), strings.Join(kinds, " → "))
+}
+
+func (o *logObserver) StrategyStart(req lclgrid.SolveRequest, s *lclgrid.PlannedStrategy) {
+	o.l.Printf("strategy start %s %s", reqLabel(req), s.Kind)
+}
+
+func (o *logObserver) StrategyEnd(req lclgrid.SolveRequest, s *lclgrid.PlannedStrategy, res *lclgrid.Result, err error) {
+	if err != nil {
+		o.l.Printf("strategy end   %s %s error: %v", reqLabel(req), s.Kind, err)
+		return
+	}
+	o.l.Printf("strategy end   %s %s via %q", reqLabel(req), s.Kind, res.Solver)
+}
+
 // lookup resolves a problem key against the engine's registry.
 func lookup(key string) (*lclgrid.ProblemSpec, error) {
 	return engine.Registry().Lookup(key)
 }
 
-// cmdList prints the registry contents so the CLI is discoverable.
-func cmdList(w *os.File) error {
+// cmdList prints the registry contents so the CLI is discoverable; -v
+// adds each spec's plan hint (the strategy column), so the registered
+// class, minimum torus side and attempt shapes are cross-checkable
+// against `lclgrid explain` output.
+func cmdList(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "include each key's plan hint (strategy and attempt shapes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "KEY\tPROBLEM\tDIMS\tLABELS\tCLASS\tMIN SIDE")
+	header := "KEY\tPROBLEM\tDIMS\tLABELS\tCLASS\tMIN SIDE"
+	if *verbose {
+		header += "\tSTRATEGY"
+	}
+	fmt.Fprintln(tw, header)
 	for _, spec := range engine.Registry().Specs() {
 		labels := fmt.Sprint(spec.NumLabels)
 		if spec.NumLabels == 0 {
@@ -174,14 +213,63 @@ func cmdList(w *os.File) error {
 		if spec.SideModulus > 1 {
 			side += fmt.Sprintf(" (mult of %d)", spec.SideModulus)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\n",
+		line := fmt.Sprintf("%s\t%s\t%d\t%s\t%s\t%s",
 			spec.Key, spec.Name, spec.Dims, labels, spec.Class, side)
+		if *verbose {
+			hint := spec.HintSummary()
+			if spec.Direct != nil {
+				hint = fmt.Sprintf("direct: %s", spec.Direct(engine).Name())
+			}
+			line += "\t" + hint
+		}
+		fmt.Fprintln(tw, line)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "\nfamilies: <k>col, <k>edgecol, orient<digits 0-4>")
 	return nil
+}
+
+// cmdExplain prints the ranked Plan for one SolveRequest without
+// solving it — and, because planning performs no SAT work, without any
+// synthesis cost:
+//
+//	lclgrid explain '{"key":"4col","n":8}'
+//
+// The request is the same JSON document `lclgrid batch` consumes (read
+// from stdin when no argument is given). -compact prints one line
+// instead of indented JSON.
+func cmdExplain(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	compact := fs.Bool("compact", false, "print the plan as a single JSON line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc := strings.TrimSpace(strings.Join(fs.Args(), " "))
+	if doc == "" {
+		data, err := io.ReadAll(in)
+		if err != nil {
+			return err
+		}
+		doc = strings.TrimSpace(string(data))
+	}
+	if doc == "" {
+		return fmt.Errorf("explain needs a JSON SolveRequest (argument or stdin), e.g. '{\"key\":\"4col\",\"n\":8}'")
+	}
+	var req lclgrid.SolveRequest
+	if err := json.Unmarshal([]byte(doc), &req); err != nil {
+		return fmt.Errorf("bad request document: %w", err)
+	}
+	plan, err := engine.Plan(req)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	if !*compact {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(plan)
 }
 
 func cmdExperiments(ctx context.Context, args []string) error {
@@ -231,7 +319,13 @@ func cmdClassify(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("%s: %s (registry: %s)\n", p, res.Class, spec.Class)
 	for _, a := range res.Attempts {
-		fmt.Printf("  k=%d window %dx%d tiles=%d success=%v\n", a.K, a.H, a.W, a.NumTiles, a.Success)
+		status := fmt.Sprintf("success=%v", a.Success)
+		if a.Aborted {
+			// A race loser cancelled by the winner proves nothing about
+			// its shape — do not render it like a refuted (UNSAT) one.
+			status = "aborted (cancelled by the winning candidate)"
+		}
+		fmt.Printf("  k=%d window %dx%d tiles=%d %s\n", a.K, a.H, a.W, a.NumTiles, status)
 	}
 	return nil
 }
@@ -336,11 +430,13 @@ func cmdWarm(ctx context.Context, args []string, out io.Writer) error {
 }
 
 // batchLine is one JSONL output record of `lclgrid batch`: the index and
-// key echo the request; exactly one of result and error is present.
+// key echo the request; exactly one of result, plan (-explain mode) and
+// error is present.
 type batchLine struct {
 	Index  int             `json:"index"`
 	Key    string          `json:"key,omitempty"`
 	Result *lclgrid.Result `json:"result,omitempty"`
+	Plan   *lclgrid.Plan   `json:"plan,omitempty"`
 	Error  string          `json:"error,omitempty"`
 }
 
@@ -369,6 +465,7 @@ func cmdBatch(ctx context.Context, args []string, in io.Reader, out io.Writer) e
 	labels := fs.Bool("labels", true, "include the labelling in result lines")
 	stats := fs.Bool("stats", false, "print aggregate batch stats to stderr")
 	ordered := fs.Bool("ordered", false, "emit results in input order instead of completion order")
+	explain := fs.Bool("explain", false, "print each request's ranked plan instead of solving it")
 	cacheDir := fs.String("cache-dir", "", "persist synthesized tables under this directory")
 	verbose := fs.Bool("v", false, "log engine events to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -403,6 +500,32 @@ func cmdBatch(ctx context.Context, args []string, in io.Reader, out io.Writer) e
 			reqCh <- decodedRequest{req: req}
 		}
 	}()
+
+	if *explain {
+		// Plan-only mode: every request becomes a plan line, no solver
+		// runs and (planning is probe-only) no SAT call is made.
+		enc := json.NewEncoder(out)
+		index := 0
+		for d := range reqCh {
+			if d.err != nil {
+				return fmt.Errorf("request %d: %w", index, d.err)
+			}
+			line := batchLine{Index: index, Key: d.req.Key}
+			if plan, err := eng.Plan(d.req); err != nil {
+				line.Error = err.Error()
+			} else {
+				line.Plan = plan
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+			index++
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	// keys echoes each request's problem key onto its output line; the
 	// map holds only in-flight indexes (deleted once emitted), keeping

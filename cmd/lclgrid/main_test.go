@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"os"
 	"strings"
 	"testing"
 
@@ -61,23 +60,103 @@ func TestUnknownKeyEnumerates(t *testing.T) {
 }
 
 func TestCmdList(t *testing.T) {
-	f, err := os.CreateTemp(t.TempDir(), "list")
-	if err != nil {
+	var out bytes.Buffer
+	if err := cmdList(nil, &out); err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	if err := cmdList(f); err != nil {
-		t.Fatal(err)
-	}
-	data, err := os.ReadFile(f.Name())
-	if err != nil {
-		t.Fatal(err)
-	}
-	out := string(data)
 	for _, want := range []string{"KEY", "4col", "Θ(log* n)", "lm:halt", "families:"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("list output missing %q:\n%s", want, out)
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
 		}
+	}
+	if strings.Contains(out.String(), "STRATEGY") {
+		t.Error("bare list must not print the STRATEGY column")
+	}
+}
+
+// TestCmdListVerbose: -v adds the plan-hint column, so the registered
+// class, minimum side and attempt shapes cross-check `lclgrid explain`.
+func TestCmdListVerbose(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdList([]string{"-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"STRATEGY",
+		"synthesis k=3 7×5 (side ≥ 28)", // 4col
+		"k=1 3×3 (side ≥ 12) | k=2 5×5 (side ≥ 20)", // orientation race
+		"constant fill",                     // is / orient2
+		"Θ(n) brute force",                  // 3col
+		"direct: §10 direct edge colouring", // 5edgecol
+		"direct: §6 L_M construction",       // lm:halt
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list -v output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCmdExplain: the explain subcommand prints the ranked plan as JSON
+// without solving — and, by construction, without a SAT call (the
+// process-wide engine's cache counters stay untouched).
+func TestCmdExplain(t *testing.T) {
+	before := engine.CacheStats().Misses
+	var out bytes.Buffer
+	if err := cmdExplain([]string{`{"key":"4col","n":8}`}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var plan lclgrid.Plan
+	if err := json.Unmarshal(out.Bytes(), &plan); err != nil {
+		t.Fatalf("explain output is not a JSON plan: %v\n%s", err, out.String())
+	}
+	if plan.Key != "4col" || len(plan.Strategies) != 2 {
+		t.Fatalf("plan = %+v, want 4col with synthesis+baseline stages", plan)
+	}
+	if plan.Strategies[0].Kind != lclgrid.StrategySynthesis || plan.Strategies[0].Skip == "" {
+		t.Errorf("first stage = %+v, want synthesis skipped (8 < MinTorusSide 28)", plan.Strategies[0])
+	}
+	if plan.Strategies[1].Kind != lclgrid.StrategyBaseline || !plan.Strategies[1].Fallback {
+		t.Errorf("second stage = %+v, want the fallback baseline", plan.Strategies[1])
+	}
+	if got := engine.CacheStats().Misses; got != before {
+		t.Errorf("explain performed %d SAT syntheses, want 0", got-before)
+	}
+	// The request document also arrives over stdin.
+	out.Reset()
+	if err := cmdExplain([]string{"-compact"}, strings.NewReader(`{"key":"is","n":4}`), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"constant-fill"`) {
+		t.Errorf("stdin explain output missing the constant stage: %s", out.String())
+	}
+	if err := cmdExplain(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("explain with no request document must fail")
+	}
+}
+
+// TestCmdBatchExplain: `batch -explain` turns request lines into plan
+// lines without solving anything.
+func TestCmdBatchExplain(t *testing.T) {
+	in := strings.NewReader(`{"key":"orient134","n":20}` + "\n" + `{"key":"nope"}` + "\n")
+	var out bytes.Buffer
+	if err := cmdBatch(bg, []string{"-explain"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeBatchLines(t, out.Bytes())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out.String())
+	}
+	if lines[0].Plan == nil || lines[0].Result != nil {
+		t.Fatalf("line 0 = %+v, want a plan and no result", lines[0])
+	}
+	if got := len(lines[0].Plan.Strategies); got != 2 {
+		t.Errorf("orient134 plan has %d stages, want synthesis+baseline", got)
+	}
+	if atts := lines[0].Plan.Strategies[0].Attempts; len(atts) != 2 || atts[0].MinSide != 12 || atts[1].MinSide != 20 {
+		t.Errorf("orient134 synthesis attempts = %+v, want k=1 (min 12) and k=2 (min 20)", atts)
+	}
+	if lines[1].Error == "" {
+		t.Error("unknown key must produce an error line in explain mode")
 	}
 }
 

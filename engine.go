@@ -2,8 +2,8 @@ package lclgrid
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,9 +39,10 @@ import (
 // request's synthesis detaches on its own context without disturbing the
 // shared work. The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	reg   *Registry
-	cache SynthCache
-	obs   []Observer
+	reg          *Registry
+	cache        SynthCache
+	obs          []Observer
+	synthWorkers int
 
 	mu       sync.Mutex
 	inflight map[SynthKey]*synthEntry
@@ -70,11 +71,12 @@ type synthEntry struct {
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
-	reg      *Registry
-	cache    SynthCache
-	capacity int
-	cacheDir string
-	obs      []Observer
+	reg          *Registry
+	cache        SynthCache
+	capacity     int
+	cacheDir     string
+	obs          []Observer
+	synthWorkers int
 }
 
 // WithRegistry selects the problem registry (default DefaultRegistry()).
@@ -103,6 +105,15 @@ func WithCacheCapacity(n int) EngineOption {
 // layer themselves with NewDiskCache and pass it via WithCache.
 func WithCacheDir(dir string) EngineOption {
 	return func(c *engineConfig) { c.cacheDir = dir }
+}
+
+// WithSynthWorkers bounds how many synthesis candidates the engine runs
+// concurrently when a multi-attempt solve or a classification races its
+// (k, h, w) shapes (default runtime.GOMAXPROCS(0)). 1 disables racing:
+// candidates run strictly in schedule order, the historic sequential
+// behaviour.
+func WithSynthWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.synthWorkers = n }
 }
 
 // WithObserver installs an Observer; repeated options compose (every
@@ -141,11 +152,16 @@ func NewEngine(opts ...EngineOption) *Engine {
 		}
 		cache = layered
 	}
+	workers := cfg.synthWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
-		reg:      cfg.reg,
-		cache:    cache,
-		obs:      cfg.obs,
-		inflight: make(map[SynthKey]*synthEntry),
+		reg:          cfg.reg,
+		cache:        cache,
+		obs:          cfg.obs,
+		synthWorkers: workers,
+		inflight:     make(map[SynthKey]*synthEntry),
 	}
 	if len(e.obs) > 0 {
 		if en, ok := cache.(evictNotifier); ok {
@@ -336,15 +352,139 @@ func (e *Engine) retire(key SynthKey) {
 }
 
 // Classify runs the §7 one-sided classification oracle through the
-// synthesis cache: same shape schedule and semantics as ClassifyOracle,
-// but failed shapes are cached, so repeated classification of the same
-// problem is cheap. Cancelling ctx aborts the schedule; the context's
-// error is recorded in OracleResult.Err.
+// synthesis cache: same smallest-power-first schedule and one-sided
+// semantics as ClassifyOracle, but the window candidates of each power
+// race concurrently (bounded by WithSynthWorkers; the first lookup
+// table cancels the remaining searches) and completed shapes — failed
+// ones included — are cached. A non-blocking cache probe resolves
+// already-known shapes before any speculative SAT work is launched, so
+// re-classifying a warm problem starts zero syntheses. Cancelling ctx
+// aborts the schedule; the context's error is recorded in
+// OracleResult.Err.
 func (e *Engine) Classify(ctx context.Context, p *Problem, maxK int) OracleResult {
-	return core.ClassifyOracleWith(ctx, func(ctx context.Context, p *Problem, k, h, w int) (*Synthesized, error) {
+	synth := func(ctx context.Context, p *Problem, k, h, w int) (*Synthesized, error) {
 		alg, _, err := e.Synthesize(ctx, p, k, h, w)
 		return alg, err
-	}, p, maxK)
+	}
+	probe := func(k, h, w int) bool {
+		return e.cache.Contains(SynthKey{Fingerprint: p.Fingerprint(), K: k, H: h, W: w})
+	}
+	return core.ClassifyOracleRace(ctx, synth, probe, p, maxK, e.synthWorkers)
+}
+
+// raceSynthesize synthesizes the attempt shapes concurrently under a
+// derived context, bounded by the engine's synthesis worker budget
+// (WithSynthWorkers): the first shape to admit a lookup table wins and
+// cancels the remaining searches, which retire their singleflight slots
+// without caching (an aborted candidate proves nothing and poisons
+// nothing). Workers pull attempts from an ordered queue, so the
+// schedule's preference order decides which candidates start when the
+// budget is smaller than the attempt list — a 1-worker budget degrades
+// to exactly the historic strictly sequential sweep, never to an
+// arbitrary attempt hogging the only slot. When no shape succeeds it
+// returns the first non-abort failure in schedule order; a cancelled
+// parent ctx returns its error.
+func (e *Engine) raceSynthesize(ctx context.Context, p *Problem, attempts []SynthAttempt) (*Synthesized, SynthAttempt, bool, error) {
+	workers := e.synthWorkers
+	if workers > len(attempts) {
+		workers = len(attempts)
+	}
+	if len(attempts) == 1 || workers <= 1 {
+		// Strict schedule order, stop at the first success; no
+		// speculative work to cancel. The reported failure is the first
+		// in schedule order — the same selection the parallel path makes,
+		// so the error does not depend on the worker budget.
+		var firstErr error
+		for _, a := range attempts {
+			alg, cached, err := e.Synthesize(ctx, p, a.K, a.H, a.W)
+			if err == nil {
+				return alg, a, cached, err
+			}
+			if isCtxErr(err) {
+				return nil, SynthAttempt{}, false, err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		return nil, SynthAttempt{}, false, firstErr
+	}
+	type outcome struct {
+		alg      *Synthesized
+		cached   bool
+		err      error
+		panicked any
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outs := make([]outcome, len(attempts))
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range attempts {
+			select {
+			case jobs <- i:
+			case <-raceCtx.Done():
+				return // never-started attempts are backfilled below
+			}
+		}
+	}()
+	var winner atomic.Int32
+	winner.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := raceCtx.Err(); err != nil {
+					outs[i].err = err
+					continue
+				}
+				// User-supplied problem callbacks run inside the
+				// synthesis; a panic must reach the race's caller, not
+				// kill the process from this goroutine.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							outs[i].panicked = r
+						}
+					}()
+					a := attempts[i]
+					alg, cached, err := e.Synthesize(raceCtx, p, a.K, a.H, a.W)
+					outs[i] = outcome{alg: alg, cached: cached, err: err}
+					if err == nil {
+						winner.CompareAndSwap(-1, int32(i))
+						cancel() // first table wins; stop the other searches
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].panicked != nil {
+			panic(outs[i].panicked)
+		}
+		if outs[i].alg == nil && outs[i].err == nil {
+			// Never pulled from the queue: the race was over first.
+			outs[i].err = raceCtx.Err()
+		}
+	}
+	if w := winner.Load(); w >= 0 {
+		return outs[w].alg, attempts[w], outs[w].cached, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, SynthAttempt{}, false, err
+	}
+	// No winner, no parent abort: every candidate completed with a real
+	// failure. Report the first in schedule order (deterministic).
+	for i := range outs {
+		if err := outs[i].err; err != nil && !isCtxErr(err) {
+			return nil, SynthAttempt{}, false, err
+		}
+	}
+	return nil, SynthAttempt{}, false, ErrUnsatisfiable
 }
 
 // WarmStats summarises one Engine.Warm call.
@@ -367,8 +507,12 @@ type WarmStats struct {
 // Warm pre-synthesizes the lookup tables behind the given registry keys
 // (every registered key when none are given), so a long-lived service
 // pays its SAT costs at startup instead of on first request. Keys whose
-// best solver needs no synthesis are skipped; unknown keys abort the
-// sweep. A synthesis-backed key none of whose attempt shapes admits a
+// plan hint needs no synthesis (constant fill, direct algorithms, the
+// Θ(n) baseline) are skipped; unknown keys abort the sweep. Unlike live
+// solves, Warm tries a spec's attempt shapes strictly in order — at
+// startup there is no latency to win by racing, and sequential warming
+// caches the first (preferred) shape without burning cores on
+// speculative candidates. A synthesis-backed key none of whose attempt shapes admits a
 // table is counted in WarmStats.Failed and reported in the returned
 // error — after the rest of the sweep completes, so one unservable key
 // does not leave the catalogue cold. With a disk-backed cache
@@ -390,14 +534,14 @@ func (e *Engine) Warm(ctx context.Context, keys ...string) (WarmStats, error) {
 			return stats, err
 		}
 		stats.Problems++
-		ss, ok := spec.Solver(e).(*SynthesisSolver)
-		if !ok || spec.Problem == nil {
+		if len(spec.Attempts) == 0 || spec.Problem == nil {
 			stats.Skipped++
 			continue
 		}
+		p := spec.Problem()
 		warmed := false
-		for _, a := range ss.Attempts {
-			_, cached, err := e.Synthesize(ctx, ss.Problem, a.K, a.H, a.W)
+		for _, a := range spec.Attempts {
+			_, cached, err := e.Synthesize(ctx, p, a.K, a.H, a.W)
 			if isCtxErr(err) {
 				// An aborted call ran no synthesis to completion (or only
 				// waited on someone else's); it must not inflate Syntheses.
@@ -425,13 +569,25 @@ func (e *Engine) Warm(ctx context.Context, keys ...string) (WarmStats, error) {
 	return stats, nil
 }
 
-// Solve serves one SolveRequest: the problem is resolved through the
-// registry (Key) or taken inline (Problem), the torus and identifier
-// assignment are built from the request, and the known best solver runs
-// under ctx. The returned Result carries the request's wall-clock
-// duration in Elapsed. A cancelled ctx aborts promptly — before any work
+// Solve serves one SolveRequest through the Planner → Plan → Strategy
+// pipeline: the Planner resolves the problem (registry Key or inline
+// Problem), torus and identifier assignment, and ranks the applicable
+// strategies — constant fill, direct algorithm, cached-table probe,
+// racing normal-form synthesis, Θ(n) baseline — into a Plan; the plan
+// executor then runs the stages in order until one produces a Result.
+// The returned Result carries the request's wall-clock duration in
+// Elapsed and the per-stage outcomes in Trace (the same plan `lclgrid
+// explain` prints). A cancelled ctx aborts promptly — before any work
 // when already cancelled, or mid-synthesis at the next checkpoint.
-// Observers see a RequestStart/RequestEnd pair for every call.
+// Observers see a RequestStart/RequestEnd pair for every call, a
+// PlanBuilt event once the plan exists, and a StrategyStart/StrategyEnd
+// pair per executed stage.
+//
+// The Θ(n) fallback is deliberately scoped to too-small-torus failures
+// of synthesis stages: at normal-form scale the brute force is cheap.
+// Direct-algorithm specs with large minimum sides (5edgecol, 680+) are
+// NOT redirected — their alphabets make the SAT baseline intractable,
+// so an honest error beats an open-ended solve.
 func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*Result, error) {
 	start := time.Now()
 	e.observeRequestStart(req)
@@ -451,112 +607,13 @@ func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*Result, error) {
 	return res, err
 }
 
+// solve is the uniform execution path of every request: build the plan,
+// announce it, walk it.
 func (e *Engine) solve(ctx context.Context, req SolveRequest) (*Result, error) {
-	switch {
-	case req.Key != "" && req.Problem != nil:
-		return nil, fmt.Errorf("lclgrid: request sets both Key %q and an inline Problem; choose one", req.Key)
-	case req.Key == "" && req.Problem == nil:
-		return nil, fmt.Errorf("lclgrid: request names no problem (set Key or Problem)")
-	}
-	o := req.options()
-	if req.Problem != nil {
-		t, err := req.torus(nil)
-		if err != nil {
-			return nil, err
-		}
-		if req.Problem.Dims() != t.Dim() {
-			return nil, fmt.Errorf("lclgrid: %d-dimensional problem %s on a %d-dimensional torus", req.Problem.Dims(), req.Problem.Name(), t.Dim())
-		}
-		ids, err := req.ids(t)
-		if err != nil {
-			return nil, err
-		}
-		return e.solveProblem(ctx, req, req.Problem, t, ids, o)
-	}
-	spec, err := e.reg.Lookup(req.Key)
+	plan, err := e.Plan(req)
 	if err != nil {
 		return nil, err
 	}
-	t, err := req.torus(spec)
-	if err != nil {
-		return nil, err
-	}
-	if spec.Dims != 0 && spec.Dims != t.Dim() {
-		return nil, fmt.Errorf("lclgrid: %s is registered for %d-dimensional grids, torus is %d-dimensional", spec.Key, spec.Dims, t.Dim())
-	}
-	var solver Solver
-	if o.Power > 0 {
-		if spec.Problem == nil {
-			return nil, fmt.Errorf("lclgrid: %s has no SFT form to synthesize against", spec.Name)
-		}
-		solver = NewSynthesisSolver(e, spec.Problem(), o.Power, o.H, o.W)
-	} else {
-		solver = spec.Solver(e)
-	}
-	ids, err := req.ids(t)
-	if err != nil {
-		return nil, err
-	}
-	res, err := solver.Solve(ctx, t, ids, withOptions(o))
-	if err != nil && o.Power == 0 && spec.Problem != nil && errors.Is(err, ErrTorusTooSmall) {
-		// The registered Θ(log* n) normal form needs a larger torus than
-		// the request asked for; the problem is still solvable there, so
-		// serve it with the Θ(n) baseline. The Result records the solver
-		// actually used; the class stays the problem's classification.
-		//
-		// The fallback is deliberately scoped to ErrTorusTooSmall
-		// (synthesis-backed solvers): at normal-form scale the brute
-		// force is cheap. Direct-algorithm specs with large minimum
-		// sides (5edgecol, 680+) are NOT redirected — their alphabets
-		// make the SAT baseline intractable, so an honest error beats an
-		// open-ended solve.
-		e.observeFallback(req, err)
-		res, err = (&GlobalSolver{Problem: spec.Problem(), KnownClass: spec.Class}).
-			Solve(ctx, t, ids, withOptions(o))
-	}
-	if err != nil {
-		return res, err
-	}
-	if res != nil && res.Class == ClassUnknown && spec.Class != ClassUnknown {
-		// Fill the registered classification on a copy: the solver owns
-		// the Result it returned and may legitimately share or reuse it,
-		// so the registry fallback must not mutate it in place.
-		filled := *res
-		filled.Class = spec.Class
-		res = &filled
-	}
-	return res, nil
-}
-
-// solveProblem serves an inline (possibly unregistered) SFT problem end
-// to end: constant solutions are used when they exist, otherwise cached
-// synthesis is tried up to MaxPower through the classification oracle,
-// and the Θ(n) brute force is the fallback — including when a
-// synthesized normal form exists but needs a larger torus than the
-// request asked for (same semantics as the registered-key path).
-func (e *Engine) solveProblem(ctx context.Context, req SolveRequest, p *Problem, t *Torus, ids []int, o Options) (*Result, error) {
-	if o.Power > 0 {
-		return NewSynthesisSolver(e, p, o.Power, o.H, o.W).Solve(ctx, t, ids, withOptions(o))
-	}
-	if len(p.ConstantSolutions()) > 0 {
-		return (&ConstantSolver{Problem: p}).Solve(ctx, t, ids, withOptions(o))
-	}
-	oracle := e.Classify(ctx, p, o.MaxPower)
-	if oracle.Err != nil {
-		return nil, oracle.Err
-	}
-	if oracle.Class == ClassLogStar {
-		s := &SynthesisSolver{
-			Problem:  p,
-			Attempts: []SynthAttempt{{oracle.Alg.K, oracle.Alg.H, oracle.Alg.W}},
-			Engine:   e,
-		}
-		res, err := s.Solve(ctx, t, ids, withOptions(o))
-		if err != nil && errors.Is(err, ErrTorusTooSmall) {
-			e.observeFallback(req, err)
-			return (&GlobalSolver{Problem: p, KnownClass: ClassLogStar}).Solve(ctx, t, ids, withOptions(o))
-		}
-		return res, err
-	}
-	return (&GlobalSolver{Problem: p}).Solve(ctx, t, ids, withOptions(o))
+	e.observePlanBuilt(req, plan)
+	return e.executePlan(ctx, req, plan)
 }

@@ -86,3 +86,32 @@ func TestSolveContextDeadline(t *testing.T) {
 		t.Errorf("abort took %v, checkpoints not honoured", elapsed)
 	}
 }
+
+// TestSolveContextAbortAccounting: every aborted SolveContext call is
+// tallied in Stats.Aborts — the racing synthesis sweep cancels losing
+// searches routinely, and their burned work must stay visible — while
+// completed calls leave the counter untouched.
+func TestSolveContextAbortAccounting(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(Pos(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Stats.Aborts != 1 {
+		t.Errorf("Aborts = %d after one aborted call, want 1", s.Stats.Aborts)
+	}
+	if _, err := s.SolveContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("second abort: err = %v", err)
+	}
+	if s.Stats.Aborts != 2 {
+		t.Errorf("Aborts = %d after two aborted calls, want 2", s.Stats.Aborts)
+	}
+	if ok, err := s.SolveContext(context.Background()); !ok || err != nil {
+		t.Fatalf("live solve: ok=%v err=%v", ok, err)
+	}
+	if s.Stats.Aborts != 2 {
+		t.Errorf("completed call changed Aborts to %d", s.Stats.Aborts)
+	}
+}

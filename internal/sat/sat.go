@@ -77,6 +77,12 @@ type Stats struct {
 	Propagated int
 	Learned    int
 	Restarts   int
+	// Aborts counts SolveContext calls that returned with the context's
+	// error instead of an answer. Racing searches (the engine's parallel
+	// synthesis sweep cancels the losers once a winner is found) make
+	// aborted work a first-class outcome, and this is its account: the
+	// other counters still record everything the aborted search burned.
+	Aborts int
 }
 
 // NewSolver creates a solver over nVars variables (indices 0..nVars-1).
@@ -382,8 +388,16 @@ const ctxCheckInterval = 1024
 // in-flight search promptly with the context's error. The solver is left
 // in an unspecified (but non-corrupt) search state after an abort; it is
 // safe to call SolveContext again with a live context to resume deciding
-// the same formula.
+// the same formula. Every aborted call is tallied in Stats.Aborts.
 func (s *Solver) SolveContext(ctx context.Context) (bool, error) {
+	ok, err := s.solveContext(ctx)
+	if err != nil {
+		s.Stats.Aborts++
+	}
+	return ok, err
+}
+
+func (s *Solver) solveContext(ctx context.Context) (bool, error) {
 	if s.unsat {
 		return false, nil
 	}

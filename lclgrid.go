@@ -31,11 +31,22 @@
 //     syntheses in a pluggable SynthCache keyed by the canonical
 //     Problem.Fingerprint plus the anchor power and window shape, so
 //     repeated and concurrent requests pay the expensive synthesis once
-//     per problem. The cache is chosen at construction (in-memory by
-//     default, LRU-bounded with WithCacheCapacity, persisted across
-//     process restarts with WithCacheDir; Engine.Warm pre-synthesizes a
-//     catalogue on startup), and Observers installed with WithObserver
-//     see every request, synthesis and cache event. Context
+//     per problem. Every Solve flows through the Planner → Plan →
+//     Strategy pipeline: the Planner ranks the applicable strategies
+//     (constant fill, direct algorithm, cached-table probe, racing
+//     normal-form synthesis, Θ(n) baseline) from the registry spec, the
+//     request options, the torus shape and a non-blocking cache probe —
+//     with no SAT work, which is what Engine.Plan and `lclgrid explain`
+//     expose — and the executor walks the stages, recording each
+//     outcome in Result.Trace. Multi-shape synthesis and the per-power
+//     window sweep of the classification oracle race their candidates
+//     concurrently (bounded by WithSynthWorkers); the first lookup
+//     table cancels the losing searches. The cache is chosen at
+//     construction (in-memory by default, LRU-bounded with
+//     WithCacheCapacity, persisted across process restarts with
+//     WithCacheDir; Engine.Warm pre-synthesizes a catalogue on
+//     startup), and Observers installed with WithObserver see every
+//     request, plan, strategy, synthesis and cache event. Context
 //     cancellation reaches all the way into the tile enumeration and
 //     the CDCL SAT loop, so a deadline aborts an in-flight synthesis
 //     promptly.
@@ -215,6 +226,12 @@ func Synthesize(ctx context.Context, p *Problem, k, h, w int) (*Synthesized, err
 // DefaultWindow returns the window shape the paper uses for power k
 // (3×2 for k=1, 7×5 for k=3).
 func DefaultWindow(k int) (h, w int) { return core.DefaultWindow(k) }
+
+// MinTorusSide returns the smallest torus side on which a normal form
+// with anchor power k and h×w windows is guaranteed correct — the
+// fail-fast bound the Planner annotates each PlanAttempt with and the
+// synthesis solvers check before paying for a SAT call.
+func MinTorusSide(k, h, w int) int { return core.MinTorusSideFor(k, h, w) }
 
 // OracleResult is the outcome of the one-sided classification oracle.
 type OracleResult = core.OracleResult

@@ -47,6 +47,18 @@ type Observer interface {
 	// normal form's minimum side; cause is the ErrTorusTooSmall-wrapping
 	// error that triggered the redirect.
 	Fallback(req SolveRequest, cause error)
+	// PlanBuilt fires once per request after the Planner ranked its
+	// strategies and before any of them runs. The plan (and the
+	// strategies handed to StrategyStart/StrategyEnd) must be treated as
+	// read-only.
+	PlanBuilt(req SolveRequest, plan *Plan)
+	// StrategyStart fires when the plan executor enters a stage; skipped
+	// stages produce no events (they appear only in Result.Trace).
+	StrategyStart(req SolveRequest, s *PlannedStrategy)
+	// StrategyEnd fires when that stage returns; exactly one of res and
+	// err is meaningful (res may accompany err for partial results, e.g.
+	// a labelling that failed verification).
+	StrategyEnd(req SolveRequest, s *PlannedStrategy, res *Result, err error)
 }
 
 // NopObserver is an Observer that ignores every event; embed it to
@@ -54,14 +66,18 @@ type Observer interface {
 // added.
 type NopObserver struct{}
 
-func (NopObserver) RequestStart(SolveRequest)                   {}
-func (NopObserver) RequestEnd(SolveRequest, *Result, error)     {}
-func (NopObserver) SynthesisStart(SynthKey)                     {}
-func (NopObserver) SynthesisEnd(SynthKey, time.Duration, error) {}
-func (NopObserver) CacheHit(SynthKey)                           {}
-func (NopObserver) CacheMiss(SynthKey)                          {}
-func (NopObserver) CacheEvict(SynthKey)                         {}
-func (NopObserver) Fallback(SolveRequest, error)                {}
+func (NopObserver) RequestStart(SolveRequest)                    {}
+func (NopObserver) RequestEnd(SolveRequest, *Result, error)      {}
+func (NopObserver) SynthesisStart(SynthKey)                      {}
+func (NopObserver) SynthesisEnd(SynthKey, time.Duration, error)  {}
+func (NopObserver) CacheHit(SynthKey)                            {}
+func (NopObserver) CacheMiss(SynthKey)                           {}
+func (NopObserver) CacheEvict(SynthKey)                          {}
+func (NopObserver) Fallback(SolveRequest, error)                 {}
+func (NopObserver) PlanBuilt(SolveRequest, *Plan)                {}
+func (NopObserver) StrategyStart(SolveRequest, *PlannedStrategy) {}
+func (NopObserver) StrategyEnd(SolveRequest, *PlannedStrategy, *Result, error) {
+}
 
 // ObserverCounts is a snapshot of a CountingObserver.
 type ObserverCounts struct {
@@ -70,11 +86,14 @@ type ObserverCounts struct {
 	Requests      uint64 `json:"requests"`
 	RequestErrors uint64 `json:"request_errors"`
 	// Syntheses counts SAT syntheses started; SynthesisErrors the ones
-	// that returned an error (UNSAT proofs and aborts included).
+	// that returned an error (UNSAT proofs and aborts included), and
+	// SynthesisAborts the subset that ended with a context error — in a
+	// racing sweep these are the losing candidates the winner cancelled.
 	// SynthesisTime is the cumulative wall-clock time inside the
-	// synthesizer.
+	// synthesizer, aborted work included.
 	Syntheses       uint64        `json:"syntheses"`
 	SynthesisErrors uint64        `json:"synthesis_errors"`
+	SynthesisAborts uint64        `json:"synthesis_aborts"`
 	SynthesisTime   time.Duration `json:"synthesis_time_ns"`
 	// CacheHits / CacheMisses / CacheEvicts count the cache events.
 	CacheHits   uint64 `json:"cache_hits"`
@@ -82,6 +101,12 @@ type ObserverCounts struct {
 	CacheEvicts uint64 `json:"cache_evicts"`
 	// Fallbacks counts too-small-torus redirects to the Θ(n) baseline.
 	Fallbacks uint64 `json:"fallbacks"`
+	// Plans counts PlanBuilt events (one per accepted request);
+	// Strategies counts executed plan stages and StrategyErrors the ones
+	// that failed (skipped stages fire no events).
+	Plans          uint64 `json:"plans"`
+	Strategies     uint64 `json:"strategies"`
+	StrategyErrors uint64 `json:"strategy_errors"`
 }
 
 // CountingObserver is a built-in Observer that tallies every event in
@@ -94,11 +119,15 @@ type CountingObserver struct {
 	requestErrors   atomic.Uint64
 	syntheses       atomic.Uint64
 	synthesisErrors atomic.Uint64
+	synthesisAborts atomic.Uint64
 	synthesisNanos  atomic.Int64
 	cacheHits       atomic.Uint64
 	cacheMisses     atomic.Uint64
 	cacheEvicts     atomic.Uint64
 	fallbacks       atomic.Uint64
+	plans           atomic.Uint64
+	strategies      atomic.Uint64
+	strategyErrors  atomic.Uint64
 }
 
 var _ Observer = (*CountingObserver)(nil)
@@ -113,11 +142,15 @@ func (c *CountingObserver) Counts() ObserverCounts {
 		RequestErrors:   c.requestErrors.Load(),
 		Syntheses:       c.syntheses.Load(),
 		SynthesisErrors: c.synthesisErrors.Load(),
+		SynthesisAborts: c.synthesisAborts.Load(),
 		SynthesisTime:   time.Duration(c.synthesisNanos.Load()),
 		CacheHits:       c.cacheHits.Load(),
 		CacheMisses:     c.cacheMisses.Load(),
 		CacheEvicts:     c.cacheEvicts.Load(),
 		Fallbacks:       c.fallbacks.Load(),
+		Plans:           c.plans.Load(),
+		Strategies:      c.strategies.Load(),
+		StrategyErrors:  c.strategyErrors.Load(),
 	}
 }
 
@@ -135,6 +168,9 @@ func (c *CountingObserver) SynthesisEnd(_ SynthKey, elapsed time.Duration, err e
 	c.synthesisNanos.Add(int64(elapsed))
 	if err != nil {
 		c.synthesisErrors.Add(1)
+		if IsContextError(err) {
+			c.synthesisAborts.Add(1)
+		}
 	}
 }
 
@@ -142,6 +178,16 @@ func (c *CountingObserver) CacheHit(SynthKey)            { c.cacheHits.Add(1) }
 func (c *CountingObserver) CacheMiss(SynthKey)           { c.cacheMisses.Add(1) }
 func (c *CountingObserver) CacheEvict(SynthKey)          { c.cacheEvicts.Add(1) }
 func (c *CountingObserver) Fallback(SolveRequest, error) { c.fallbacks.Add(1) }
+
+func (c *CountingObserver) PlanBuilt(SolveRequest, *Plan) { c.plans.Add(1) }
+
+func (c *CountingObserver) StrategyStart(SolveRequest, *PlannedStrategy) { c.strategies.Add(1) }
+
+func (c *CountingObserver) StrategyEnd(_ SolveRequest, _ *PlannedStrategy, _ *Result, err error) {
+	if err != nil {
+		c.strategyErrors.Add(1)
+	}
+}
 
 // --- engine-side fan-out ----------------------------------------------------
 
@@ -190,5 +236,23 @@ func (e *Engine) observeCacheEvict(key SynthKey) {
 func (e *Engine) observeFallback(req SolveRequest, cause error) {
 	for _, o := range e.obs {
 		o.Fallback(req, cause)
+	}
+}
+
+func (e *Engine) observePlanBuilt(req SolveRequest, plan *Plan) {
+	for _, o := range e.obs {
+		o.PlanBuilt(req, plan)
+	}
+}
+
+func (e *Engine) observeStrategyStart(req SolveRequest, s *PlannedStrategy) {
+	for _, o := range e.obs {
+		o.StrategyStart(req, s)
+	}
+}
+
+func (e *Engine) observeStrategyEnd(req SolveRequest, s *PlannedStrategy, res *Result, err error) {
+	for _, o := range e.obs {
+		o.StrategyEnd(req, s, res, err)
 	}
 }

@@ -1,0 +1,515 @@
+package lclgrid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"lclgrid/internal/core"
+)
+
+// StrategyKind names one way the engine can serve a request. The
+// Planner ranks strategies into a Plan; the plan executor runs them in
+// order until one succeeds.
+type StrategyKind string
+
+const (
+	// StrategyConstant fills the grid with a constant solution label
+	// (O(1) problems, zero rounds).
+	StrategyConstant StrategyKind = "constant-fill"
+	// StrategyDirect runs a hand-written algorithm adapter (§8, §10,
+	// the §6 L_M construction, or a caller-supplied Solver).
+	StrategyDirect StrategyKind = "direct"
+	// StrategyCached serves a normal form whose lookup table is already
+	// in the synthesis cache — no SAT work at all.
+	StrategyCached StrategyKind = "cached-table"
+	// StrategySynthesis searches for a normal-form lookup table (§7),
+	// racing multiple (k, h, w) candidates concurrently.
+	StrategySynthesis StrategyKind = "synthesis"
+	// StrategyBaseline runs the Θ(n) gather-and-solve brute force —
+	// either as the problem's primary strategy or as the fallback when
+	// a normal form needs a larger torus than the request asked for.
+	StrategyBaseline StrategyKind = "baseline"
+)
+
+// PlanAttempt is one normal-form shape annotated for planning: the
+// smallest torus side it supports, whether the request's torus meets it,
+// and whether a completed outcome for it is already cached.
+type PlanAttempt struct {
+	K       int  `json:"k"`
+	H       int  `json:"h"`
+	W       int  `json:"w"`
+	MinSide int  `json:"min_side"`
+	Fits    bool `json:"fits"`
+	Cached  bool `json:"cached,omitempty"`
+}
+
+// PlannedStrategy is one ranked stage of a Plan. Skip non-empty means
+// the planner already knows the stage cannot run for this request (it is
+// recorded as skipped in the Result's Trace); Fallback marks the Θ(n)
+// stage that runs only when the preceding synthesis failed because the
+// torus is below the normal form's minimum side. Observers receive the
+// strategy by pointer and must treat it as read-only.
+type PlannedStrategy struct {
+	Kind     StrategyKind  `json:"kind"`
+	Solver   string        `json:"solver,omitempty"`
+	Attempts []PlanAttempt `json:"attempts,omitempty"`
+	Reason   string        `json:"reason,omitempty"`
+	Skip     string        `json:"skip,omitempty"`
+	Fallback bool          `json:"fallback,omitempty"`
+
+	// run executes the stage; nil exactly when Skip is set.
+	run func(ctx context.Context) (*Result, error)
+	// skipErr carries the canonical error of a planner-skipped stage
+	// (e.g. the ErrTorusTooSmall that arms the fallback gate).
+	skipErr error
+}
+
+// Plan is the ranked strategy list the Planner builds for one request —
+// everything Engine.Solve will do, decided up front from the registry
+// spec, the request options, the torus shape and a non-blocking cache
+// probe, with no SAT work. `lclgrid explain` prints it; the executor
+// runs it and records each stage's outcome in Result.Trace.
+type Plan struct {
+	// Key is the registry key the request named ("" for inline problems).
+	Key string `json:"key,omitempty"`
+	// Problem is the display name of the problem instance.
+	Problem string `json:"problem"`
+	// Class is the registered classification (ClassUnknown for inline
+	// problems until the oracle runs).
+	Class Class `json:"class"`
+	// Sides is the resolved torus shape.
+	Sides []int `json:"sides"`
+	// Strategies is the ranked stage list.
+	Strategies []PlannedStrategy `json:"strategies"`
+
+	torus *Torus
+	ids   []int
+	opts  Options
+}
+
+// String implements fmt.Stringer with a compact one-line-per-stage form.
+func (p *Plan) String() string {
+	s := fmt.Sprintf("plan for %s on torus %v (%v):", p.Problem, p.Sides, p.Class)
+	for i := range p.Strategies {
+		st := &p.Strategies[i]
+		line := fmt.Sprintf("\n  %d. %s", i+1, st.Kind)
+		if st.Solver != "" {
+			line += " [" + st.Solver + "]"
+		}
+		for _, a := range st.Attempts {
+			line += fmt.Sprintf(" k=%d %dx%d", a.K, a.H, a.W)
+		}
+		if st.Skip != "" {
+			line += " — skipped: " + st.Skip
+		} else if st.Reason != "" {
+			line += " — " + st.Reason
+		}
+		s += line
+	}
+	return s
+}
+
+// TraceOutcome is the recorded fate of one plan stage.
+type TraceOutcome string
+
+const (
+	// TraceOK: the stage produced the result.
+	TraceOK TraceOutcome = "ok"
+	// TraceFailed: the stage ran and failed; the executor moved on (or
+	// returned its error when no later stage applied).
+	TraceFailed TraceOutcome = "failed"
+	// TraceSkipped: the stage never ran — the planner ruled it out, or
+	// its gate (fallback-only) did not open.
+	TraceSkipped TraceOutcome = "skipped"
+)
+
+// TraceStep records one plan stage's outcome in Result.Trace. It is
+// JSON-marshallable ({"strategy":"synthesis","outcome":"ok",
+// "detail":"k=1 window 3x3, 97 tiles","elapsed_ns":123456}); the trace
+// itself is deliberately excluded from Result's wire form — marshal
+// res.Trace directly when a service wants to ship it.
+type TraceStep struct {
+	Strategy StrategyKind  `json:"strategy"`
+	Outcome  TraceOutcome  `json:"outcome"`
+	Detail   string        `json:"detail,omitempty"`
+	Elapsed  time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// Planner builds Plans from SolveRequests: registry spec (or inline
+// problem), request options, torus shape and the engine's non-blocking
+// SynthCache.Contains probe. Planning performs no SAT work — that is
+// what makes `lclgrid explain` free — and no solver runs until the
+// executor walks the plan.
+type Planner struct {
+	e *Engine
+}
+
+// Planner returns the engine's request planner.
+func (e *Engine) Planner() *Planner { return &Planner{e: e} }
+
+// Plan builds the ranked plan for req without solving it — the
+// explainability entry point. Engine.Solve builds the identical plan
+// internally, so the printed strategies are exactly what a Solve of the
+// same request would execute (modulo cache churn between the two calls).
+func (e *Engine) Plan(req SolveRequest) (*Plan, error) { return e.Planner().Plan(req) }
+
+// errNoNormalForm marks the one-sided oracle exhausting its power budget
+// without finding a normal form: the problem is conjectured global and
+// the baseline fallback stage takes over.
+var errNoNormalForm = errors.New("no normal form found within the power budget (one-sided oracle: conjectured Θ(n))")
+
+// fallbackTriggers reports whether a failed stage's error arms the
+// Θ(n) fallback stage: a normal form that needs a larger torus, or an
+// oracle that found no normal form at all. Any other failure (UNSAT at
+// every shape with a big-enough torus, a rejected labelling, an
+// unsolvable instance) is the request's real answer.
+func fallbackTriggers(err error) bool {
+	return errors.Is(err, ErrTorusTooSmall) || errors.Is(err, errNoNormalForm)
+}
+
+// Plan builds the ranked plan for req; see Engine.Plan.
+func (pl *Planner) Plan(req SolveRequest) (*Plan, error) {
+	e := pl.e
+	switch {
+	case req.Key != "" && req.Problem != nil:
+		return nil, fmt.Errorf("lclgrid: request sets both Key %q and an inline Problem; choose one", req.Key)
+	case req.Key == "" && req.Problem == nil:
+		return nil, fmt.Errorf("lclgrid: request names no problem (set Key or Problem)")
+	}
+	o := req.options()
+	if req.Problem != nil {
+		t, err := req.torus(nil)
+		if err != nil {
+			return nil, err
+		}
+		if req.Problem.Dims() != t.Dim() {
+			return nil, fmt.Errorf("lclgrid: %d-dimensional problem %s on a %d-dimensional torus", req.Problem.Dims(), req.Problem.Name(), t.Dim())
+		}
+		ids, err := req.ids(t)
+		if err != nil {
+			return nil, err
+		}
+		return pl.planProblem(req.Problem, t, ids, o)
+	}
+	spec, err := e.reg.Lookup(req.Key)
+	if err != nil {
+		return nil, err
+	}
+	t, err := req.torus(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Dims != 0 && spec.Dims != t.Dim() {
+		return nil, fmt.Errorf("lclgrid: %s is registered for %d-dimensional grids, torus is %d-dimensional", spec.Key, spec.Dims, t.Dim())
+	}
+	ids, err := req.ids(t)
+	if err != nil {
+		return nil, err
+	}
+	return pl.planSpec(spec, t, ids, o)
+}
+
+// planSpec builds the plan for a registered key from the spec's plan
+// hint.
+func (pl *Planner) planSpec(spec *ProblemSpec, t *Torus, ids []int, o Options) (*Plan, error) {
+	plan := &Plan{Key: spec.Key, Problem: spec.Name, Class: spec.Class, Sides: t.Sides(), torus: t, ids: ids, opts: o}
+	if o.Power > 0 {
+		if spec.Problem == nil {
+			return nil, fmt.Errorf("lclgrid: %s has no SFT form to synthesize against", spec.Name)
+		}
+		h, w := o.H, o.W
+		if h == 0 || w == 0 {
+			h, w = DefaultWindow(o.Power)
+		}
+		// A forced power is a demand for that normal form specifically:
+		// no baseline fallback.
+		pl.addSynthesisStages(plan, spec.Problem(), []SynthAttempt{{o.Power, h, w}},
+			fmt.Sprintf("synthesis forced by the request (power %d)", o.Power), false, nil)
+		return plan, nil
+	}
+	switch {
+	case spec.Constant:
+		p := spec.Problem()
+		plan.Strategies = append(plan.Strategies, PlannedStrategy{
+			Kind:   StrategyConstant,
+			Solver: (&ConstantSolver{}).Name(),
+			Reason: "O(1): a constant label tiles the grid (§6)",
+			run: func(ctx context.Context) (*Result, error) {
+				return (&ConstantSolver{Problem: p}).Solve(ctx, t, ids, withOptions(o))
+			},
+		})
+	case len(spec.Attempts) > 0:
+		pl.addSynthesisStages(plan, spec.Problem(), spec.Attempts, "", spec.Problem != nil, nil)
+	case spec.Direct != nil:
+		solver := spec.Direct(pl.e)
+		plan.Strategies = append(plan.Strategies, PlannedStrategy{
+			Kind:   StrategyDirect,
+			Solver: solver.Name(),
+			Reason: "registered direct algorithm",
+			run: func(ctx context.Context) (*Result, error) {
+				return solver.Solve(ctx, t, ids, withOptions(o))
+			},
+		})
+	case spec.Baseline:
+		p := spec.Problem()
+		plan.Strategies = append(plan.Strategies, pl.baselineStage(p, t, ids, o,
+			func() Class { return spec.Class }, false,
+			"Θ(n) gather-and-solve is the registered strategy"))
+	default:
+		return nil, fmt.Errorf("lclgrid: spec %q carries no plan hint", spec.Key)
+	}
+	return plan, nil
+}
+
+// planProblem builds the plan for an inline (possibly unregistered) SFT
+// problem: constant fill when a constant solution exists, otherwise the
+// cached one-sided oracle drives a synthesis stage with the Θ(n) brute
+// force as the fallback — including when a synthesized normal form
+// exists but needs a larger torus than the request asked for (the same
+// semantics as the registered-key path).
+func (pl *Planner) planProblem(p *Problem, t *Torus, ids []int, o Options) (*Plan, error) {
+	plan := &Plan{Problem: p.Name(), Class: ClassUnknown, Sides: t.Sides(), torus: t, ids: ids, opts: o}
+	if o.Power > 0 {
+		h, w := o.H, o.W
+		if h == 0 || w == 0 {
+			h, w = DefaultWindow(o.Power)
+		}
+		pl.addSynthesisStages(plan, p, []SynthAttempt{{o.Power, h, w}},
+			fmt.Sprintf("synthesis forced by the request (power %d)", o.Power), false, nil)
+		return plan, nil
+	}
+	if len(p.ConstantSolutions()) > 0 {
+		plan.Class = ClassO1
+		plan.Strategies = append(plan.Strategies, PlannedStrategy{
+			Kind:   StrategyConstant,
+			Solver: (&ConstantSolver{}).Name(),
+			Reason: "O(1): a constant label tiles the grid (§6)",
+			run: func(ctx context.Context) (*Result, error) {
+				return (&ConstantSolver{Problem: p}).Solve(ctx, t, ids, withOptions(o))
+			},
+		})
+		return plan, nil
+	}
+
+	// The oracle proving Θ(log* n) but the normal form not fitting the
+	// torus must reach the baseline as a Θ(log* n) problem; the oracle
+	// finding nothing reaches it as conjectured-global. The stages share
+	// this cell to communicate which happened.
+	knownClass := ClassUnknown
+	st := PlannedStrategy{
+		Kind:   StrategySynthesis,
+		Solver: (&SynthesisSolver{}).Name(),
+		Reason: fmt.Sprintf("§7 one-sided oracle: race window candidates for k = 1..%d until a lookup table exists", o.MaxPower),
+	}
+	if p.Dims() != 2 {
+		st.Skip = fmt.Sprintf("normal-form synthesis is implemented for 2-dimensional problems only; %s is %d-dimensional", p.Name(), p.Dims())
+		st.skipErr = fmt.Errorf("lclgrid: %s: %w", p.Name(), errNoNormalForm)
+	} else {
+		for _, shape := range core.OracleSchedule(o.MaxPower) {
+			st.Attempts = append(st.Attempts, pl.annotateAttempt(p, t, SynthAttempt{shape[0], shape[1], shape[2]}))
+		}
+		st.run = func(ctx context.Context) (*Result, error) {
+			oracle := pl.e.Classify(ctx, p, o.MaxPower)
+			if oracle.Err != nil {
+				return nil, oracle.Err
+			}
+			if oracle.Class != ClassLogStar {
+				return nil, fmt.Errorf("lclgrid: %s: %w", p.Name(), errNoNormalForm)
+			}
+			knownClass = ClassLogStar
+			s := &SynthesisSolver{
+				Problem:  p,
+				Attempts: []SynthAttempt{{oracle.Alg.K, oracle.Alg.H, oracle.Alg.W}},
+				Engine:   pl.e,
+			}
+			return s.Solve(ctx, t, ids, withOptions(o))
+		}
+	}
+	plan.Strategies = append(plan.Strategies, st)
+	plan.Strategies = append(plan.Strategies, pl.baselineStage(p, t, ids, o,
+		func() Class { return knownClass }, true,
+		"Θ(n) gather-and-solve serves the problem when no normal form applies"))
+	return plan, nil
+}
+
+// annotateAttempt builds the PlanAttempt annotation for one shape.
+func (pl *Planner) annotateAttempt(p *Problem, t *Torus, a SynthAttempt) PlanAttempt {
+	return PlanAttempt{
+		K: a.K, H: a.H, W: a.W,
+		MinSide: core.MinTorusSideFor(a.K, a.H, a.W),
+		Fits:    attemptFits(t, a),
+		Cached:  pl.e.cache.Contains(SynthKey{Fingerprint: p.Fingerprint(), K: a.K, H: a.H, W: a.W}),
+	}
+}
+
+// addSynthesisStages appends the cached-outcome probe stage (when the
+// cache already holds a completed outcome for a fitting shape), the
+// synthesis race stage over the remaining shapes, and — when
+// withFallback — the gated Θ(n) baseline. The cached stage owns the
+// probed shapes entirely: a cached table serves the request instantly,
+// a cached UNSAT fails the stage without SAT work, and either way the
+// synthesis stage never replays a shape whose outcome is already known.
+func (pl *Planner) addSynthesisStages(plan *Plan, p *Problem, attempts []SynthAttempt, reason string, withFallback bool, classOf func() Class) {
+	e := pl.e
+	t, ids, o := plan.torus, plan.ids, plan.opts
+	var cachedFit, uncached []SynthAttempt
+	var cachedAnnotated, uncachedAnnotated []PlanAttempt
+	for _, a := range attempts {
+		ann := pl.annotateAttempt(p, t, a)
+		if ann.Cached && ann.Fits {
+			cachedFit = append(cachedFit, a)
+			cachedAnnotated = append(cachedAnnotated, ann)
+		} else {
+			// Non-fitting shapes stay with the synthesis stage (cached or
+			// not) so its too-small accounting arms the fallback.
+			uncached = append(uncached, a)
+			uncachedAnnotated = append(uncachedAnnotated, ann)
+		}
+	}
+	if len(cachedFit) > 0 {
+		plan.Strategies = append(plan.Strategies, PlannedStrategy{
+			Kind:     StrategyCached,
+			Solver:   (&SynthesisSolver{}).Name(),
+			Attempts: cachedAnnotated,
+			Reason:   "completed outcomes for these shapes are already in the synthesis cache — replayed with no SAT work (a cached table serves the request, a cached UNSAT falls through)",
+			run: func(ctx context.Context) (*Result, error) {
+				s := &SynthesisSolver{Problem: p, Attempts: cachedFit, Engine: e}
+				return s.Solve(ctx, t, ids, withOptions(o))
+			},
+		})
+	}
+	if len(uncached) > 0 {
+		st := PlannedStrategy{
+			Kind:     StrategySynthesis,
+			Solver:   (&SynthesisSolver{}).Name(),
+			Attempts: uncachedAnnotated,
+			Reason:   reason,
+		}
+		if st.Reason == "" {
+			if len(uncached) > 1 {
+				st.Reason = "registered normal-form shapes; candidates race concurrently and the first table wins"
+			} else {
+				st.Reason = "registered normal-form shape"
+			}
+		}
+		anyFits := false
+		for _, a := range uncachedAnnotated {
+			if a.Fits {
+				anyFits = true
+				break
+			}
+		}
+		if !anyFits {
+			smallest, small := uncachedAnnotated[0].MinSide, uncachedAnnotated[0]
+			for _, a := range uncachedAnnotated[1:] {
+				if a.MinSide < smallest {
+					smallest, small = a.MinSide, a
+				}
+			}
+			st.Skip = fmt.Sprintf("torus %v is below the smallest side %d any attempt shape supports", t.Sides(), smallest)
+			st.skipErr = core.TorusTooSmallError(small.K, small.H, small.W)
+		} else {
+			st.run = func(ctx context.Context) (*Result, error) {
+				s := &SynthesisSolver{Problem: p, Attempts: uncached, Engine: e}
+				return s.Solve(ctx, t, ids, withOptions(o))
+			}
+		}
+		plan.Strategies = append(plan.Strategies, st)
+	}
+	if withFallback {
+		if classOf == nil {
+			cls := plan.Class
+			classOf = func() Class { return cls }
+		}
+		plan.Strategies = append(plan.Strategies, pl.baselineStage(p, t, ids, o, classOf, true,
+			"Θ(n) gather-and-solve serves the problem when the normal form needs a larger torus"))
+	}
+}
+
+// baselineStage builds the Θ(n) brute-force stage. classOf is read at
+// execution time so an earlier stage (the inline oracle) can refine the
+// class the baseline records; fallback gates the stage on a
+// too-small-torus (or no-normal-form) failure of the stage before it.
+func (pl *Planner) baselineStage(p *Problem, t *Torus, ids []int, o Options, classOf func() Class, fallback bool, reason string) PlannedStrategy {
+	return PlannedStrategy{
+		Kind:     StrategyBaseline,
+		Solver:   (&GlobalSolver{}).Name(),
+		Reason:   reason,
+		Fallback: fallback,
+		run: func(ctx context.Context) (*Result, error) {
+			return (&GlobalSolver{Problem: p, KnownClass: classOf()}).Solve(ctx, t, ids, withOptions(o))
+		},
+	}
+}
+
+// executePlan walks the plan's ranked strategies under ctx: skipped
+// stages are recorded and passed over, the fallback baseline runs only
+// when the preceding failure arms it, and the first success returns a
+// Result (on a copy — solvers own the Results they return) carrying the
+// full Trace and, when the solver left the class open, the plan's
+// registered classification. Per-stage outcomes are mirrored to the
+// observers as StrategyStart/StrategyEnd pairs.
+func (e *Engine) executePlan(ctx context.Context, req SolveRequest, plan *Plan) (*Result, error) {
+	var trace []TraceStep
+	var lastRes *Result
+	var lastErr error
+	for i := range plan.Strategies {
+		st := &plan.Strategies[i]
+		if st.Skip != "" {
+			trace = append(trace, TraceStep{Strategy: st.Kind, Outcome: TraceSkipped, Detail: st.Skip})
+			if st.skipErr != nil {
+				lastErr = st.skipErr
+			}
+			continue
+		}
+		if st.Fallback {
+			if lastErr != nil && !fallbackTriggers(lastErr) {
+				// The earlier failure is the request's real answer (UNSAT
+				// everywhere, a rejected labelling, ...): do not mask it
+				// with an open-ended brute force.
+				trace = append(trace, TraceStep{Strategy: st.Kind, Outcome: TraceSkipped,
+					Detail: "not reached: the preceding failure is not a too-small-torus redirect"})
+				break
+			}
+			if lastErr != nil && errors.Is(lastErr, ErrTorusTooSmall) {
+				e.observeFallback(req, lastErr)
+			}
+		}
+		e.observeStrategyStart(req, st)
+		start := time.Now()
+		res, err := st.run(ctx)
+		elapsed := time.Since(start)
+		e.observeStrategyEnd(req, st, res, err)
+		if err == nil {
+			detail := ""
+			if res != nil {
+				detail = res.Note
+			}
+			trace = append(trace, TraceStep{Strategy: st.Kind, Outcome: TraceOK, Detail: detail, Elapsed: elapsed})
+			// Copy before stamping: the solver may legitimately share or
+			// reuse the Result it returned.
+			out := *res
+			if out.Class == ClassUnknown && plan.Class != ClassUnknown {
+				out.Class = plan.Class
+			}
+			out.Trace = trace
+			return &out, nil
+		}
+		if isCtxErr(err) {
+			return nil, err
+		}
+		trace = append(trace, TraceStep{Strategy: st.Kind, Outcome: TraceFailed, Detail: err.Error(), Elapsed: elapsed})
+		lastRes, lastErr = res, err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("lclgrid: no strategy applies to %s on torus %v", plan.Problem, plan.Sides)
+	}
+	if lastRes != nil {
+		out := *lastRes
+		out.Trace = trace
+		lastRes = &out
+	}
+	return lastRes, lastErr
+}

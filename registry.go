@@ -5,14 +5,33 @@ import (
 	"strings"
 	"sync"
 
+	"lclgrid/internal/core"
 	"lclgrid/internal/lm"
 	"lclgrid/internal/orient"
 )
 
 // ProblemSpec is one registry entry: a problem constructor, the paper's
-// classification of it, and the known best solver. Specs are what
-// SolveRequest keys — from the CLI, the `lclgrid batch` JSONL front
-// end, the experiments and downstream services — resolve against.
+// classification of it, and a declarative plan hint telling the Planner
+// how the problem is served. Specs are what SolveRequest keys — from the
+// CLI, the `lclgrid batch` JSONL front end, the experiments and
+// downstream services — resolve against.
+//
+// Exactly one of the four plan hints must be set:
+//
+//   - Constant: the problem is O(1); a constant label fills the grid.
+//   - Attempts: normal-form synthesis; the listed (k, h, w) shapes are
+//     raced concurrently until one admits a lookup table, with the Θ(n)
+//     baseline as the automatic fallback when the torus is below the
+//     normal form's minimum side.
+//   - Direct: a hand-written algorithm adapter (§8, §10, the §6 L_M
+//     construction, or a caller-supplied Solver). Direct specs get no
+//     automatic baseline fallback — their failure modes are their own.
+//   - Baseline: the Θ(n) gather-and-solve brute force is the primary
+//     (and only) strategy.
+//
+// Declarative hints are what make `lclgrid explain` possible: the
+// Planner can rank and print the strategies for a request without
+// constructing (or running) any solver.
 type ProblemSpec struct {
 	// Key is the registry lookup key ("4col", "mis", "lm:halt", ...).
 	Key string
@@ -31,15 +50,49 @@ type ProblemSpec struct {
 	MinSide     int
 	SideModulus int
 	// Problem constructs the SFT form; nil for problems without an int
-	// SFT encoding here (the L_M gadget).
+	// SFT encoding here (the L_M gadget). Required by the Constant,
+	// Attempts and Baseline hints.
 	Problem func() *Problem
-	// Solver returns the known best solver (context-aware; see the
-	// Solver interface); the engine provides cached synthesis to solvers
-	// that want it.
-	Solver func(e *Engine) Solver
+
+	// Constant marks an O(1) problem served by constant fill.
+	Constant bool
+	// Attempts are the normal-form shapes synthesis tries; with more
+	// than one shape the engine races them concurrently and the first
+	// lookup table wins.
+	Attempts []SynthAttempt
+	// Direct constructs a direct-algorithm solver (context-aware; see
+	// the Solver interface); the engine is passed so adapters that want
+	// cached synthesis can use it.
+	Direct func(e *Engine) Solver
+	// Baseline marks a problem served by the Θ(n) brute force.
+	Baseline bool
+
 	// Verify checks a Result against the problem definition (used when
 	// Labels is nil and the SFT Verify does not apply).
 	Verify func(t *Torus, res *Result) error
+}
+
+// HintSummary returns a one-line human description of the spec's plan
+// hint ("synthesis k=1 3×3 (side ≥ 12) | k=2 5×5 (side ≥ 20)", "constant
+// fill", ...); empty when the spec carries no hint. `lclgrid list -v`
+// prints it so plans from `lclgrid explain` are cross-checkable against
+// the registry.
+func (s *ProblemSpec) HintSummary() string {
+	switch {
+	case s.Constant:
+		return "constant fill"
+	case len(s.Attempts) > 0:
+		parts := make([]string, len(s.Attempts))
+		for i, a := range s.Attempts {
+			parts[i] = fmt.Sprintf("k=%d %d×%d (side ≥ %d)", a.K, a.H, a.W, core.MinTorusSideFor(a.K, a.H, a.W))
+		}
+		return "synthesis " + strings.Join(parts, " | ") + ", Θ(n) fallback"
+	case s.Direct != nil:
+		return "direct algorithm"
+	case s.Baseline:
+		return "Θ(n) brute force"
+	}
+	return ""
 }
 
 // SmallestSide returns the smallest torus side the spec's default
@@ -82,10 +135,25 @@ func NewRegistry() *Registry {
 	return &Registry{specs: make(map[string]*ProblemSpec)}
 }
 
-// Register adds a spec; re-registering a key replaces the entry.
+// Register adds a spec; re-registering a key replaces the entry. The
+// spec must carry a key and exactly one plan hint (Constant, Attempts,
+// Direct or Baseline); the Constant, Attempts and Baseline hints need a
+// Problem constructor for the planner to build their solvers from.
 func (r *Registry) Register(spec *ProblemSpec) error {
-	if spec.Key == "" || spec.Solver == nil {
-		return fmt.Errorf("lclgrid: spec needs a key and a solver")
+	if spec.Key == "" {
+		return fmt.Errorf("lclgrid: spec needs a key")
+	}
+	hints := 0
+	for _, set := range []bool{spec.Constant, len(spec.Attempts) > 0, spec.Direct != nil, spec.Baseline} {
+		if set {
+			hints++
+		}
+	}
+	if hints != 1 {
+		return fmt.Errorf("lclgrid: spec %q needs exactly one plan hint (Constant, Attempts, Direct or Baseline), has %d", spec.Key, hints)
+	}
+	if spec.Direct == nil && spec.Problem == nil {
+		return fmt.Errorf("lclgrid: spec %q hint needs a Problem constructor", spec.Key)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -186,8 +254,8 @@ func familySpec(key string) *ProblemSpec {
 
 // vertexColoringSpec builds the spec for proper k-colouring on
 // 2-dimensional grids: global for k <= 3 (Thm 9), Θ(log* n) for k >= 4
-// (Thm 4; k = 4 runs the §8 direct algorithm, k >= 5 synthesizes with
-// k = 1 anchors).
+// (Thm 4; k = 4 synthesizes the paper's headline k = 3 normal form,
+// k >= 5 synthesizes with k = 1 anchors).
 func vertexColoringSpec(key string, k int) *ProblemSpec {
 	p := func() *Problem { return VertexColoring(k, 2) }
 	spec := &ProblemSpec{
@@ -200,18 +268,18 @@ func vertexColoringSpec(key string, k int) *ProblemSpec {
 		if k == 2 {
 			spec.SideModulus = 2 // 2-colourings need even sides
 		}
-		spec.Solver = func(e *Engine) Solver { return &GlobalSolver{Problem: p(), KnownClass: ClassGlobal} }
+		spec.Baseline = true
 	case k == 4:
 		// The paper's headline synthesis (k = 3 over 2079 tiles); the §8
 		// direct algorithm (FourColorSolver) needs much larger tori in
 		// this implementation and stays available as an explicit adapter.
 		spec.Class = ClassLogStar
 		spec.MinSide = 28 // MinTorusSide for k=3, 7×5 windows
-		spec.Solver = func(e *Engine) Solver { return NewSynthesisSolver(e, p(), 3, 7, 5) }
+		spec.Attempts = []SynthAttempt{{K: 3, H: 7, W: 5}}
 	default:
 		spec.Class = ClassLogStar
 		spec.MinSide = 12 // MinTorusSide for k=1, 3×2 windows
-		spec.Solver = func(e *Engine) Solver { return NewSynthesisSolver(e, p(), 1, 3, 2) }
+		spec.Attempts = []SynthAttempt{{K: 1, H: 3, W: 2}}
 	}
 	return spec
 }
@@ -228,11 +296,14 @@ func edgeColoringSpec(key string, k int) *ProblemSpec {
 		spec.Class = ClassGlobal
 		spec.MinSide = 4
 		spec.SideModulus = 2 // no 2d-edge-colouring when n is odd
-		spec.Solver = func(e *Engine) Solver { return &GlobalSolver{Problem: p(), KnownClass: ClassGlobal} }
+		spec.Baseline = true
 	} else {
 		spec.Class = ClassLogStar
 		spec.MinSide = 680 // §10 paper constants need sides > 2·338+2
-		spec.Solver = func(e *Engine) Solver { return &EdgeColorSolver{KColors: k} }
+		// Direct specs get no Θ(n) fallback on purpose: the edge
+		// alphabet makes the SAT baseline intractable, so an honest
+		// error beats an open-ended solve.
+		spec.Direct = func(e *Engine) Solver { return &EdgeColorSolver{KColors: k} }
 	}
 	return spec
 }
@@ -249,21 +320,18 @@ func orientationSpec(key string, x []int) *ProblemSpec {
 	switch spec.Class {
 	case ClassO1:
 		spec.MinSide = 1
-		spec.Solver = func(e *Engine) Solver { return &ConstantSolver{Problem: p()} }
+		spec.Constant = true
 	case ClassLogStar:
 		spec.MinSide = 12 // MinTorusSide for k=1, 3×3 windows
-		spec.Solver = func(e *Engine) Solver {
-			return &SynthesisSolver{
-				Problem:  p(),
-				Attempts: []SynthAttempt{{1, 3, 3}, {2, 5, 5}}, // Lemma 23: k=1 suffices
-				Engine:   e,
-			}
-		}
+		// Lemma 23: k=1 suffices; the k=2 square window is the staged
+		// backup. The engine races the two shapes and the k=1 table
+		// (small and fast) cancels the expensive 5×5 search.
+		spec.Attempts = []SynthAttempt{{K: 1, H: 3, W: 3}, {K: 2, H: 5, W: 5}}
 	default:
 		spec.Class = ClassGlobal
 		spec.MinSide = 4
 		spec.SideModulus = 2 // several global X are unsolvable on odd tori (Lemma 24)
-		spec.Solver = func(e *Engine) Solver { return &GlobalSolver{Problem: p(), KnownClass: ClassGlobal} }
+		spec.Baseline = true
 	}
 	return spec
 }
@@ -282,7 +350,7 @@ func lmSpec(key string, m *TuringMachine, halts bool, minSide, modulus int) *Pro
 		}(),
 		MinSide:     minSide,
 		SideModulus: modulus,
-		Solver: func(e *Engine) Solver {
+		Direct: func(e *Engine) Solver {
 			return &LMSolver{LM: LM(m), Halts: halts}
 		},
 		Verify: func(t *Torus, res *Result) error {
@@ -308,7 +376,7 @@ func DefaultRegistry() *Registry {
 		{
 			Key: "is", Name: is().Name(), Dims: 2, NumLabels: is().K(),
 			Class: ClassO1, MinSide: 1, Problem: is,
-			Solver: func(e *Engine) Solver { return &ConstantSolver{Problem: is()} },
+			Constant: true,
 		},
 		orientationSpec("orient2", []int{2}),
 		// Θ(log* n): synthesized normal forms and the direct algorithms.
@@ -317,7 +385,7 @@ func DefaultRegistry() *Registry {
 		{
 			Key: "mis", Name: mis().Name(), Dims: 2, NumLabels: mis().K(),
 			Class: ClassLogStar, MinSide: 12, Problem: mis,
-			Solver: func(e *Engine) Solver { return NewSynthesisSolver(e, mis(), 1, 3, 3) },
+			Attempts: []SynthAttempt{{K: 1, H: 3, W: 3}},
 		},
 		edgeColoringSpec("5edgecol", 5),
 		orientationSpec("orient134", []int{1, 3, 4}),
@@ -332,7 +400,7 @@ func DefaultRegistry() *Registry {
 		{
 			Key: "matching", Name: matching().Name(), Dims: 2, NumLabels: matching().K(),
 			Class: ClassUnknown, MinSide: 4, Problem: matching,
-			Solver: func(e *Engine) Solver { return &GlobalSolver{Problem: matching()} },
+			Baseline: true,
 		},
 		// The §6 undecidability gadget for the two reference machines.
 		lmSpec("lm:halt", HaltingWriter(2), true, lm.TileSize(2), lm.TileSize(2)),

@@ -122,8 +122,8 @@ func FuzzRegistryLookup(f *testing.F) {
 		if spec.Key != key {
 			t.Errorf("%q: resolved spec carries key %q", key, spec.Key)
 		}
-		if spec.Solver == nil {
-			t.Errorf("%q: spec has no solver", key)
+		if spec.HintSummary() == "" {
+			t.Errorf("%q: spec has no plan hint", key)
 		}
 		if spec.Name == "" {
 			t.Errorf("%q: spec has no name", key)

@@ -99,6 +99,16 @@ type Result struct {
 	// Engine.Solve and Engine.SolveBatch (zero when the solver adapter is
 	// called directly). It marshals as integer nanoseconds.
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+	// Trace records the fate of every stage of the Plan the engine
+	// executed for the request — skipped strategies, failed attempts and
+	// the stage that produced this result, in plan order. It is stamped
+	// by Engine.Solve only (nil when a solver adapter is called
+	// directly) and is deliberately excluded from Result's wire form so
+	// service output is stable; each TraceStep is itself
+	// JSON-marshallable (see the TraceStep schema), so callers that want
+	// the trace on the wire marshal res.Trace explicitly. `lclgrid
+	// explain` prints the corresponding plan without solving.
+	Trace []TraceStep `json:"-"`
 }
 
 // String implements fmt.Stringer with a one-line summary.

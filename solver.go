@@ -60,16 +60,23 @@ func verifyInto(p *Problem, t *Torus, res *Result, o *Options) error {
 // --- Synthesized normal forms (§7) -----------------------------------------
 
 // SynthAttempt is one (power, window) shape a SynthesisSolver tries.
-type SynthAttempt struct{ K, H, W int }
+type SynthAttempt struct {
+	K int `json:"k"`
+	H int `json:"h"`
+	W int `json:"w"`
+}
 
 // SynthesisSolver solves a problem by a synthesized normal-form algorithm
-// A' ∘ S_k (§7). Attempts are tried in order until one admits a lookup
-// table; synthesis goes through the Engine's cache when one is attached,
-// so repeated solves pay the SAT cost once per problem fingerprint.
+// A' ∘ S_k (§7). With an Engine attached, multiple attempts race
+// concurrently (bounded by the engine's WithSynthWorkers) and the first
+// shape to admit a lookup table wins, cancelling the rest; without one,
+// attempts are tried strictly in order. Synthesis goes through the
+// Engine's cache when one is attached, so repeated solves pay the SAT
+// cost once per problem fingerprint.
 type SynthesisSolver struct {
 	Problem  *Problem
 	Attempts []SynthAttempt
-	// Engine, when non-nil, provides cached synthesis.
+	// Engine, when non-nil, provides cached (and racing) synthesis.
 	Engine *Engine
 }
 
@@ -94,6 +101,14 @@ func (s *SynthesisSolver) synthesize(ctx context.Context, a SynthAttempt) (*core
 	return alg, false, err
 }
 
+// attemptFits reports whether the torus meets the attempt shape's
+// minimum side — the fail-fast check run before paying for a synthesis
+// the torus cannot use.
+func attemptFits(t *Torus, a SynthAttempt) bool {
+	min := core.MinTorusSideFor(a.K, a.H, a.W)
+	return t.Dim() != 2 || (t.NX() >= min && t.NY() >= min)
+}
+
 // Solve implements Solver.
 func (s *SynthesisSolver) Solve(ctx context.Context, t *Torus, ids []int, opts ...Option) (*Result, error) {
 	if err := ctx.Err(); err != nil {
@@ -108,41 +123,87 @@ func (s *SynthesisSolver) Solve(ctx context.Context, t *Torus, ids []int, opts .
 		}
 		attempts = []SynthAttempt{{o.Power, h, w}}
 	}
-	var lastErr error = ErrUnsatisfiable
+	if len(attempts) == 0 {
+		// A solver nobody gave attempt shapes to has not proven anything
+		// unsatisfiable — say so instead of blaming the SAT solver.
+		return nil, fmt.Errorf("lclgrid: synthesis solver for %s has no attempts configured (set Attempts or force a power)", s.Problem.Name())
+	}
+	// Fail fast before paying for syntheses the torus cannot run: the
+	// minimum side depends only on the attempt's shape.
+	fitting := make([]SynthAttempt, 0, len(attempts))
+	var tooSmallErr error
 	for _, a := range attempts {
-		// Fail fast before paying for a synthesis the torus cannot run:
-		// the minimum side depends only on the attempt's shape.
-		if min := core.MinTorusSideFor(a.K, a.H, a.W); t.Dim() == 2 && (t.NX() < min || t.NY() < min) {
-			lastErr = core.TorusTooSmallError(a.K, a.H, a.W)
-			continue
+		if attemptFits(t, a) {
+			fitting = append(fitting, a)
+		} else if tooSmallErr == nil {
+			tooSmallErr = core.TorusTooSmallError(a.K, a.H, a.W)
 		}
-		alg, cached, err := s.synthesize(ctx, a)
-		if err != nil {
+	}
+	if len(fitting) == 0 {
+		return nil, fmt.Errorf("lclgrid: no normal-form table for %s at the tried shapes: %w", s.Problem.Name(), tooSmallErr)
+	}
+
+	var alg *core.Synthesized
+	var winner SynthAttempt
+	var cached bool
+	var err error
+	if s.Engine != nil {
+		// Race the candidate shapes concurrently: the first lookup table
+		// wins and the engine cancels the remaining searches. The engine
+		// degrades to the strict sequential sweep itself when the worker
+		// budget (or the attempt list) is 1.
+		alg, winner, cached, err = s.Engine.raceSynthesize(ctx, s.Problem, fitting)
+	} else {
+		// No engine: strictly sequential, uncached synthesis. Like the
+		// race, the reported failure is the first in schedule order.
+		var firstErr error
+		for _, a := range fitting {
+			alg, cached, err = s.synthesize(ctx, a)
+			if err == nil {
+				winner = a
+				break
+			}
 			if isCtxErr(err) {
 				return nil, err
 			}
-			lastErr = err
-			continue
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
-		out, rounds, err := alg.Run(t, fillIDs(t, ids))
-		if err != nil {
+		if alg == nil {
+			err = firstErr
+		}
+	}
+	if alg == nil {
+		if isCtxErr(err) {
 			return nil, err
 		}
-		res := &Result{
-			Problem:  s.Problem.Name(),
-			Solver:   s.Name(),
-			Class:    ClassLogStar, // a successful synthesis proves Θ(log* n)
-			Labels:   out,
-			Rounds:   rounds.Total(),
-			CacheHit: cached,
-			Note:     fmt.Sprintf("k=%d window %dx%d, %d tiles", a.K, a.H, a.W, alg.Graph.NumTiles()),
+		if tooSmallErr != nil {
+			// Some shapes never ran because the torus is too small; report
+			// that alongside the failures so Engine-level fallback to the
+			// Θ(n) baseline still triggers regardless of attempt order.
+			err = fmt.Errorf("%w (and: %v)", tooSmallErr, err)
 		}
-		if err := verifyInto(s.Problem, t, res, &o); err != nil {
-			return res, err
-		}
-		return res, nil
+		return nil, fmt.Errorf("lclgrid: no normal-form table for %s at the tried shapes: %w", s.Problem.Name(), err)
 	}
-	return nil, fmt.Errorf("lclgrid: no normal-form table for %s at the tried shapes: %w", s.Problem.Name(), lastErr)
+
+	out, rounds, err := alg.Run(t, fillIDs(t, ids))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Problem:  s.Problem.Name(),
+		Solver:   s.Name(),
+		Class:    ClassLogStar, // a successful synthesis proves Θ(log* n)
+		Labels:   out,
+		Rounds:   rounds.Total(),
+		CacheHit: cached,
+		Note:     fmt.Sprintf("k=%d window %dx%d, %d tiles", winner.K, winner.H, winner.W, alg.Graph.NumTiles()),
+	}
+	if err := verifyInto(s.Problem, t, res, &o); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // --- Global brute force (Θ(n) baseline) ------------------------------------

@@ -47,13 +47,13 @@ func gatedEngine(t *testing.T) (*lclgrid.Engine, chan struct{}) {
 	reg := lclgrid.NewRegistry()
 	if err := reg.Register(&lclgrid.ProblemSpec{
 		Key: "slow", Name: "slow", Class: lclgrid.ClassO1,
-		Solver: func(e *lclgrid.Engine) lclgrid.Solver { return &gatedSolver{release: release, name: "slow"} },
+		Direct: func(e *lclgrid.Engine) lclgrid.Solver { return &gatedSolver{release: release, name: "slow"} },
 	}); err != nil {
 		t.Fatal(err)
 	}
 	if err := reg.Register(&lclgrid.ProblemSpec{
 		Key: "fast", Name: "fast", Class: lclgrid.ClassO1,
-		Solver: func(e *lclgrid.Engine) lclgrid.Solver { return &instantSolver{name: "fast"} },
+		Direct: func(e *lclgrid.Engine) lclgrid.Solver { return &instantSolver{name: "fast"} },
 	}); err != nil {
 		t.Fatal(err)
 	}
