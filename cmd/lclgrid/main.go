@@ -10,12 +10,16 @@
 //	lclgrid synth -problem 4col -k 3 synthesize a normal-form algorithm
 //	lclgrid run -problem 4col        solve on an n×n torus via the registry's solver
 //	lclgrid batch [-workers 8]       stream JSONL SolveRequests from stdin
+//	lclgrid serve [-addr host:port]  serve solve/batch/explain over HTTP with Prometheus metrics
 //	lclgrid warm [-cache-dir d]      pre-synthesize the registry catalogue
 //	lclgrid table                    print the Theorem 22 orientation table
+//	lclgrid version                  print the module version and VCS revision
 //
-// batch and warm accept -cache-dir to persist synthesized lookup tables
-// across invocations, and -v to log engine events to stderr; `batch
-// -explain` prints each request's plan as JSONL instead of solving.
+// batch, serve and warm accept -cache-dir to persist synthesized lookup
+// tables across invocations, and -v to log engine events to stderr;
+// `batch -explain` prints each request's plan as JSONL instead of
+// solving, and `serve -warm` pre-synthesizes the catalogue before the
+// listener opens.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -48,10 +53,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	// One signal-scoped context for the whole invocation: Ctrl-C cancels
-	// in-flight solves at their next checkpoint instead of killing the
-	// process mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// One signal-scoped context for the whole invocation: Ctrl-C (or a
+	// supervisor's SIGTERM) cancels in-flight solves at their next
+	// checkpoint instead of killing the process mid-write — and tells
+	// `serve` to drain gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var err error
 	switch os.Args[1] {
@@ -69,12 +75,16 @@ func main() {
 		err = cmdRun(ctx, os.Args[2:])
 	case "batch":
 		err = cmdBatch(ctx, os.Args[2:], os.Stdin, os.Stdout)
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:], os.Stdout)
 	case "warm":
 		err = cmdWarm(ctx, os.Args[2:], os.Stdout)
 	case "table":
 		err = cmdTable()
+	case "version":
+		err = cmdVersion(os.Stdout)
 	default:
-		usage()
+		unknownSubcommand(os.Args[1])
 		os.Exit(2)
 	}
 	if err != nil {
@@ -84,13 +94,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|experiments|classify|synth|run|batch|warm|table> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|experiments|classify|synth|run|batch|serve|warm|table|version> [flags]")
 }
 
+// newEngine is the engine constructor behind buildEngine — a variable so
+// tests can inject a custom registry (e.g. an unwarmable catalogue for
+// the warm partial-failure tests) under the real subcommand code paths.
+var newEngine = lclgrid.NewEngine
+
 // buildEngine constructs the engine for subcommands with engine flags:
-// an optional disk-persisted synthesis cache and an optional stderr
-// event logger.
-func buildEngine(verbose bool, cacheDir string) (*lclgrid.Engine, error) {
+// an optional disk-persisted synthesis cache, an optional stderr event
+// logger, and any extra engine options the subcommand needs (metrics
+// observers, synthesis worker bounds).
+func buildEngine(verbose bool, cacheDir string, extra ...lclgrid.EngineOption) (*lclgrid.Engine, error) {
 	var opts []lclgrid.EngineOption
 	if cacheDir != "" {
 		cache, err := lclgrid.NewDiskCache(cacheDir, lclgrid.NewMemoryCache())
@@ -102,7 +118,8 @@ func buildEngine(verbose bool, cacheDir string) (*lclgrid.Engine, error) {
 	if verbose {
 		opts = append(opts, lclgrid.WithObserver(newLogObserver(os.Stderr)))
 	}
-	return lclgrid.NewEngine(opts...), nil
+	opts = append(opts, extra...)
+	return newEngine(opts...), nil
 }
 
 // logObserver is the -v observer: one stderr line per engine event.
@@ -216,11 +233,7 @@ func cmdList(args []string, w io.Writer) error {
 		line := fmt.Sprintf("%s\t%s\t%d\t%s\t%s\t%s",
 			spec.Key, spec.Name, spec.Dims, labels, spec.Class, side)
 		if *verbose {
-			hint := spec.HintSummary()
-			if spec.Direct != nil {
-				hint = fmt.Sprintf("direct: %s", spec.Direct(engine).Name())
-			}
-			line += "\t" + hint
+			line += "\t" + spec.StrategySummary(engine)
 		}
 		fmt.Fprintln(tw, line)
 	}
@@ -619,30 +632,11 @@ func cmdBatch(ctx context.Context, args []string, in io.Reader, out io.Writer) e
 
 	stream := eng.SolveStream(ctx, reqSeq, lclgrid.WithWorkers(*workers))
 	if *ordered {
-		// Reorder collector: hold completed items only until their
-		// predecessors arrive. Every request pulled from the input yields
-		// exactly one item, so the buffer always drains.
-		next := 0
-		pending := make(map[int]lclgrid.BatchItem)
-		for it := range stream {
-			pending[it.Index] = it
-			for {
-				p, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				next++
-				if err := emit(p); err != nil {
-					return err
-				}
-			}
-		}
-	} else {
-		for it := range stream {
-			if err := emit(it); err != nil {
-				return err
-			}
+		stream = lclgrid.Reordered(stream)
+	}
+	for it := range stream {
+		if err := emit(it); err != nil {
+			return err
 		}
 	}
 	total.Wall = time.Since(start)

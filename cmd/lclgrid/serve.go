@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime/debug"
+	"time"
+
+	lclgrid "lclgrid"
+)
+
+// cmdServe boots the HTTP serving subsystem: the Engine mounted behind
+// POST /v1/solve, POST /v1/batch (JSONL streaming), POST /v1/explain,
+// GET /v1/problems, GET /healthz and GET /metrics (Prometheus text
+// format), with bounded in-flight admission, per-request timeouts,
+// request body limits and graceful drain on SIGINT/SIGTERM.
+//
+//	lclgrid serve -addr 127.0.0.1:8080 -cache-dir .cache -warm
+//
+// -warm pre-synthesizes the whole catalogue before the listener opens,
+// so the first request of every problem is served from the cache; with
+// -cache-dir the warmed tables persist and a restarted server boots
+// warm with zero syntheses.
+func cmdServe(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks an ephemeral port)")
+	workers := fs.Int("workers", 0, "worker pool size per /v1/batch stream (0 = GOMAXPROCS)")
+	synthWorkers := fs.Int("synth-workers", 0, "concurrent synthesis candidates per racing sweep (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "persist synthesized tables under this directory")
+	warm := fs.Bool("warm", false, "pre-synthesize the registry catalogue before accepting traffic")
+	timeout := fs.Duration("timeout", lclgrid.DefaultRequestTimeout, "per-request solve deadline (0 = none)")
+	maxInflight := fs.Int("max-inflight", lclgrid.DefaultMaxInflight, "admission bound on concurrent solve/batch requests (0 = unbounded)")
+	maxBody := fs.Int64("max-body", lclgrid.DefaultMaxBodyBytes, "request body size cap in bytes (0 = unbounded)")
+	drain := fs.Duration("drain", lclgrid.DefaultDrainTimeout, "graceful-shutdown drain window for in-flight requests")
+	verbose := fs.Bool("v", false, "log engine events to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	metrics := lclgrid.NewMetricsObserver()
+	eng, err := buildEngine(*verbose, *cacheDir,
+		lclgrid.WithObserver(metrics), lclgrid.WithSynthWorkers(*synthWorkers))
+	if err != nil {
+		return err
+	}
+	if *warm {
+		start := time.Now()
+		ws, err := eng.Warm(ctx)
+		if err != nil {
+			return fmt.Errorf("warm-on-boot: %w", err)
+		}
+		fmt.Fprintf(out, "lclgrid: warmed %d/%d problems (%d syntheses) in %v\n",
+			ws.Warmed, ws.Problems, ws.Syntheses, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := lclgrid.NewServer(eng,
+		lclgrid.WithMetricsObserver(metrics),
+		lclgrid.WithMaxInflight(*maxInflight),
+		lclgrid.WithRequestTimeout(*timeout),
+		lclgrid.WithMaxBodyBytes(*maxBody),
+		lclgrid.WithBatchWorkers(*workers),
+		lclgrid.WithDrainTimeout(*drain),
+	)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lclgrid: serving on http://%s\n", l.Addr())
+	if err := srv.Serve(ctx, l); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "lclgrid: drained in-flight requests, shutting down")
+	return nil
+}
+
+// cmdVersion prints the module version and the VCS revision embedded by
+// the Go toolchain (debug.ReadBuildInfo), so a deployed binary can name
+// the commit it was built from.
+func cmdVersion(out io.Writer) error {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return errors.New("no build info embedded in this binary")
+	}
+	version := bi.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	line := "lclgrid " + version
+	var rev, vcsTime string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		line += " rev " + rev
+		if dirty {
+			line += "+dirty"
+		}
+		if vcsTime != "" {
+			line += " (" + vcsTime + ")"
+		}
+	}
+	line += " " + bi.GoVersion
+	_, err := fmt.Fprintln(out, line)
+	return err
+}
+
+// unknownSubcommand reports an unrecognised subcommand on stderr with
+// the full subcommand list, for a non-zero exit in main.
+func unknownSubcommand(name string) {
+	fmt.Fprintf(os.Stderr, "lclgrid: unknown subcommand %q\n", name)
+	usage()
+}

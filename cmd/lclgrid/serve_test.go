@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	lclgrid "lclgrid"
+)
+
+// withTestRegistry routes every engine the subcommands build through a
+// custom registry for the duration of the test.
+func withTestRegistry(t *testing.T, reg *lclgrid.Registry) {
+	t.Helper()
+	old := newEngine
+	newEngine = func(opts ...lclgrid.EngineOption) *lclgrid.Engine {
+		return lclgrid.NewEngine(append(opts, lclgrid.WithRegistry(reg))...)
+	}
+	t.Cleanup(func() { newEngine = old })
+}
+
+// partialRegistry returns a catalogue with one warmable synthesis key
+// ("good": MIS, k=1 3×3 admits a table) and one unwarmable one ("bad":
+// 2-colouring is global, so every attempt shape is UNSAT).
+func partialRegistry(t *testing.T) *lclgrid.Registry {
+	t.Helper()
+	reg := lclgrid.NewRegistry()
+	specs := []*lclgrid.ProblemSpec{
+		{
+			Key: "good", Name: "maximal independent set", Dims: 2,
+			Class: lclgrid.ClassLogStar, MinSide: 12,
+			Problem:  func() *lclgrid.Problem { return lclgrid.MIS(2).Problem },
+			Attempts: []lclgrid.SynthAttempt{{K: 1, H: 3, W: 3}},
+		},
+		{
+			Key: "bad", Name: "2-colouring", Dims: 2,
+			Class: lclgrid.ClassGlobal, MinSide: 12,
+			Problem:  func() *lclgrid.Problem { return lclgrid.VertexColoring(2, 2) },
+			Attempts: []lclgrid.SynthAttempt{{K: 1, H: 3, W: 2}},
+		},
+	}
+	for _, s := range specs {
+		if err := reg.Register(s); err != nil {
+			t.Fatalf("register %s: %v", s.Key, err)
+		}
+	}
+	return reg
+}
+
+// TestWarmPartialFailure pins the `lclgrid warm` contract when part of
+// the catalogue cannot be warmed: the sweep finishes, the unwarmable
+// key is reported in a non-nil error (a non-zero process exit in main),
+// the stats line counts the failure, and the keys that did warm are
+// persisted to the cache directory.
+func TestWarmPartialFailure(t *testing.T) {
+	withTestRegistry(t, partialRegistry(t))
+	dir := t.TempDir()
+
+	var out bytes.Buffer
+	err := cmdWarm(bg, []string{"-cache-dir", dir}, &out)
+	if err == nil {
+		t.Fatal("cmdWarm succeeded over an unwarmable key; main would exit zero")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("warm error does not name the unwarmable key: %v", err)
+	}
+	for _, want := range []string{"2 problems examined", "1 warmed", "1 failed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("warm stats line missing %q: %s", want, out.String())
+		}
+	}
+
+	// The warmed key was persisted despite the failure: a fresh engine
+	// over the same directory re-warms it with zero syntheses.
+	var out2 bytes.Buffer
+	if err := cmdWarm(bg, []string{"-cache-dir", dir, "-problems", "good"}, &out2); err != nil {
+		t.Fatalf("re-warm of the good key failed: %v", err)
+	}
+	for _, want := range []string{"1 warmed", "0 syntheses performed"} {
+		if !strings.Contains(out2.String(), want) {
+			t.Errorf("re-warm stats line missing %q: %s", want, out2.String())
+		}
+	}
+}
+
+// TestWarmPartialFailureStatsPrintedBeforeError checks the operator
+// still sees how far the sweep got: the stats line is printed even when
+// cmdWarm returns the error.
+func TestWarmPartialFailureStatsPrintedBeforeError(t *testing.T) {
+	withTestRegistry(t, partialRegistry(t))
+	var out bytes.Buffer
+	if err := cmdWarm(bg, []string{"-problems", "bad"}, &out); err == nil {
+		t.Fatal("warming only the unwarmable key succeeded")
+	}
+	if !strings.Contains(out.String(), "1 failed") {
+		t.Errorf("no stats line on failure: %q", out.String())
+	}
+}
+
+// TestVersionPrintsBuildInfo checks `lclgrid version` reports the
+// module and toolchain from the embedded build info.
+func TestVersionPrintsBuildInfo(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdVersion(&out); err != nil {
+		t.Fatalf("cmdVersion: %v", err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "lclgrid ") {
+		t.Errorf("version line %q does not start with the binary name", got)
+	}
+	if !strings.Contains(got, "go1") {
+		t.Errorf("version line %q does not name the Go toolchain", got)
+	}
+}
+
+// TestMainUnknownSubcommand re-executes the test binary as `lclgrid
+// bogus` and checks the process exits non-zero with the subcommand list
+// on stderr.
+func TestMainUnknownSubcommand(t *testing.T) {
+	if os.Getenv("LCLGRID_TEST_MAIN") == "1" {
+		os.Args = []string{"lclgrid", "bogus"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestMainUnknownSubcommand")
+	cmd.Env = append(os.Environ(), "LCLGRID_TEST_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() == 0 {
+		t.Fatalf("expected a non-zero exit, got err=%v:\n%s", err, out)
+	}
+	for _, want := range []string{`unknown subcommand "bogus"`, "usage:", "serve", "version"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("stderr missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// syncBuffer is a concurrency-safe writer: cmdServe logs from the serve
+// goroutine while the test polls for the bound address.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeCommandBootsWarmsAndDrains is the CLI-level serve smoke: a
+// warm boot on an ephemeral port, one solve over HTTP, metrics showing
+// it (and the warm keeping syntheses off the serving path), then a
+// clean drain on context cancellation (the SIGTERM path in main).
+func TestServeCommandBootsWarmsAndDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real server")
+	}
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe(ctx, []string{
+			"-addr", "127.0.0.1:0", "-warm",
+			"-cache-dir", t.TempDir(), "-max-inflight", "4",
+		}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`serving on (http://[^\s]+)`)
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not report its address:\n%s", out.String())
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited early: %v\n%s", err, out.String())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if !strings.Contains(out.String(), "warmed") {
+		t.Errorf("no warm-on-boot line in:\n%s", out.String())
+	}
+
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(`{"key":"5col","n":12}`))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"cache_hit":true`) {
+		t.Errorf("warm-booted solve was not a cache hit: %s", body)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"lclgrid_requests_total 1",
+		fmt.Sprintf("lclgrid_http_requests_total{path=%q,code=\"200\"} 1", "/v1/solve"),
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve did not drain cleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit after cancellation")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("no drain message in:\n%s", out.String())
+	}
+}

@@ -51,6 +51,12 @@
 //     the CDCL SAT loop, so a deadline aborts an in-flight synthesis
 //     promptly.
 //
+// A Server mounts the engine behind HTTP (`lclgrid serve`): streaming
+// solve and batch endpoints, a registry catalogue and plan-explain
+// endpoint, bounded in-flight admission with 429 shedding, per-request
+// timeouts, graceful drain, and a dependency-free Prometheus /metrics
+// exporter (MetricsObserver) fed by the same Observer events.
+//
 // A minimal session:
 //
 //	eng := lclgrid.NewEngine()

@@ -1,0 +1,178 @@
+package lclgrid
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// metricValue extracts an unlabelled sample value from Prometheus text
+// output, failing the test when the series is missing.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("metric %s has unparsable value %q: %v", name, rest, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+// metricText renders the observer for assertions.
+func metricText(t *testing.T, m *MetricsObserver) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+// TestMetricsObserverAggregatesEngineEvents drives a real engine with a
+// MetricsObserver installed and checks the rendered counters tell the
+// same story as the built-in CountingObserver.
+func TestMetricsObserverAggregatesEngineEvents(t *testing.T) {
+	m := NewMetricsObserver()
+	c := &CountingObserver{}
+	eng := NewEngine(WithObserver(m), WithObserver(c))
+	ctx := context.Background()
+
+	reqs := []SolveRequest{
+		{Key: "mis", N: 12},
+		{Key: "mis", N: 12},    // second solve reuses the cached table
+		{Key: "nope", N: 12},   // request error (unknown key)
+		{Key: "orient2", N: 8}, // constant fill, no synthesis
+	}
+	for _, req := range reqs {
+		_, _ = eng.Solve(ctx, req)
+	}
+
+	body := metricText(t, m)
+	counts := c.Counts()
+	for name, want := range map[string]float64{
+		"lclgrid_requests_total":       float64(counts.Requests),
+		"lclgrid_request_errors_total": float64(counts.RequestErrors),
+		"lclgrid_syntheses_total":      float64(counts.Syntheses),
+		"lclgrid_cache_hits_total":     float64(counts.CacheHits),
+		"lclgrid_cache_misses_total":   float64(counts.CacheMisses),
+		"lclgrid_plans_total":          float64(counts.Plans),
+		"lclgrid_requests_inflight":    0,
+	} {
+		if got := metricValue(t, body, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := metricValue(t, body, "lclgrid_requests_total"); got != 4 {
+		t.Errorf("lclgrid_requests_total = %v, want 4", got)
+	}
+	// The successful solves ran a strategy; the labelled series must
+	// name the kinds.
+	if !strings.Contains(body, `lclgrid_strategy_runs_total{kind="synthesis"}`) {
+		t.Errorf("no synthesis strategy series in:\n%s", body)
+	}
+	if !strings.Contains(body, `lclgrid_strategy_runs_total{kind="constant-fill"} 1`) {
+		t.Errorf("no constant-fill strategy series in:\n%s", body)
+	}
+	// Request durations flow from Result.Elapsed into the histogram.
+	if got := metricValue(t, body, "lclgrid_request_duration_seconds_count"); got != 3 {
+		t.Errorf("request duration count = %v, want 3 (the completed solves)", got)
+	}
+	if got := metricValue(t, body, "lclgrid_synthesis_duration_seconds_count"); got != float64(counts.Syntheses) {
+		t.Errorf("synthesis duration count = %v, want %v", got, counts.Syntheses)
+	}
+}
+
+// TestHistogramBuckets pins the cumulative bucket rendering: counts
+// accumulate across bucket boundaries and the +Inf bucket equals the
+// total count.
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetricsObserver()
+	for _, d := range []time.Duration{
+		100 * time.Microsecond, // le 0.0005
+		2 * time.Millisecond,   // le 0.0025
+		40 * time.Millisecond,  // le 0.05
+		2 * time.Minute,        // overflow
+	} {
+		m.synthesisSeconds.observe(d)
+	}
+	body := metricText(t, m)
+	for _, want := range []string{
+		`lclgrid_synthesis_duration_seconds_bucket{le="0.0005"} 1`,
+		`lclgrid_synthesis_duration_seconds_bucket{le="0.001"} 1`,
+		`lclgrid_synthesis_duration_seconds_bucket{le="0.0025"} 2`,
+		`lclgrid_synthesis_duration_seconds_bucket{le="0.05"} 3`,
+		`lclgrid_synthesis_duration_seconds_bucket{le="60"} 3`,
+		`lclgrid_synthesis_duration_seconds_bucket{le="+Inf"} 4`,
+		`lclgrid_synthesis_duration_seconds_count 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+	wantSum := (100*time.Microsecond + 2*time.Millisecond + 40*time.Millisecond + 2*time.Minute).Seconds()
+	if got := metricValue(t, body, "lclgrid_synthesis_duration_seconds_sum"); got != wantSum {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestSynthesisAbortAccounting checks the abort counter follows the
+// shared context-error predicate, not just any error.
+func TestSynthesisAbortAccounting(t *testing.T) {
+	m := NewMetricsObserver()
+	key := SynthKey{K: 1, H: 3, W: 3}
+	m.SynthesisEnd(key, time.Millisecond, nil)
+	m.SynthesisEnd(key, time.Millisecond, errors.New("unsat"))
+	m.SynthesisEnd(key, time.Millisecond, context.Canceled)
+	m.SynthesisEnd(key, time.Millisecond, context.DeadlineExceeded)
+	body := metricText(t, m)
+	if got := metricValue(t, body, "lclgrid_synthesis_errors_total"); got != 3 {
+		t.Errorf("synthesis errors = %v, want 3", got)
+	}
+	if got := metricValue(t, body, "lclgrid_synthesis_aborts_total"); got != 2 {
+		t.Errorf("synthesis aborts = %v, want 2", got)
+	}
+}
+
+// TestWritePrometheusDeterministic checks repeated renders of a
+// quiescent observer are byte-identical (labelled series are sorted),
+// and that every series family carries HELP and TYPE headers.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	m := NewMetricsObserver()
+	m.httpEnd("/v1/solve", 200, time.Millisecond)
+	m.httpStart() // balance the httpEnd decrement
+	m.httpEnd("/v1/batch", 200, time.Millisecond)
+	m.httpStart()
+	m.httpEnd("/healthz", 404, time.Microsecond)
+	m.httpStart()
+
+	a, b := metricText(t, m), metricText(t, m)
+	if a != b {
+		t.Fatalf("two renders differ:\n%s\n---\n%s", a, b)
+	}
+	for _, name := range []string{
+		"lclgrid_requests_total", "lclgrid_http_requests_total",
+		"lclgrid_http_request_duration_seconds", "lclgrid_synthesis_duration_seconds",
+	} {
+		if !strings.Contains(a, "# HELP "+name+" ") || !strings.Contains(a, "# TYPE "+name+" ") {
+			t.Errorf("family %s lacks HELP/TYPE headers", name)
+		}
+	}
+	// Label sets sort deterministically: /healthz before /v1/batch
+	// before /v1/solve.
+	i := strings.Index(a, `path="/healthz",code="404"`)
+	j := strings.Index(a, `path="/v1/batch",code="200"`)
+	k := strings.Index(a, `path="/v1/solve",code="200"`)
+	if i < 0 || j < 0 || k < 0 || !(i < j && j < k) {
+		t.Errorf("labelled series not sorted: healthz@%d batch@%d solve@%d", i, j, k)
+	}
+}

@@ -169,14 +169,39 @@ func fallbackTriggers(err error) bool {
 	return errors.Is(err, ErrTorusTooSmall) || errors.Is(err, errNoNormalForm)
 }
 
-// Plan builds the ranked plan for req; see Engine.Plan.
+// RequestError marks a request-shaped failure: the request itself —
+// not the problem instance — is unserveable (bad document, unknown
+// key, shape beyond the wire bounds, mismatched dimensions or ids).
+// Every error Planner.Plan returns is one, which is how services
+// separate client errors (HTTP 400) from solver outcomes without
+// re-planning: errors.As on the error from Engine.Solve.
+type RequestError struct {
+	Err error
+}
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// Plan builds the ranked plan for req; see Engine.Plan. All errors are
+// request-shaped and returned wrapped in *RequestError.
 func (pl *Planner) Plan(req SolveRequest) (*Plan, error) {
+	plan, err := pl.plan(req)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	return plan, nil
+}
+
+// plan is Plan without the RequestError wrapping.
+func (pl *Planner) plan(req SolveRequest) (*Plan, error) {
 	e := pl.e
-	switch {
-	case req.Key != "" && req.Problem != nil:
-		return nil, fmt.Errorf("lclgrid: request sets both Key %q and an inline Problem; choose one", req.Key)
-	case req.Key == "" && req.Problem == nil:
-		return nil, fmt.Errorf("lclgrid: request names no problem (set Key or Problem)")
+	// Wire validation first: requests reach the planner straight off the
+	// network, and the bounds must hold before any shape is resolved or
+	// allocated (see SolveRequest.Validate).
+	if err := req.Validate(); err != nil {
+		return nil, err
 	}
 	o := req.options()
 	if req.Problem != nil {

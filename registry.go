@@ -95,6 +95,17 @@ func (s *ProblemSpec) HintSummary() string {
 	return ""
 }
 
+// StrategySummary is HintSummary with direct specs named through their
+// constructed solver ("direct: §10 direct edge colouring") — the form
+// `lclgrid list -v` and the GET /v1/problems catalogue both render, so
+// the two surfaces cannot drift.
+func (s *ProblemSpec) StrategySummary(e *Engine) string {
+	if s.Direct != nil {
+		return "direct: " + s.Direct(e).Name()
+	}
+	return s.HintSummary()
+}
+
 // SmallestSide returns the smallest torus side the spec's default
 // solver supports: at least MinSide (floored at 4, the smallest torus
 // every solver handles), rounded up to the side modulus.

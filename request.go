@@ -67,6 +67,117 @@ type SolveRequest struct {
 	MaxSteps int `json:"max_steps,omitempty"`
 }
 
+// Wire guards. SolveRequests arrive straight off the network (`lclgrid
+// batch` stdin, the /v1/solve and /v1/batch endpoints), so the shapes
+// they imply must be bounded before anything is allocated: an unchecked
+// {"n": 3100000000} overflows n² on 64-bit ints, and anything close
+// allocates identifier and labelling slices of n² machine words. The
+// caps are far above every instance the paper (or a tractable solver
+// run) uses; programmatic callers that really want a bigger instance
+// can construct the Torus themselves and drive a Solver adapter
+// directly, bypassing the request layer.
+const (
+	// maxRequestNodes bounds the torus size reachable through N or Sides
+	// (2² ... 1024² squares).
+	maxRequestNodes = 1 << 20
+	// maxRequestDims bounds the dimension count of Sides.
+	maxRequestDims = 8
+	// maxRequestPower bounds Power and MaxPower (the paper uses k ≤ 3).
+	maxRequestPower = 16
+	// maxRequestWindow bounds the H×W anchor window overrides (the paper
+	// uses 7×5).
+	maxRequestWindow = 64
+	// maxRequestSteps bounds MaxSteps (the Turing-machine simulation
+	// budget of L_M solvers).
+	maxRequestSteps = 1 << 20
+	// maxRequestEll bounds the §8 ball parameter (the solver needs
+	// 4·ell+2 ≤ side, so anything beyond the side cap is dead weight).
+	maxRequestEll = 1 << 10
+	// maxRequestEdgeK bounds the §10 ball radius: the construction
+	// enumerates (4K+1)^d ball offsets with no cancellation checkpoint,
+	// so K must be capped before the solver runs (the paper uses K = 3).
+	maxRequestEdgeK = 16
+)
+
+// Validate checks the wire-settable fields of the request against the
+// request-layer bounds: exactly one problem source, positive and bounded
+// torus shape, bounded identifier count, and non-negative, bounded
+// option knobs. The Planner validates every request before resolving
+// it, so a malformed or adversarial JSON document fails with a clean
+// per-request error instead of an overflow or a giant allocation; wire
+// front ends (the HTTP server, `lclgrid batch`) call it right after
+// decoding to reject bad documents before any engine work.
+func (r *SolveRequest) Validate() error {
+	switch {
+	case r.Key != "" && r.Problem != nil:
+		return fmt.Errorf("lclgrid: request sets both Key %q and an inline Problem; choose one", r.Key)
+	case r.Key == "" && r.Problem == nil:
+		return fmt.Errorf("lclgrid: request names no problem (set Key or Problem)")
+	}
+	if r.N < 0 {
+		return fmt.Errorf("lclgrid: torus side must be positive, got %d", r.N)
+	}
+	if r.N > 0 && (r.N > maxRequestNodes || r.N > maxRequestNodes/r.N) {
+		return fmt.Errorf("lclgrid: torus side %d exceeds the request bound (%d nodes); construct the Torus directly for bigger instances", r.N, maxRequestNodes)
+	}
+	if len(r.Sides) > maxRequestDims {
+		return fmt.Errorf("lclgrid: request has %d torus dimensions, the bound is %d", len(r.Sides), maxRequestDims)
+	}
+	nodes := 1
+	for i, side := range r.Sides {
+		if side < 1 {
+			return fmt.Errorf("lclgrid: torus dimension %d has side %d < 1", i, side)
+		}
+		if side > maxRequestNodes/nodes {
+			return fmt.Errorf("lclgrid: torus shape %v exceeds the request bound (%d nodes); construct the Torus directly for bigger instances", r.Sides, maxRequestNodes)
+		}
+		nodes *= side
+	}
+	if len(r.IDs) > maxRequestNodes {
+		return fmt.Errorf("lclgrid: request has %d ids, the bound is %d", len(r.IDs), maxRequestNodes)
+	}
+	for name, v := range map[string]int{
+		"power": r.Power, "h": r.H, "w": r.W,
+		"max_power": r.MaxPower, "ell": r.Ell, "max_steps": r.MaxSteps,
+	} {
+		if v < 0 {
+			// 0 means "unset, use the default" for every one of these
+			// knobs, so only a negative value is malformed.
+			return fmt.Errorf("lclgrid: request field %q must be positive when set, got %d", name, v)
+		}
+	}
+	if r.Power > maxRequestPower || r.MaxPower > maxRequestPower {
+		return fmt.Errorf("lclgrid: anchor power %d exceeds the request bound %d", max(r.Power, r.MaxPower), maxRequestPower)
+	}
+	if r.H > maxRequestWindow || r.W > maxRequestWindow {
+		return fmt.Errorf("lclgrid: anchor window %dx%d exceeds the request bound %d", r.H, r.W, maxRequestWindow)
+	}
+	if r.MaxSteps > maxRequestSteps {
+		return fmt.Errorf("lclgrid: max_steps %d exceeds the request bound %d", r.MaxSteps, maxRequestSteps)
+	}
+	if r.Ell > maxRequestEll {
+		return fmt.Errorf("lclgrid: ell %d exceeds the request bound %d", r.Ell, maxRequestEll)
+	}
+	// The §10 constants are wire-settable too, and K feeds a ball
+	// enumeration that grows like (4K+1)^d with no context checkpoint —
+	// an unbounded K would let one request pin a CPU past any deadline.
+	ep := r.EdgeParams
+	for name, v := range map[string]int{
+		"edge_params.K": ep.K, "edge_params.RowSpacing": ep.RowSpacing, "edge_params.MoveCap": ep.MoveCap,
+	} {
+		if v < 0 {
+			return fmt.Errorf("lclgrid: request field %q must be positive when set, got %d", name, v)
+		}
+	}
+	if ep.K > maxRequestEdgeK {
+		return fmt.Errorf("lclgrid: edge_params.K %d exceeds the request bound %d", ep.K, maxRequestEdgeK)
+	}
+	if ep.RowSpacing > maxRequestNodes || ep.MoveCap > maxRequestNodes {
+		return fmt.Errorf("lclgrid: edge_params spacing %d/%d exceeds the request bound %d", ep.RowSpacing, ep.MoveCap, maxRequestNodes)
+	}
+	return nil
+}
+
 // options resolves the request's knobs into the Options a solver adapter
 // consumes.
 func (r *SolveRequest) options() Options {

@@ -1,0 +1,172 @@
+package lclgrid
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestValidateRejects pins the wire-validation bounds: every document a
+// network front end must refuse before any engine work, each with the
+// field the error should name.
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		req  SolveRequest
+		want string // substring of the error
+	}{
+		{"no problem", SolveRequest{N: 8}, "names no problem"},
+		{"both sources", SolveRequest{Key: "4col", Problem: VertexColoring(4, 2)}, "choose one"},
+		{"negative n", SolveRequest{Key: "4col", N: -4}, "must be positive"},
+		{"huge n", SolveRequest{Key: "4col", N: 1_000_000_000}, "exceeds the request bound"},
+		{"overflowing n", SolveRequest{Key: "4col", N: 3_100_000_000}, "exceeds the request bound"},
+		{"zero side", SolveRequest{Key: "4col", Sides: []int{8, 0}}, "side 0 < 1"},
+		{"negative side", SolveRequest{Key: "4col", Sides: []int{8, -2}}, "side -2 < 1"},
+		{"huge sides", SolveRequest{Key: "4col", Sides: []int{1 << 15, 1 << 15}}, "exceeds the request bound"},
+		{"too many dims", SolveRequest{Key: "4col", Sides: []int{2, 2, 2, 2, 2, 2, 2, 2, 2}}, "dimensions"},
+		{"huge ids", SolveRequest{Key: "4col", IDs: make([]int, maxRequestNodes+1)}, "ids"},
+		{"negative power", SolveRequest{Key: "4col", Power: -1}, `"power"`},
+		{"huge power", SolveRequest{Key: "4col", Power: 99}, "anchor power"},
+		{"negative window", SolveRequest{Key: "4col", Power: 1, H: -3}, `"h"`},
+		{"huge window", SolveRequest{Key: "4col", Power: 1, H: 3, W: 1000}, "anchor window"},
+		{"negative max power", SolveRequest{Key: "4col", MaxPower: -2}, `"max_power"`},
+		{"negative ell", SolveRequest{Key: "4col", Ell: -1}, `"ell"`},
+		{"negative max steps", SolveRequest{Key: "4col", MaxSteps: -1}, `"max_steps"`},
+		{"huge max steps", SolveRequest{Key: "4col", MaxSteps: 1 << 30}, "max_steps"},
+		{"huge ell", SolveRequest{Key: "4col", Ell: 1 << 20}, "ell"},
+		{"negative edge k", SolveRequest{Key: "5edgecol", EdgeParams: EdgeColorParams{K: -1}}, "edge_params.K"},
+		{"huge edge k", SolveRequest{Key: "5edgecol", EdgeParams: EdgeColorParams{K: 1_000_000, RowSpacing: 10, MoveCap: 10}}, "edge_params.K"},
+		{"huge edge spacing", SolveRequest{Key: "5edgecol", EdgeParams: EdgeColorParams{K: 3, RowSpacing: 1 << 30}}, "edge_params"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.req.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tt.req)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestValidateAccepts checks that every legitimate request shape passes:
+// the wire guard must not reject real traffic.
+func TestValidateAccepts(t *testing.T) {
+	ok := []SolveRequest{
+		{Key: "4col"},
+		{Key: "4col", N: 32, Seed: 7},
+		{Key: "orient134", Sides: []int{16, 20}, Power: 1},
+		{Key: "5edgecol", N: 680},
+		{Key: "4col", N: 1024}, // the largest square the wire accepts
+		{Problem: VertexColoring(4, 2), N: 12, MaxPower: 3},
+		{Key: "lm:halt", MaxSteps: 500},
+		{Key: "4col", N: 8, IDs: make([]int, 64)},
+		{Key: "5edgecol", N: 680, EdgeParams: EdgeColorParams{K: 3, RowSpacing: 338, MoveCap: 156}},
+	}
+	for _, req := range ok {
+		if err := req.Validate(); err != nil {
+			t.Errorf("Validate rejected legitimate request %+v: %v", req, err)
+		}
+	}
+}
+
+// TestPlanValidates checks the planner runs wire validation before
+// resolving anything: a huge-N document fails with the bound error
+// instead of attempting the n² allocation (or overflowing n²).
+func TestPlanValidates(t *testing.T) {
+	eng := NewEngine()
+	for _, doc := range []string{
+		`{"key":"4col","n":1000000000}`,
+		`{"key":"4col","n":3100000000}`,
+		`{"key":"4col","sides":[1073741824,1073741824]}`,
+		`{"key":"4col","power":-3}`,
+	} {
+		var req SolveRequest
+		if err := json.Unmarshal([]byte(doc), &req); err != nil {
+			t.Fatalf("unmarshal %s: %v", doc, err)
+		}
+		if _, err := eng.Plan(req); err == nil {
+			t.Errorf("Plan accepted %s", doc)
+		}
+	}
+}
+
+// TestRequestErrorClassification checks every planning failure surfaces
+// from Engine.Solve as a *RequestError — what lets a service map client
+// errors to 400 without re-planning — while solver outcomes do not.
+func TestRequestErrorClassification(t *testing.T) {
+	eng := NewEngine()
+	ctx := context.Background()
+	var reqErr *RequestError
+	for _, req := range []SolveRequest{
+		{Key: "nope", N: 8},
+		{N: 8},
+		{Key: "4col", N: 1 << 20},
+		{Key: "4col", N: 8, IDs: []int{1, 2}},
+	} {
+		_, err := eng.Solve(ctx, req)
+		if err == nil || !errors.As(err, &reqErr) {
+			t.Errorf("Solve(%+v) err = %v, want a *RequestError", req, err)
+		}
+	}
+	// An unsolvable instance is a solver outcome, not a request error.
+	_, err := eng.Solve(ctx, SolveRequest{Key: "2col", N: 5})
+	if err == nil || errors.As(err, &reqErr) {
+		t.Errorf("unsolvable-instance err = %v, must not be a *RequestError", err)
+	}
+	if !errors.Is(err, ErrUnsolvable) {
+		t.Errorf("unsolvable-instance err = %v, want ErrUnsolvable", err)
+	}
+}
+
+// FuzzSolveRequestJSON fuzzes the wire decoder end to end: any byte
+// string that decodes into a SolveRequest and passes Validate must plan
+// without panicking, overflowing, or allocating beyond the request
+// bounds — the exact exposure of the JSONL batch front end and the
+// HTTP serving subsystem. Validation failures and plan errors are fine;
+// crashes and runaway allocations are the bugs this hunts.
+func FuzzSolveRequestJSON(f *testing.F) {
+	seeds := []string{
+		`{"key":"4col","n":32}`,
+		`{"key":"orient134","sides":[16,20],"power":1}`,
+		`{"key":"5col","n":12,"seed":7,"no_verify":true}`,
+		`{"key":"mis","ids":[1,2,3]}`,
+		`{"n":1000000000}`,
+		`{"key":"4col","n":3100000000}`,
+		`{"key":"4col","sides":[0]}`,
+		`{"key":"4col","sides":[-1,4]}`,
+		`{"key":"2col","n":-8}`,
+		`{"key":"4col","power":99,"h":-1,"w":70000}`,
+		`{"key":"lm:halt","max_steps":2000000000}`,
+		`{"key":"1024col","n":12}`,
+		`{"key":"orient01234","n":12}`,
+		`{"sides":[2,2,2,2,2,2,2,2,2]}`,
+		`{"key":"4col","edge_params":{}}`,
+		`[]`,
+		`{"key":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	eng := NewEngine()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SolveRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // not a SolveRequest document; nothing to check
+		}
+		if err := req.Validate(); err != nil {
+			return // rejected at the wire, as intended
+		}
+		// A validated request must be plannable without a panic. Planning
+		// is probe-only (no SAT work), so this is cheap even for the
+		// largest shapes the bounds admit.
+		plan, err := eng.Plan(req)
+		if err == nil && plan == nil {
+			t.Fatal("Plan returned nil plan and nil error")
+		}
+	})
+}

@@ -1,0 +1,594 @@
+package lclgrid
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Server mounts an Engine behind HTTP — the network face of the solving
+// service, `lclgrid serve` on the command line. The endpoints:
+//
+//	POST /v1/solve     one SolveRequest JSON document → one Result JSON document
+//	POST /v1/batch     JSONL SolveRequests → JSONL results, streamed in
+//	                   completion order over Engine.SolveStream
+//	                   (?ordered=1 restores input order)
+//	POST /v1/explain   one SolveRequest → its ranked Plan, zero SAT work
+//	GET  /v1/problems  the registry catalogue with plan-hint summaries
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text exposition (see MetricsObserver)
+//
+// Production behaviours, configured with the Server options:
+//
+//   - Admission control: WithMaxInflight bounds the solve/batch requests
+//     executing at once; excess requests are rejected immediately with
+//     429 and a Retry-After header instead of queueing without bound.
+//     The cheap endpoints (explain, problems, healthz, metrics) bypass
+//     admission, so a saturated server stays observable.
+//   - Timeouts: WithRequestTimeout derives a deadline for each solve
+//     (and each batch stream) from the request's own context, so a hung
+//     SAT search cannot pin a connection forever — cancellation reaches
+//     the CDCL loop through the engine's context plumbing.
+//   - Body limits: WithMaxBodyBytes caps request bodies; an oversized
+//     solve document is rejected with 413 before it is decoded.
+//   - Graceful shutdown: Serve drains in-flight requests when its
+//     context is cancelled — a streaming batch completes every line —
+//     and only force-closes (aborting solves through their derived
+//     contexts) when WithDrainTimeout expires.
+//
+// A Server is an http.Handler; callers that want their own listener,
+// TLS, or middleware can mount it directly and skip Serve.
+type Server struct {
+	engine  *Engine
+	metrics *MetricsObserver
+	mux     *http.ServeMux
+
+	inflight chan struct{} // nil = unbounded admission
+	timeout  time.Duration
+	maxBody  int64
+	workers  int
+	drain    time.Duration
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	metrics     *MetricsObserver
+	maxInflight int
+	timeout     time.Duration
+	maxBody     int64
+	workers     int
+	drain       time.Duration
+}
+
+// Server defaults. They favour a service exposed to real traffic: a
+// bounded number of concurrent solves, a deadline on every one of them,
+// and bodies capped well above any legitimate SolveRequest.
+const (
+	// DefaultMaxInflight is the default admission bound on concurrently
+	// executing solve/batch requests.
+	DefaultMaxInflight = 64
+	// DefaultRequestTimeout is the default per-request solve deadline.
+	DefaultRequestTimeout = 60 * time.Second
+	// DefaultMaxBodyBytes is the default request body cap (8 MiB —
+	// thousands of JSONL batch lines, or a solve document with an
+	// explicit identifier assignment for a large torus).
+	DefaultMaxBodyBytes = 8 << 20
+	// DefaultDrainTimeout is how long Serve waits for in-flight requests
+	// on graceful shutdown before force-closing them.
+	DefaultDrainTimeout = 30 * time.Second
+)
+
+// WithMaxInflight bounds how many solve/batch requests execute at once;
+// excess requests receive 429 with Retry-After. n <= 0 removes the bound
+// (not recommended for an exposed service).
+func WithMaxInflight(n int) ServerOption {
+	return func(c *serverConfig) { c.maxInflight = n }
+}
+
+// WithRequestTimeout sets the deadline applied to each solve request and
+// to each batch stream (0 disables the deadline).
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.timeout = d }
+}
+
+// WithMaxBodyBytes caps the request body size (n <= 0 removes the cap).
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(c *serverConfig) { c.maxBody = n }
+}
+
+// WithBatchWorkers bounds the worker pool each /v1/batch stream runs on
+// (0 selects runtime.GOMAXPROCS(0), the SolveStream default).
+func WithBatchWorkers(n int) ServerOption {
+	return func(c *serverConfig) { c.workers = n }
+}
+
+// WithDrainTimeout bounds how long graceful shutdown waits for in-flight
+// requests before force-closing them (0 selects DefaultDrainTimeout).
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.drain = d }
+}
+
+// WithMetricsObserver shares a MetricsObserver between the server and
+// the engine: install the same observer on the engine with WithObserver
+// so the /metrics endpoint exposes engine events (syntheses, cache
+// traffic, plans) alongside the HTTP-level series. Without this option
+// the server creates a private observer and /metrics carries the HTTP
+// series only.
+func WithMetricsObserver(m *MetricsObserver) ServerOption {
+	return func(c *serverConfig) { c.metrics = m }
+}
+
+// NewServer mounts the engine's endpoints on a new Server.
+func NewServer(e *Engine, opts ...ServerOption) *Server {
+	cfg := serverConfig{
+		maxInflight: DefaultMaxInflight,
+		timeout:     DefaultRequestTimeout,
+		maxBody:     DefaultMaxBodyBytes,
+		drain:       DefaultDrainTimeout,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.metrics == nil {
+		cfg.metrics = NewMetricsObserver()
+	}
+	if cfg.drain <= 0 {
+		cfg.drain = DefaultDrainTimeout
+	}
+	s := &Server{
+		engine:  e,
+		metrics: cfg.metrics,
+		mux:     http.NewServeMux(),
+		timeout: cfg.timeout,
+		maxBody: cfg.maxBody,
+		workers: cfg.workers,
+		drain:   cfg.drain,
+	}
+	if cfg.maxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.maxInflight)
+	}
+	s.mux.Handle("POST /v1/solve", s.instrument("/v1/solve", s.admit(s.handleSolve)))
+	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.admit(s.handleBatch)))
+	s.mux.Handle("POST /v1/explain", s.instrument("/v1/explain", http.HandlerFunc(s.handleExplain)))
+	s.mux.Handle("GET /v1/problems", s.instrument("/v1/problems", http.HandlerFunc(s.handleProblems)))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	return s
+}
+
+// Engine returns the engine the server serves.
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Metrics returns the server's metrics observer (the one passed with
+// WithMetricsObserver, or the private one created without it).
+func (s *Server) Metrics() *MetricsObserver { return s.metrics }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Serve accepts connections on l until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests (streaming batches
+// included) run to completion, and only when WithDrainTimeout expires
+// are the stragglers force-closed — which cancels their request
+// contexts, so an in-flight SAT search aborts at its next checkpoint
+// instead of leaking. Serve returns nil after a clean drain, the
+// listener's error if accepting fails, or a drain error naming the
+// timeout when requests had to be cut off.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.drain)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		// The drain window closed with requests still running: force the
+		// connections shut. Their request contexts cancel, the engine's
+		// context plumbing aborts the solver work, and the handler
+		// goroutines unwind.
+		hs.Close()
+		<-serveErr
+		return fmt.Errorf("lclgrid: drain window %v expired with requests still in flight: %w", s.drain, err)
+	}
+	<-serveErr // hs.Serve has returned http.ErrServerClosed
+	return nil
+}
+
+// --- middleware -------------------------------------------------------------
+
+// instrument records the HTTP-level metrics for one route: in-flight
+// gauge, per-path/status counters and the handler latency histogram.
+func (s *Server) instrument(path string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.httpStart()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.metrics.httpEnd(path, sw.status(), time.Since(start))
+	})
+}
+
+// admit gates a handler behind the in-flight admission bound. A request
+// that cannot take a slot immediately is rejected with 429 and
+// Retry-After — shedding load beats queueing it unboundedly, and the
+// client's backoff is the queue.
+func (s *Server) admit(next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.metrics.httpRejected()
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests,
+					errors.New("lclgrid: server at capacity (max in-flight solves reached); retry after backoff"))
+				return
+			}
+		}
+		next(w, r)
+	})
+}
+
+// statusWriter captures the response status for the metrics middleware.
+// It forwards Flush (the batch endpoint streams) and exposes Unwrap for
+// http.NewResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// Flush implements http.Flusher for the streaming batch endpoint.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// --- handlers ---------------------------------------------------------------
+
+// httpError writes a JSON error document with the given status.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// decodeRequest reads and validates a single SolveRequest document from
+// the request body, writing the HTTP error itself when the document is
+// oversized, malformed, trailed by more input, or fails wire validation.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (SolveRequest, bool) {
+	var req SolveRequest
+	s.limitBodyRead(w)
+	body := io.Reader(r.Body)
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("lclgrid: request body exceeds %d bytes", mbe.Limit))
+		} else {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("lclgrid: bad request document: %w", err))
+		}
+		return req, false
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, errors.New("lclgrid: request body must be a single JSON document (use /v1/batch for JSONL)"))
+		return req, false
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return req, false
+	}
+	return req, true
+}
+
+// solveCtx derives the per-request solve context from the connection's.
+func (s *Server) solveCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// limitBodyRead puts the request timeout on the connection's read side.
+// Body reads do not observe the request context, so without this a
+// client that sends half a JSON document and stalls would park the
+// handler in Decode indefinitely — holding an admission slot and
+// defeating -max-inflight (the slowloris the admission bound exists to
+// survive). Best-effort: a transport without deadline support just
+// keeps the context-level timeout.
+func (s *Server) limitBodyRead(w http.ResponseWriter) {
+	if s.timeout > 0 {
+		_ = http.NewResponseController(w).SetReadDeadline(time.Now().Add(s.timeout))
+	}
+}
+
+// errStatus maps a Solve error to its HTTP status: request-shaped
+// failures are the client's (400), a server-side deadline is 504, a
+// cancellation that was not the deadline means the client went away
+// (499, the de-facto client-closed-request code — the response is dead,
+// but the metrics series should not read as server timeouts), proven
+// impossibility is 422, anything else 500.
+func errStatus(ctx context.Context, err error) int {
+	var reqErr *RequestError
+	switch {
+	case errors.As(err, &reqErr):
+		return http.StatusBadRequest
+	case IsContextError(err):
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout
+		}
+		return 499
+	case errors.Is(err, ErrUnsolvable), errors.Is(err, ErrUnsatisfiable):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleSolve serves POST /v1/solve: one SolveRequest in, one Result
+// out. Request-shaped failures (bad document, unknown key, invalid
+// shape — the Planner's *RequestError, surfaced through Solve) are 400
+// and never run a solver; proven-impossible outcomes (an unsolvable
+// instance, UNSAT at every shape) are 422; the server-side deadline is
+// 504 and a client disconnect 499 (see errStatus); anything else is
+// 500.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	res, err := s.engine.Solve(ctx, req)
+	if err != nil {
+		httpError(w, errStatus(ctx, err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// handleExplain serves POST /v1/explain: the ranked Plan for one
+// request, built with zero SAT work (`lclgrid explain` over HTTP).
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	plan, err := s.engine.Plan(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(plan)
+}
+
+// batchLine is one JSONL record of the /v1/batch response: index and key
+// echo the request; exactly one of result and error is set. A terminal
+// {"error": ...} line with no index reports a mid-stream decode failure.
+type batchLine struct {
+	Index  *int    `json:"index,omitempty"`
+	Key    string  `json:"key,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// handleBatch serves POST /v1/batch: JSONL SolveRequests in, JSONL
+// results out, streamed over Engine.SolveStream in completion order
+// (each line's index names its request) and flushed per line, so a slow
+// solve never delays a fast one's result. ?ordered=1 buffers just enough
+// to restore input order. Per-request failures (including wire
+// validation) become {"error": ...} lines and never abort the stream; a
+// malformed JSONL document ends the stream with a terminal error line —
+// the status is already committed at that point, so in-band is the only
+// place the error can go.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ordered := r.URL.Query().Get("ordered") == "1" || r.URL.Query().Get("ordered") == "true"
+	// The read deadline covers the whole JSONL decode: a stalled
+	// producer fails the in-stream Decode (emitting the terminal error
+	// line below) instead of parking the handler past the batch
+	// deadline with an admission slot held.
+	s.limitBodyRead(w)
+	body := io.Reader(r.Body)
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+
+	// Index→key echo map; only in-flight indexes are resident, mirroring
+	// the O(workers) memory of the stream itself.
+	var (
+		keyMu sync.Mutex
+		keys  = make(map[int]string)
+	)
+	// decodeErr and sawEOF are written by the stream's producer
+	// goroutine and read only after the stream is fully drained (the
+	// stream's teardown is the happens-before edge). sawEOF
+	// distinguishes "every request was read" from "the deadline stopped
+	// the decode early" — the latter must leave a marker on the wire.
+	var decodeErr error
+	var sawEOF bool
+	dec := json.NewDecoder(bufio.NewReader(body))
+	reqSeq := func(yield func(SolveRequest) bool) {
+		for index := 0; ; index++ {
+			if ctx.Err() != nil {
+				return
+			}
+			var req SolveRequest
+			if err := dec.Decode(&req); err != nil {
+				if err != io.EOF {
+					decodeErr = err
+				} else {
+					sawEOF = true
+				}
+				return
+			}
+			keyMu.Lock()
+			keys[index] = req.Key
+			keyMu.Unlock()
+			if !yield(req) {
+				return
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	emit := func(it BatchItem) error {
+		keyMu.Lock()
+		key := keys[it.Index]
+		delete(keys, it.Index)
+		keyMu.Unlock()
+		index := it.Index
+		line := batchLine{Index: &index, Key: key}
+		if it.Err != nil {
+			line.Error = it.Err.Error()
+		} else {
+			line.Result = it.Result
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+
+	stream := s.engine.SolveStream(ctx, reqSeq, WithWorkers(s.workers))
+	if ordered {
+		stream = Reordered(stream)
+	}
+	for it := range stream {
+		if err := emit(it); err != nil {
+			return // client gone; the derived ctx tears the pool down
+		}
+	}
+	// The status is already committed, so stream-level failures go on
+	// the wire as a terminal index-less error line: a malformed JSONL
+	// document, or a deadline that stopped the decode before EOF (whose
+	// unread requests would otherwise vanish silently — each dispatched
+	// request already carried its own per-line error).
+	switch {
+	case decodeErr != nil:
+		msg := fmt.Sprintf("lclgrid: bad batch document: %v", decodeErr)
+		if os.IsTimeout(decodeErr) {
+			// The read deadline fired mid-decode: a stalled producer, not
+			// a malformed document.
+			msg = fmt.Sprintf("lclgrid: batch truncated before the input was fully read: %v", decodeErr)
+		}
+		_ = enc.Encode(batchLine{Error: msg})
+		_ = rc.Flush()
+	case !sawEOF:
+		err := ctx.Err()
+		if err == nil {
+			err = context.Canceled // consumer stopped: the client went away
+		}
+		_ = enc.Encode(batchLine{Error: fmt.Sprintf("lclgrid: batch truncated before the input was fully read: %v", err)})
+		_ = rc.Flush()
+	}
+}
+
+// problemEntry is one /v1/problems catalogue record.
+type problemEntry struct {
+	Key         string `json:"key"`
+	Name        string `json:"name"`
+	Dims        int    `json:"dims"`
+	Labels      int    `json:"labels,omitempty"`
+	Class       Class  `json:"class"`
+	MinSide     int    `json:"min_side"`
+	SideModulus int    `json:"side_modulus,omitempty"`
+	Strategy    string `json:"strategy"`
+}
+
+// problemsResponse is the /v1/problems document.
+type problemsResponse struct {
+	Problems []problemEntry `json:"problems"`
+	Families []string       `json:"families"`
+}
+
+// handleProblems serves GET /v1/problems: the registry catalogue with
+// each spec's plan-hint summary, plus the parameterised families the
+// registry resolves beyond the registered keys.
+func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
+	specs := s.engine.Registry().Specs()
+	resp := problemsResponse{
+		Problems: make([]problemEntry, 0, len(specs)),
+		Families: []string{"<k>col", "<k>edgecol", "orient<digits 0-4>"},
+	}
+	for _, spec := range specs {
+		resp.Problems = append(resp.Problems, problemEntry{
+			Key:         spec.Key,
+			Name:        spec.Name,
+			Dims:        spec.Dims,
+			Labels:      spec.NumLabels,
+			Class:       spec.Class,
+			MinSide:     spec.MinSide,
+			SideModulus: spec.SideModulus,
+			Strategy:    spec.StrategySummary(s.engine),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}

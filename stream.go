@@ -117,3 +117,31 @@ func (e *Engine) SolveStream(ctx context.Context, reqs iter.Seq[SolveRequest], o
 		}
 	}
 }
+
+// Reordered wraps a SolveStream so items are yielded in input order
+// (ascending BatchItem.Index) instead of completion order, buffering a
+// completed item only until its predecessors arrive. Every request
+// pulled from the stream's input yields exactly one item, so the buffer
+// always drains; peak buffer size is bounded by how far completion
+// order ran ahead of input order. It is the collector both `lclgrid
+// batch -ordered` and the server's /v1/batch?ordered=1 use.
+func Reordered(stream iter.Seq2[BatchItem, error]) iter.Seq2[BatchItem, error] {
+	return func(yield func(BatchItem, error) bool) {
+		next := 0
+		pending := make(map[int]BatchItem)
+		for it := range stream {
+			pending[it.Index] = it
+			for {
+				p, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				if !yield(p, p.Err) {
+					return
+				}
+			}
+		}
+	}
+}
