@@ -1,0 +1,148 @@
+// Benchcmp guards the benchmark suite against gross regressions in CI.
+// It reads two `go test -bench -json` outputs — a committed baseline
+// (BENCH_<pr>.json) and a fresh head run — extracts every "Benchmark...
+// ns/op" result, and fails when a benchmark disappeared or slowed past
+// -max-ratio. Single-iteration CI runs on shared runners are noisy, so
+// the default ratio is deliberately loose: this catches accidental
+// quadratic blowups and deleted coverage, not percent-level drift.
+//
+//	go test -run '^$' -bench . -benchtime 1x -json ./... > bench.json
+//	go run ./cmd/benchcmp -base BENCH_6.json -head bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of test2json's event schema benchcmp needs.
+// Test carries the benchmark name even when the runner splits the name
+// and the "N ns/op" result into separate output events.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parseBench extracts Benchmark name → ns/op from a `go test -json`
+// stream. Sub-benchmarks keep their full slash-joined names; a
+// benchmark that appears twice keeps its last result.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate raw `go test -bench` output so the baseline can be
+			// regenerated without the -json flag.
+			ev = testEvent{Action: "output", Output: string(line) + "\n"}
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		fields := strings.Fields(ev.Output)
+		// Either "BenchmarkName-8 \t 10 \t 123456 ns/op ..." on one line,
+		// or just "10 \t 123456 ns/op" with the name in ev.Test.
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 1 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := ev.Test
+		if strings.HasPrefix(fields[0], "Benchmark") {
+			name = fields[0]
+		}
+		if !strings.HasPrefix(name, "Benchmark") {
+			continue
+		}
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix so runs from different machines compare.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		results[name] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return results, nil
+}
+
+func main() {
+	base := flag.String("base", "", "baseline `go test -json` bench output (committed)")
+	head := flag.String("head", "", "head `go test -json` bench output (fresh run)")
+	maxRatio := flag.Float64("max-ratio", 8, "fail when head ns/op exceeds base ns/op by this factor")
+	flag.Parse()
+	if *base == "" || *head == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -base BENCH_N.json -head bench.json [-max-ratio 8]")
+		os.Exit(2)
+	}
+	baseRes, err := parseBench(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	headRes, err := parseBench(*head)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	names := make([]string, 0, len(baseRes))
+	for name := range baseRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		baseNs := baseRes[name]
+		headNs, ok := headRes[name]
+		if !ok {
+			fmt.Printf("MISSING  %-40s baseline %.0f ns/op, absent from head\n", name, baseNs)
+			failed = true
+			continue
+		}
+		ratio := headNs / baseNs
+		status := "ok"
+		if ratio > *maxRatio {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s %-40s %12.0f -> %12.0f ns/op  (%.2fx)\n", status, name, baseNs, headNs, ratio)
+	}
+	for name := range headRes {
+		if _, ok := baseRes[name]; !ok {
+			fmt.Printf("new       %-40s %12.0f ns/op (not in baseline)\n", name, headRes[name])
+		}
+	}
+	if failed {
+		fmt.Println("benchcmp: gross regression or lost coverage against the committed baseline")
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d benchmarks within %.1fx of the baseline\n", len(names), *maxRatio)
+}

@@ -9,6 +9,7 @@
 //	lclgrid classify -problem 4col   run the one-sided classification oracle
 //	lclgrid synth -problem 4col -k 3 synthesize a normal-form algorithm
 //	lclgrid run -problem 4col        solve on an n×n torus via the registry's solver
+//	lclgrid labels -problem mis      label one window of an arbitrarily large torus
 //	lclgrid batch [-workers 8]       stream JSONL SolveRequests from stdin
 //	lclgrid serve [-addr host:port]  serve solve/batch/explain over HTTP with Prometheus metrics
 //	lclgrid warm [-cache-dir d]      pre-synthesize the registry catalogue
@@ -73,6 +74,8 @@ func main() {
 		err = cmdSynth(ctx, os.Args[2:])
 	case "run":
 		err = cmdRun(ctx, os.Args[2:])
+	case "labels":
+		err = cmdLabels(ctx, os.Args[2:], os.Stdout)
 	case "batch":
 		err = cmdBatch(ctx, os.Args[2:], os.Stdin, os.Stdout)
 	case "serve":
@@ -94,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|experiments|classify|synth|run|batch|serve|warm|table|version> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|experiments|classify|synth|run|labels|batch|serve|warm|table|version> [flags]")
 }
 
 // newEngine is the engine constructor behind buildEngine — a variable so

@@ -237,6 +237,51 @@ func evalPoly(coeffs []int, x, q int) int {
 	return acc
 }
 
+// LinialSchedule returns the (d, q) parameter pairs the LinialColor
+// fixpoint iteration uses for the given identifier space and degree
+// bound, plus the final colour-space size. It mirrors LinialColor's loop
+// exactly (same linialParams, same stopping rule), which is what lets a
+// windowed evaluator replay individual colour choices for single nodes
+// without materialising the full-graph colouring.
+func LinialSchedule(idSpace, maxDeg int) (params [][2]int, finalColors int) {
+	m := idSpace + 1
+	var out [][2]int
+	for {
+		d, q := linialParams(m, maxDeg)
+		if q*q >= m {
+			return out, m
+		}
+		out = append(out, [2]int{d, q})
+		m = q * q
+	}
+}
+
+// LinialChoose performs a single node's colour choice of one Linial
+// reduction step, given its own colour and its neighbours' colours in
+// the pre-step colour space: the smallest evaluation point x on which
+// the node's polynomial differs from every neighbour's, encoded as
+// x*q + p(x). It is the per-node body of linialStep, exposed so
+// windowed evaluation computes the exact colour linialStep would.
+// Returns -1 when no evaluation point separates the node, which cannot
+// happen for a proper colouring with q > maxDeg·d.
+func LinialChoose(own int, nbrs []int, d, q int) int {
+	digitsBuf := make([]int, d+1)
+	nbrDigits := make([]int, d+1)
+	toDigits(own, q, digitsBuf)
+candidates:
+	for x := 0; x < q; x++ {
+		pv := evalPoly(digitsBuf, x, q)
+		for _, c := range nbrs {
+			toDigits(c, q, nbrDigits)
+			if evalPoly(nbrDigits, x, q) == pv {
+				continue candidates
+			}
+		}
+		return x*q + pv
+	}
+	return -1
+}
+
 // --- Greedy reduction and MIS sweeps -------------------------------------
 
 // GreedyReduce reduces a proper colouring with colour space [0, from) to

@@ -230,9 +230,33 @@ func (s *Synthesized) Run(t *grid.Torus, ids []int) ([]int, *local.Rounds, error
 }
 
 // Apply evaluates only the constant-time component A' on a precomputed
-// anchor set: every node looks up its window pattern in the table.
+// anchor set: every node looks up its window pattern in the table. The
+// probe goes through the integer-keyed tile index (zero allocations per
+// node); windows wider than 64 bits fall back to the string-keyed index.
 func (s *Synthesized) Apply(t *grid.Torus, anchors []bool) ([]int, error) {
 	out := make([]int, t.N())
+	if idx, ok := s.Graph.BitIndex(); ok {
+		nx := t.NX()
+		for v := 0; v < t.N(); v++ {
+			x, y := v%nx, v/nx
+			var key uint64
+			bit := 0
+			for r := 0; r < s.H; r++ {
+				for c := 0; c < s.W; c++ {
+					if anchors[t.At(x-s.OffC+c, y+s.OffR-r)] {
+						key |= 1 << bit
+					}
+					bit++
+				}
+			}
+			ti, found := idx[key]
+			if !found {
+				return nil, notTileError(s, key, v)
+			}
+			out[v] = s.Table[ti]
+		}
+		return out, nil
+	}
 	for v := 0; v < t.N(); v++ {
 		x, y := t.XY(v)
 		win := t.WindowPattern(anchors, x-s.OffC, y+s.OffR, s.H, s.W)
@@ -244,4 +268,15 @@ func (s *Synthesized) Apply(t *grid.Torus, anchors []bool) ([]int, error) {
 		out[v] = s.Table[ti]
 	}
 	return out, nil
+}
+
+// notTileError reconstructs the human-readable pattern string from a
+// packed window key for the (never expected) tile-miss error path.
+func notTileError(s *Synthesized, key uint64, v int) error {
+	bits := make([]bool, s.H*s.W)
+	for i := range bits {
+		bits[i] = key&(1<<i) != 0
+	}
+	pat := tiles.Pattern{H: s.H, W: s.W, Bits: bits}
+	return fmt.Errorf("core: observed window %s at node %d is not a tile (torus too small or anchors invalid)", pat.Key(), v)
 }

@@ -15,6 +15,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"lclgrid/internal/tiles"
 )
@@ -32,6 +33,44 @@ type TileGraph struct {
 	HEdges [][2]int
 	// VEdges[i] = {south tile index, north tile index}.
 	VEdges [][2]int
+
+	// bitOnce guards the lazy integer-keyed index; TileGraphs are always
+	// shared by pointer (engine cache, singleflight), never copied.
+	bitOnce sync.Once
+	bitIdx  map[uint64]int
+	bitOK   bool
+}
+
+// patternBits packs an h×w anchor pattern into a uint64 key, bit r*w+c
+// for the cell at row r, column c. Only valid when h*w <= 64.
+func patternBits(p tiles.Pattern) uint64 {
+	var key uint64
+	for i, b := range p.Bits {
+		if b {
+			key |= 1 << i
+		}
+	}
+	return key
+}
+
+// BitIndex returns the integer-keyed tile index: the map from the packed
+// uint64 form of each tile (see patternBits) to its tile number. The
+// index is built lazily on first use — which covers both construction
+// paths, BuildTileGraph and SynthesizedWire.Decode — and ok is false when
+// the window does not fit in 64 bits (h*w > 64), in which case callers
+// fall back to the string-keyed Index. Safe for concurrent use.
+func (tg *TileGraph) BitIndex() (map[uint64]int, bool) {
+	tg.bitOnce.Do(func() {
+		if tg.H*tg.W > 64 {
+			return
+		}
+		tg.bitIdx = make(map[uint64]int, len(tg.Tiles))
+		for i, p := range tg.Tiles {
+			tg.bitIdx[patternBits(p)] = i
+		}
+		tg.bitOK = true
+	})
+	return tg.bitIdx, tg.bitOK
 }
 
 // BuildTileGraph enumerates the tiles and edges for power k and window

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"lclgrid/internal/grid"
+	"lclgrid/internal/lcl"
+)
+
+func TestAffineIDsBijection(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 144, 145} {
+		for _, seed := range []int64{0, 1, 7, -3, 1 << 40} {
+			ids := AffineIDs(n, seed)
+			seen := make(map[int]bool, n)
+			for v, id := range ids {
+				if id < 1 || id > n {
+					t.Fatalf("n=%d seed=%d: id(%d) = %d out of [1, %d]", n, seed, v, id, n)
+				}
+				if seen[id] {
+					t.Fatalf("n=%d seed=%d: duplicate id %d", n, seed, id)
+				}
+				seen[id] = true
+				if got := AffineID(n, seed, v); got != id {
+					t.Fatalf("n=%d seed=%d: AffineID(%d) = %d, AffineIDs gives %d", n, seed, v, got, id)
+				}
+			}
+			if seed == 0 && ids[0] != 1 {
+				t.Fatalf("seed 0 must be sequential, ids[0] = %d", ids[0])
+			}
+		}
+	}
+}
+
+func TestAxisDist(t *testing.T) {
+	cases := []struct{ p, start, length, side, want int }{
+		{3, 2, 4, 10, 0}, // inside
+		{2, 2, 4, 10, 0}, // at start
+		{5, 2, 4, 10, 0}, // at end
+		{6, 2, 4, 10, 1}, // one past the end
+		{1, 2, 4, 10, 1}, // one before the start
+		{9, 2, 4, 10, 3}, // wraps: forward 3 to start
+		{8, 2, 4, 10, 3}, // back 3 to end cell 5
+		{0, 8, 4, 10, 0}, // interval wraps over the seam
+		{5, 8, 4, 10, 3}, // gap midpoint-ish
+	}
+	for _, c := range cases {
+		if got := axisDist(c.p, c.start, c.length, c.side); got != c.want {
+			t.Errorf("axisDist(%d, [%d,+%d), side %d) = %d, want %d", c.p, c.start, c.length, c.side, got, c.want)
+		}
+	}
+}
+
+func TestBitIndexMatchesStringIndex(t *testing.T) {
+	tg, err := BuildTileGraph(context.Background(), 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := tg.BitIndex()
+	if !ok {
+		t.Fatal("3x3 window should have a bit index")
+	}
+	if len(idx) != len(tg.Index) {
+		t.Fatalf("bit index has %d entries, string index %d", len(idx), len(tg.Index))
+	}
+	for i, p := range tg.Tiles {
+		if got := idx[patternBits(p)]; got != i {
+			t.Errorf("tile %d maps to %d through the bit index", i, got)
+		}
+	}
+}
+
+// TestWindowEvaluatorMatchesRun is the core equivalence property: tiling
+// a torus with LabelRect calls — including wrap-around rectangles —
+// reproduces the full-grid Run labels byte for byte under the same
+// identifier assignment, and reports the same round count.
+func TestWindowEvaluatorMatchesRun(t *testing.T) {
+	ctx := context.Background()
+	mp := lcl.MIS(2)
+	alg, err := Synthesize(ctx, mp.Problem, 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dims := range [][2]int{{12, 12}, {13, 17}} {
+		g := grid.MustNew(dims[0], dims[1])
+		for _, seed := range []int64{0, 7} {
+			want, rounds, err := alg.Run(g, AffineIDs(g.N(), seed))
+			if err != nil {
+				t.Fatalf("%v seed=%d: Run: %v", dims, seed, err)
+			}
+			ev, err := NewWindowEvaluator(alg, g, seed, false)
+			if err != nil {
+				t.Fatalf("%v seed=%d: %v", dims, seed, err)
+			}
+			if ev.Rounds() != rounds.Total() {
+				t.Errorf("%v seed=%d: evaluator rounds %d, Run rounds %d", dims, seed, ev.Rounds(), rounds.Total())
+			}
+			// Full-grid rectangle: indexed exactly like Run's labels.
+			got, err := ev.LabelRect(ctx, 0, 0, g.NX(), g.NY())
+			if err != nil {
+				t.Fatalf("%v seed=%d: LabelRect: %v", dims, seed, err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%v seed=%d: label[%d] = %d, Run gives %d", dims, seed, v, got[v], want[v])
+				}
+			}
+			// Wrap-around and interior rectangles tile the torus too.
+			rects := [][4]int{
+				{0, 0, 5, 4},
+				{-2, -3, 6, 7},                 // wraps both seams
+				{g.NX() - 1, g.NY() - 1, 3, 3}, // wraps north-east
+				{3, 2, g.NX(), 2},              // full-width band
+			}
+			for _, rc := range rects {
+				x0, y0, w, h := rc[0], rc[1], rc[2], rc[3]
+				win, err := ev.LabelRect(ctx, x0, y0, w, h)
+				if err != nil {
+					t.Fatalf("%v seed=%d rect %v: %v", dims, seed, rc, err)
+				}
+				for r := 0; r < h; r++ {
+					for c := 0; c < w; c++ {
+						v := g.At(x0+c, y0+r)
+						if win[r*w+c] != want[v] {
+							t.Fatalf("%v seed=%d rect %v: (%d,%d) = %d, Run gives %d", dims, seed, rc, c, r, win[r*w+c], want[v])
+						}
+					}
+				}
+			}
+			st := ev.Stats()
+			if st.AnchorNodes == 0 || st.ColorNodes == 0 {
+				t.Errorf("%v seed=%d: no work accounted: %+v", dims, seed, st)
+			}
+			if st.AnchorNodes > g.N() {
+				t.Errorf("%v seed=%d: %d anchor evaluations for an %d-node torus", dims, seed, st.AnchorNodes, g.N())
+			}
+		}
+	}
+}
+
+// TestWindowEvaluatorLattice checks the periodic-anchor fast path: a
+// valid labeling with zero symmetry-breaking work, gated on the torus
+// shape.
+func TestWindowEvaluatorLattice(t *testing.T) {
+	ctx := context.Background()
+	mp := lcl.MIS(2)
+	alg, err := Synthesize(ctx, mp.Problem, 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := LatticeModulus(1); m != 5 {
+		t.Fatalf("LatticeModulus(1) = %d, want 5", m)
+	}
+	g := grid.MustNew(15, 20)
+	ev, err := NewWindowEvaluator(alg, g, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ev.LabelRect(ctx, 0, 0, g.NX(), g.NY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Verify(g, labels); err != nil {
+		t.Fatalf("lattice labeling invalid: %v", err)
+	}
+	st := ev.Stats()
+	if !st.Lattice || st.AnchorNodes != 0 || st.HaloNodes != 0 {
+		t.Errorf("lattice stats: %+v", st)
+	}
+	if ev.Rounds() != alg.GatherRadius() {
+		t.Errorf("lattice rounds = %d, want gather radius %d", ev.Rounds(), alg.GatherRadius())
+	}
+	// Shape gate: 16 is not a multiple of 5.
+	if _, err := NewWindowEvaluator(alg, grid.Square(16), 0, true); err == nil {
+		t.Fatal("lattice mode accepted a 16x16 torus")
+	}
+	// Exact mode has no such gate.
+	if _, err := NewWindowEvaluator(alg, grid.Square(16), 0, false); err != nil {
+		t.Fatalf("exact mode rejected a 16x16 torus: %v", err)
+	}
+}
+
+// TestWindowEvaluatorHugeTorus drives a window of a 10^5×10^5 torus —
+// 10^10 nodes, far beyond anything materialisable — and checks the work
+// stays O(window + halo).
+func TestWindowEvaluatorHugeTorus(t *testing.T) {
+	ctx := context.Background()
+	mp := lcl.MIS(2)
+	alg, err := Synthesize(ctx, mp.Problem, 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grid.MustNew(100_000, 100_000)
+	ev, err := NewWindowEvaluator(alg, g, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ev.LabelRect(ctx, 99_998, 99_999, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 48 {
+		t.Fatalf("got %d labels", len(labels))
+	}
+	st := ev.Stats()
+	if st.AnchorNodes > 100_000 {
+		t.Errorf("anchor evaluations %d not O(window+halo)", st.AnchorNodes)
+	}
+	t.Logf("stats: %+v, rounds %d", st, ev.Rounds())
+}

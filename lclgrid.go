@@ -51,11 +51,24 @@
 //     the CDCL SAT loop, so a deadline aborts an in-flight synthesis
 //     promptly.
 //
+// Beyond materializing solves, Engine.LabelWindow serves the paper's
+// locality directly: because a synthesized normal form makes every
+// node's output a pure local function of its anchor window, any
+// rectangle of an arbitrarily large torus (up to 10^6 per side, 10^12
+// nodes) is labelled in O(window + halo) work from the cached table —
+// LabelRequest/LabelResponse on the wire, `lclgrid labels` on the
+// command line, with a deterministic coordinate-addressable identifier
+// assignment (AffineIDs) and an optional periodic-anchor lattice fast
+// path. Engine.ExportGrid streams a whole grid in bounded-memory row
+// bands.
+//
 // A Server mounts the engine behind HTTP (`lclgrid serve`): streaming
-// solve and batch endpoints, a registry catalogue and plan-explain
-// endpoint, bounded in-flight admission with 429 shedding, per-request
-// timeouts, graceful drain, and a dependency-free Prometheus /metrics
-// exporter (MetricsObserver) fed by the same Observer events.
+// solve and batch endpoints, windowed labels and whole-grid export
+// endpoints with deterministic-response ETags, a registry catalogue and
+// plan-explain endpoint, bounded in-flight admission with 429 shedding,
+// per-request timeouts, graceful drain, and a dependency-free
+// Prometheus /metrics exporter (MetricsObserver) fed by the same
+// Observer events.
 //
 // A minimal session:
 //

@@ -50,6 +50,16 @@ type MetricsObserver struct {
 	cacheEvictions   atomic.Uint64
 	fallbacks        atomic.Uint64
 
+	// Windowed-labeling series, fed by the WindowObserver callbacks
+	// (LabelWindow and ExportGrid; exports count once with cumulative
+	// stats).
+	labelRequests    atomic.Uint64
+	labelErrors      atomic.Uint64
+	labelWindowNodes atomic.Uint64
+	labelAnchorNodes atomic.Uint64
+	labelHaloNodes   atomic.Uint64
+	labelSeconds     *histogram
+
 	// HTTP-level series, fed by the Server.
 	httpInflight  atomic.Int64
 	httpThrottled atomic.Uint64
@@ -57,13 +67,17 @@ type MetricsObserver struct {
 	httpSeconds   labeledHistograms
 }
 
-var _ Observer = (*MetricsObserver)(nil)
+var (
+	_ Observer       = (*MetricsObserver)(nil)
+	_ WindowObserver = (*MetricsObserver)(nil)
+)
 
 // NewMetricsObserver returns a ready-to-use metrics aggregator.
 func NewMetricsObserver() *MetricsObserver {
 	return &MetricsObserver{
 		requestSeconds:   newHistogram(),
 		synthesisSeconds: newHistogram(),
+		labelSeconds:     newHistogram(),
 	}
 }
 
@@ -119,6 +133,20 @@ func kindLabel(s *PlannedStrategy) string {
 	return `kind="` + string(s.Kind) + `"`
 }
 
+// --- WindowObserver implementation ------------------------------------------
+
+func (m *MetricsObserver) WindowStart(LabelRequest) { m.labelRequests.Add(1) }
+
+func (m *MetricsObserver) WindowEnd(_ LabelRequest, stats WindowStats, err error, elapsed time.Duration) {
+	if err != nil {
+		m.labelErrors.Add(1)
+	}
+	m.labelWindowNodes.Add(uint64(stats.WindowNodes))
+	m.labelAnchorNodes.Add(uint64(stats.AnchorNodes))
+	m.labelHaloNodes.Add(uint64(stats.HaloNodes))
+	m.labelSeconds.observe(elapsed)
+}
+
 // --- Server-side recording hooks --------------------------------------------
 
 func (m *MetricsObserver) httpStart()    { m.httpInflight.Add(1) }
@@ -154,6 +182,13 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 	mw.counter("lclgrid_cache_misses_total", "Synthesis lookups that found nothing and started a synthesis.", m.cacheMisses.Load())
 	mw.counter("lclgrid_cache_evictions_total", "Cache entries removed by Evict or a capacity bound.", m.cacheEvictions.Load())
 	mw.counter("lclgrid_fallbacks_total", "Requests redirected to the Θ(n) baseline by a too-small torus.", m.fallbacks.Load())
+
+	mw.counter("lclgrid_label_requests_total", "Windowed label requests accepted (streaming exports count once).", m.labelRequests.Load())
+	mw.counter("lclgrid_label_request_errors_total", "Windowed label requests that completed with an error.", m.labelErrors.Load())
+	mw.counter("lclgrid_label_window_nodes_total", "Labels produced by windowed evaluation.", m.labelWindowNodes.Load())
+	mw.counter("lclgrid_label_anchor_nodes_total", "Anchor-membership evaluations performed by windowed evaluation (window + halo work).", m.labelAnchorNodes.Load())
+	mw.counter("lclgrid_label_halo_nodes_total", "Anchor-membership evaluations outside the requested windows (the halo overhead).", m.labelHaloNodes.Load())
+	mw.histogram("lclgrid_label_duration_seconds", "Wall-clock duration of windowed label requests.", "", m.labelSeconds)
 
 	mw.counter("lclgrid_http_throttled_total", "HTTP requests rejected with 429 by the in-flight admission bound.", m.httpThrottled.Load())
 	mw.gauge("lclgrid_http_requests_inflight", "HTTP requests currently being handled.", m.httpInflight.Load())

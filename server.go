@@ -2,7 +2,11 @@ package lclgrid
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +14,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 )
@@ -21,8 +26,16 @@ import (
 //	POST /v1/batch     JSONL SolveRequests → JSONL results, streamed in
 //	                   completion order over Engine.SolveStream
 //	                   (?ordered=1 restores input order)
+//	POST /v1/labels    one LabelRequest → the labels of one window of an
+//	                   arbitrarily large torus (up to 10^6 per side),
+//	                   O(window+halo) work on a warm cache; deterministic,
+//	                   so responses carry a strong ETag
+//	POST /v1/export    one ExportRequest → the whole grid streamed in
+//	                   row-banded JSONL (or raw int32) chunks with
+//	                   bounded memory
 //	POST /v1/explain   one SolveRequest → its ranked Plan, zero SAT work
 //	GET  /v1/problems  the registry catalogue with plan-hint summaries
+//	                   (ETag + Cache-Control; If-None-Match → 304)
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text exposition (see MetricsObserver)
 //
@@ -159,6 +172,8 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 	}
 	s.mux.Handle("POST /v1/solve", s.instrument("/v1/solve", s.admit(s.handleSolve)))
 	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.admit(s.handleBatch)))
+	s.mux.Handle("POST /v1/labels", s.instrument("/v1/labels", s.admit(s.handleLabels)))
+	s.mux.Handle("POST /v1/export", s.instrument("/v1/export", s.admit(s.handleExport)))
 	s.mux.Handle("POST /v1/explain", s.instrument("/v1/explain", http.HandlerFunc(s.handleExplain)))
 	s.mux.Handle("GET /v1/problems", s.instrument("/v1/problems", http.HandlerFunc(s.handleProblems)))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
@@ -299,28 +314,38 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// decodeRequest reads and validates a single SolveRequest document from
-// the request body, writing the HTTP error itself when the document is
-// oversized, malformed, trailed by more input, or fails wire validation.
-func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (SolveRequest, bool) {
-	var req SolveRequest
+// decodeDocument reads a single JSON document of any wire type from the
+// request body, writing the HTTP error itself when the document is
+// oversized, malformed, or trailed by more input.
+func (s *Server) decodeDocument(w http.ResponseWriter, r *http.Request, dst any) bool {
 	s.limitBodyRead(w)
 	body := io.Reader(r.Body)
 	if s.maxBody > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	}
 	dec := json.NewDecoder(body)
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(dst); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("lclgrid: request body exceeds %d bytes", mbe.Limit))
 		} else {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("lclgrid: bad request document: %w", err))
 		}
-		return req, false
+		return false
 	}
 	if dec.More() {
 		httpError(w, http.StatusBadRequest, errors.New("lclgrid: request body must be a single JSON document (use /v1/batch for JSONL)"))
+		return false
+	}
+	return true
+}
+
+// decodeRequest reads and validates a single SolveRequest document from
+// the request body, writing the HTTP error itself when the document is
+// oversized, malformed, trailed by more input, or fails wire validation.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (SolveRequest, bool) {
+	var req SolveRequest
+	if !s.decodeDocument(w, r, &req) {
 		return req, false
 	}
 	if err := req.Validate(); err != nil {
@@ -538,6 +563,176 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// --- windowed labeling ------------------------------------------------------
+
+// labelETag computes the strong ETag of a label response without
+// evaluating it: every field of a LabelResponse is a deterministic
+// function of the resolved request and the catalogue (synthesis is
+// deterministic and label requests never race attempts), so the
+// canonical form of the resolved request identifies the response. ok is
+// false when the request does not resolve (the handler then reports the
+// planning error through the normal path).
+func (s *Server) labelETag(req LabelRequest) (string, bool) {
+	lp, err := s.engine.planLabel(req)
+	if err != nil {
+		return "", false
+	}
+	nx, ny := lp.t.NX(), lp.t.NY()
+	h := sha256.New()
+	fmt.Fprintf(h, "lclgrid-labels-v1\x00%s\x00%dx%d\x00seed=%d\x00rect=%d,%d,%d,%d\x00mode=%s",
+		req.Key, nx, ny, req.Seed,
+		((req.X%nx)+nx)%nx, ((req.Y%ny)+ny)%ny, req.W, req.H, lp.mode)
+	for _, a := range lp.attempts {
+		fmt.Fprintf(h, "\x00k=%d,%dx%d", a.K, a.H, a.W)
+	}
+	return `"` + hex.EncodeToString(h.Sum(nil)[:16]) + `"`, true
+}
+
+// etagMatches reports whether the request's If-None-Match header matches
+// the given strong ETag.
+func etagMatches(r *http.Request, etag string) bool {
+	header := r.Header.Get("If-None-Match")
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// labelCacheControl is the Cache-Control of deterministic label
+// responses: cacheable by anyone, revalidated cheaply via the ETag.
+const labelCacheControl = "public, max-age=3600"
+
+// handleLabels serves POST /v1/labels: one LabelRequest in, the labels
+// of one window of an arbitrarily large torus out. The response is a
+// deterministic function of the request, so it carries a strong ETag
+// and Cache-Control; If-None-Match revalidation answers 304 before any
+// evaluation (and before any synthesis).
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	var req LabelRequest
+	if !s.decodeDocument(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if etag, ok := s.labelETag(req); ok {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", labelCacheControl)
+		if etagMatches(r, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	res, err := s.engine.LabelWindow(ctx, req)
+	if err != nil {
+		httpError(w, errStatus(ctx, err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// exportLine is one JSONL record of the /v1/export response: a row band,
+// a terminal {"done": ...} summary, or a terminal {"error": ...} line
+// when the stream was cut mid-flight (the status is committed by then,
+// so in-band is the only place the error can go).
+type exportLine struct {
+	Band  *LabelBand `json:"band,omitempty"`
+	Done  bool       `json:"done,omitempty"`
+	Bands int        `json:"bands,omitempty"`
+	Nodes int        `json:"nodes,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// handleExport serves POST /v1/export: the whole grid streamed in row
+// bands with bounded memory — each band is evaluated, written and
+// flushed before the next is computed, and the evaluator's memo state is
+// reset between bands. "jsonl" (default) frames each band as a JSON
+// line; "int32" writes raw little-endian labels row-major. Graceful
+// shutdown drains the stream: an in-flight export keeps emitting bands
+// until it finishes or its deadline cuts it (leaving a terminal error
+// line in JSONL mode, a short stream in int32 mode).
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	var req ExportRequest
+	if !s.decodeDocument(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	rc := http.NewResponseController(w)
+
+	if req.Format == ExportFormatInt32 {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		buf := bufio.NewWriter(w)
+		err := s.engine.ExportGrid(ctx, req, func(b LabelBand) error {
+			for _, lab := range b.Labels {
+				var le [4]byte
+				binary.LittleEndian.PutUint32(le[:], uint32(int32(lab)))
+				if _, err := buf.Write(le[:]); err != nil {
+					return err
+				}
+			}
+			if err := buf.Flush(); err != nil {
+				return err
+			}
+			return rc.Flush()
+		})
+		if err != nil && !headerWritten(w) {
+			// Planning/synthesis failed before the first band: the status
+			// is still ours to set.
+			httpError(w, errStatus(ctx, err), err)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(w)
+	bands, nodes := 0, 0
+	wroteBand := false
+	err := s.engine.ExportGrid(ctx, req, func(b LabelBand) error {
+		if !wroteBand {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			wroteBand = true
+		}
+		band := b
+		if err := enc.Encode(exportLine{Band: &band}); err != nil {
+			return err
+		}
+		bands++
+		nodes += len(b.Labels)
+		return rc.Flush()
+	})
+	switch {
+	case err != nil && !wroteBand:
+		httpError(w, errStatus(ctx, err), err)
+	case err != nil:
+		_ = enc.Encode(exportLine{Error: fmt.Sprintf("lclgrid: export truncated: %v", err)})
+		_ = rc.Flush()
+	default:
+		_ = enc.Encode(exportLine{Done: true, Bands: bands, Nodes: nodes})
+		_ = rc.Flush()
+	}
+}
+
+// headerWritten reports whether the response status is already on the
+// wire (the instrument middleware's statusWriter tracks it).
+func headerWritten(w http.ResponseWriter) bool {
+	sw, ok := w.(*statusWriter)
+	return ok && sw.code != 0
+}
+
 // problemEntry is one /v1/problems catalogue record.
 type problemEntry struct {
 	Key         string `json:"key"`
@@ -558,7 +753,10 @@ type problemsResponse struct {
 
 // handleProblems serves GET /v1/problems: the registry catalogue with
 // each spec's plan-hint summary, plus the parameterised families the
-// registry resolves beyond the registered keys.
+// registry resolves beyond the registered keys. The document is rendered
+// first so its hash can serve as a strong ETag — the catalogue only
+// changes when the registry does, so HTTP caches can revalidate repeat
+// reads for free.
 func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
 	specs := s.engine.Registry().Specs()
 	resp := problemsResponse{
@@ -577,8 +775,21 @@ func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
 			Strategy:    spec.StrategySummary(s.engine),
 		})
 	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	etag := `"` + hex.EncodeToString(sum[:16]) + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=300")
+	if etagMatches(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // handleHealthz serves GET /healthz.

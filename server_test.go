@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -685,6 +686,291 @@ func BenchmarkServerSolveCached(b *testing.B) {
 		srv.ServeHTTP(w, r)
 		if w.Code != http.StatusOK {
 			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// TestServerLabelsETagRoundTrip serves a label window over HTTP,
+// asserts the response matches the engine exactly and carries the
+// caching headers, then revalidates with If-None-Match and checks the
+// 304 short-circuits before any evaluation.
+func TestServerLabelsETagRoundTrip(t *testing.T) {
+	eng := NewEngine()
+	srv := NewServer(eng)
+	base, _ := startServer(t, srv)
+
+	doc := `{"key":"mis","sides":[100000,100000],"seed":7,"x":99998,"y":42000,"w":6,"h":4}`
+	resp, got := postJSON(t, base+"/v1/labels", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a quoted strong validator", etag)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != labelCacheControl {
+		t.Errorf("Cache-Control = %q, want %q", cc, labelCacheControl)
+	}
+	var req LabelRequest
+	if err := json.Unmarshal([]byte(doc), &req); err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.LabelWindow(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.CacheHit = false // the HTTP call was the cold one; this call found it warm
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), wantJSON) {
+		t.Errorf("served labels differ from engine:\nserver: %s\nengine: %s", got, wantJSON)
+	}
+
+	// Revalidation: same document, If-None-Match → 304 with no body,
+	// and no new evaluation (the engine's counters stay put).
+	misses := eng.CacheStats().Misses
+	r, err := http.NewRequest(http.MethodPost, base+"/v1/labels", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Header.Set("Content-Type", "application/json")
+	r.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status %d: %s", resp2.StatusCode, body)
+	}
+	if len(body) != 0 {
+		t.Errorf("304 carried a body: %s", body)
+	}
+	if resp2.Header.Get("ETag") != etag {
+		t.Errorf("304 ETag = %q, want %q", resp2.Header.Get("ETag"), etag)
+	}
+	if got := eng.CacheStats().Misses; got != misses {
+		t.Errorf("revalidation synthesized: misses %d -> %d", misses, got)
+	}
+
+	// A different window gets a different validator.
+	resp3, _ := postJSON(t, base+"/v1/labels", `{"key":"mis","sides":[100000,100000],"seed":7,"x":0,"y":0,"w":6,"h":4}`)
+	if other := resp3.Header.Get("ETag"); other == "" || other == etag {
+		t.Errorf("distinct windows share ETag %q", other)
+	}
+}
+
+// TestServerProblemsETag checks the catalogue endpoint's validator:
+// stable across requests, honoured by If-None-Match.
+func TestServerProblemsETag(t *testing.T) {
+	srv := NewServer(NewEngine())
+	base, _ := startServer(t, srv)
+
+	resp, err := http.Get(base + "/v1/problems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("catalogue response has no ETag")
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+	r, err := http.NewRequest(http.MethodGet, base+"/v1/problems", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status %d: %s", resp2.StatusCode, body)
+	}
+	if len(body) != 0 {
+		t.Errorf("304 carried a body: %s", body)
+	}
+}
+
+// TestServerExportJSONL streams a small grid export and checks the
+// framing: one band line per band, in row order, then a terminal done
+// line with the totals, and labels matching the engine's solve.
+func TestServerExportJSONL(t *testing.T) {
+	eng := NewEngine()
+	srv := NewServer(eng)
+	base, _ := startServer(t, srv)
+
+	const side = 13
+	want, err := eng.Solve(context.Background(), SolveRequest{
+		Key: "mis", N: side, IDs: AffineIDs(side*side, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/export", "application/json",
+		strings.NewReader(`{"key":"mis","n":13,"seed":3,"band_rows":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	labels := make([]int, side*side)
+	nextY, bands, done := 0, 0, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line exportLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Error != "":
+			t.Fatalf("stream error: %s", line.Error)
+		case line.Done:
+			done = true
+			if line.Bands != bands || line.Nodes != side*side {
+				t.Errorf("done line reports %d bands / %d nodes, want %d / %d",
+					line.Bands, line.Nodes, bands, side*side)
+			}
+		case line.Band != nil:
+			if done {
+				t.Fatal("band after the done line")
+			}
+			if line.Band.Y != nextY {
+				t.Errorf("band at row %d, want %d", line.Band.Y, nextY)
+			}
+			copy(labels[line.Band.Y*side:], line.Band.Labels)
+			nextY += line.Band.Rows
+			bands++
+		default:
+			t.Fatalf("unrecognised line %q", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !done || nextY != side {
+		t.Fatalf("done=%v, rows covered %d/%d", done, nextY, side)
+	}
+	for v := range labels {
+		if labels[v] != want.Labels[v] {
+			t.Fatalf("node %d: export %d, solve %d", v, labels[v], want.Labels[v])
+		}
+	}
+}
+
+// TestServerExportInt32 checks the raw binary framing: exactly
+// nx*ny*4 little-endian bytes, row-major, equal to the engine's labels.
+func TestServerExportInt32(t *testing.T) {
+	eng := NewEngine()
+	srv := NewServer(eng)
+	base, _ := startServer(t, srv)
+
+	const side = 12
+	want, err := eng.Solve(context.Background(), SolveRequest{
+		Key: "mis", N: side, IDs: AffineIDs(side*side, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/export", "application/json",
+		strings.NewReader(`{"key":"mis","n":12,"format":"int32"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content type %q", ct)
+	}
+	if len(data) != side*side*4 {
+		t.Fatalf("body is %d bytes, want %d", len(data), side*side*4)
+	}
+	for v := range want.Labels {
+		got := int(int32(binary.LittleEndian.Uint32(data[v*4:])))
+		if got != want.Labels[v] {
+			t.Fatalf("node %d: export %d, solve %d", v, got, want.Labels[v])
+		}
+	}
+}
+
+// TestServerLabelsRejectsBadRequests checks the 400 path of the new
+// endpoints: malformed documents, validation failures and
+// client-attributable planning failures all map to 400.
+func TestServerLabelsRejectsBadRequests(t *testing.T) {
+	srv := NewServer(NewEngine())
+	base, _ := startServer(t, srv)
+
+	for _, tc := range []struct{ url, body string }{
+		{"/v1/labels", `{"key":`},
+		{"/v1/labels", `{"key":"mis","w":0,"h":1}`},
+		{"/v1/labels", `{"key":"nope","w":1,"h":1}`},
+		{"/v1/labels", `{"key":"is","w":1,"h":1}`},
+		{"/v1/labels", `{"key":"mis","n":2000000,"w":1,"h":1}`},
+		{"/v1/labels", `{"key":"mis","n":16,"mode":"lattice","w":1,"h":1}`},
+		{"/v1/export", `{"key":"mis","format":"yaml"}`},
+		{"/v1/export", `{"key":"mis","band_rows":-1}`},
+	} {
+		resp, body := postJSON(t, base+tc.url, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d (%s), want 400", tc.url, tc.body, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestServerLabelMetrics checks the windowed-labeling series reach the
+// exposition when engine and server share a metrics observer.
+func TestServerLabelMetrics(t *testing.T) {
+	m := NewMetricsObserver()
+	eng := NewEngine(WithObserver(m))
+	srv := NewServer(eng, WithMetricsObserver(m))
+	base, _ := startServer(t, srv)
+
+	if resp, body := postJSON(t, base+"/v1/labels", `{"key":"mis","n":16,"w":3,"h":3}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("labels: status %d: %s", resp.StatusCode, body)
+	}
+	// A request that passes wire validation but fails planning reaches
+	// the engine, so the error shows up in the label series.
+	resp, metrics := postJSON(t, base+"/v1/labels", `{"key":"nope","w":1,"h":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad labels: status %d: %s", resp.StatusCode, metrics)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"lclgrid_label_requests_total 2",
+		"lclgrid_label_request_errors_total 1",
+		"lclgrid_label_window_nodes_total 9",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics exposition missing %q", want)
 		}
 	}
 }
