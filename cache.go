@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -299,19 +300,23 @@ func (c *diskCache) setOnEvict(fn func(SynthKey)) {
 	}
 }
 
-// diskRecord is the file format: the key for sanity checking plus
-// either an UNSAT marker or the wire form of the table.
+// diskRecord is the persistence format shared by the disk cache, the
+// remote blob cache and the cache service: the key for sanity checking
+// plus either an UNSAT marker or the wire form of the table.
 type diskRecord struct {
 	Key   SynthKey              `json:"key"`
 	Unsat bool                  `json:"unsat,omitempty"`
 	Alg   *core.SynthesizedWire `json:"alg,omitempty"`
 }
 
-// path returns the cache file for a key, or "" when the key is not
-// safely encodable as a file name (fingerprints are lowercase hex in
-// practice, but SynthCache is a public seam and keys may come from
-// anywhere — never let one escape the cache directory).
-func (c *diskCache) path(key SynthKey) string {
+// cacheKeyName returns the canonical blob name of a key —
+// "fingerprint-k<K>-<H>x<W>", the same stem the disk cache uses for its
+// files and the remote cache uses in its URLs — or "" when the key is
+// not safely encodable (fingerprints are lowercase hex in practice, but
+// SynthCache is a public seam and keys may come from anywhere — never
+// let one escape a cache directory or smuggle path segments into a
+// URL).
+func cacheKeyName(key SynthKey) string {
 	if key.Fingerprint == "" || len(key.Fingerprint) > 128 {
 		return ""
 	}
@@ -322,7 +327,60 @@ func (c *diskCache) path(key SynthKey) string {
 			return ""
 		}
 	}
-	return filepath.Join(c.dir, fmt.Sprintf("%s-k%d-%dx%d.synth.json", key.Fingerprint, key.K, key.H, key.W))
+	if key.K < 0 || key.H < 0 || key.W < 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s-k%d-%dx%d", key.Fingerprint, key.K, key.H, key.W)
+}
+
+// parseCacheKeyName inverts cacheKeyName. It is how a replica turns the
+// cache service's key listing back into SynthKeys for warm-on-boot.
+func parseCacheKeyName(name string) (SynthKey, error) {
+	var key SynthKey
+	i := strings.Index(name, "-k")
+	if i <= 0 {
+		return key, fmt.Errorf("lclgrid: cache name %q has no -k separator", name)
+	}
+	key.Fingerprint = name[:i]
+	if _, err := fmt.Sscanf(name[i:], "-k%d-%dx%d", &key.K, &key.H, &key.W); err != nil {
+		return key, fmt.Errorf("lclgrid: cache name %q: %w", name, err)
+	}
+	if cacheKeyName(key) != name {
+		return key, fmt.Errorf("lclgrid: cache name %q is not canonical", name)
+	}
+	return key, nil
+}
+
+// encodeCacheRecord serializes a cached outcome into the shared
+// persistence format. ok is false when the outcome must stay
+// process-local: only synthesized tables and proven-UNSAT markers are
+// durable; other failures (malformed shapes, structural errors, panics
+// converted upstream) describe this process, not the problem.
+func encodeCacheRecord(key SynthKey, val CachedSynthesis) (data []byte, ok bool) {
+	rec := diskRecord{Key: key}
+	switch {
+	case val.Err == nil && val.Alg != nil:
+		rec.Alg = val.Alg.Wire()
+	case errors.Is(val.Err, ErrUnsatisfiable):
+		rec.Unsat = true
+	default:
+		return nil, false
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// path returns the cache file for a key, or "" when the key is not
+// safely encodable as a file name.
+func (c *diskCache) path(key SynthKey) string {
+	name := cacheKeyName(key)
+	if name == "" {
+		return ""
+	}
+	return filepath.Join(c.dir, name+".synth.json")
 }
 
 func (c *diskCache) Get(key SynthKey) (CachedSynthesis, bool) {
@@ -395,23 +453,13 @@ func (c *diskCache) Contains(key SynthKey) bool {
 
 func (c *diskCache) Put(key SynthKey, val CachedSynthesis) {
 	c.inner.Put(key, val)
-	rec := diskRecord{Key: key}
-	switch {
-	case val.Err == nil && val.Alg != nil:
-		rec.Alg = val.Alg.Wire()
-	case errors.Is(val.Err, ErrUnsatisfiable):
-		rec.Unsat = true
-	default:
-		// Other failures (malformed shapes, structural errors, panics
-		// converted upstream) are process-local; do not persist them.
+	data, ok := encodeCacheRecord(key, val)
+	if !ok {
+		// Process-local failures are not persisted.
 		return
 	}
 	path := c.path(key)
 	if path == "" {
-		return
-	}
-	data, err := json.Marshal(rec)
-	if err != nil {
 		return
 	}
 	c.mu.Lock()

@@ -1,0 +1,262 @@
+package lclgrid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable lease clock for cache-server tests: takeover
+// semantics are tested by advancing time, not by sleeping through TTLs.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func doReq(t *testing.T, method, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestCacheServerBlobProtocol drives the full blob lifecycle over the
+// wire: store, probe, fetch, list, delete, and the rejection paths.
+func TestCacheServerBlobProtocol(t *testing.T) {
+	cs := NewCacheServer(nil)
+	ts := httptest.NewServer(cs)
+	defer ts.Close()
+
+	const name = "deadbeef-k1-3x2"
+	record := []byte(`{"key":{"fingerprint":"deadbeef","k":1,"h":3,"w":2}}`)
+
+	// A miss is a 404 on GET and HEAD.
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/cache/"+name, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before PUT: %d", resp.StatusCode)
+	}
+
+	// PUT stores; GET returns the exact bytes; HEAD confirms existence.
+	if resp, body := doReq(t, http.MethodPut, ts.URL+"/cache/"+name, record); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := doReq(t, http.MethodGet, ts.URL+"/cache/"+name, nil); resp.StatusCode != http.StatusOK || !bytes.Equal(body, record) {
+		t.Fatalf("GET after PUT: %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := doReq(t, http.MethodHead, ts.URL+"/cache/"+name, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD after PUT: %d", resp.StatusCode)
+	}
+
+	// /keys lists the stored names, sorted.
+	doReq(t, http.MethodPut, ts.URL+"/cache/aaaa-k1-3x3", record)
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/keys", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /keys: %d", resp.StatusCode)
+	}
+	var names []string
+	if err := json.Unmarshal(body, &names); err != nil {
+		t.Fatalf("keys decode: %v (%s)", err, body)
+	}
+	if len(names) != 2 || names[0] != "aaaa-k1-3x3" || names[1] != name {
+		t.Fatalf("keys = %v", names)
+	}
+
+	// DELETE removes; a second DELETE is a 404.
+	if resp, _ := doReq(t, http.MethodDelete, ts.URL+"/cache/"+name, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodDelete, ts.URL+"/cache/"+name, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE: %d", resp.StatusCode)
+	}
+
+	// Names that could escape a directory store are rejected outright.
+	for _, bad := range []string{"..%2F..%2Fetc", "UPPER", "a_b", strings.Repeat("a", 200)} {
+		if resp, _ := doReq(t, http.MethodPut, ts.URL+"/cache/"+bad, record); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("PUT %q: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Gets counts HEAD probes too (they ride the GET handler).
+	st := cs.Stats()
+	if st.Blobs != 1 || st.Puts != 2 || st.Deletes != 1 || st.Gets != 3 || st.GetHits != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCacheServerBlobSizeCap pins the PUT body cap: an oversized record
+// is refused with 413 and not stored.
+func TestCacheServerBlobSizeCap(t *testing.T) {
+	cs := NewCacheServer(nil, WithMaxBlobBytes(64))
+	ts := httptest.NewServer(cs)
+	defer ts.Close()
+	big := bytes.Repeat([]byte("x"), 128)
+	resp, _ := doReq(t, http.MethodPut, ts.URL+"/cache/aaaa-k1-3x3", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT: %d, want 413", resp.StatusCode)
+	}
+	if st := cs.Stats(); st.Blobs != 0 || st.Puts != 0 {
+		t.Errorf("oversized record was stored: %+v", st)
+	}
+}
+
+// TestCacheServerLeaseProtocol drives the cluster-singleflight lease
+// over the wire with an injected clock: grant, conflict, heartbeat,
+// expiry takeover and release.
+func TestCacheServerLeaseProtocol(t *testing.T) {
+	clock := newFakeClock()
+	cs := NewCacheServer(nil, withCacheClock(clock.Now))
+	ts := httptest.NewServer(cs)
+	defer ts.Close()
+
+	lease := func(method, owner, ttl string) (*http.Response, leaseDoc) {
+		u := fmt.Sprintf("%s/lease/aaaa-k1-3x3?owner=%s&ttl=%s", ts.URL, owner, ttl)
+		resp, body := doReq(t, method, u, nil)
+		var doc leaseDoc
+		_ = json.Unmarshal(body, &doc)
+		return resp, doc
+	}
+
+	// First acquire is granted; re-acquire by the same owner renews.
+	if resp, doc := lease(http.MethodPost, "a", "10s"); resp.StatusCode != http.StatusOK || !doc.Granted {
+		t.Fatalf("acquire: %d %+v", resp.StatusCode, doc)
+	}
+	if resp, _ := lease(http.MethodPost, "a", "10s"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("renewing acquire: %d", resp.StatusCode)
+	}
+
+	// Another owner conflicts and learns the holder and its remaining TTL.
+	resp, doc := lease(http.MethodPost, "b", "10s")
+	if resp.StatusCode != http.StatusConflict || doc.Owner != "a" {
+		t.Fatalf("conflicting acquire: %d %+v", resp.StatusCode, doc)
+	}
+	if doc.TTLMillis <= 0 || doc.TTLMillis > 10_000 {
+		t.Fatalf("conflict ttl_ms = %d", doc.TTLMillis)
+	}
+
+	// The holder heartbeats (204); the loser cannot (409).
+	if resp, _ := lease(http.MethodPut, "a", "10s"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("holder heartbeat: %d", resp.StatusCode)
+	}
+	if resp, _ := lease(http.MethodPut, "b", "10s"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("loser heartbeat: %d", resp.StatusCode)
+	}
+
+	// The owner dies (no more heartbeats). Past the TTL, the next
+	// acquire takes the lease over — the takeover the fleet relies on.
+	clock.Advance(11 * time.Second)
+	if resp, doc := lease(http.MethodPost, "b", "10s"); resp.StatusCode != http.StatusOK || !doc.Granted {
+		t.Fatalf("takeover acquire: %d %+v", resp.StatusCode, doc)
+	}
+	if st := cs.Stats(); st.LeaseExpiries != 1 {
+		t.Fatalf("lease expiries = %d, want 1 (stats %+v)", st.LeaseExpiries, st)
+	}
+	// The dead owner's late heartbeat learns it lost the election.
+	if resp, _ := lease(http.MethodPut, "a", "10s"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("dead owner heartbeat: %d", resp.StatusCode)
+	}
+
+	// Release frees the key immediately; a release by a non-holder is a
+	// harmless no-op.
+	if resp, _ := lease(http.MethodDelete, "zzz", ""); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("non-holder release: %d", resp.StatusCode)
+	}
+	if resp, _ := lease(http.MethodDelete, "b", ""); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("release: %d", resp.StatusCode)
+	}
+	if resp, doc := lease(http.MethodPost, "a", "10s"); resp.StatusCode != http.StatusOK || !doc.Granted {
+		t.Fatalf("acquire after release: %d %+v", resp.StatusCode, doc)
+	}
+
+	// A lease without an owner identity is rejected.
+	if resp, _ := doReq(t, http.MethodPost, ts.URL+"/lease/aaaa-k1-3x3", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ownerless acquire: %d", resp.StatusCode)
+	}
+}
+
+// TestDirBlobStoreSharesDiskCacheLayout: a directory warmed through an
+// engine's disk cache serves the same records through a DirBlobStore —
+// the promotion path from a single replica's cache to the fleet store.
+func TestDirBlobStoreSharesDiskCacheLayout(t *testing.T) {
+	dir := t.TempDir()
+	p5 := VertexColoring(5, 2)
+	eng := NewEngine(WithCacheDir(dir))
+	if _, _, err := eng.Synthesize(context.Background(), p5, 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewDirBlobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SynthKey{Fingerprint: p5.Fingerprint(), K: 1, H: 3, W: 2}
+	name := cacheKeyName(key)
+	if name == "" {
+		t.Fatal("no canonical name for the warmed key")
+	}
+	names, err := store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("disk-cache record %q not visible to the blob store (keys %v)", name, names)
+	}
+	data, ok, err := store.Get(name)
+	if err != nil || !ok {
+		t.Fatalf("blob store get: ok=%v err=%v", ok, err)
+	}
+	val, err := decodeDiskRecord(data, key)
+	if err != nil || val.Alg == nil {
+		t.Fatalf("stored record does not decode: %v", err)
+	}
+
+	// And the reverse: a record Put through the store is read by a fresh
+	// disk-cache engine with zero syntheses.
+	eng2 := NewEngine(WithCacheDir(dir))
+	if _, cached, err := eng2.Synthesize(context.Background(), p5, 1, 3, 2); err != nil || !cached {
+		t.Fatalf("fresh engine over the store directory: cached=%v err=%v", cached, err)
+	}
+}

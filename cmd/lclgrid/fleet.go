@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	lclgrid "lclgrid"
+)
+
+// splitList splits a comma-separated flag value, trimming whitespace
+// and dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// cmdCachesvc runs the standalone fleet cache service: the blob store
+// (GET/PUT/HEAD/DELETE /cache/{name}) plus the synthesis-lease
+// endpoints (/lease/{name}) that serve replicas use to make each cold
+// synthesis happen exactly once cluster-wide.
+//
+//	lclgrid cachesvc -addr 127.0.0.1:8090 -dir /var/lib/lclgrid/cache
+//
+// With -dir the blobs live in the same one-file-per-table layout as a
+// replica's -cache-dir, so an existing warmed cache directory can be
+// promoted to the fleet store as-is. Without -dir the store is
+// in-memory and dies with the process.
+func cmdCachesvc(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cachesvc", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address (host:port; :0 picks an ephemeral port)")
+	dir := fs.String("dir", "", "persist blobs under this directory (empty = in-memory)")
+	maxBlob := fs.Int64("max-blob", lclgrid.DefaultMaxBlobBytes, "largest accepted blob in bytes")
+	drain := fs.Duration("drain", lclgrid.DefaultDrainTimeout, "graceful-shutdown drain window for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var store lclgrid.BlobStore
+	if *dir != "" {
+		var err error
+		store, err = lclgrid.NewDirBlobStore(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	cs := lclgrid.NewCacheServer(store,
+		lclgrid.WithMaxBlobBytes(*maxBlob),
+		lclgrid.WithCacheDrainTimeout(*drain),
+	)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lclgrid: cache service on http://%s\n", l.Addr())
+	if err := cs.Serve(ctx, l); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "lclgrid: cache service drained, shutting down")
+	return nil
+}
+
+// cmdGateway runs the fleet front door: a single host:port that routes
+// /v1/solve, /v1/explain, /v1/labels and /v1/export to the shard owning
+// each problem's fingerprint on the consistent-hash ring, and fans
+// /v1/batch documents across shards, merging the result streams back
+// into one JSONL response (ordered with ?ordered=1).
+//
+//	lclgrid gateway -addr :8080 -shards replica1:8081,replica2:8082
+//
+// Shard names double as ring members, so the gateway and a replica
+// started with `-self replica1:8081 -peers replica1:8081,replica2:8082`
+// agree on who owns what. Unreachable shards are retried on the next
+// ring member; /readyz answers 503 until at least one shard probes
+// healthy.
+func cmdGateway(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks an ephemeral port)")
+	shards := fs.String("shards", "", "comma-separated shard addresses (required; e.g. host1:8081,host2:8082)")
+	timeout := fs.Duration("timeout", lclgrid.DefaultRequestTimeout, "per-request upstream deadline (0 = none)")
+	maxInflight := fs.Int("max-inflight", lclgrid.DefaultMaxInflight, "admission bound on concurrent solve/batch requests (0 = unbounded)")
+	maxBody := fs.Int64("max-body", lclgrid.DefaultMaxBodyBytes, "request body size cap in bytes (0 = unbounded)")
+	drain := fs.Duration("drain", lclgrid.DefaultDrainTimeout, "graceful-shutdown drain window for in-flight requests")
+	probe := fs.Duration("probe-interval", 5*time.Second, "shard health probe period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards == "" {
+		return fmt.Errorf("gateway: -shards is required (comma-separated shard addresses)")
+	}
+
+	metrics := lclgrid.NewMetricsObserver()
+	gw, err := lclgrid.NewGateway(splitList(*shards),
+		lclgrid.WithGatewayMetrics(metrics),
+		lclgrid.WithGatewayMaxInflight(*maxInflight),
+		lclgrid.WithGatewayMaxBodyBytes(*maxBody),
+		lclgrid.WithGatewayRequestTimeout(*timeout),
+		lclgrid.WithGatewayDrainTimeout(*drain),
+		lclgrid.WithGatewayProbeInterval(*probe),
+	)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lclgrid: gateway on http://%s routing %d shards\n", l.Addr(), len(gw.Shards()))
+	if err := gw.Serve(ctx, l); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "lclgrid: gateway drained, shutting down")
+	return nil
+}

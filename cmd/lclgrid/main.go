@@ -12,6 +12,8 @@
 //	lclgrid labels -problem mis      label one window of an arbitrarily large torus
 //	lclgrid batch [-workers 8]       stream JSONL SolveRequests from stdin
 //	lclgrid serve [-addr host:port]  serve solve/batch/explain over HTTP with Prometheus metrics
+//	lclgrid cachesvc [-dir d]        serve the fleet's shared blob/lease cache
+//	lclgrid gateway -shards a,b      front a fleet: route and fan out by fingerprint
 //	lclgrid warm [-cache-dir d]      pre-synthesize the registry catalogue
 //	lclgrid table                    print the Theorem 22 orientation table
 //	lclgrid version                  print the module version and VCS revision
@@ -80,6 +82,10 @@ func main() {
 		err = cmdBatch(ctx, os.Args[2:], os.Stdin, os.Stdout)
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:], os.Stdout)
+	case "cachesvc":
+		err = cmdCachesvc(ctx, os.Args[2:], os.Stdout)
+	case "gateway":
+		err = cmdGateway(ctx, os.Args[2:], os.Stdout)
 	case "warm":
 		err = cmdWarm(ctx, os.Args[2:], os.Stdout)
 	case "table":
@@ -97,7 +103,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|experiments|classify|synth|run|labels|batch|serve|warm|table|version> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|experiments|classify|synth|run|labels|batch|serve|cachesvc|gateway|warm|table|version> [flags]")
 }
 
 // newEngine is the engine constructor behind buildEngine — a variable so

@@ -9,73 +9,236 @@ import (
 	"net"
 	"os"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	lclgrid "lclgrid"
+	"lclgrid/internal/ring"
 )
 
 // cmdServe boots the HTTP serving subsystem: the Engine mounted behind
 // POST /v1/solve, POST /v1/batch (JSONL streaming), POST /v1/explain,
-// GET /v1/problems, GET /healthz and GET /metrics (Prometheus text
-// format), with bounded in-flight admission, per-request timeouts,
-// request body limits and graceful drain on SIGINT/SIGTERM.
+// GET /v1/problems, GET /healthz, GET /readyz and GET /metrics
+// (Prometheus text format), with bounded in-flight admission,
+// per-request timeouts, request body limits and graceful drain on
+// SIGINT/SIGTERM.
 //
 //	lclgrid serve -addr 127.0.0.1:8080 -cache-dir .cache -warm
 //
-// -warm pre-synthesizes the whole catalogue before the listener opens,
-// so the first request of every problem is served from the cache; with
-// -cache-dir the warmed tables persist and a restarted server boots
-// warm with zero syntheses.
+// -warm pre-synthesizes the catalogue in the background once the
+// listener is up; /readyz answers 503 until the sweep completes, so a
+// supervisor holds traffic while the replica warms without declaring it
+// dead. With -cache-dir the warmed tables persist and a restarted
+// server warms with zero syntheses.
+//
+// Fleet flags:
+//
+//   - -remote-cache URL layers the shared cache service under the local
+//     cache (see `lclgrid cachesvc`): tables synthesized anywhere in the
+//     fleet become local hits, and the lease protocol (-lease-ttl,
+//     -cache-wait) makes each cold synthesis happen exactly once
+//     cluster-wide.
+//   - -self and -peers place this replica on the fleet's consistent-hash
+//     ring: -warm then only synthesizes the catalogue slice this replica
+//     owns, and the rest of its owned slice is pulled from the shared
+//     store instead of re-synthesized.
+//   - -cache-service additionally mounts the blob/lease service under
+//     /v1/cache/ on this replica, so a small fleet can share one
+//     replica's cache instead of running a separate cachesvc.
 func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks an ephemeral port)")
 	workers := fs.Int("workers", 0, "worker pool size per /v1/batch stream (0 = GOMAXPROCS)")
 	synthWorkers := fs.Int("synth-workers", 0, "concurrent synthesis candidates per racing sweep (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "persist synthesized tables under this directory")
-	warm := fs.Bool("warm", false, "pre-synthesize the registry catalogue before accepting traffic")
+	warm := fs.Bool("warm", false, "pre-synthesize the registry catalogue in the background; /readyz gates on completion")
 	timeout := fs.Duration("timeout", lclgrid.DefaultRequestTimeout, "per-request solve deadline (0 = none)")
 	maxInflight := fs.Int("max-inflight", lclgrid.DefaultMaxInflight, "admission bound on concurrent solve/batch requests (0 = unbounded)")
 	maxBody := fs.Int64("max-body", lclgrid.DefaultMaxBodyBytes, "request body size cap in bytes (0 = unbounded)")
 	drain := fs.Duration("drain", lclgrid.DefaultDrainTimeout, "graceful-shutdown drain window for in-flight requests")
+	remoteCache := fs.String("remote-cache", "", "base URL of the shared cache service (e.g. http://cache:8090)")
+	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "cluster synthesis lease TTL (with -remote-cache)")
+	cacheWait := fs.Duration("cache-wait", 60*time.Second, "longest wait on another replica's in-flight synthesis before synthesizing locally")
+	self := fs.String("self", "", "this replica's name on the fleet ring (must appear in -peers)")
+	peers := fs.String("peers", "", "comma-separated names of every fleet replica (enables ring-sliced warming)")
+	cacheService := fs.Bool("cache-service", false, "mount the blob/lease cache service under /v1/cache/ (backed by -cache-dir when set)")
 	verbose := fs.Bool("v", false, "log engine events to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	metrics := lclgrid.NewMetricsObserver()
-	eng, err := buildEngine(*verbose, *cacheDir,
-		lclgrid.WithObserver(metrics), lclgrid.WithSynthWorkers(*synthWorkers))
+	engineOpts := []lclgrid.EngineOption{
+		lclgrid.WithObserver(metrics), lclgrid.WithSynthWorkers(*synthWorkers),
+	}
+	// With a remote cache the layering is memory → disk → fleet: the
+	// explicit stack replaces buildEngine's cache-dir handling.
+	var remote *lclgrid.RemoteCache
+	builderCacheDir := *cacheDir
+	if *remoteCache != "" {
+		var inner lclgrid.SynthCache = lclgrid.NewMemoryCache()
+		if *cacheDir != "" {
+			var err error
+			inner, err = lclgrid.NewDiskCache(*cacheDir, inner)
+			if err != nil {
+				return err
+			}
+			builderCacheDir = ""
+		}
+		var err error
+		remote, err = lclgrid.NewRemoteCache(*remoteCache, inner,
+			lclgrid.WithLeaseTTL(*leaseTTL),
+			lclgrid.WithLeaseWait(*cacheWait),
+			lclgrid.WithRemoteObserver(metrics),
+		)
+		if err != nil {
+			return err
+		}
+		builderCacheDir = ""
+		engineOpts = append(engineOpts, lclgrid.WithCache(remote))
+	}
+	eng, err := buildEngine(*verbose, builderCacheDir, engineOpts...)
 	if err != nil {
 		return err
 	}
-	if *warm {
-		start := time.Now()
-		ws, err := eng.Warm(ctx)
-		if err != nil {
-			return fmt.Errorf("warm-on-boot: %w", err)
-		}
-		fmt.Fprintf(out, "lclgrid: warmed %d/%d problems (%d syntheses) in %v\n",
-			ws.Warmed, ws.Problems, ws.Syntheses, time.Since(start).Round(time.Millisecond))
+
+	// Ring membership: -peers names every replica, -self this one. Warm
+	// then covers only the owned catalogue slice.
+	owns, err := ringOwnership(*self, *peers)
+	if err != nil {
+		return err
 	}
 
-	srv := lclgrid.NewServer(eng,
+	serverOpts := []lclgrid.ServerOption{
 		lclgrid.WithMetricsObserver(metrics),
 		lclgrid.WithMaxInflight(*maxInflight),
 		lclgrid.WithRequestTimeout(*timeout),
 		lclgrid.WithMaxBodyBytes(*maxBody),
 		lclgrid.WithBatchWorkers(*workers),
 		lclgrid.WithDrainTimeout(*drain),
-	)
+	}
+	if *cacheService {
+		var store lclgrid.BlobStore
+		if *cacheDir != "" {
+			store, err = lclgrid.NewDirBlobStore(*cacheDir)
+			if err != nil {
+				return err
+			}
+		}
+		serverOpts = append(serverOpts, lclgrid.WithCacheService(lclgrid.NewCacheServer(store)))
+	}
+
+	// Readiness: unready until warm-on-boot finishes (immediately ready
+	// without -warm). The warm sweep runs in the background after the
+	// listener opens — liveness (/healthz) is up the whole time, and the
+	// supervisor watches /readyz to start routing.
+	var warming atomic.Bool
+	warming.Store(*warm)
+	serverOpts = append(serverOpts, lclgrid.WithReadyCheck(func() error {
+		if warming.Load() {
+			return errors.New("lclgrid: warm-on-boot in progress")
+		}
+		return nil
+	}))
+
+	srv := lclgrid.NewServer(eng, serverOpts...)
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "lclgrid: serving on http://%s\n", l.Addr())
+
+	if *warm {
+		go func() {
+			defer warming.Store(false)
+			start := time.Now()
+			if remote != nil {
+				// Pull the owned slice from the shared store first: every
+				// record pulled is a synthesis the sweep below skips.
+				if n, err := remote.PullOwned(ctx, owns); err == nil && n > 0 {
+					fmt.Fprintf(out, "lclgrid: pulled %d cached tables from the fleet store\n", n)
+				}
+			}
+			keys, any := ownedKeys(eng, owns)
+			if !any {
+				fmt.Fprintln(out, "lclgrid: warm-on-boot: this replica owns no catalogue keys")
+				return
+			}
+			ws, err := eng.Warm(ctx, keys...)
+			if err != nil {
+				if ctx.Err() != nil {
+					return // shutting down mid-warm
+				}
+				// A partially-warm replica still serves (cold keys just pay
+				// their synthesis on first request) — readiness proceeds.
+				fmt.Fprintf(os.Stderr, "lclgrid: warm-on-boot: %v\n", err)
+			}
+			fmt.Fprintf(out, "lclgrid: warmed %d/%d problems (%d syntheses) in %v\n",
+				ws.Warmed, ws.Problems, ws.Syntheses, time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
 	if err := srv.Serve(ctx, l); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "lclgrid: drained in-flight requests, shutting down")
 	return nil
+}
+
+// ringOwnership turns the -self/-peers flags into the ownership
+// predicate warm-on-boot filters with. Without -peers every key is
+// owned (nil predicate); with them, -self must name one of the peers.
+func ringOwnership(self, peers string) (func(lclgrid.SynthKey) bool, error) {
+	if peers == "" {
+		if self != "" {
+			return nil, errors.New("-self needs -peers (the full replica list)")
+		}
+		return nil, nil
+	}
+	members := splitList(peers)
+	if self == "" {
+		return nil, errors.New("-peers needs -self (this replica's name)")
+	}
+	found := false
+	for _, m := range members {
+		if m == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("-self %q is not in -peers %q", self, peers)
+	}
+	r, err := ring.New(members, 0)
+	if err != nil {
+		return nil, err
+	}
+	return func(key lclgrid.SynthKey) bool {
+		return r.Owns(self, key.Fingerprint)
+	}, nil
+}
+
+// ownedKeys filters the registry catalogue to the keys whose problem
+// fingerprint this replica owns (every key when owns is nil). The
+// second result is false when the replica owns nothing — a legal
+// outcome on a big fleet with a small catalogue, and one the caller
+// must distinguish from "warm everything" (Warm's zero-key default).
+func ownedKeys(eng *lclgrid.Engine, owns func(lclgrid.SynthKey) bool) ([]string, bool) {
+	if owns == nil {
+		return nil, true // Warm's default: the whole catalogue
+	}
+	var keys []string
+	for _, key := range eng.Registry().Keys() {
+		spec, err := eng.Registry().Lookup(key)
+		if err != nil || spec.Problem == nil {
+			keys = append(keys, key) // direct/skipped keys cost Warm nothing
+			continue
+		}
+		if owns(lclgrid.SynthKey{Fingerprint: spec.Problem().Fingerprint()}) {
+			keys = append(keys, key)
+		}
+	}
+	return keys, len(keys) > 0
 }
 
 // cmdVersion prints the module version and the VCS revision embedded by

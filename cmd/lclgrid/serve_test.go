@@ -201,6 +201,26 @@ func TestServeCommandBootsWarmsAndDrains(t *testing.T) {
 		case <-time.After(20 * time.Millisecond):
 		}
 	}
+	// Warm runs in the background after the listener opens; /readyz
+	// holds 503 until the sweep finishes. Wait for readiness before
+	// asserting warm-dependent behaviour.
+	for {
+		rresp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("readyz: %v", err)
+		}
+		rresp.Body.Close()
+		if rresp.StatusCode == http.StatusOK {
+			break
+		}
+		if rresp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("readyz while warming: %d", rresp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became ready:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 	if !strings.Contains(out.String(), "warmed") {
 		t.Errorf("no warm-on-boot line in:\n%s", out.String())
 	}

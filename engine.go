@@ -265,6 +265,17 @@ func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *
 		return nil, false, err
 	}
 	key := SynthKey{Fingerprint: p.Fingerprint(), K: k, H: h, W: w}
+	// release drops the cluster-wide synthesis lease when the cache
+	// extends singleflight across replicas (see leaseCoordinator). The
+	// deferred call is the panic-safety net; the normal path releases
+	// explicitly after the outcome is Put in the cache, so a replica
+	// polling on the lease never wakes to find the value missing.
+	var release func()
+	defer func() {
+		if release != nil {
+			release()
+		}
+	}()
 	for {
 		// Fast path: a completed outcome in the cache.
 		if val, ok := e.cache.Get(key); ok {
@@ -309,6 +320,23 @@ func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *
 			e.observeCacheHit(key)
 			return withProblem(val.Alg, p), true, val.Err
 		}
+		// Cluster singleflight: having won the local election, contend
+		// for the key cluster-wide. Either another replica's outcome
+		// comes back (serve it to our waiters as a hit) or we hold the
+		// cluster lease (or degraded to uncoordinated local synthesis —
+		// coordination is an optimisation, never a gate).
+		if lc, ok := e.cache.(leaseCoordinator); ok {
+			val, served, rel := lc.coordinate(ctx, key)
+			if served {
+				e.retire(key)
+				ent.alg, ent.err = val.Alg, val.Err
+				close(ent.ready)
+				e.hits.Add(1)
+				e.observeCacheHit(key)
+				return withProblem(val.Alg, p), true, val.Err
+			}
+			release = rel
+		}
 		e.misses.Add(1)
 		e.observeCacheMiss(key)
 		e.observeSynthesisStart(key)
@@ -337,6 +365,13 @@ func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *
 			// failure) before retiring the slot, so no later Get can miss
 			// a result that a waiter is about to observe.
 			e.cache.Put(key, CachedSynthesis{Alg: ent.alg, Err: ent.err})
+		}
+		if release != nil {
+			// Put-then-release: the shared store holds the outcome (a
+			// remote-capable cache publishes synchronously in Put), so
+			// replicas woken by the lease vanishing find it immediately.
+			release()
+			release = nil
 		}
 		e.retire(key)
 		close(ent.ready)

@@ -1,0 +1,164 @@
+// Package ring implements a deterministic consistent-hash ring: the
+// routing layer of the sharded serving fleet. Members (shard names or
+// addresses) are placed on a 64-bit hash circle at many virtual-node
+// positions; a key is owned by the first member clockwise from the
+// key's own hash point. The properties the fleet relies on:
+//
+//   - Deterministic: the ring is a pure function of (members, vnodes).
+//     Every replica and every gateway that is configured with the same
+//     member list computes the same ownership, with no coordination
+//     traffic — which is what lets N `lclgrid serve` replicas partition
+//     synthesis ownership of an unbounded fingerprint space.
+//   - Balanced: with the default virtual-node count each member owns
+//     ~1/N of the key space (see TestRingBalance).
+//   - Stable under membership change: adding or removing one member
+//     moves only the ~1/N of keys that member gains or loses; keys
+//     owned by the surviving members stay put (see TestRingRebalance).
+//
+// Sequence returns every member in preference order for a key — the
+// owner first, then the members that would take over if it failed —
+// which is the retry order a gateway walks for idempotent requests.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the virtual-node count per member used when
+// New is given a non-positive vnodes. 128 points per member keeps the
+// ownership imbalance of small fleets within a few percent while the
+// ring stays tiny (N*128 points, binary-searched).
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring. Construct with New; a nil
+// or empty ring owns nothing. Safe for concurrent use (all methods are
+// read-only after construction).
+type Ring struct {
+	members []string
+	vnodes  int
+	points  []point // sorted by hash, ties broken by member index
+}
+
+// point is one virtual node: a position on the hash circle and the
+// member that owns the arc ending there.
+type point struct {
+	hash   uint64
+	member int // index into members
+}
+
+// New builds the ring for the given members with vnodes virtual nodes
+// per member (non-positive selects DefaultVirtualNodes). Duplicate and
+// empty member names are rejected — a duplicated member would silently
+// own twice the key space.
+func New(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ring: no members")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	ms := make([]string, len(members))
+	for i, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("ring: member %d is empty", i)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("ring: duplicate member %q", m)
+		}
+		seen[m] = true
+		ms[i] = m
+	}
+	r := &Ring{
+		members: ms,
+		vnodes:  vnodes,
+		points:  make([]point, 0, len(ms)*vnodes),
+	}
+	for i, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:   hash64(fmt.Sprintf("%s#%d", m, v)),
+				member: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A full 64-bit hash collision between virtual nodes is
+		// vanishingly rare, but the tie-break keeps the ring a pure
+		// function of its inputs rather than of sort stability.
+		return r.points[a].member < r.points[b].member
+	})
+	return r, nil
+}
+
+// hash64 is the ring's hash function: FNV-64a followed by a
+// splitmix64-style finalizer. Not cryptographic, but fast,
+// dependency-free and stable across platforms and processes — the
+// determinism the fleet needs. The finalizer matters: bare FNV over the
+// short, highly correlated virtual-node labels ("a#0", "a#1", ...)
+// clusters badly and skews member ownership by 2-3x; the avalanche mix
+// restores per-member balance to a few percent.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Members returns the member list in construction order.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Owner returns the member that owns key: the first virtual node
+// clockwise from the key's hash point.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.points[r.search(key)].member]
+}
+
+// Owns reports whether member owns key — the predicate a replica uses
+// to select its warm-on-boot slice.
+func (r *Ring) Owns(member, key string) bool {
+	return r.Owner(key) == member
+}
+
+// Sequence returns every member in preference order for key: the owner
+// first, then each distinct member encountered walking the circle — the
+// takeover order if the owner fails, and therefore the retry order for
+// idempotent requests.
+func (r *Ring) Sequence(key string) []string {
+	out := make([]string, 0, len(r.members))
+	seen := make(map[int]bool, len(r.members))
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise-after the
+// key's hash.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return i
+}

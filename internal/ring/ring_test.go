@@ -1,0 +1,143 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Shaped like the fleet's real keys: hex fingerprint + shape.
+		out[i] = fmt.Sprintf("%064x-k3-7x5", i*2654435761)
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"shard-a:8080", "shard-b:8080", "shard-c:8080"}
+	r1, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("two rings over the same members disagree on %q: %q vs %q", k, r1.Owner(k), r2.Owner(k))
+		}
+		s1, s2 := r1.Sequence(k), r2.Sequence(k)
+		if fmt.Sprint(s1) != fmt.Sprint(s2) {
+			t.Fatalf("sequence for %q differs: %v vs %v", k, s1, s2)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	ks := keys(4000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	want := len(ks) / len(members)
+	for _, m := range members {
+		if counts[m] < want/2 || counts[m] > want*2 {
+			t.Errorf("member %q owns %d of %d keys; want roughly %d", m, counts[m], len(ks), want)
+		}
+	}
+}
+
+// TestRingRebalance is the consistent-hashing contract: adding one
+// member to an N-member ring moves only the keys the new member gains
+// (~1/(N+1) of them); every other key keeps its owner. A naive mod-N
+// assignment would move ~N/(N+1) of the keys instead.
+func TestRingRebalance(t *testing.T) {
+	before, err := New([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := keys(4000)
+	moved, movedToNew := 0, 0
+	for _, k := range ks {
+		if before.Owner(k) != after.Owner(k) {
+			moved++
+			if after.Owner(k) == "d" {
+				movedToNew++
+			}
+		}
+	}
+	if moved != movedToNew {
+		t.Errorf("%d keys moved between surviving members; consistent hashing must only move keys to the new member", moved-movedToNew)
+	}
+	// Expected fraction is 1/4; allow generous slack for hash variance.
+	if moved < len(ks)/8 || moved > len(ks)/2 {
+		t.Errorf("%d of %d keys moved to the new member; want about %d", moved, len(ks), len(ks)/4)
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	r, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(100) {
+		seq := r.Sequence(k)
+		if len(seq) != len(members) {
+			t.Fatalf("sequence for %q has %d members, want %d: %v", k, len(seq), len(members), seq)
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("sequence for %q starts with %q, owner is %q", k, seq[0], r.Owner(k))
+		}
+		seen := make(map[string]bool)
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("sequence for %q repeats %q: %v", k, m, seq)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingOwns(t *testing.T) {
+	r, err := New([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := 0
+	ks := keys(200)
+	for _, k := range ks {
+		if r.Owns("a", k) != (r.Owner(k) == "a") {
+			t.Fatalf("Owns disagrees with Owner for %q", k)
+		}
+		if r.Owns("a", k) {
+			owned++
+		}
+	}
+	if owned == 0 || owned == len(ks) {
+		t.Fatalf("member a owns %d of %d keys; the split is degenerate", owned, len(ks))
+	}
+}

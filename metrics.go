@@ -65,6 +65,21 @@ type MetricsObserver struct {
 	httpThrottled atomic.Uint64
 	httpRequests  labeledCounter
 	httpSeconds   labeledHistograms
+
+	// Remote-cache series, fed by a RemoteCache's observer hook
+	// (WithRemoteObserver).
+	remoteOps      labeledCounter
+	remoteSeconds  labeledHistograms
+	remoteDegraded atomic.Uint64
+
+	// cacheEntries, when set, reports the live entry count of the
+	// engine's synthesis cache (SetCacheEntriesFunc).
+	cacheEntries atomic.Pointer[func() int]
+
+	// Gateway series, fed by a Gateway.
+	gatewayRequests labeledCounter
+	gatewayRetries  atomic.Uint64
+	gatewayErrors   atomic.Uint64
 }
 
 var (
@@ -147,6 +162,44 @@ func (m *MetricsObserver) WindowEnd(_ LabelRequest, stats WindowStats, err error
 	m.labelSeconds.observe(elapsed)
 }
 
+// --- RemoteCacheObserver implementation ---------------------------------------
+
+// RemoteCacheOp records one remote-cache interaction
+// (lclgrid_remote_cache_ops_total and the per-op latency histogram).
+func (m *MetricsObserver) RemoteCacheOp(op, outcome string, elapsed time.Duration) {
+	m.remoteOps.add(`op="` + op + `",outcome="` + outcome + `"`)
+	m.remoteSeconds.observe(`op="`+op+`"`, elapsed)
+}
+
+// RemoteCacheDegraded records a fall-back to uncoordinated local
+// synthesis (lclgrid_remote_cache_degraded_total) — the series to alert
+// on when the shared cache backend is sick.
+func (m *MetricsObserver) RemoteCacheDegraded() { m.remoteDegraded.Add(1) }
+
+// SetCacheEntriesFunc installs the live source of the
+// lclgrid_cache_entries gauge — typically
+//
+//	m.SetCacheEntriesFunc(func() int { return eng.CacheStats().Entries })
+//
+// (`lclgrid serve` wires this automatically). Without it the gauge is
+// omitted from the rendering; a constant 0 would read as an empty
+// cache, not an unplumbed one.
+func (m *MetricsObserver) SetCacheEntriesFunc(fn func() int) {
+	if fn == nil {
+		m.cacheEntries.Store(nil)
+		return
+	}
+	m.cacheEntries.Store(&fn)
+}
+
+// --- Gateway recording hooks --------------------------------------------------
+
+func (m *MetricsObserver) gatewayRequest(route, shard string, code int) {
+	m.gatewayRequests.add(`route="` + route + `",shard="` + shard + `",code="` + strconv.Itoa(code) + `"`)
+}
+func (m *MetricsObserver) gatewayRetry() { m.gatewayRetries.Add(1) }
+func (m *MetricsObserver) gatewayError() { m.gatewayErrors.Add(1) }
+
 // --- Server-side recording hooks --------------------------------------------
 
 func (m *MetricsObserver) httpStart()    { m.httpInflight.Add(1) }
@@ -181,6 +234,9 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 	mw.counter("lclgrid_cache_hits_total", "Synthesis lookups served from the cache (coalesced waiters included).", m.cacheHits.Load())
 	mw.counter("lclgrid_cache_misses_total", "Synthesis lookups that found nothing and started a synthesis.", m.cacheMisses.Load())
 	mw.counter("lclgrid_cache_evictions_total", "Cache entries removed by Evict or a capacity bound.", m.cacheEvictions.Load())
+	if fn := m.cacheEntries.Load(); fn != nil {
+		mw.gauge("lclgrid_cache_entries", "Entries resident in the synthesis cache.", int64((*fn)()))
+	}
 	mw.counter("lclgrid_fallbacks_total", "Requests redirected to the Θ(n) baseline by a too-small torus.", m.fallbacks.Load())
 
 	mw.counter("lclgrid_label_requests_total", "Windowed label requests accepted (streaming exports count once).", m.labelRequests.Load())
@@ -190,10 +246,18 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 	mw.counter("lclgrid_label_halo_nodes_total", "Anchor-membership evaluations outside the requested windows (the halo overhead).", m.labelHaloNodes.Load())
 	mw.histogram("lclgrid_label_duration_seconds", "Wall-clock duration of windowed label requests.", "", m.labelSeconds)
 
+	mw.labeled("lclgrid_remote_cache_ops_total", "Remote synthesis-cache interactions, by protocol op and outcome.", "counter", &m.remoteOps)
+	mw.labeledHistograms("lclgrid_remote_cache_op_duration_seconds", "Remote synthesis-cache interaction latency, by protocol op.", &m.remoteSeconds)
+	mw.counter("lclgrid_remote_cache_degraded_total", "Cluster-coordination give-ups that fell back to uncoordinated local synthesis.", m.remoteDegraded.Load())
+
 	mw.counter("lclgrid_http_throttled_total", "HTTP requests rejected with 429 by the in-flight admission bound.", m.httpThrottled.Load())
 	mw.gauge("lclgrid_http_requests_inflight", "HTTP requests currently being handled.", m.httpInflight.Load())
 	mw.labeled("lclgrid_http_requests_total", "HTTP requests served, by path and status code.", "counter", &m.httpRequests)
 	mw.labeledHistograms("lclgrid_http_request_duration_seconds", "HTTP handler wall-clock duration, by path.", &m.httpSeconds)
+
+	mw.labeled("lclgrid_gateway_requests_total", "Requests the gateway proxied, by route, shard and upstream status.", "counter", &m.gatewayRequests)
+	mw.counter("lclgrid_gateway_retries_total", "Idempotent requests retried on the next ring replica after a shard failure.", m.gatewayRetries.Load())
+	mw.counter("lclgrid_gateway_errors_total", "Gateway requests that exhausted every replica for their key.", m.gatewayErrors.Load())
 
 	return mw.err
 }

@@ -176,3 +176,115 @@ func TestWritePrometheusDeterministic(t *testing.T) {
 		t.Errorf("labelled series not sorted: healthz@%d batch@%d solve@%d", i, j, k)
 	}
 }
+
+// TestMetricsCacheEntriesGauge: the lclgrid_cache_entries gauge renders
+// the live entry count when a provider is installed and is omitted
+// entirely when none is — a constant 0 would read as an empty cache,
+// not an unplumbed one.
+func TestMetricsCacheEntriesGauge(t *testing.T) {
+	m := NewMetricsObserver()
+	if text := metricText(t, m); strings.Contains(text, "lclgrid_cache_entries") {
+		t.Fatalf("gauge rendered without a provider:\n%s", text)
+	}
+	n := 3
+	m.SetCacheEntriesFunc(func() int { return n })
+	if got := metricValue(t, metricText(t, m), "lclgrid_cache_entries"); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+	n = 7 // the gauge reads live, not a snapshot
+	if got := metricValue(t, metricText(t, m), "lclgrid_cache_entries"); got != 7 {
+		t.Fatalf("gauge after change = %v, want 7", got)
+	}
+	m.SetCacheEntriesFunc(nil)
+	if text := metricText(t, m); strings.Contains(text, "lclgrid_cache_entries") {
+		t.Fatalf("gauge rendered after the provider was cleared:\n%s", text)
+	}
+
+	// An engine-backed server wires the gauge to CacheStats().Entries.
+	eng := NewEngine()
+	srv := NewServer(eng)
+	_ = srv
+	if _, _, err := eng.Synthesize(context.Background(), VertexColoring(5, 2), 1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	text := metricText(t, srv.metrics)
+	if got := metricValue(t, text, "lclgrid_cache_entries"); got != 1 {
+		t.Fatalf("server gauge = %v, want 1", got)
+	}
+}
+
+// TestMetricsRemoteCacheSeries pins the wire format of the remote-cache
+// series: labelled op/outcome counters, per-op latency histograms and
+// the degradation counter, all with HELP/TYPE headers and sorted label
+// sets.
+func TestMetricsRemoteCacheSeries(t *testing.T) {
+	m := NewMetricsObserver()
+	m.RemoteCacheOp("get", "hit", 2*time.Millisecond)
+	m.RemoteCacheOp("get", "miss", time.Millisecond)
+	m.RemoteCacheOp("get", "hit", 3*time.Millisecond)
+	m.RemoteCacheOp("put", "stored", time.Millisecond)
+	m.RemoteCacheDegraded()
+
+	text := metricText(t, m)
+	for _, name := range []string{
+		"lclgrid_remote_cache_ops_total",
+		"lclgrid_remote_cache_op_duration_seconds",
+		"lclgrid_remote_cache_degraded_total",
+	} {
+		if !strings.Contains(text, "# HELP "+name+" ") || !strings.Contains(text, "# TYPE "+name+" ") {
+			t.Errorf("family %s lacks HELP/TYPE headers", name)
+		}
+	}
+	for _, want := range []string{
+		`lclgrid_remote_cache_ops_total{op="get",outcome="hit"} 2`,
+		`lclgrid_remote_cache_ops_total{op="get",outcome="miss"} 1`,
+		`lclgrid_remote_cache_ops_total{op="put",outcome="stored"} 1`,
+		`lclgrid_remote_cache_degraded_total 1`,
+		`lclgrid_remote_cache_op_duration_seconds_count{op="get"} 3`,
+		`lclgrid_remote_cache_op_duration_seconds_count{op="put"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing series %q in:\n%s", want, grepMetrics(text, "remote_cache"))
+		}
+	}
+	// Histogram buckets carry the +Inf terminal and a sum.
+	if !strings.Contains(text, `lclgrid_remote_cache_op_duration_seconds_bucket{op="get",le="+Inf"} 3`) {
+		t.Errorf("get histogram lacks +Inf bucket:\n%s", grepMetrics(text, "remote_cache"))
+	}
+	if !strings.Contains(text, `lclgrid_remote_cache_op_duration_seconds_sum{op="get"}`) {
+		t.Errorf("get histogram lacks a sum:\n%s", grepMetrics(text, "remote_cache"))
+	}
+	// Two renders are identical (sorted, deterministic).
+	if a, b := metricText(t, m), metricText(t, m); a != b {
+		t.Fatalf("remote-cache renders differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestMetricsGatewaySeries pins the gateway-side series format.
+func TestMetricsGatewaySeries(t *testing.T) {
+	m := NewMetricsObserver()
+	m.gatewayRequest("/v1/solve", "http://a:1", 200)
+	m.gatewayRequest("/v1/solve", "http://a:1", 200)
+	m.gatewayRequest("/v1/batch", "http://b:2", 503)
+	m.gatewayRetry()
+	m.gatewayError()
+
+	text := metricText(t, m)
+	for _, want := range []string{
+		`lclgrid_gateway_requests_total{route="/v1/batch",shard="http://b:2",code="503"} 1`,
+		`lclgrid_gateway_requests_total{route="/v1/solve",shard="http://a:1",code="200"} 2`,
+		`lclgrid_gateway_retries_total 1`,
+		`lclgrid_gateway_errors_total 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing series %q in:\n%s", want, grepMetrics(text, "gateway"))
+		}
+	}
+	for _, name := range []string{
+		"lclgrid_gateway_requests_total", "lclgrid_gateway_retries_total", "lclgrid_gateway_errors_total",
+	} {
+		if !strings.Contains(text, "# HELP "+name+" ") || !strings.Contains(text, "# TYPE "+name+" ") {
+			t.Errorf("family %s lacks HELP/TYPE headers", name)
+		}
+	}
+}

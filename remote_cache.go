@@ -1,0 +1,606 @@
+package lclgrid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteCache is the fleet side of the synthesis cache: a SynthCache
+// that layers a shared CacheServer under a local in-memory cache,
+// exactly as diskCache layers a directory — the memory layer absorbs
+// the steady state, and a miss consults the cluster store before the
+// engine pays for a SAT synthesis. A table synthesized by any replica
+// becomes a hit on every replica.
+//
+// Two properties drive the design:
+//
+//   - Availability over freshness: every remote failure — timeout, 5xx,
+//     connection refused, corrupt record — degrades to a local miss.
+//     The engine then synthesizes locally, so a dead cache backend
+//     costs duplicated work, never an outage. Degradations are counted
+//     (RemoteCacheObserver / lclgrid_remote_cache_* metrics) so the
+//     condition is visible without being fatal.
+//   - Cluster-wide singleflight: the engine's per-process singleflight
+//     elects one synthesizing goroutine per key; RemoteCache extends
+//     the election across processes through the cache service's lease
+//     protocol (see the leaseCoordinator seam in Engine.Synthesize).
+//     The local election winner tries to acquire the key's lease;
+//     losers poll the shared store until the cluster winner publishes
+//     the result, taking over if the winner's lease expires — so a
+//     fleet racing one cold fingerprint runs the synthesis once, and a
+//     replica dying mid-synthesis delays the others by at most the
+//     lease TTL.
+//
+// Construct with NewRemoteCache and install via WithCache. Safe for
+// concurrent use.
+type RemoteCache struct {
+	base    string // normalized base URL, no trailing slash
+	inner   SynthCache
+	client  *http.Client
+	owner   string
+	ttl     time.Duration
+	maxWait time.Duration
+	obs     RemoteCacheObserver
+
+	// remoteHits counts Gets served by the shared store; folded into
+	// Stats exactly like diskCache.diskHits.
+	remoteHits atomic.Uint64
+}
+
+var _ SynthCache = (*RemoteCache)(nil)
+
+// RemoteCacheObserver receives remote-cache events; MetricsObserver
+// implements it (lclgrid_remote_cache_* series). Install with
+// WithRemoteObserver.
+type RemoteCacheObserver interface {
+	// RemoteCacheOp records one remote interaction: op is the protocol
+	// verb ("get", "head", "put", "delete", "lease", "wait"), outcome
+	// its result ("hit", "miss", "stored", "granted", "conflict",
+	// "served", "error", "corrupt", "expired").
+	RemoteCacheOp(op, outcome string, elapsed time.Duration)
+	// RemoteCacheDegraded records a coordination give-up: the replica
+	// fell back to uncoordinated local synthesis because the cache
+	// service was unreachable or the lease wait timed out.
+	RemoteCacheDegraded()
+}
+
+// RemoteCacheOption configures NewRemoteCache.
+type RemoteCacheOption func(*remoteCacheConfig)
+
+type remoteCacheConfig struct {
+	client  *http.Client
+	owner   string
+	ttl     time.Duration
+	maxWait time.Duration
+	obs     RemoteCacheObserver
+}
+
+// WithRemoteClient sets the HTTP client used for every cache-service
+// interaction. The default client carries a 5-second timeout — the
+// remote layer must fail fast into local synthesis, not hang solves on
+// a sick backend.
+func WithRemoteClient(c *http.Client) RemoteCacheOption {
+	return func(cfg *remoteCacheConfig) { cfg.client = c }
+}
+
+// WithRemoteOwner sets the replica identity used for synthesis leases
+// (default: hostname#pid). Every replica in a fleet must use a distinct
+// owner string; two replicas sharing one identity would both believe
+// they hold the same lease.
+func WithRemoteOwner(owner string) RemoteCacheOption {
+	return func(cfg *remoteCacheConfig) { cfg.owner = owner }
+}
+
+// WithLeaseTTL sets the synthesis lease TTL (default 15s). The owner
+// heartbeats at ttl/3, so a live owner holds its lease indefinitely; a
+// dead one blocks other replicas for at most this long before they take
+// the synthesis over.
+func WithLeaseTTL(ttl time.Duration) RemoteCacheOption {
+	return func(cfg *remoteCacheConfig) { cfg.ttl = ttl }
+}
+
+// WithLeaseWait bounds how long a replica waits on another replica's
+// in-flight synthesis before giving up and synthesizing locally
+// (default 60s). Non-positive disables waiting entirely: lease
+// conflicts degrade straight to local synthesis.
+func WithLeaseWait(d time.Duration) RemoteCacheOption {
+	return func(cfg *remoteCacheConfig) { cfg.maxWait = d }
+}
+
+// WithRemoteObserver installs the remote-cache event observer
+// (typically the serving MetricsObserver).
+func WithRemoteObserver(obs RemoteCacheObserver) RemoteCacheOption {
+	return func(cfg *remoteCacheConfig) { cfg.obs = obs }
+}
+
+// NewRemoteCache returns a SynthCache backed by the cache service at
+// baseURL (e.g. "http://cache:8090", or a serve replica's
+// ".../v1/cache" mount), layered over inner (nil selects a fresh
+// NewMemoryCache).
+func NewRemoteCache(baseURL string, inner SynthCache, opts ...RemoteCacheOption) (*RemoteCache, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("lclgrid: remote cache needs an absolute base URL, got %q", baseURL)
+	}
+	cfg := remoteCacheConfig{
+		ttl:     15 * time.Second,
+		maxWait: 60 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.client == nil {
+		cfg.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.owner == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "lclgrid"
+		}
+		cfg.owner = fmt.Sprintf("%s#%d", host, os.Getpid())
+	}
+	if cfg.ttl < time.Second {
+		cfg.ttl = time.Second
+	}
+	if inner == nil {
+		inner = NewMemoryCache()
+	}
+	return &RemoteCache{
+		base:    strings.TrimRight(u.String(), "/"),
+		inner:   inner,
+		client:  cfg.client,
+		owner:   cfg.owner,
+		ttl:     cfg.ttl,
+		maxWait: cfg.maxWait,
+		obs:     cfg.obs,
+	}, nil
+}
+
+// Owner returns the replica identity used for synthesis leases.
+func (c *RemoteCache) Owner() string { return c.owner }
+
+func (c *RemoteCache) setOnEvict(fn func(SynthKey)) {
+	if en, ok := c.inner.(evictNotifier); ok {
+		en.setOnEvict(fn)
+	}
+}
+
+func (c *RemoteCache) observeOp(op, outcome string, elapsed time.Duration) {
+	if c.obs != nil {
+		c.obs.RemoteCacheOp(op, outcome, elapsed)
+	}
+}
+
+func (c *RemoteCache) observeDegraded() {
+	if c.obs != nil {
+		c.obs.RemoteCacheDegraded()
+	}
+}
+
+func (c *RemoteCache) cacheURL(name string) string { return c.base + "/cache/" + name }
+func (c *RemoteCache) leaseURL(name string) string { return c.base + "/lease/" + name }
+
+// Get consults the memory layer, then the shared store. Any remote
+// failure — including a record that fails to decode, which is deleted
+// best-effort so the next Put heals it — is a miss.
+func (c *RemoteCache) Get(key SynthKey) (CachedSynthesis, bool) {
+	if val, ok := c.inner.Get(key); ok {
+		return val, true
+	}
+	name := cacheKeyName(key)
+	if name == "" {
+		return CachedSynthesis{}, false
+	}
+	val, ok := c.fetch(context.Background(), name, key)
+	if !ok {
+		return CachedSynthesis{}, false
+	}
+	c.remoteHits.Add(1)
+	c.inner.Put(key, val)
+	return val, true
+}
+
+// fetch retrieves and decodes one record from the shared store. It does
+// not touch the memory layer or the hit counters — Get and the lease
+// wait loop layer their own bookkeeping on top.
+func (c *RemoteCache) fetch(ctx context.Context, name string, key SynthKey) (CachedSynthesis, bool) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cacheURL(name), nil)
+	if err != nil {
+		c.observeOp("get", "error", time.Since(start))
+		return CachedSynthesis{}, false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observeOp("get", "error", time.Since(start))
+		return CachedSynthesis{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		c.observeOp("get", "miss", time.Since(start))
+		return CachedSynthesis{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.observeOp("get", "error", time.Since(start))
+		return CachedSynthesis{}, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBlobBytes+1))
+	if err != nil || int64(len(data)) > DefaultMaxBlobBytes {
+		c.observeOp("get", "error", time.Since(start))
+		return CachedSynthesis{}, false
+	}
+	val, err := decodeDiskRecord(data, key)
+	if err != nil {
+		// Corrupt or mismatched: a miss locally, and the record is
+		// removed best-effort so the cluster heals on the next Put
+		// instead of serving the same poison to every replica.
+		c.observeOp("get", "corrupt", time.Since(start))
+		c.deleteRemote(name)
+		return CachedSynthesis{}, false
+	}
+	c.observeOp("get", "hit", time.Since(start))
+	return val, true
+}
+
+// Contains probes the memory layer, then HEADs the shared store.
+func (c *RemoteCache) Contains(key SynthKey) bool {
+	if c.inner.Contains(key) {
+		return true
+	}
+	name := cacheKeyName(key)
+	if name == "" {
+		return false
+	}
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodHead, c.cacheURL(name), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observeOp("head", "error", time.Since(start))
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		c.observeOp("head", "hit", time.Since(start))
+		return true
+	}
+	c.observeOp("head", "miss", time.Since(start))
+	return false
+}
+
+// Put stores into both layers. The remote write is best-effort and
+// synchronous: by the time the engine retires a singleflight slot (and
+// releases the key's cluster lease) the record is visible to the
+// replicas polling for it. A failed remote write leaves the memory
+// entry intact — the table is just not shared.
+func (c *RemoteCache) Put(key SynthKey, val CachedSynthesis) {
+	c.inner.Put(key, val)
+	data, ok := encodeCacheRecord(key, val)
+	if !ok {
+		return // process-local failures are not shared
+	}
+	name := cacheKeyName(key)
+	if name == "" {
+		return
+	}
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodPut, c.cacheURL(name), bytes.NewReader(data))
+	if err != nil {
+		c.observeOp("put", "error", time.Since(start))
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observeOp("put", "error", time.Since(start))
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		c.observeOp("put", "error", time.Since(start))
+		return
+	}
+	c.observeOp("put", "stored", time.Since(start))
+}
+
+// Evict removes from both layers.
+func (c *RemoteCache) Evict(key SynthKey) bool {
+	removed := c.inner.Evict(key)
+	if name := cacheKeyName(key); name != "" {
+		if c.deleteRemote(name) {
+			removed = true
+		}
+	}
+	return removed
+}
+
+func (c *RemoteCache) deleteRemote(name string) bool {
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodDelete, c.cacheURL(name), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observeOp("delete", "error", time.Since(start))
+		return false
+	}
+	resp.Body.Close()
+	c.observeOp("delete", "ok", time.Since(start))
+	return resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK
+}
+
+// Reset clears the memory layer only: the shared store is the fleet's
+// catalogue, not this process's to clear. Evict individual keys (or
+// administer the cache service directly) to remove shared records.
+func (c *RemoteCache) Reset() int {
+	n := c.inner.Reset()
+	c.remoteHits.Store(0)
+	return n
+}
+
+// Stats reports the two layers as one, with the same fold as diskCache:
+// lookups served by the shared store count as Hits rather than Misses.
+func (c *RemoteCache) Stats() CacheStats {
+	s := c.inner.Stats()
+	h := c.remoteHits.Load()
+	s.Hits += h
+	if s.Misses >= h {
+		s.Misses -= h
+	} else {
+		s.Misses = 0
+	}
+	return s
+}
+
+// Keys lists every SynthKey in the shared store (non-canonical names
+// are skipped). This is the discovery half of warm-on-boot.
+func (c *RemoteCache) Keys(ctx context.Context) ([]SynthKey, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("lclgrid: remote cache key listing: %s", resp.Status)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, err
+	}
+	keys := make([]SynthKey, 0, len(names))
+	for _, name := range names {
+		key, err := parseCacheKeyName(name)
+		if err != nil {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}
+
+// PullOwned pre-loads the memory layer with every shared record whose
+// key satisfies owns (nil pulls everything): the warm-on-boot a ring
+// member runs so it boots hot for the slice of fingerprint space it
+// serves. Undecodable records are skipped. Returns how many entries
+// were loaded.
+func (c *RemoteCache) PullOwned(ctx context.Context, owns func(SynthKey) bool) (int, error) {
+	keys, err := c.Keys(ctx)
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return loaded, err
+		}
+		if owns != nil && !owns(key) {
+			continue
+		}
+		if c.inner.Contains(key) {
+			loaded++
+			continue
+		}
+		name := cacheKeyName(key)
+		if name == "" {
+			continue
+		}
+		if val, ok := c.fetch(ctx, name, key); ok {
+			c.inner.Put(key, val)
+			loaded++
+		}
+	}
+	return loaded, nil
+}
+
+// --- Cluster singleflight ----------------------------------------------------
+
+// leaseCoordinator is the seam Engine.Synthesize probes (by type
+// assertion on its SynthCache) to extend singleflight across processes.
+// The engine calls coordinate after winning the local election for a
+// key and before starting the synthesis:
+//
+//   - served=true: another replica completed the synthesis while we
+//     coordinated; val is its outcome and the engine serves it as a
+//     cache hit without synthesizing. release is nil.
+//   - served=false: this replica should synthesize. release is non-nil
+//     exactly when a cluster lease is held, and must be called after
+//     the outcome is Put in the cache (Put-then-release: a waiter woken
+//     by the lease disappearing must find the value already published).
+//
+// Implementations must degrade to (served=false, release=nil) on any
+// coordination failure — cluster coordination is an optimisation, never
+// a gate on serving.
+type leaseCoordinator interface {
+	coordinate(ctx context.Context, key SynthKey) (val CachedSynthesis, served bool, release func())
+}
+
+var _ leaseCoordinator = (*RemoteCache)(nil)
+
+// coordinate implements the cluster singleflight for one key: try to
+// acquire the key's lease; while another replica holds it, poll the
+// shared store for the published outcome, re-contending for the lease
+// each round so an expired owner is taken over within the TTL. Gives up
+// (degrading to uncoordinated local synthesis) on any transport error
+// or after WithLeaseWait.
+func (c *RemoteCache) coordinate(ctx context.Context, key SynthKey) (CachedSynthesis, bool, func()) {
+	name := cacheKeyName(key)
+	if name == "" {
+		return CachedSynthesis{}, false, nil
+	}
+	deadline := time.Now().Add(c.maxWait)
+	poll := c.ttl / 4
+	if poll < 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+	if poll > 2*time.Second {
+		poll = 2 * time.Second
+	}
+	waitStart := time.Now()
+	for {
+		granted, holderWait, err := c.acquireLease(ctx, name)
+		if err != nil {
+			// The cache service is unreachable: synthesize locally,
+			// uncoordinated. Availability beats deduplication.
+			c.observeDegraded()
+			return CachedSynthesis{}, false, nil
+		}
+		if granted {
+			// Re-check the store while holding the lease: our local miss
+			// may predate another replica's publish-and-release, in which
+			// case we were granted a lease for work already done.
+			release := c.startLease(name)
+			if val, ok := c.fetch(ctx, name, key); ok {
+				release()
+				c.observeOp("wait", "served", time.Since(waitStart))
+				return val, true, nil
+			}
+			return CachedSynthesis{}, false, release
+		}
+		// Another replica is synthesizing. Poll for its result; if its
+		// lease lapses (crash mid-synthesis), the next acquire above
+		// takes the key over.
+		if val, ok := c.fetch(ctx, name, key); ok {
+			c.observeOp("wait", "served", time.Since(waitStart))
+			return val, true, nil
+		}
+		if c.maxWait <= 0 || time.Now().After(deadline) || ctx.Err() != nil {
+			c.observeOp("wait", "expired", time.Since(waitStart))
+			c.observeDegraded()
+			return CachedSynthesis{}, false, nil
+		}
+		sleep := poll
+		if holderWait > 0 && holderWait < sleep {
+			// The holder's lease expires sooner than our poll interval;
+			// wake in time to contend for the takeover.
+			sleep = holderWait
+		}
+		select {
+		case <-ctx.Done():
+			c.observeOp("wait", "expired", time.Since(waitStart))
+			c.observeDegraded()
+			return CachedSynthesis{}, false, nil
+		case <-time.After(sleep):
+		}
+	}
+}
+
+// acquireLease attempts to take the key's synthesis lease. holderWait
+// is the refusing holder's remaining TTL (0 when unknown).
+func (c *RemoteCache) acquireLease(ctx context.Context, name string) (granted bool, holderWait time.Duration, err error) {
+	start := time.Now()
+	u := fmt.Sprintf("%s?owner=%s&ttl=%s", c.leaseURL(name), url.QueryEscape(c.owner), c.ttl)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return false, 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observeOp("lease", "error", time.Since(start))
+		return false, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		c.observeOp("lease", "granted", time.Since(start))
+		return true, 0, nil
+	case http.StatusConflict:
+		var doc struct {
+			TTLMillis int64 `json:"ttl_ms"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&doc)
+		c.observeOp("lease", "conflict", time.Since(start))
+		return false, time.Duration(doc.TTLMillis) * time.Millisecond, nil
+	default:
+		c.observeOp("lease", "error", time.Since(start))
+		return false, 0, fmt.Errorf("lclgrid: lease acquire: %s", resp.Status)
+	}
+}
+
+// startLease begins heartbeating the held lease and returns the release
+// function: it stops the heartbeat and deletes the lease (idempotent).
+// Heartbeats run at ttl/3, so one lost beat never costs the lease.
+func (c *RemoteCache) startLease(name string) func() {
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(c.ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.heartbeatLease(name)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			c.releaseLease(name)
+		})
+	}
+}
+
+func (c *RemoteCache) heartbeatLease(name string) {
+	u := fmt.Sprintf("%s?owner=%s&ttl=%s", c.leaseURL(name), url.QueryEscape(c.owner), c.ttl)
+	req, err := http.NewRequest(http.MethodPut, u, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return // best-effort; the lease may lapse, costing only duplicated work
+	}
+	resp.Body.Close()
+}
+
+func (c *RemoteCache) releaseLease(name string) {
+	u := c.leaseURL(name) + "?owner=" + url.QueryEscape(c.owner)
+	req, err := http.NewRequest(http.MethodDelete, u, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}

@@ -69,6 +69,7 @@ type Server struct {
 	maxBody  int64
 	workers  int
 	drain    time.Duration
+	ready    func() error // nil = always ready
 }
 
 // ServerOption configures NewServer.
@@ -81,6 +82,8 @@ type serverConfig struct {
 	maxBody     int64
 	workers     int
 	drain       time.Duration
+	ready       func() error
+	cacheSvc    *CacheServer
 }
 
 // Server defaults. They favour a service exposed to real traffic: a
@@ -131,6 +134,28 @@ func WithDrainTimeout(d time.Duration) ServerOption {
 	return func(c *serverConfig) { c.drain = d }
 }
 
+// WithReadyCheck installs the readiness probe behind GET /readyz: the
+// endpoint answers 503 (naming the returned error) until fn returns
+// nil. Liveness (/healthz) and readiness are deliberately split — a
+// replica warming its cache slice on boot is alive but must not receive
+// traffic yet, and a supervisor that conflates the two either kills a
+// healthy warming replica or routes to a cold one. Without this option
+// /readyz always answers 200.
+func WithReadyCheck(fn func() error) ServerOption {
+	return func(c *serverConfig) { c.ready = fn }
+}
+
+// WithCacheService mounts a CacheServer under /v1/cache/ on this
+// server, so a serve replica can double as the fleet's shared cache
+// backend without a separate cachesvc process: point the other
+// replicas' -remote-cache at "http://this-host/v1/cache". The cache
+// routes bypass admission control — a replica at solve capacity must
+// keep answering the (cheap) cache traffic that lets the rest of the
+// fleet avoid duplicate synthesis.
+func WithCacheService(cs *CacheServer) ServerOption {
+	return func(c *serverConfig) { c.cacheSvc = cs }
+}
+
 // WithMetricsObserver shares a MetricsObserver between the server and
 // the engine: install the same observer on the engine with WithObserver
 // so the /metrics endpoint exposes engine events (syntheses, cache
@@ -166,7 +191,10 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 		maxBody: cfg.maxBody,
 		workers: cfg.workers,
 		drain:   cfg.drain,
+		ready:   cfg.ready,
 	}
+	// The cache-entries gauge reads the live engine state at scrape time.
+	cfg.metrics.SetCacheEntriesFunc(func() int { return e.CacheStats().Entries })
 	if cfg.maxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.maxInflight)
 	}
@@ -177,7 +205,11 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 	s.mux.Handle("POST /v1/explain", s.instrument("/v1/explain", http.HandlerFunc(s.handleExplain)))
 	s.mux.Handle("GET /v1/problems", s.instrument("/v1/problems", http.HandlerFunc(s.handleProblems)))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /readyz", s.instrument("/readyz", http.HandlerFunc(s.handleReadyz)))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	if cfg.cacheSvc != nil {
+		s.mux.Handle("/v1/cache/", http.StripPrefix("/v1/cache", cfg.cacheSvc))
+	}
 	return s
 }
 
@@ -792,10 +824,27 @@ func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz: pure liveness — the process is up
+// and handling HTTP. Readiness (warm enough to take traffic) is the
+// separate /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// handleReadyz serves GET /readyz: 200 once the WithReadyCheck probe
+// passes (or none is installed), 503 with the probe's error until then.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready != nil {
+		if err := s.ready(); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"status": "unready", "error": err.Error()})
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text format.
