@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	lclgrid "lclgrid"
+)
+
+// cmdDefine registers a table-DSL problem definition against a running
+// server (POST /v1/problems) and prints the registered key, the
+// canonical fingerprint and the ranked plan the server would execute:
+//
+//	lclgrid define -server http://127.0.0.1:8080 \
+//	  '{"name":"my-3col","dims":2,"labels":["r","g","b"],"allow":[[...],[...]]}'
+//
+// The definition is read from the argument or stdin (the same
+// convention as `lclgrid explain`). Registration is idempotent on the
+// fingerprint: re-defining an existing problem — or a differently
+// stated equivalent that normalizes to the same tables — reports the
+// existing key. -compact prints the server's raw response document
+// instead of the human-readable summary.
+func cmdDefine(ctx context.Context, args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("define", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "base URL of a running `lclgrid serve`")
+	compact := fs.Bool("compact", false, "print the server's response as a single JSON line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc := strings.TrimSpace(strings.Join(fs.Args(), " "))
+	if doc == "" {
+		data, err := io.ReadAll(in)
+		if err != nil {
+			return err
+		}
+		doc = strings.TrimSpace(string(data))
+	}
+	if doc == "" {
+		return fmt.Errorf("define needs a JSON ProblemDef (argument or stdin), e.g. '{\"dims\":2,\"labels\":[\"a\",\"b\"],\"allow\":[[[\"a\",\"b\"],[\"b\",\"a\"]],[[\"a\",\"b\"],[\"b\",\"a\"]]]}'")
+	}
+
+	// Validate locally before the round trip: a malformed or out-of-bounds
+	// document fails with the same message the server would send, minus
+	// the network.
+	var def lclgrid.ProblemDef
+	if err := json.Unmarshal([]byte(doc), &def); err != nil {
+		return fmt.Errorf("bad problem definition: %w", err)
+	}
+	if err := def.Validate(); err != nil {
+		return err
+	}
+
+	base := strings.TrimRight(strings.TrimSpace(*server), "/")
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/problems", bytes.NewReader([]byte(doc)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var ed struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &ed) == nil && ed.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, ed.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if *compact {
+		_, err := fmt.Fprintln(out, strings.TrimSpace(string(body)))
+		return err
+	}
+
+	var dr struct {
+		Key         string        `json:"key"`
+		Fingerprint string        `json:"fingerprint"`
+		Created     bool          `json:"created"`
+		Plan        *lclgrid.Plan `json:"plan"`
+	}
+	if err := json.Unmarshal(body, &dr); err != nil {
+		return fmt.Errorf("bad server response: %w", err)
+	}
+	status := "already registered (idempotent on fingerprint)"
+	if dr.Created {
+		status = "created"
+	}
+	fmt.Fprintf(out, "key:         %s (%s)\n", dr.Key, status)
+	fmt.Fprintf(out, "fingerprint: %s\n", dr.Fingerprint)
+	if dr.Plan != nil {
+		fmt.Fprintf(out, "plan:        %s on a %v torus\n", dr.Plan.Problem, dr.Plan.Sides)
+		for i, s := range dr.Plan.Strategies {
+			line := fmt.Sprintf("  %d. %-10s %s", i+1, s.Kind, s.Reason)
+			if s.Skip != "" {
+				line += " [skipped: " + s.Skip + "]"
+			}
+			fmt.Fprintln(out, line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	lclgrid "lclgrid"
+)
+
+const defineDoc = `{"name":"cli 3-colouring","dims":2,"labels":["1","2","3"],` +
+	`"allow":[[["1","2"],["1","3"],["2","1"],["2","3"],["3","1"],["3","2"]],` +
+	`[["1","2"],["1","3"],["2","1"],["2","3"],["3","1"],["3","2"]]]}`
+
+// TestCmdDefine registers a DSL definition against a live server and
+// checks the human-readable summary: key, fingerprint, ranked plan, and
+// the idempotency notice on a re-run.
+func TestCmdDefine(t *testing.T) {
+	ts := httptest.NewServer(lclgrid.NewServer(lclgrid.NewEngine()))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := cmdDefine(bg, []string{"-server", ts.URL, defineDoc}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	first := out.String()
+	for _, want := range []string{"key:", "user:", "(created)", "fingerprint:", "plan:", "baseline"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("define output missing %q:\n%s", want, first)
+		}
+	}
+
+	// Re-defining is idempotent on the fingerprint.
+	out.Reset()
+	if err := cmdDefine(bg, []string{"-server", ts.URL, defineDoc}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "already registered") {
+		t.Errorf("re-define output missing the idempotency notice:\n%s", out.String())
+	}
+
+	// The definition may arrive on stdin, and -compact prints the raw
+	// response document.
+	out.Reset()
+	if err := cmdDefine(bg, []string{"-server", ts.URL, "-compact"}, strings.NewReader(defineDoc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"fingerprint":`) {
+		t.Errorf("compact output is not the response document:\n%s", out.String())
+	}
+}
+
+// TestCmdDefineRejectsLocally: structural defects fail before any round
+// trip — the same message the server would send, minus the network.
+func TestCmdDefineRejectsLocally(t *testing.T) {
+	var out bytes.Buffer
+	err := cmdDefine(bg, []string{"-server", "http://127.0.0.1:1", `{"dims":2,"labels":["a"],"allow":[[["a","zzz"]],[]]}`}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "not in the alphabet") {
+		t.Fatalf("want a local validation error, got %v", err)
+	}
+	if err := cmdDefine(bg, []string{"-server", "http://127.0.0.1:1"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("empty input must fail with usage guidance")
+	}
+}
+
+// TestCmdListSource: list -v carries the SOURCE column separating
+// builtin catalogue entries from parameterised families.
+func TestCmdListSource(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdList([]string{"-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SOURCE") {
+		t.Fatalf("list -v output missing the SOURCE column:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "builtin") {
+		t.Errorf("list -v output names no builtin source:\n%s", out.String())
+	}
+}

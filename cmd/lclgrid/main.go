@@ -3,8 +3,9 @@
 // through the synthesis-caching Engine under a signal-cancellable
 // context (Ctrl-C aborts an in-flight SAT synthesis cleanly):
 //
-//	lclgrid list [-v]                print the problem registry (-v adds plan hints)
+//	lclgrid list [-v]                print the problem registry (-v adds plan hints and sources)
 //	lclgrid explain '<request>'      print the ranked solve plan without solving
+//	lclgrid define '<problem-def>'   register a table-DSL problem on a running server
 //	lclgrid experiments [-id E3]     regenerate the paper's tables/figures
 //	lclgrid classify -problem 4col   run the one-sided classification oracle
 //	lclgrid synth -problem 4col -k 3 synthesize a normal-form algorithm
@@ -68,6 +69,8 @@ func main() {
 		err = cmdList(os.Args[2:], os.Stdout)
 	case "explain":
 		err = cmdExplain(os.Args[2:], os.Stdin, os.Stdout)
+	case "define":
+		err = cmdDefine(ctx, os.Args[2:], os.Stdin, os.Stdout)
 	case "experiments":
 		err = cmdExperiments(ctx, os.Args[2:])
 	case "classify":
@@ -103,7 +106,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|experiments|classify|synth|run|labels|batch|serve|cachesvc|gateway|warm|table|version> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lclgrid <list|explain|define|experiments|classify|synth|run|labels|batch|serve|cachesvc|gateway|warm|table|version> [flags]")
 }
 
 // newEngine is the engine constructor behind buildEngine — a variable so
@@ -227,7 +230,7 @@ func cmdList(args []string, w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
 	header := "KEY\tPROBLEM\tDIMS\tLABELS\tCLASS\tMIN SIDE"
 	if *verbose {
-		header += "\tSTRATEGY"
+		header += "\tSOURCE\tSTRATEGY"
 	}
 	fmt.Fprintln(tw, header)
 	for _, spec := range engine.Registry().Specs() {
@@ -242,7 +245,7 @@ func cmdList(args []string, w io.Writer) error {
 		line := fmt.Sprintf("%s\t%s\t%d\t%s\t%s\t%s",
 			spec.Key, spec.Name, spec.Dims, labels, spec.Class, side)
 		if *verbose {
-			line += "\t" + spec.StrategySummary(engine)
+			line += "\t" + spec.SourceLabel() + "\t" + spec.StrategySummary(engine)
 		}
 		fmt.Fprintln(tw, line)
 	}

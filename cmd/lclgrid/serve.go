@@ -29,7 +29,10 @@ import (
 // listener is up; /readyz answers 503 until the sweep completes, so a
 // supervisor holds traffic while the replica warms without declaring it
 // dead. With -cache-dir the warmed tables persist and a restarted
-// server warms with zero syntheses.
+// server warms with zero syntheses. -problems-dir persists user problem
+// registrations (POST /v1/problems) the same way: on boot they
+// re-register into the catalogue and join the warm sweep, so a restart
+// with both directories re-serves user problems with zero syntheses.
 //
 // Fleet flags:
 //
@@ -51,6 +54,7 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "worker pool size per /v1/batch stream (0 = GOMAXPROCS)")
 	synthWorkers := fs.Int("synth-workers", 0, "concurrent synthesis candidates per racing sweep (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "persist synthesized tables under this directory")
+	problemsDir := fs.String("problems-dir", "", "persist user-registered problem definitions (POST /v1/problems) under this directory; they re-register on boot")
 	warm := fs.Bool("warm", false, "pre-synthesize the registry catalogue in the background; /readyz gates on completion")
 	timeout := fs.Duration("timeout", lclgrid.DefaultRequestTimeout, "per-request solve deadline (0 = none)")
 	maxInflight := fs.Int("max-inflight", lclgrid.DefaultMaxInflight, "admission bound on concurrent solve/batch requests (0 = unbounded)")
@@ -109,6 +113,29 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
+	// Persisted user problems re-register before the listener opens, so
+	// the registry (and the warm sweep below) serves them from the first
+	// request — a restart with the same -problems-dir and -cache-dir
+	// re-solves user problems with zero syntheses.
+	var problemStore lclgrid.ProblemStore
+	if *problemsDir != "" {
+		problemStore, err = lclgrid.NewDirProblemStore(*problemsDir)
+		if err != nil {
+			return err
+		}
+		restored := 0
+		for _, sp := range problemStore.List() {
+			if _, _, derr := eng.DefineProblem(sp.Def); derr != nil {
+				fmt.Fprintf(os.Stderr, "lclgrid: problems-dir: skipping %s: %v\n", sp.Key, derr)
+				continue
+			}
+			restored++
+		}
+		if restored > 0 {
+			fmt.Fprintf(out, "lclgrid: restored %d user problem(s) from %s\n", restored, *problemsDir)
+		}
+	}
+
 	serverOpts := []lclgrid.ServerOption{
 		lclgrid.WithMetricsObserver(metrics),
 		lclgrid.WithMaxInflight(*maxInflight),
@@ -116,6 +143,9 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 		lclgrid.WithMaxBodyBytes(*maxBody),
 		lclgrid.WithBatchWorkers(*workers),
 		lclgrid.WithDrainTimeout(*drain),
+	}
+	if problemStore != nil {
+		serverOpts = append(serverOpts, lclgrid.WithProblemStore(problemStore))
 	}
 	if *cacheService {
 		var store lclgrid.BlobStore

@@ -40,6 +40,11 @@ import (
 //	                   input order via the Reordered collector)
 //	GET  /v1/problems  proxied to any healthy shard (catalogue is
 //	                   replica-independent)
+//	POST /v1/problems  broadcast to every reachable shard (registration
+//	                   is process-local registry state; the post is
+//	                   idempotent on the canonical fingerprint), the
+//	                   fingerprint owner's answer relayed to the client
+//	GET  /v1/problems/{key}  proxied to the key's owning shard
 //	GET  /healthz      gateway liveness
 //	GET  /readyz       503 until at least one shard probes healthy
 //	GET  /metrics      gateway-side Prometheus series
@@ -220,6 +225,8 @@ func NewGateway(shards []string, opts ...GatewayOption) (*Gateway, error) {
 	g.mux.Handle("POST /v1/export", g.instrument("/v1/export", g.admit(g.routed("/v1/export"))))
 	g.mux.Handle("POST /v1/batch", g.instrument("/v1/batch", g.admit(g.handleBatch)))
 	g.mux.Handle("GET /v1/problems", g.instrument("/v1/problems", http.HandlerFunc(g.handleProblems)))
+	g.mux.Handle("POST /v1/problems", g.instrument("/v1/problems", http.HandlerFunc(g.handleDefineProblem)))
+	g.mux.Handle("GET /v1/problems/{key}", g.instrument("/v1/problems/{key}", http.HandlerFunc(g.handleProblemGet)))
 	g.mux.Handle("GET /healthz", g.instrument("/healthz", http.HandlerFunc(g.handleHealthz)))
 	g.mux.Handle("GET /readyz", g.instrument("/readyz", http.HandlerFunc(g.handleReadyz)))
 	g.mux.Handle("GET /metrics", g.instrument("/metrics", http.HandlerFunc(g.handleMetrics)))
@@ -434,11 +441,32 @@ func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 	return data, true
 }
 
-// keyDoc extracts the routing key from a request document. Every routed
-// wire type (SolveRequest, LabelRequest, ExportRequest) names its
-// problem in a "key" field.
+// keyDoc extracts the routing identity from a request document. Every
+// routed wire type (SolveRequest, LabelRequest, ExportRequest) names its
+// problem in a "key" field or carries an inline "problem_def".
 type keyDoc struct {
-	Key string `json:"key"`
+	Key        string      `json:"key"`
+	ProblemDef *ProblemDef `json:"problem_def"`
+}
+
+// docRoutingKey reduces one request document to its ring placement:
+// the registry fingerprint for key-named problems (see routingKey), the
+// definition's own canonical fingerprint for inline problem_def
+// requests — so a DSL-defined problem lands on the same shard whether
+// it arrives by registered key or restated inline, and that shard's
+// cache slice stays the single synthesis site. A definition that does
+// not compile routes by the empty string; the owning shard answers the
+// 400 (the gateway never validates, it routes).
+func (g *Gateway) docRoutingKey(doc keyDoc) string {
+	if doc.Key != "" {
+		return g.routingKey(doc.Key)
+	}
+	if doc.ProblemDef != nil {
+		if fp, err := doc.ProblemDef.Fingerprint(); err == nil {
+			return fp
+		}
+	}
+	return ""
 }
 
 // routed returns a handler that proxies one buffered request document
@@ -464,7 +492,7 @@ func (g *Gateway) routed(path string) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, g.timeout)
 			defer cancel()
 		}
-		seq := g.ring.Sequence(g.routingKey(doc.Key))
+		seq := g.ring.Sequence(g.docRoutingKey(doc))
 		var lastErr error
 		attempts := 0
 		for _, shard := range seq {
@@ -579,6 +607,159 @@ func (g *Gateway) handleProblems(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusBadGateway, fmt.Errorf("lclgrid: catalogue unavailable: %w", lastErr))
 }
 
+// definedDoc is the slice of a define/get response the gateway reads to
+// learn a user key's routing fingerprint.
+type definedDoc struct {
+	Key         string `json:"key"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// learnBinding memoizes a key→fingerprint binding from a shard's
+// define/get response, so later requests naming the user key route to
+// the fingerprint's owner exactly like catalogue keys (the gateway's
+// own registry never learns user keys — the shards' registries do).
+func (g *Gateway) learnBinding(body []byte) {
+	var doc definedDoc
+	if json.Unmarshal(body, &doc) != nil || doc.Key == "" || doc.Fingerprint == "" {
+		return
+	}
+	g.fpMu.Lock()
+	g.fps[doc.Key] = doc.Fingerprint
+	g.fpMu.Unlock()
+}
+
+// relayBuffered writes an already-read upstream response to the client.
+func relayBuffered(w http.ResponseWriter, resp *http.Response, body []byte) {
+	for _, k := range []string{"Content-Type", "ETag", "Cache-Control", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// handleDefineProblem serves POST /v1/problems by broadcast: a problem
+// registration is process-local registry state on each shard (unlike
+// synthesis results, which the fleet shares through the remote cache),
+// so the definition is posted to every reachable shard — the post is
+// idempotent on the canonical fingerprint, so repeats are free. The
+// ring sequence for the definition's fingerprint orders the fan-out, so
+// the answer relayed to the client is the owning shard's (the one whose
+// cache slice later serves this problem), and the returned key's
+// binding is memoized for catalogue-style routing of later requests.
+func (g *Gateway) handleDefineProblem(w http.ResponseWriter, r *http.Request) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	ctx := r.Context()
+	if g.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.timeout)
+		defer cancel()
+	}
+	var route string
+	var def ProblemDef
+	if err := json.Unmarshal(body, &def); err == nil {
+		if fp, ferr := def.Fingerprint(); ferr == nil {
+			route = fp
+		}
+	}
+	relayed := false
+	var lastErr error
+	for _, shard := range g.ring.Sequence(route) {
+		resp, err := g.forward(ctx, shard, "/v1/problems", "", body)
+		if err != nil {
+			g.setHealth(shard, false, err.Error())
+			lastErr = fmt.Errorf("shard %s: %w", shard, err)
+			continue
+		}
+		g.metrics.gatewayRequest("/v1/problems", shard, resp.StatusCode)
+		if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			g.setHealth(shard, false, resp.Status)
+			lastErr = fmt.Errorf("shard %s: %s", shard, resp.Status)
+			continue
+		}
+		g.setHealth(shard, true, "")
+		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = fmt.Errorf("shard %s: %w", shard, rerr)
+			continue
+		}
+		if resp.StatusCode < 300 {
+			g.learnBinding(respBody)
+		}
+		if !relayed {
+			relayBuffered(w, resp, respBody)
+			relayed = true
+			// A rejected definition (4xx) is the owner's verdict for the
+			// whole fleet — no point posting it to the other shards.
+			if resp.StatusCode >= 300 {
+				return
+			}
+		}
+	}
+	if !relayed {
+		g.metrics.gatewayError()
+		if lastErr == nil {
+			lastErr = errors.New("no shard available")
+		}
+		httpError(w, http.StatusBadGateway, fmt.Errorf("lclgrid: every shard refused the registration: %w", lastErr))
+	}
+}
+
+// handleProblemGet proxies GET /v1/problems/{key} to the key's owning
+// shard (falling through the ring sequence on failure), learning the
+// key's fingerprint binding from the answer so a gateway that restarted
+// after a registration re-converges on fingerprint routing lazily.
+func (g *Gateway) handleProblemGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	ctx := r.Context()
+	var lastErr error
+	for _, shard := range g.ring.Sequence(g.routingKey(key)) {
+		if !g.shardHealthy(shard) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/v1/problems/"+url.PathEscape(key), nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if v := r.Header.Get("If-None-Match"); v != "" {
+			req.Header.Set("If-None-Match", v)
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			g.setHealth(shard, false, err.Error())
+			lastErr = err
+			continue
+		}
+		g.setHealth(shard, true, "")
+		g.metrics.gatewayRequest("/v1/problems/{key}", shard, resp.StatusCode)
+		if resp.StatusCode == http.StatusOK {
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+				continue
+			}
+			g.learnBinding(body)
+			relayBuffered(w, resp, body)
+			return
+		}
+		relay(w, resp)
+		return
+	}
+	g.metrics.gatewayError()
+	if lastErr == nil {
+		lastErr = errors.New("no healthy shard")
+	}
+	httpError(w, http.StatusBadGateway, fmt.Errorf("lclgrid: problem lookup unavailable: %w", lastErr))
+}
+
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
@@ -666,7 +847,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			decodeErr = err
 			break
 		}
-		shard := g.pickShard(doc.Key)
+		shard := g.pickShardRoute(g.docRoutingKey(doc))
 		groups[shard] = append(groups[shard], batchReq{index: index, raw: raw, key: doc.Key})
 		total++
 	}
@@ -747,12 +928,17 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// pickShard returns the first routable shard for a key: the ring owner
-// when healthy, else the first healthy successor (falling back to the
-// owner when nothing probes healthy — stale health beats refusing the
-// line).
+// pickShard returns the first routable shard for a request key.
 func (g *Gateway) pickShard(key string) string {
-	seq := g.ring.Sequence(g.routingKey(key))
+	return g.pickShardRoute(g.routingKey(key))
+}
+
+// pickShardRoute returns the first routable shard for a routing
+// identity (see docRoutingKey): the ring owner when healthy, else the
+// first healthy successor (falling back to the owner when nothing
+// probes healthy — stale health beats refusing the line).
+func (g *Gateway) pickShardRoute(route string) string {
+	seq := g.ring.Sequence(route)
 	for _, shard := range seq {
 		if g.shardHealthy(shard) {
 			return shard

@@ -52,10 +52,15 @@ const (
 // inherently global — so the same request always yields the same
 // labels. X and Y may be any integers (they wrap around the torus).
 type LabelRequest struct {
-	// Key selects a registered problem; windowed labeling serves only
-	// table-backed problems (specs with a synthesis hint), so inline
-	// problems are not addressable here.
+	// Key selects a registered problem; windowed labeling serves
+	// table-backed problems (specs with a synthesis hint or an oracle
+	// hint). Exactly one of Key and ProblemDef must be set.
 	Key string `json:"key"`
+	// ProblemDef supplies an inline problem in the wire-form table DSL;
+	// it must be 2-dimensional, and the window is served from whichever
+	// oracle-schedule normal form synthesizes first (a conjectured-global
+	// problem has no windowed labeling — there is no Θ(n) fallback here).
+	ProblemDef *ProblemDef `json:"problem_def,omitempty"`
 
 	// Sides is the 2-dimensional torus shape; N is shorthand for the n×n
 	// square. Sides up to 10^6 each (10^12 nodes).
@@ -91,8 +96,19 @@ type LabelRequest struct {
 // Front ends call it right after decoding; the engine validates again
 // before planning.
 func (r *LabelRequest) Validate() error {
-	if r.Key == "" {
-		return errors.New("lclgrid: label request needs a problem key (windowed labeling serves registered, table-backed problems)")
+	switch {
+	case r.Key != "" && r.ProblemDef != nil:
+		return fmt.Errorf("lclgrid: label request sets both key %q and an inline problem_def; choose one", r.Key)
+	case r.Key == "" && r.ProblemDef == nil:
+		return errors.New("lclgrid: label request needs a problem key or a problem_def (windowed labeling serves table-backed problems)")
+	}
+	if r.ProblemDef != nil {
+		if err := r.ProblemDef.Validate(); err != nil {
+			return err
+		}
+		if r.ProblemDef.Dims != 2 {
+			return fmt.Errorf("lclgrid: windowed labeling is 2-dimensional, problem_def has %d dimensions", r.ProblemDef.Dims)
+		}
 	}
 	if r.N < 0 {
 		return fmt.Errorf("lclgrid: torus side must be positive, got %d", r.N)
@@ -204,14 +220,43 @@ func (e *Engine) planLabel(req LabelRequest) (*labelPlan, error) {
 	if err := req.Validate(); err != nil {
 		return fail(err)
 	}
-	spec, err := e.reg.Lookup(req.Key)
-	if err != nil {
-		return fail(err)
+	var (
+		spec *ProblemSpec
+		err  error
+	)
+	if req.ProblemDef != nil {
+		// Inline definitions get the same transient oracle spec a
+		// registered user problem carries; the Key stays empty and the
+		// identity for caching is the compiled problem's fingerprint.
+		p, cerr := req.ProblemDef.Compile()
+		if cerr != nil {
+			return fail(cerr)
+		}
+		spec = &ProblemSpec{
+			Name: p.Name(), Dims: p.Dims(), NumLabels: p.K(),
+			Class: ClassUnknown, MinSide: 12,
+			Problem: func() *Problem { return p },
+			Oracle:  true, Source: SourceUser,
+		}
+	} else {
+		spec, err = e.reg.Lookup(req.Key)
+		if err != nil {
+			return fail(err)
+		}
 	}
 	if spec.Problem == nil {
 		return fail(fmt.Errorf("lclgrid: problem %q has no SFT form; windowed labeling needs a normal-form lookup table", req.Key))
 	}
+	if spec.Dims != 0 && spec.Dims != 2 {
+		return fail(fmt.Errorf("lclgrid: windowed labeling is 2-dimensional, problem %q is %d-dimensional", spec.Name, spec.Dims))
+	}
 	attempts := spec.Attempts
+	if len(attempts) == 0 && spec.Oracle {
+		// Oracle specs carry no synthesis hint up front; windowed labeling
+		// tries the paper's oracle schedule in order and serves the first
+		// normal form that synthesizes.
+		attempts = oracleAttempts()
+	}
 	if req.Power > 0 {
 		h, w := req.WindowH, req.WindowW
 		dh, dw := DefaultWindow(req.Power)

@@ -204,6 +204,17 @@ func (pl *Planner) plan(req SolveRequest) (*Plan, error) {
 		return nil, err
 	}
 	o := req.options()
+	if req.ProblemDef != nil {
+		// A wire-form definition compiles to the same table-backed
+		// *lcl.Problem a programmatic caller would pass, then follows the
+		// inline-problem path: oracle classification, synthesis when a
+		// normal form exists, Θ(n) fallback otherwise.
+		p, err := req.ProblemDef.Compile()
+		if err != nil {
+			return nil, err
+		}
+		req.Problem = p
+	}
 	if req.Problem != nil {
 		t, err := req.torus(nil)
 		if err != nil {
@@ -282,6 +293,20 @@ func (pl *Planner) planSpec(spec *ProblemSpec, t *Torus, ids []int, o Options) (
 		plan.Strategies = append(plan.Strategies, pl.baselineStage(p, t, ids, o,
 			func() Class { return spec.Class }, false,
 			"Θ(n) gather-and-solve is the registered strategy"))
+	case spec.Oracle:
+		// Oracle specs (user-defined problems) plan exactly like inline
+		// problems — the cached one-sided oracle classifies at execution
+		// time, synthesis serves Θ(log* n) outcomes and the Θ(n) baseline
+		// everything else — with the registry key stamped onto the plan.
+		inline, err := pl.planProblem(spec.Problem(), t, ids, o)
+		if err != nil {
+			return nil, err
+		}
+		inline.Key = spec.Key
+		if inline.Class == ClassUnknown {
+			inline.Class = spec.Class
+		}
+		return inline, nil
 	default:
 		return nil, fmt.Errorf("lclgrid: spec %q carries no plan hint", spec.Key)
 	}

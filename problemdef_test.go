@@ -1,0 +1,472 @@
+package lclgrid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// threeColDef is a hand-written DSL statement of grid 3-colouring with
+// deliberately unsorted, duplicated pairs — Canonical must not care.
+func threeColDef() *ProblemDef {
+	differ := []LabelPair{
+		{"3", "1"}, {"1", "2"}, {"2", "3"}, {"1", "3"},
+		{"2", "1"}, {"3", "2"}, {"1", "2"}, // duplicate
+	}
+	return &ProblemDef{
+		Name:   "hand-written 3-colouring",
+		Dims:   2,
+		Labels: []string{"1", "2", "3"},
+		Allow:  [][]LabelPair{differ, differ},
+	}
+}
+
+// TestProblemDefFingerprintParity is the equivalence pin of the DSL: for
+// every table-representable catalogue problem, extraction → JSON →
+// decode → Compile yields a problem with the identical fingerprint. A
+// DSL re-statement of a builtin therefore shares the builtin's cache
+// entries everywhere the fingerprint keys them (SynthCache, the fleet
+// store, the gateway ring).
+func TestProblemDefFingerprintParity(t *testing.T) {
+	reg := DefaultRegistry()
+	checked := 0
+	for _, spec := range reg.Specs() {
+		if spec.Problem == nil {
+			continue
+		}
+		p := spec.Problem()
+		def := NewProblemDef(p)
+		if err := def.Validate(); err != nil {
+			t.Errorf("%s: extracted definition does not validate: %v", spec.Key, err)
+			continue
+		}
+		wire, err := json.Marshal(def)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", spec.Key, err)
+		}
+		var decoded ProblemDef
+		if err := json.Unmarshal(wire, &decoded); err != nil {
+			t.Fatalf("%s: unmarshal: %v", spec.Key, err)
+		}
+		compiled, err := decoded.Compile()
+		if err != nil {
+			t.Errorf("%s: compile: %v", spec.Key, err)
+			continue
+		}
+		if got, want := compiled.Fingerprint(), p.Fingerprint(); got != want {
+			t.Errorf("%s: DSL round-trip changed the fingerprint:\nbuiltin: %s\nround-trip: %s", spec.Key, want, got)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d catalogue problems were table-representable; the catalogue carries more", checked)
+	}
+}
+
+// TestProblemDefCanonicalNormalization: pair order, duplicate pairs and
+// an all-label node_ok are representation noise — canonical forms and
+// fingerprints must agree across them.
+func TestProblemDefCanonicalNormalization(t *testing.T) {
+	messy := threeColDef()
+	messy.NodeOK = []string{"3", "1", "2", "1"} // full cover, shuffled, duplicated
+
+	canon, err := messy.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.NodeOK != nil {
+		t.Errorf("node_ok covering the whole alphabet must be elided, got %v", canon.NodeOK)
+	}
+	for dim, pairs := range canon.Allow {
+		if len(pairs) != 6 {
+			t.Errorf("dimension %d: want 6 deduped pairs, got %d", dim, len(pairs))
+		}
+	}
+	// Canonical is a fixed point.
+	again, err := canon.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := json.Marshal(canon)
+	cb, _ := json.Marshal(again)
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("Canonical is not idempotent:\n%s\n%s", ca, cb)
+	}
+
+	fpMessy, err := messy.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpCanon, err := canon.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpMessy != fpCanon {
+		t.Errorf("fingerprint depends on representation: %s vs %s", fpMessy, fpCanon)
+	}
+
+	// A partial node_ok is NOT elided and changes the fingerprint.
+	partial := threeColDef()
+	partial.NodeOK = []string{"2", "1"}
+	pc, err := partial.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"1", "2"}; len(pc.NodeOK) != 2 || pc.NodeOK[0] != want[0] || pc.NodeOK[1] != want[1] {
+		t.Errorf("partial node_ok must sort to %v, got %v", want, pc.NodeOK)
+	}
+	fpPartial, err := partial.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpPartial == fpCanon {
+		t.Error("restricting node_ok must change the fingerprint")
+	}
+}
+
+// TestProblemDefValidateRejects: structural defects fail with clear
+// errors before anything quadratic is allocated.
+func TestProblemDefValidateRejects(t *testing.T) {
+	pair := func(a, b string) LabelPair { return LabelPair{A: a, B: b} }
+	base := func() *ProblemDef {
+		return &ProblemDef{
+			Dims:   2,
+			Labels: []string{"a", "b"},
+			Allow: [][]LabelPair{
+				{pair("a", "b"), pair("b", "a")},
+				{pair("a", "b"), pair("b", "a")},
+			},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ProblemDef)
+		want   string
+	}{
+		{"zero dims", func(d *ProblemDef) { d.Dims = 0; d.Allow = nil }, "1..8 dims"},
+		{"too many dims", func(d *ProblemDef) { d.Dims = 9 }, "1..8 dims"},
+		{"no labels", func(d *ProblemDef) { d.Labels = nil }, "at least one label"},
+		{"empty label", func(d *ProblemDef) { d.Labels = []string{"a", ""} }, "is empty"},
+		{"duplicate label", func(d *ProblemDef) { d.Labels = []string{"a", "a"} }, "appears twice"},
+		{"huge alphabet", func(d *ProblemDef) {
+			d.Labels = make([]string, maxDefLabels+1)
+			for i := range d.Labels {
+				d.Labels[i] = fmt.Sprintf("l%d", i)
+			}
+		}, "the bound is 512"},
+		{"table count mismatch", func(d *ProblemDef) { d.Allow = d.Allow[:1] }, "one per dimension"},
+		{"unknown pair label", func(d *ProblemDef) { d.Allow[0] = append(d.Allow[0], pair("a", "zzz")) }, "not in the alphabet"},
+		{"unknown node_ok label", func(d *ProblemDef) { d.NodeOK = []string{"zzz"} }, "not in the alphabet"},
+		{"long name", func(d *ProblemDef) { d.Name = strings.Repeat("n", maxDefNameLen+1) }, "the bound is"},
+		{"pair table flood", func(d *ProblemDef) {
+			flood := make([]LabelPair, 4*2*2+1)
+			for i := range flood {
+				flood[i] = pair("a", "b")
+			}
+			d.Allow[1] = flood
+		}, "allowed pairs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := base()
+			tc.mutate(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a defective definition")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("the base definition must validate: %v", err)
+	}
+}
+
+// TestLabelPairStrictArity: the wire form rejects arrays that are not
+// exactly two labels — encoding/json would otherwise silently truncate
+// or zero-fill.
+func TestLabelPairStrictArity(t *testing.T) {
+	for _, bad := range []string{`["a"]`, `["a","b","c"]`, `[]`, `"ab"`, `{"a":"b"}`} {
+		var p LabelPair
+		if err := json.Unmarshal([]byte(bad), &p); err == nil {
+			t.Errorf("%s decoded as a LabelPair", bad)
+		}
+	}
+	var p LabelPair
+	if err := json.Unmarshal([]byte(`["x","y"]`), &p); err != nil || p.A != "x" || p.B != "y" {
+		t.Errorf(`["x","y"] should decode, got %+v, %v`, p, err)
+	}
+	out, err := json.Marshal(LabelPair{A: "x", B: "y"})
+	if err != nil || string(out) != `["x","y"]` {
+		t.Errorf("marshal: got %s, %v", out, err)
+	}
+}
+
+// TestDefineProblemIdempotent: registration keys on the canonical
+// fingerprint, so a restated equivalent returns the existing key.
+func TestDefineProblemIdempotent(t *testing.T) {
+	e := NewEngine()
+	rec, created, err := e.DefineProblem(threeColDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Error("first definition must create")
+	}
+	if !strings.HasPrefix(rec.Key, UserKeyPrefix) {
+		t.Errorf("key %q lacks the %q prefix", rec.Key, UserKeyPrefix)
+	}
+
+	// Restate it: different display name, reversed pair order, explicit
+	// full-coverage node_ok. Same constraint system, same key.
+	restated := threeColDef()
+	restated.Name = "a different name for the same problem"
+	for dim := range restated.Allow {
+		for i, j := 0, len(restated.Allow[dim])-1; i < j; i, j = i+1, j-1 {
+			restated.Allow[dim][i], restated.Allow[dim][j] = restated.Allow[dim][j], restated.Allow[dim][i]
+		}
+	}
+	restated.NodeOK = []string{"1", "2", "3"}
+	rec2, created2, err := e.DefineProblem(restated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 {
+		t.Error("restated definition must not re-create")
+	}
+	if rec2.Key != rec.Key || rec2.Fingerprint != rec.Fingerprint {
+		t.Errorf("restated definition got a different identity: %+v vs %+v", rec2, rec)
+	}
+
+	// The registered spec is a user-sourced oracle spec.
+	spec, err := e.Registry().Lookup(rec.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Oracle || spec.SourceLabel() != SourceUser {
+		t.Errorf("user spec: Oracle=%v source=%q", spec.Oracle, spec.SourceLabel())
+	}
+
+	// Defects arrive off the wire: every DefineProblem error is a
+	// *RequestError.
+	bad := threeColDef()
+	bad.Labels = nil
+	if _, _, err := e.DefineProblem(bad); err == nil {
+		t.Fatal("defective definition must fail")
+	} else {
+		var reqErr *RequestError
+		if !errors.As(err, &reqErr) {
+			t.Errorf("DefineProblem error %v is not a *RequestError", err)
+		}
+	}
+}
+
+// TestSolveInlineDefSharesBuiltinCache: a DSL re-statement of the 5col
+// builtin solves from the builtin's warm cache — zero new syntheses —
+// and produces byte-identical labels. This is the acceptance pin for
+// "same fingerprint → same warm cache".
+func TestSolveInlineDefSharesBuiltinCache(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+
+	spec, err := e.Registry().Lookup("5col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := NewProblemDef(spec.Problem())
+
+	builtin, err := e.Solve(ctx, SolveRequest{Key: "5col", N: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := e.CacheStats().Misses
+
+	inline, err := e.Solve(ctx, SolveRequest{ProblemDef: def, N: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5col's hinted attempt (k=1, 3x2) is the oracle schedule's first
+	// shape, so the inline path probes the identical SynthKey first and
+	// must run no new synthesis.
+	if got := e.CacheStats().Misses; got != misses {
+		t.Errorf("inline solve ran %d new syntheses; the builtin's cache should serve it", got-misses)
+	}
+	if !inline.CacheHit {
+		t.Error("inline solve must report a cache hit")
+	}
+	if len(builtin.Labels) == 0 || len(inline.Labels) != len(builtin.Labels) {
+		t.Fatalf("label shapes differ: %d vs %d", len(inline.Labels), len(builtin.Labels))
+	}
+	for i := range builtin.Labels {
+		if builtin.Labels[i] != inline.Labels[i] {
+			t.Fatalf("labels differ at %d: %d vs %d", i, builtin.Labels[i], inline.Labels[i])
+		}
+	}
+}
+
+// TestLabelWindowInlineDef: windowed labeling accepts an inline
+// definition and serves the same bytes as the registered key.
+func TestLabelWindowInlineDef(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+	spec, err := e.Registry().Lookup("5col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := NewProblemDef(spec.Problem())
+
+	byKey, err := e.LabelWindow(ctx, LabelRequest{Key: "5col", N: 100, Seed: 3, X: 40, Y: 41, W: 5, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDef, err := e.LabelWindow(ctx, LabelRequest{ProblemDef: def, N: 100, Seed: 3, X: 40, Y: 41, W: 5, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byDef.Labels) != len(byKey.Labels) {
+		t.Fatalf("window sizes differ: %d vs %d", len(byDef.Labels), len(byKey.Labels))
+	}
+	for i := range byKey.Labels {
+		if byKey.Labels[i] != byDef.Labels[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+	}
+	if !byDef.CacheHit {
+		t.Error("the inline window must serve from the key-warmed cache")
+	}
+}
+
+// TestSolveUserRegisteredKey: a registered user problem solves through
+// its "user:" key like any catalogue key, and plans through the oracle
+// path (synthesis first, Θ(n) fallback armed).
+func TestSolveUserRegisteredKey(t *testing.T) {
+	e := NewEngine()
+	rec, _, err := e.DefineProblem(threeColDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.Plan(SolveRequest{Key: rec.Key, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Key != rec.Key {
+		t.Errorf("plan key %q, want %q", plan.Key, rec.Key)
+	}
+	if len(plan.Strategies) == 0 {
+		t.Fatal("user problem planned no strategies")
+	}
+	res, err := e.Solve(context.Background(), SolveRequest{Key: rec.Key, N: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verification != Verified {
+		t.Errorf("user problem solve did not verify: %v", res.Verification)
+	}
+}
+
+// TestWarmOracleSpec: Warm covers user-registered (oracle-hinted) keys —
+// afterwards a solve runs zero syntheses.
+func TestWarmOracleSpec(t *testing.T) {
+	e := NewEngine()
+	rec, _, err := e.DefineProblem(threeColDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := e.Warm(context.Background(), rec.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Warmed != 1 {
+		t.Fatalf("warm stats: %+v, want 1 warmed", ws)
+	}
+	misses := e.CacheStats().Misses
+	if _, err := e.Solve(context.Background(), SolveRequest{Key: rec.Key, N: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CacheStats().Misses; got != misses {
+		t.Errorf("solve after warm ran %d syntheses", got-misses)
+	}
+}
+
+// FuzzProblemDef fuzzes the definition pipeline end to end: any byte
+// string that decodes into a ProblemDef and passes Validate must
+// canonicalize, compile, fingerprint, register and plan without
+// panicking, overflowing, or allocating beyond the wire bounds — the
+// exact exposure of POST /v1/problems and inline "problem_def" fields.
+// Validation failures are fine and must be *RequestError when they come
+// out of DefineProblem; crashes and runaway allocations are the bugs
+// this hunts.
+func FuzzProblemDef(f *testing.F) {
+	seeds := []string{
+		`{"dims":2,"labels":["a","b"],"allow":[[["a","b"],["b","a"]],[["a","b"],["b","a"]]]}`,
+		`{"name":"my-3col","dims":2,"labels":["1","2","3"],"allow":[[["1","2"],["2","3"],["3","1"]],[["1","2"],["2","3"],["3","1"]]]}`,
+		`{"dims":1,"labels":["x"],"allow":[[["x","x"]]],"node_ok":["x"]}`,
+		`{"dims":2,"labels":["a"],"allow":[[],[]],"node_ok":[]}`,
+		`{"dims":0,"labels":["a"],"allow":[]}`,
+		`{"dims":9,"labels":["a"],"allow":[[],[],[],[],[],[],[],[],[]]}`,
+		`{"dims":2,"labels":["a","a"],"allow":[[],[]]}`,
+		`{"dims":2,"labels":["a",""],"allow":[[],[]]}`,
+		`{"dims":2,"labels":["a","b"],"allow":[[["a","zzz"]],[]]}`,
+		`{"dims":2,"labels":["a","b"],"allow":[[["a"]],[]]}`,
+		`{"dims":2,"labels":["a","b"],"allow":[[["a","b","c"]],[]]}`,
+		`{"dims":2,"labels":["a","b"],"allow":[[],[]],"node_ok":["zzz"]}`,
+		`{"dims":3,"labels":["a","b"],"allow":[[],[]]}`,
+		`{"dims":2}`,
+		`[]`,
+		`{"dims":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	eng := NewEngine()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var def ProblemDef
+		if err := json.Unmarshal(data, &def); err != nil {
+			return // not a ProblemDef document; nothing to check
+		}
+		if err := def.Validate(); err != nil {
+			return // rejected at the wire, as intended
+		}
+		// A validated definition must canonicalize, compile and
+		// fingerprint; the canonical form must fingerprint identically.
+		canon, err := def.Canonical()
+		if err != nil {
+			t.Fatalf("Validate accepted but Canonical rejected: %v", err)
+		}
+		fp, err := def.Fingerprint()
+		if err != nil {
+			t.Fatalf("Validate accepted but Fingerprint rejected: %v", err)
+		}
+		cfp, err := canon.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != cfp {
+			t.Fatalf("canonicalization changed the fingerprint: %s vs %s", fp, cfp)
+		}
+		// Registration keys on the fingerprint and never panics; its
+		// errors are the client's (*RequestError).
+		rec, _, err := eng.DefineProblem(&def)
+		if err != nil {
+			var reqErr *RequestError
+			if !errors.As(err, &reqErr) {
+				t.Fatalf("DefineProblem error %v is not a *RequestError", err)
+			}
+			return
+		}
+		// A registered definition must be plannable without a panic.
+		// Planning is probe-only (the oracle runs inside strategy
+		// closures), so this is cheap even for the largest alphabets the
+		// bounds admit.
+		plan, err := eng.Plan(SolveRequest{Key: rec.Key, N: 12})
+		if err == nil && plan == nil {
+			t.Fatal("Plan returned nil plan and nil error")
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package lclgrid
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func storedThreeCol(t *testing.T) StoredProblem {
+	t.Helper()
+	canon, err := threeColDef().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := canon.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return StoredProblem{Key: userKey(fp), Fingerprint: fp, Def: canon}
+}
+
+func TestMemoryProblemStore(t *testing.T) {
+	s := NewMemoryProblemStore()
+	sp := storedThreeCol(t)
+
+	if _, ok := s.Get(sp.Key); ok {
+		t.Fatal("empty store returned a record")
+	}
+	if err := s.Put(sp); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(sp.Key)
+	if !ok || got.Fingerprint != sp.Fingerprint {
+		t.Fatalf("Get: %+v, %v", got, ok)
+	}
+	byFP, ok := s.ByFingerprint(sp.Fingerprint)
+	if !ok || byFP.Key != sp.Key {
+		t.Fatalf("ByFingerprint: %+v, %v", byFP, ok)
+	}
+	if list := s.List(); len(list) != 1 || list[0].Key != sp.Key {
+		t.Fatalf("List: %+v", list)
+	}
+	if err := s.Put(StoredProblem{}); err == nil {
+		t.Error("Put accepted an empty record")
+	}
+}
+
+// TestDirProblemStorePersistence: the acceptance round trip — Put into a
+// dir-backed store, reopen the directory, and the record (with its
+// canonical definition) is back, fingerprint intact.
+func TestDirProblemStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirProblemStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := storedThreeCol(t)
+	if err := s.Put(sp); err != nil {
+		t.Fatal(err)
+	}
+	// The file is named by the full fingerprint.
+	if _, err := os.Stat(filepath.Join(dir, sp.Fingerprint+problemFileSuffix)); err != nil {
+		t.Fatalf("store file missing: %v", err)
+	}
+
+	reopened, err := NewDirProblemStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reopened.Get(sp.Key)
+	if !ok {
+		t.Fatal("record did not survive reopen")
+	}
+	if got.Fingerprint != sp.Fingerprint {
+		t.Errorf("fingerprint changed across restart: %s vs %s", got.Fingerprint, sp.Fingerprint)
+	}
+	fp, err := got.Def.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != sp.Fingerprint {
+		t.Errorf("reloaded definition compiles to %s, want %s", fp, sp.Fingerprint)
+	}
+
+	// The reloaded definition re-registers and solves.
+	e := NewEngine()
+	rec, created, err := e.DefineProblem(got.Def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || rec.Key != sp.Key {
+		t.Errorf("re-registration: created=%v key=%s, want created under %s", created, rec.Key, sp.Key)
+	}
+}
+
+// TestDirProblemStoreSelfHeal: corrupt, truncated, renamed or foreign
+// files are dropped during the load, never served.
+func TestDirProblemStoreSelfHeal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirProblemStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := storedThreeCol(t)
+	if err := s.Put(sp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt: truncated JSON under a plausible name.
+	badFP := strings.Repeat("ab", 32)
+	corrupt := filepath.Join(dir, badFP+problemFileSuffix)
+	if err := os.WriteFile(corrupt, []byte(`{"key":"user:`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Misnamed: a valid record under the wrong fingerprint stem.
+	data, err := os.ReadFile(filepath.Join(dir, sp.Fingerprint+problemFileSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongFP := strings.Repeat("cd", 32)
+	misnamed := filepath.Join(dir, wrongFP+problemFileSuffix)
+	if err := os.WriteFile(misnamed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated files are left alone.
+	unrelated := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(unrelated, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := NewDirProblemStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list := reopened.List(); len(list) != 1 || list[0].Key != sp.Key {
+		t.Fatalf("self-heal load kept %+v, want only %s", list, sp.Key)
+	}
+	for _, path := range []string{corrupt, misnamed} {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("%s survived the self-heal load", filepath.Base(path))
+		}
+	}
+	if _, err := os.Stat(unrelated); err != nil {
+		t.Errorf("unrelated file was touched: %v", err)
+	}
+}
+
+func TestDirProblemStoreRejectsBadFingerprint(t *testing.T) {
+	s, err := NewDirProblemStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := storedThreeCol(t)
+	sp.Fingerprint = "../escape"
+	if err := s.Put(sp); err == nil {
+		t.Fatal("Put accepted a path-traversal fingerprint")
+	}
+}

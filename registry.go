@@ -16,7 +16,7 @@ import (
 // CLI, the `lclgrid batch` JSONL front end, the experiments and
 // downstream services — resolve against.
 //
-// Exactly one of the four plan hints must be set:
+// Exactly one of the five plan hints must be set:
 //
 //   - Constant: the problem is O(1); a constant label fills the grid.
 //   - Attempts: normal-form synthesis; the listed (k, h, w) shapes are
@@ -28,6 +28,9 @@ import (
 //     automatic baseline fallback — their failure modes are their own.
 //   - Baseline: the Θ(n) gather-and-solve brute force is the primary
 //     (and only) strategy.
+//   - Oracle: the class is unknown up front (user-defined problems);
+//     the cached one-sided oracle classifies at plan time, synthesis
+//     serves when a normal form exists and the Θ(n) baseline otherwise.
 //
 // Declarative hints are what make `lclgrid explain` possible: the
 // Planner can rank and print the strategies for a request without
@@ -66,10 +69,34 @@ type ProblemSpec struct {
 	Direct func(e *Engine) Solver
 	// Baseline marks a problem served by the Θ(n) brute force.
 	Baseline bool
+	// Oracle marks a problem classified at plan time by the cached
+	// one-sided oracle — the hint user-defined problems register with.
+	Oracle bool
+
+	// Source names where the spec came from: "" or SourceBuiltin for the
+	// catalogue, SourceFamily for parameterised-family resolutions,
+	// SourceUser for DSL-registered problems.
+	Source string
 
 	// Verify checks a Result against the problem definition (used when
 	// Labels is nil and the SFT Verify does not apply).
 	Verify func(t *Torus, res *Result) error
+}
+
+// Spec sources, rendered by `lclgrid list -v` and GET /v1/problems.
+const (
+	SourceBuiltin = "builtin"
+	SourceFamily  = "family"
+	SourceUser    = "user"
+)
+
+// SourceLabel returns the spec's source, defaulting to SourceBuiltin —
+// the catalogue specs predate the field and leave it empty.
+func (s *ProblemSpec) SourceLabel() string {
+	if s.Source == "" {
+		return SourceBuiltin
+	}
+	return s.Source
 }
 
 // HintSummary returns a one-line human description of the spec's plan
@@ -91,6 +118,8 @@ func (s *ProblemSpec) HintSummary() string {
 		return "direct algorithm"
 	case s.Baseline:
 		return "Θ(n) brute force"
+	case s.Oracle:
+		return "oracle-classified: synthesis when a normal form exists, Θ(n) fallback"
 	}
 	return ""
 }
@@ -148,20 +177,20 @@ func NewRegistry() *Registry {
 
 // Register adds a spec; re-registering a key replaces the entry. The
 // spec must carry a key and exactly one plan hint (Constant, Attempts,
-// Direct or Baseline); the Constant, Attempts and Baseline hints need a
-// Problem constructor for the planner to build their solvers from.
+// Direct, Baseline or Oracle); every hint but Direct needs a Problem
+// constructor for the planner to build its solvers from.
 func (r *Registry) Register(spec *ProblemSpec) error {
 	if spec.Key == "" {
 		return fmt.Errorf("lclgrid: spec needs a key")
 	}
 	hints := 0
-	for _, set := range []bool{spec.Constant, len(spec.Attempts) > 0, spec.Direct != nil, spec.Baseline} {
+	for _, set := range []bool{spec.Constant, len(spec.Attempts) > 0, spec.Direct != nil, spec.Baseline, spec.Oracle} {
 		if set {
 			hints++
 		}
 	}
 	if hints != 1 {
-		return fmt.Errorf("lclgrid: spec %q needs exactly one plan hint (Constant, Attempts, Direct or Baseline), has %d", spec.Key, hints)
+		return fmt.Errorf("lclgrid: spec %q needs exactly one plan hint (Constant, Attempts, Direct, Baseline or Oracle), has %d", spec.Key, hints)
 	}
 	if spec.Direct == nil && spec.Problem == nil {
 		return fmt.Errorf("lclgrid: spec %q hint needs a Problem constructor", spec.Key)
@@ -234,13 +263,13 @@ func familySpec(key string) *ProblemSpec {
 		if _, err := fmt.Sscanf(key, "%dedgecol", &k); err != nil || k < 4 || k > maxFamilyEdgeColors || fmt.Sprintf("%dedgecol", k) != key {
 			return nil
 		}
-		return edgeColoringSpec(key, k)
+		return asFamily(edgeColoringSpec(key, k))
 	case strings.HasSuffix(key, "col"):
 		var k int
 		if _, err := fmt.Sscanf(key, "%dcol", &k); err != nil || k < 2 || k > maxFamilyVertexColors || fmt.Sprintf("%dcol", k) != key {
 			return nil
 		}
-		return vertexColoringSpec(key, k)
+		return asFamily(vertexColoringSpec(key, k))
 	case strings.HasPrefix(key, "orient"):
 		var x []int
 		var seen [5]bool
@@ -258,9 +287,17 @@ func familySpec(key string) *ProblemSpec {
 		if len(x) == 0 {
 			return nil
 		}
-		return orientationSpec(key, x)
+		return asFamily(orientationSpec(key, x))
 	}
 	return nil
+}
+
+// asFamily marks a spec as a parameterised-family resolution (the
+// catalogue registers the same constructors' output directly, keeping
+// the builtin source).
+func asFamily(spec *ProblemSpec) *ProblemSpec {
+	spec.Source = SourceFamily
+	return spec
 }
 
 // vertexColoringSpec builds the spec for proper k-colouring on

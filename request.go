@@ -21,13 +21,18 @@ import (
 // graph-valued respectively) and are excluded from the wire form.
 type SolveRequest struct {
 	// Key selects a registered problem (see Registry.Lookup). Exactly one
-	// of Key and Problem must be set.
+	// of Key, Problem and ProblemDef must be set.
 	Key string `json:"key,omitempty"`
 	// Problem supplies an inline, possibly unregistered SFT problem; the
 	// engine classifies it with the cached one-sided oracle and picks the
 	// best applicable solver (constant fill / synthesis / global brute
 	// force).
 	Problem *Problem `json:"-"`
+	// ProblemDef supplies an inline problem in the wire-form table DSL
+	// (see ProblemDef); it is the JSON-settable counterpart of Problem
+	// and follows the same oracle-classified planning path. Exactly one
+	// of Key, Problem and ProblemDef may be set.
+	ProblemDef *ProblemDef `json:"problem_def,omitempty"`
 
 	// Torus is an explicit torus; when nil the shape is built from Sides
 	// (general) or N (the n×n square), in that order. When all three are
@@ -108,11 +113,22 @@ const (
 // front ends (the HTTP server, `lclgrid batch`) call it right after
 // decoding to reject bad documents before any engine work.
 func (r *SolveRequest) Validate() error {
+	sources := 0
+	for _, set := range []bool{r.Key != "", r.Problem != nil, r.ProblemDef != nil} {
+		if set {
+			sources++
+		}
+	}
 	switch {
-	case r.Key != "" && r.Problem != nil:
-		return fmt.Errorf("lclgrid: request sets both Key %q and an inline Problem; choose one", r.Key)
-	case r.Key == "" && r.Problem == nil:
-		return fmt.Errorf("lclgrid: request names no problem (set Key or Problem)")
+	case sources > 1:
+		return fmt.Errorf("lclgrid: request names %d problem sources; choose one of Key, Problem and ProblemDef", sources)
+	case sources == 0:
+		return fmt.Errorf("lclgrid: request names no problem (set Key, Problem or ProblemDef)")
+	}
+	if r.ProblemDef != nil {
+		if err := r.ProblemDef.Validate(); err != nil {
+			return err
+		}
 	}
 	if r.N < 0 {
 		return fmt.Errorf("lclgrid: torus side must be positive, got %d", r.N)

@@ -36,6 +36,11 @@ import (
 //	POST /v1/explain   one SolveRequest → its ranked Plan, zero SAT work
 //	GET  /v1/problems  the registry catalogue with plan-hint summaries
 //	                   (ETag + Cache-Control; If-None-Match → 304)
+//	POST /v1/problems  register a wire-form ProblemDef → key, fingerprint
+//	                   and ranked Plan; idempotent on the canonical
+//	                   fingerprint (see WithProblemStore for persistence)
+//	GET  /v1/problems/{key}  the canonical DSL form of one problem
+//	                   (user-registered, or a table-backed catalogue entry)
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text exposition (see MetricsObserver)
 //
@@ -70,6 +75,7 @@ type Server struct {
 	workers  int
 	drain    time.Duration
 	ready    func() error // nil = always ready
+	problems ProblemStore
 }
 
 // ServerOption configures NewServer.
@@ -84,6 +90,7 @@ type serverConfig struct {
 	drain       time.Duration
 	ready       func() error
 	cacheSvc    *CacheServer
+	problems    ProblemStore
 }
 
 // Server defaults. They favour a service exposed to real traffic: a
@@ -156,6 +163,15 @@ func WithCacheService(cs *CacheServer) ServerOption {
 	return func(c *serverConfig) { c.cacheSvc = cs }
 }
 
+// WithProblemStore installs the ProblemStore behind POST /v1/problems —
+// NewDirProblemStore to persist user definitions across restarts
+// (`serve -problems-dir`), or any other implementation. Without this
+// option the server uses a process-local in-memory store: definitions
+// still register and solve, but do not survive a restart.
+func WithProblemStore(ps ProblemStore) ServerOption {
+	return func(c *serverConfig) { c.problems = ps }
+}
+
 // WithMetricsObserver shares a MetricsObserver between the server and
 // the engine: install the same observer on the engine with WithObserver
 // so the /metrics endpoint exposes engine events (syntheses, cache
@@ -183,15 +199,19 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 	if cfg.drain <= 0 {
 		cfg.drain = DefaultDrainTimeout
 	}
+	if cfg.problems == nil {
+		cfg.problems = NewMemoryProblemStore()
+	}
 	s := &Server{
-		engine:  e,
-		metrics: cfg.metrics,
-		mux:     http.NewServeMux(),
-		timeout: cfg.timeout,
-		maxBody: cfg.maxBody,
-		workers: cfg.workers,
-		drain:   cfg.drain,
-		ready:   cfg.ready,
+		engine:   e,
+		metrics:  cfg.metrics,
+		mux:      http.NewServeMux(),
+		timeout:  cfg.timeout,
+		maxBody:  cfg.maxBody,
+		workers:  cfg.workers,
+		drain:    cfg.drain,
+		ready:    cfg.ready,
+		problems: cfg.problems,
 	}
 	// The cache-entries gauge reads the live engine state at scrape time.
 	cfg.metrics.SetCacheEntriesFunc(func() int { return e.CacheStats().Entries })
@@ -204,6 +224,8 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 	s.mux.Handle("POST /v1/export", s.instrument("/v1/export", s.admit(s.handleExport)))
 	s.mux.Handle("POST /v1/explain", s.instrument("/v1/explain", http.HandlerFunc(s.handleExplain)))
 	s.mux.Handle("GET /v1/problems", s.instrument("/v1/problems", http.HandlerFunc(s.handleProblems)))
+	s.mux.Handle("POST /v1/problems", s.instrument("/v1/problems", http.HandlerFunc(s.handleDefineProblem)))
+	s.mux.Handle("GET /v1/problems/{key}", s.instrument("/v1/problems/{key}", http.HandlerFunc(s.handleProblemGet)))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /readyz", s.instrument("/readyz", http.HandlerFunc(s.handleReadyz)))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
@@ -609,10 +631,17 @@ func (s *Server) labelETag(req LabelRequest) (string, bool) {
 	if err != nil {
 		return "", false
 	}
+	identity := req.Key
+	if identity == "" {
+		// Inline problem_def requests have no key; the compiled problem's
+		// fingerprint is the identity (two definitions normalizing to the
+		// same tables serve byte-identical windows).
+		identity = "def:" + lp.spec.Problem().Fingerprint()
+	}
 	nx, ny := lp.t.NX(), lp.t.NY()
 	h := sha256.New()
 	fmt.Fprintf(h, "lclgrid-labels-v1\x00%s\x00%dx%d\x00seed=%d\x00rect=%d,%d,%d,%d\x00mode=%s",
-		req.Key, nx, ny, req.Seed,
+		identity, nx, ny, req.Seed,
 		((req.X%nx)+nx)%nx, ((req.Y%ny)+ny)%ny, req.W, req.H, lp.mode)
 	for _, a := range lp.attempts {
 		fmt.Fprintf(h, "\x00k=%d,%dx%d", a.K, a.H, a.W)
@@ -775,6 +804,7 @@ type problemEntry struct {
 	MinSide     int    `json:"min_side"`
 	SideModulus int    `json:"side_modulus,omitempty"`
 	Strategy    string `json:"strategy"`
+	Source      string `json:"source"`
 }
 
 // problemsResponse is the /v1/problems document.
@@ -805,10 +835,106 @@ func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
 			MinSide:     spec.MinSide,
 			SideModulus: spec.SideModulus,
 			Strategy:    spec.StrategySummary(s.engine),
+			Source:      spec.SourceLabel(),
 		})
 	}
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	etag := `"` + hex.EncodeToString(sum[:16]) + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=300")
+	if etagMatches(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// defineResponse is the POST /v1/problems document: the registered key
+// (deterministic — derived from the canonical fingerprint, so every
+// replica agrees), the fingerprint itself, whether this call created the
+// registration, and the ranked Plan the engine would execute for it
+// (built with zero SAT work, like /v1/explain).
+type defineResponse struct {
+	Key         string `json:"key"`
+	Fingerprint string `json:"fingerprint"`
+	Created     bool   `json:"created"`
+	Plan        *Plan  `json:"plan"`
+}
+
+// handleDefineProblem serves POST /v1/problems: one wire-form ProblemDef
+// in, its registration out. Registration is idempotent on the canonical
+// fingerprint — re-posting a definition (or a differently-stated
+// equivalent that normalizes to the same tables) returns the same key
+// with created=false. New registrations answer 201, repeats 200.
+func (s *Server) handleDefineProblem(w http.ResponseWriter, r *http.Request) {
+	var def ProblemDef
+	if !s.decodeDocument(w, r, &def) {
+		return
+	}
+	rec, created, err := s.engine.DefineProblem(&def)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.problems.Put(rec); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	plan, err := s.engine.Plan(SolveRequest{Key: rec.Key})
+	if err != nil {
+		httpError(w, errStatus(r.Context(), err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	_ = json.NewEncoder(w).Encode(defineResponse{
+		Key: rec.Key, Fingerprint: rec.Fingerprint, Created: created, Plan: plan,
+	})
+}
+
+// problemDoc is the GET /v1/problems/{key} document: the canonical DSL
+// form of one problem plus its identity.
+type problemDoc struct {
+	Key         string      `json:"key"`
+	Fingerprint string      `json:"fingerprint"`
+	Source      string      `json:"source"`
+	Def         *ProblemDef `json:"def"`
+}
+
+// handleProblemGet serves GET /v1/problems/{key}: the canonical DSL form
+// of a user-registered problem, or the extracted table form of any
+// table-backed catalogue entry (so every servable problem can be read
+// back in definition form). Like the catalogue listing, the document
+// only changes when the registry does, so it carries a strong ETag.
+func (s *Server) handleProblemGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	doc := problemDoc{Key: key, Source: SourceUser}
+	if rec, ok := s.problems.Get(key); ok {
+		doc.Fingerprint, doc.Def = rec.Fingerprint, rec.Def
+	} else {
+		spec, err := s.engine.Registry().Lookup(key)
+		if err != nil || spec.Problem == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("lclgrid: no problem definition for %q (unknown key, or a direct-algorithm entry with no table form)", key))
+			return
+		}
+		p := spec.Problem()
+		def, cerr := NewProblemDef(p).Canonical()
+		if cerr != nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("lclgrid: problem %q is not representable in the table DSL: %w", key, cerr))
+			return
+		}
+		doc.Fingerprint, doc.Source, doc.Def = p.Fingerprint(), spec.SourceLabel(), def
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(doc); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}

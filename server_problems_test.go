@@ -1,0 +1,264 @@
+package lclgrid
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func threeColJSON(t *testing.T) string {
+	t.Helper()
+	data, err := json.Marshal(threeColDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestServerDefineProblem pins the POST /v1/problems contract: 201 with
+// key + fingerprint + plan on first registration, 200 and the same
+// identity on an idempotent re-post, GET /v1/problems/{key} serving the
+// canonical definition, and the registered key solving through
+// /v1/solve like any catalogue key.
+func TestServerDefineProblem(t *testing.T) {
+	base, _ := startServer(t, NewServer(NewEngine()))
+	doc := threeColJSON(t)
+
+	resp, body := postJSON(t, base+"/v1/problems", doc)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first POST: %d\n%s", resp.StatusCode, body)
+	}
+	var dr defineResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatalf("define response: %v\n%s", err, body)
+	}
+	if !dr.Created || dr.Key == "" || dr.Fingerprint == "" {
+		t.Fatalf("define response: %+v", dr)
+	}
+	if dr.Plan == nil || len(dr.Plan.Strategies) == 0 {
+		t.Fatalf("define response carries no plan: %+v", dr)
+	}
+
+	// Idempotent re-post: 200, same identity, created == false.
+	resp, body = postJSON(t, base+"/v1/problems", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-POST: %d\n%s", resp.StatusCode, body)
+	}
+	var again defineResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Created || again.Key != dr.Key || again.Fingerprint != dr.Fingerprint {
+		t.Fatalf("re-POST changed identity: %+v vs %+v", again, dr)
+	}
+
+	// Read back: the canonical form (sorted deduped pairs, full-coverage
+	// node_ok elided), source "user".
+	resp, body = getBody(t, base+"/v1/problems/"+dr.Key)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET problem: %d\n%s", resp.StatusCode, body)
+	}
+	var pd problemDoc
+	if err := json.Unmarshal(body, &pd); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Source != SourceUser || pd.Key != dr.Key || pd.Fingerprint != dr.Fingerprint {
+		t.Errorf("problem doc: %+v", pd)
+	}
+	if pd.Def == nil || len(pd.Def.Allow[0]) != 6 || pd.Def.NodeOK != nil {
+		t.Errorf("served definition is not canonical: %+v", pd.Def)
+	}
+
+	// Conditional GET: strong ETag, 304 on If-None-Match.
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("problem GET carries no ETag")
+	}
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/problems/"+dr.Key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	cond, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional GET: %d, want 304", cond.StatusCode)
+	}
+
+	// The registered key solves. (3-colouring is the paper's headline
+	// conjectured-global problem, so this runs the Θ(n) fallback — the
+	// oracle finds no normal form.)
+	resp, body = postJSON(t, base+"/v1/solve", fmt.Sprintf(`{"key":%q,"n":12,"seed":3}`, dr.Key))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve by user key: %d\n%s", resp.StatusCode, body)
+	}
+	var byKey Result
+	if err := json.Unmarshal(body, &byKey); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same definition solves inline to the identical labelling: both
+	// routes plan the same strategies over the same identifiers.
+	resp, body = postJSON(t, base+"/v1/solve", fmt.Sprintf(`{"problem_def":%s,"n":12,"seed":3}`, doc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve by inline def: %d\n%s", resp.StatusCode, body)
+	}
+	var inline Result
+	if err := json.Unmarshal(body, &inline); err != nil {
+		t.Fatal(err)
+	}
+	if len(inline.Labels) == 0 || len(inline.Labels) != len(byKey.Labels) {
+		t.Fatalf("label shapes differ: %d vs %d", len(inline.Labels), len(byKey.Labels))
+	}
+	for i := range byKey.Labels {
+		if byKey.Labels[i] != inline.Labels[i] {
+			t.Fatalf("labels differ at %d: %d vs %d", i, byKey.Labels[i], inline.Labels[i])
+		}
+	}
+
+	// The catalogue listing carries the user entry with its source.
+	resp, body = getBody(t, base+"/v1/problems")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var listing struct {
+		Problems []struct {
+			Key    string `json:"key"`
+			Source string `json:"source"`
+		} `json:"problems"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range listing.Problems {
+		if p.Key == dr.Key {
+			found = p.Source == SourceUser
+		}
+	}
+	if !found {
+		t.Errorf("listing does not carry %s with source %q:\n%s", dr.Key, SourceUser, body)
+	}
+}
+
+// TestServerProblemGetBuiltin: every table-backed catalogue entry reads
+// back in DSL form, and the extraction fingerprints identically to the
+// builtin.
+func TestServerProblemGetBuiltin(t *testing.T) {
+	e := NewEngine()
+	base, _ := startServer(t, NewServer(e))
+	resp, body := getBody(t, base+"/v1/problems/5col")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET 5col: %d\n%s", resp.StatusCode, body)
+	}
+	var pd problemDoc
+	if err := json.Unmarshal(body, &pd); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Source != SourceBuiltin {
+		t.Errorf("5col source = %q, want %q", pd.Source, SourceBuiltin)
+	}
+	spec, err := e.Registry().Lookup("5col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := pd.Def.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := spec.Problem().Fingerprint(); fp != want {
+		t.Errorf("extracted definition fingerprints to %s, want %s", fp, want)
+	}
+
+	// A key with no table form has no DSL view.
+	resp, body = getBody(t, base+"/v1/problems/no-such-key")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown key: %d\n%s", resp.StatusCode, body)
+	}
+}
+
+// TestServerDefineProblemRejects pins the 4xx surface of POST
+// /v1/problems.
+func TestServerDefineProblemRejects(t *testing.T) {
+	base, _ := startServer(t, NewServer(NewEngine()))
+	for name, doc := range map[string]string{
+		"not json":     `{"dims":`,
+		"no labels":    `{"dims":2,"labels":[],"allow":[[],[]]}`,
+		"bad pair":     `{"dims":2,"labels":["a"],"allow":[[["a","b"]],[]]}`,
+		"wrong tables": `{"dims":2,"labels":["a"],"allow":[[]]}`,
+		"bad arity":    `{"dims":2,"labels":["a"],"allow":[[["a"]],[]]}`,
+		"zero dims":    `{"dims":0,"labels":["a"],"allow":[]}`,
+	} {
+		resp, body := postJSON(t, base+"/v1/problems", doc)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400\n%s", name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestServerProblemsSurviveRestart is the persistence acceptance round
+// trip: POST against a dir-backed store, boot a fresh engine + server
+// from the same directory (the serve command's restore path), and the
+// problem is still registered, readable and solvable.
+func TestServerProblemsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := NewDirProblemStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base1, shutdown := startServer(t, NewServer(NewEngine(), WithProblemStore(store1)))
+
+	resp, body := postJSON(t, base1+"/v1/problems", threeColJSON(t))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST: %d\n%s", resp.StatusCode, body)
+	}
+	var dr defineResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// "Restart": a fresh engine restored from the directory, exactly as
+	// `lclgrid serve -problems-dir` does on boot.
+	store2, err := NewDirProblemStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngine()
+	for _, sp := range store2.List() {
+		if _, _, err := eng2.DefineProblem(sp.Def); err != nil {
+			t.Fatalf("restore %s: %v", sp.Key, err)
+		}
+	}
+	base2, _ := startServer(t, NewServer(eng2, WithProblemStore(store2)))
+
+	resp, body = getBody(t, base2+"/v1/problems/"+dr.Key)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after restart: %d\n%s", resp.StatusCode, body)
+	}
+	var pd problemDoc
+	if err := json.Unmarshal(body, &pd); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Fingerprint != dr.Fingerprint || pd.Source != SourceUser {
+		t.Errorf("restarted doc: %+v, want fingerprint %s", pd, dr.Fingerprint)
+	}
+
+	// Re-posting after the restart is still idempotent (200, not 201).
+	resp, body = postJSON(t, base2+"/v1/problems", threeColJSON(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-POST after restart: %d\n%s", resp.StatusCode, body)
+	}
+
+	// And it still solves.
+	resp, body = postJSON(t, base2+"/v1/solve", fmt.Sprintf(`{"key":%q,"n":12}`, dr.Key))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after restart: %d\n%s", resp.StatusCode, body)
+	}
+}
