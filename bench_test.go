@@ -70,6 +70,40 @@ func BenchmarkTileEnumerationK3(b *testing.B) {
 	}
 }
 
+func BenchmarkTileEnumerationPacked(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		keys, err := tiles.EnumeratePacked(ctx, 3, 7, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(keys) != 2079 {
+			b.Fatal("packed tile count drifted")
+		}
+	}
+}
+
+// BenchmarkSATPropagation isolates unit propagation: an implication
+// cascade alternating binary links (inline-watcher path) and ternary
+// links (blocker/long-clause path), fired by a single unit at the end.
+func BenchmarkSATPropagation(b *testing.B) {
+	const n = 4096
+	for i := 0; i < b.N; i++ {
+		s := sat.NewSolver(n)
+		for v := 0; v+2 < n; v += 2 {
+			s.AddClause(sat.Neg(v), sat.Pos(v+1))
+			s.AddClause(sat.Neg(v), sat.Neg(v+1), sat.Pos(v+2))
+		}
+		s.AddClause(sat.Pos(0)) // triggers the full cascade
+		if !s.Solve() {
+			b.Fatal("chain must be SAT")
+		}
+		if s.Stats.Propagated < n-2 {
+			b.Fatalf("expected a full cascade, propagated only %d", s.Stats.Propagated)
+		}
+	}
+}
+
 func BenchmarkAnchorsK3(b *testing.B) {
 	g := lclgrid.Square(64)
 	ids := lclgrid.PermutedIDs(g.N(), 1)

@@ -91,11 +91,15 @@ func cmdGateway(ctx context.Context, args []string, out io.Writer) error {
 	maxBody := fs.Int64("max-body", lclgrid.DefaultMaxBodyBytes, "request body size cap in bytes (0 = unbounded)")
 	drain := fs.Duration("drain", lclgrid.DefaultDrainTimeout, "graceful-shutdown drain window for in-flight requests")
 	probe := fs.Duration("probe-interval", 5*time.Second, "shard health probe period")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (debug only; e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards == "" {
 		return fmt.Errorf("gateway: -shards is required (comma-separated shard addresses)")
+	}
+	if err := startPprof(*pprofAddr, out); err != nil {
+		return err
 	}
 
 	metrics := lclgrid.NewMetricsObserver()

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// startPprof opens an opt-in debug listener serving the net/http/pprof
+// endpoints on their own mux, so profiling never rides the production
+// listener's port (or its middleware: no admission bound, body cap or
+// request timeout applies here). Callers gate it behind a -pprof flag
+// and should bind loopback; an empty addr is a no-op.
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	curl http://127.0.0.1:6060/debug/pprof/heap > heap.pb.gz
+func startPprof(addr string, out io.Writer) error {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(l) //nolint:errcheck // debug listener lives for the process
+	fmt.Fprintf(out, "lclgrid: pprof on http://%s/debug/pprof/\n", l.Addr())
+	return nil
+}

@@ -66,8 +66,12 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	self := fs.String("self", "", "this replica's name on the fleet ring (must appear in -peers)")
 	peers := fs.String("peers", "", "comma-separated names of every fleet replica (enables ring-sliced warming)")
 	cacheService := fs.Bool("cache-service", false, "mount the blob/lease cache service under /v1/cache/ (backed by -cache-dir when set)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (debug only; e.g. 127.0.0.1:6060)")
 	verbose := fs.Bool("v", false, "log engine events to stderr")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startPprof(*pprofAddr, out); err != nil {
 		return err
 	}
 

@@ -261,6 +261,17 @@ func withProblem(alg *Synthesized, p *Problem) *Synthesized {
 // error the moment it is cancelled; the shared synthesis keeps running
 // for the remaining waiters.
 func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *Synthesized, cached bool, err error) {
+	return e.synthesizeWith(ctx, p, k, h, w, nil)
+}
+
+// synthFn is a pluggable cold-path synthesizer: Synthesize passes nil
+// (plain core.Synthesize), sequential sweeps pass a SynthSweep adapter so
+// cache misses share one incremental solver. The fn only runs on a cache
+// miss with the local (and cluster) singleflight election won, so a
+// single-threaded caller's fn is never invoked concurrently.
+type synthFn func(ctx context.Context, k, h, w int) (*Synthesized, error)
+
+func (e *Engine) synthesizeWith(ctx context.Context, p *Problem, k, h, w int, fn synthFn) (alg *Synthesized, cached bool, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
@@ -357,7 +368,11 @@ func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *
 					panic(r)
 				}
 			}()
-			ent.alg, ent.err = core.Synthesize(ctx, p, k, h, w)
+			if fn != nil {
+				ent.alg, ent.err = fn(ctx, k, h, w)
+			} else {
+				ent.alg, ent.err = core.Synthesize(ctx, p, k, h, w)
+			}
 		}()
 		e.observeSynthesisEnd(key, time.Since(start), ent.err)
 		if !isCtxErr(ent.err) {
@@ -397,8 +412,17 @@ func (e *Engine) retire(key SynthKey) {
 // aborts the schedule; the context's error is recorded in
 // OracleResult.Err.
 func (e *Engine) Classify(ctx context.Context, p *Problem, maxK int) OracleResult {
+	// A single-worker oracle visits its shapes strictly sequentially, so
+	// cache misses can share one incremental solver: each miss extends the
+	// sweep's formula and is decided under an activation assumption,
+	// reusing everything learned from the previous shapes.
+	var fn synthFn
+	if e.synthWorkers == 1 {
+		sweep := core.NewSynthSweep(p)
+		fn = sweep.Synthesize
+	}
 	synth := func(ctx context.Context, p *Problem, k, h, w int) (*Synthesized, error) {
-		alg, _, err := e.Synthesize(ctx, p, k, h, w)
+		alg, _, err := e.synthesizeWith(ctx, p, k, h, w, fn)
 		return alg, err
 	}
 	probe := func(k, h, w int) bool {
@@ -428,10 +452,16 @@ func (e *Engine) raceSynthesize(ctx context.Context, p *Problem, attempts []Synt
 		// Strict schedule order, stop at the first success; no
 		// speculative work to cancel. The reported failure is the first
 		// in schedule order — the same selection the parallel path makes,
-		// so the error does not depend on the worker budget.
+		// so the error does not depend on the worker budget. Being
+		// sequential, cache misses share one incremental solver.
+		var fn synthFn
+		if len(attempts) > 1 {
+			sweep := core.NewSynthSweep(p)
+			fn = sweep.Synthesize
+		}
 		var firstErr error
 		for _, a := range attempts {
-			alg, cached, err := e.Synthesize(ctx, p, a.K, a.H, a.W)
+			alg, cached, err := e.synthesizeWith(ctx, p, a.K, a.H, a.W, fn)
 			if err == nil {
 				return alg, a, cached, err
 			}
@@ -586,8 +616,15 @@ func (e *Engine) Warm(ctx context.Context, keys ...string) (WarmStats, error) {
 		oracleWarm := spec.Oracle
 		p := spec.Problem()
 		warmed := false
+		// Warm is deliberately sequential, so each key's cache misses
+		// share one incremental solver across its attempt shapes.
+		var fn synthFn
+		if len(attempts) > 1 {
+			sweep := core.NewSynthSweep(p)
+			fn = sweep.Synthesize
+		}
 		for _, a := range attempts {
-			_, cached, err := e.Synthesize(ctx, p, a.K, a.H, a.W)
+			_, cached, err := e.synthesizeWith(ctx, p, a.K, a.H, a.W, fn)
 			if isCtxErr(err) {
 				// An aborted call ran no synthesis to completion (or only
 				// waited on someone else's); it must not inflate Syntheses.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"lclgrid/internal/tiles"
 )
@@ -111,22 +110,15 @@ func (w *SynthesizedWire) Decode() (*Synthesized, error) {
 }
 
 // parseTileKey parses one canonical tile key, insisting on the exact
-// h×w geometry and the 0/1 alphabet (tiles.ParsePattern assumes
-// well-formed input; cache files are not trusted to be).
+// h×w geometry on top of tiles.ParsePattern's own well-formedness checks
+// (cache files are not trusted to be well-formed).
 func parseTileKey(key string, h, w int) (tiles.Pattern, error) {
-	rows := strings.Split(key, "|")
-	if len(rows) != h {
-		return tiles.Pattern{}, fmt.Errorf("key %q has %d rows, want %d", key, len(rows), h)
+	p, err := tiles.ParsePattern(key)
+	if err != nil {
+		return tiles.Pattern{}, err
 	}
-	for _, row := range rows {
-		if len(row) != w {
-			return tiles.Pattern{}, fmt.Errorf("key %q has a row of width %d, want %d", key, len(row), w)
-		}
-		for _, ch := range row {
-			if ch != '0' && ch != '1' {
-				return tiles.Pattern{}, fmt.Errorf("key %q contains %q, want 0/1", key, ch)
-			}
-		}
+	if p.H != h || p.W != w {
+		return tiles.Pattern{}, fmt.Errorf("key %q is %dx%d, want %dx%d", key, p.H, p.W, h, w)
 	}
-	return tiles.ParsePattern(key), nil
+	return p, nil
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"lclgrid/internal/lcl"
+	"lclgrid/internal/sat"
+)
+
+// SynthSweep synthesizes normal forms for one problem across a sequence
+// of window shapes incrementally. All shapes share a single SAT solver:
+// each shape gets a fresh block of variables plus one activation
+// literal, its positive at-least-one clauses are guarded with the
+// activation's negation, and the shape is decided with
+// SolveAssuming(activation). The negative forbidden-pair clauses — the
+// overwhelming majority of the encoding — are satisfied by the all-false
+// assignment and need no guard, so they stay binary. Everything the
+// solver learns (clause database, variable activities, saved phases)
+// carries over to the next shape, which is what the oracle's sequential
+// window sweep and Engine.Warm exploit.
+//
+// A SynthSweep is NOT safe for concurrent use; it is meant for exactly
+// the sequential sweeps above. After a context abort the shared solver's
+// pending encoding is in an undefined partial state, so the sweep marks
+// itself dead and later calls transparently fall back to fresh
+// per-shape solvers.
+type SynthSweep struct {
+	p    *lcl.Problem
+	enc  *cspEncoding
+	s    *sat.Solver
+	prev sat.Stats
+	dead bool
+}
+
+// NewSynthSweep returns an incremental synthesizer for p. The shared
+// solver is created lazily on the first Synthesize call.
+func NewSynthSweep(p *lcl.Problem) *SynthSweep {
+	return &SynthSweep{p: p}
+}
+
+// Synthesize is Synthesize for the sweep's problem, reusing the shared
+// solver. It matches core.Synthesize's contract: ErrUnsatisfiable when
+// no table exists for the shape, the context's error on abort.
+func (sw *SynthSweep) Synthesize(ctx context.Context, k, h, w int) (*Synthesized, error) {
+	if sw.dead {
+		return Synthesize(ctx, sw.p, k, h, w)
+	}
+	if sw.p.Dims() != 2 {
+		return nil, fmt.Errorf("core: synthesis implemented for 2-dimensional problems, %s is %d-dimensional", sw.p.Name(), sw.p.Dims())
+	}
+	if k < 1 || h < 1 || w < 1 {
+		return nil, fmt.Errorf("core: synthesis parameters must be positive, got k=%d window %dx%d", k, h, w)
+	}
+	tg, err := BuildTileGraph(ctx, k, h, w)
+	if err != nil {
+		return nil, err
+	}
+	if sw.s == nil {
+		sw.s = sat.NewSolver(0)
+		sw.enc = newCSPEncoding(sw.p)
+	}
+	nt := tg.NumTiles()
+	base := sw.s.AddVars(nt*sw.enc.kk + 1)
+	act := base + nt*sw.enc.kk
+	encodeTileCSP(sw.s, sw.enc, tg, base, act)
+	ok, err := sw.s.SolveAssuming(ctx, sat.Pos(act))
+	stats := statsDelta(sw.s.Stats, sw.prev)
+	sw.prev = sw.s.Stats
+	if err != nil {
+		sw.dead = true
+		return nil, err
+	}
+	if !ok {
+		// The guarded encoding is always satisfiable with the activation
+		// false, so a refusal is specifically this shape's. Retire the
+		// shape before moving on: a unit ¬act keeps later searches from
+		// ever re-exploring its constraints.
+		sw.s.AddClause(sat.Neg(act))
+		return nil, ErrUnsatisfiable
+	}
+	table, err := extractTable(sw.s, sw.enc, tg, base)
+	if err != nil {
+		return nil, err
+	}
+	// Retire this shape too (after reading the model — AddClause drops
+	// back to decision level 0): if the sweep continues, the next shape
+	// should not pay to re-satisfy this one.
+	sw.s.AddClause(sat.Neg(act))
+	return &Synthesized{
+		Problem:     sw.p,
+		K:           k,
+		H:           h,
+		W:           w,
+		OffR:        h / 2,
+		OffC:        w / 2,
+		Graph:       tg,
+		Table:       table,
+		SolverStats: stats,
+	}, nil
+}
+
+// statsDelta returns the per-call statistics of an incremental solve:
+// the shared solver's cumulative counters minus their values before the
+// call.
+func statsDelta(cur, prev sat.Stats) sat.Stats {
+	return sat.Stats{
+		Decisions:  cur.Decisions - prev.Decisions,
+		Conflicts:  cur.Conflicts - prev.Conflicts,
+		Propagated: cur.Propagated - prev.Propagated,
+		Learned:    cur.Learned - prev.Learned,
+		Restarts:   cur.Restarts - prev.Restarts,
+		Aborts:     cur.Aborts - prev.Aborts,
+		Minimized:  cur.Minimized - prev.Minimized,
+		Reductions: cur.Reductions - prev.Reductions,
+		Deleted:    cur.Deleted - prev.Deleted,
+	}
+}

@@ -108,48 +108,104 @@ func Synthesize(ctx context.Context, p *lcl.Problem, k, h, w int) (*Synthesized,
 	}, nil
 }
 
-// solveTileCSP encodes the tile-labelling CSP as SAT: variable (t, a) is
-// "tile t outputs label a"; every tile holds at least one valid label, and
-// the per-dimension relations hold across every edge of the tile graph.
-// At-most-one constraints are unnecessary because all edge constraints are
-// negative: any chosen label among a tile's true variables works.
-func solveTileCSP(ctx context.Context, p *lcl.Problem, tg *TileGraph) ([]int, sat.Stats, error) {
-	nt, kk := tg.NumTiles(), p.K()
-	s := sat.NewSolver(nt * kk)
-	v := func(t, a int) int { return t*kk + a }
+// cspEncoding is the problem-level structure of the tile CSP, shared by
+// every window shape of the same problem: the partition of labels into
+// node-valid and node-invalid, and per dimension the forbidden label
+// pairs. Precomputing it turns the per-edge encoding loop into pure
+// index arithmetic — no Allowed/NodeOK callback runs per edge.
+type cspEncoding struct {
+	kk        int
+	okLabels  []int
+	badLabels []int
+	forb      [2][][2]int // per dimension, forbidden (a, b) pairs among OK labels
+}
 
-	for t := 0; t < nt; t++ {
-		lits := make([]sat.Lit, 0, kk)
-		for a := 0; a < kk; a++ {
-			if p.NodeOK(a) {
-				lits = append(lits, sat.Pos(v(t, a)))
-			} else {
-				s.AddClause(sat.Neg(v(t, a)))
+func newCSPEncoding(p *lcl.Problem) *cspEncoding {
+	enc := &cspEncoding{kk: p.K()}
+	for a := 0; a < enc.kk; a++ {
+		if p.NodeOK(a) {
+			enc.okLabels = append(enc.okLabels, a)
+		} else {
+			enc.badLabels = append(enc.badLabels, a)
+		}
+	}
+	for dim := 0; dim < 2; dim++ {
+		for _, a := range enc.okLabels {
+			for _, b := range enc.okLabels {
+				if !p.Allowed(dim, a, b) {
+					enc.forb[dim] = append(enc.forb[dim], [2]int{a, b})
+				}
 			}
+		}
+	}
+	return enc
+}
+
+// encodeTileCSP adds the CSP clauses for tile graph tg to s over the
+// variable block starting at base: variable base + t*kk + a is "tile t
+// outputs label a"; every tile holds at least one valid label, and the
+// per-dimension relations hold across every edge of the tile graph.
+// At-most-one constraints are unnecessary because all edge constraints
+// are negative: any chosen label among a tile's true variables works.
+//
+// If act >= 0, the positive at-least-one clauses are guarded with ¬act,
+// so the shape's constraints only bind under the assumption act. The
+// negative clauses need no guard — the all-false assignment satisfies
+// them — which keeps them binary (the solver's fastest clause form) and
+// lets one solver host many shapes at once.
+func encodeTileCSP(s *sat.Solver, enc *cspEncoding, tg *TileGraph, base, act int) {
+	nt, kk := tg.NumTiles(), enc.kk
+	lits := make([]sat.Lit, 0, kk+1)
+	for t := 0; t < nt; t++ {
+		for _, a := range enc.badLabels {
+			s.AddClause(sat.Neg(base + t*kk + a))
+		}
+		lits = lits[:0]
+		if act >= 0 {
+			lits = append(lits, sat.Neg(act))
+		}
+		for _, a := range enc.okLabels {
+			lits = append(lits, sat.Pos(base+t*kk+a))
 		}
 		s.AddClause(lits...)
 	}
-	addEdge := func(dim, t1, t2 int) {
-		for a := 0; a < kk; a++ {
-			if !p.NodeOK(a) {
-				continue
-			}
-			for b := 0; b < kk; b++ {
-				if !p.NodeOK(b) {
-					continue
-				}
-				if !p.Allowed(dim, a, b) {
-					s.AddClause(sat.Neg(v(t1, a)), sat.Neg(v(t2, b)))
-				}
+	// West tile is the node and east tile its dim-0 successor; south tile
+	// the node and north tile its dim-1 successor.
+	for dim, edges := range [2][][2]int{tg.HEdges, tg.VEdges} {
+		for _, e := range edges {
+			b1, b2 := base+e[0]*kk, base+e[1]*kk
+			for _, pr := range enc.forb[dim] {
+				s.AddClause(sat.Neg(b1+pr[0]), sat.Neg(b2+pr[1]))
 			}
 		}
 	}
-	for _, e := range tg.HEdges {
-		addEdge(0, e[0], e[1]) // west tile is the node, east tile its dim-0 successor
+}
+
+// extractTable reads the tile labelling out of the solver's model.
+func extractTable(s *sat.Solver, enc *cspEncoding, tg *TileGraph, base int) ([]int, error) {
+	nt, kk := tg.NumTiles(), enc.kk
+	table := make([]int, nt)
+	for t := 0; t < nt; t++ {
+		table[t] = -1
+		for _, a := range enc.okLabels {
+			if s.Value(base + t*kk + a) {
+				table[t] = a
+				break
+			}
+		}
+		if table[t] < 0 {
+			return nil, errors.New("core: SAT model leaves a tile unlabelled")
+		}
 	}
-	for _, e := range tg.VEdges {
-		addEdge(1, e[0], e[1]) // south tile is the node, north tile its dim-1 successor
-	}
+	return table, nil
+}
+
+// solveTileCSP encodes and solves the tile-labelling CSP for one shape in
+// a fresh solver.
+func solveTileCSP(ctx context.Context, p *lcl.Problem, tg *TileGraph) ([]int, sat.Stats, error) {
+	enc := newCSPEncoding(p)
+	s := sat.NewSolver(tg.NumTiles() * enc.kk)
+	encodeTileCSP(s, enc, tg, 0, -1)
 	ok, err := s.SolveContext(ctx)
 	if err != nil {
 		return nil, s.Stats, err
@@ -157,18 +213,9 @@ func solveTileCSP(ctx context.Context, p *lcl.Problem, tg *TileGraph) ([]int, sa
 	if !ok {
 		return nil, s.Stats, ErrUnsatisfiable
 	}
-	table := make([]int, nt)
-	for t := 0; t < nt; t++ {
-		table[t] = -1
-		for a := 0; a < kk; a++ {
-			if p.NodeOK(a) && s.Value(v(t, a)) {
-				table[t] = a
-				break
-			}
-		}
-		if table[t] < 0 {
-			return nil, s.Stats, errors.New("core: SAT model leaves a tile unlabelled")
-		}
+	table, err := extractTable(s, enc, tg, 0)
+	if err != nil {
+		return nil, s.Stats, err
 	}
 	return table, s.Stats, nil
 }

@@ -77,7 +77,16 @@ func (tg *TileGraph) BitIndex() (map[uint64]int, bool) {
 // dimensions h×w. The three tile enumerations dominate synthesis time for
 // large powers, so they run under ctx and a cancel aborts construction
 // with the context's error.
+//
+// When the joint windows fit in 64 bits the whole construction is done on
+// packed uint64 keys (the patternBits/BitIndex encoding): joint tiles are
+// restricted to their two sub-tiles by bit extraction and resolved through
+// the integer-keyed index, with no Pattern.Key string ever built for a
+// joint. Larger geometries use the string-keyed path.
 func BuildTileGraph(ctx context.Context, k, h, w int) (*TileGraph, error) {
+	if h*(w+1) <= 64 && (h+1)*w <= 64 {
+		return buildTileGraphPacked(ctx, k, h, w)
+	}
 	tls, err := tiles.EnumerateContext(ctx, k, h, w)
 	if err != nil {
 		return nil, err
@@ -115,6 +124,75 @@ func BuildTileGraph(ctx context.Context, k, h, w int) (*TileGraph, error) {
 		si, ok2 := tg.Index[south.Key()]
 		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("core: vertical joint tile %s restricts to a non-tile", joint.Key())
+		}
+		tg.VEdges = append(tg.VEdges, [2]int{si, ni})
+	}
+	return tg, nil
+}
+
+// unpackPattern expands a packed uint64 window key back into a Pattern.
+func unpackPattern(key uint64, h, w int) tiles.Pattern {
+	bits := make([]bool, h*w)
+	for i := range bits {
+		bits[i] = key&(1<<uint(i)) != 0
+	}
+	return tiles.Pattern{H: h, W: w, Bits: bits}
+}
+
+// buildTileGraphPacked is the uint64-keyed construction used when every
+// joint window fits a packed key.
+func buildTileGraphPacked(ctx context.Context, k, h, w int) (*TileGraph, error) {
+	keys, err := tiles.EnumeratePacked(ctx, k, h, w)
+	if err != nil {
+		return nil, err
+	}
+	tg := &TileGraph{
+		K:      k,
+		H:      h,
+		W:      w,
+		Tiles:  make([]tiles.Pattern, len(keys)),
+		Index:  make(map[string]int, len(keys)),
+		bitIdx: make(map[uint64]int, len(keys)),
+		bitOK:  true,
+	}
+	tg.bitOnce.Do(func() {}) // the lazy index is pre-built
+	for i, key := range keys {
+		tg.Tiles[i] = unpackPattern(key, h, w)
+		tg.Index[tg.Tiles[i].Key()] = i
+		tg.bitIdx[key] = i
+	}
+	hJoints, err := tiles.EnumeratePacked(ctx, k, h, w+1)
+	if err != nil {
+		return nil, err
+	}
+	rowMask := uint64(1)<<uint(w) - 1
+	jointRowMask := uint64(1)<<uint(w+1) - 1
+	for _, joint := range hJoints {
+		var west, east uint64
+		for r := 0; r < h; r++ {
+			row := joint >> uint(r*(w+1)) & jointRowMask
+			west |= (row & rowMask) << uint(r*w)
+			east |= (row >> 1) << uint(r*w)
+		}
+		wi, ok1 := tg.bitIdx[west]
+		ei, ok2 := tg.bitIdx[east]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: horizontal joint tile %s restricts to a non-tile", unpackPattern(joint, h, w+1).Key())
+		}
+		tg.HEdges = append(tg.HEdges, [2]int{wi, ei})
+	}
+	vJoints, err := tiles.EnumeratePacked(ctx, k, h+1, w)
+	if err != nil {
+		return nil, err
+	}
+	winMask := uint64(1)<<uint(h*w) - 1
+	for _, joint := range vJoints {
+		north := joint & winMask
+		south := joint >> uint(w)
+		ni, ok1 := tg.bitIdx[north]
+		si, ok2 := tg.bitIdx[south]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: vertical joint tile %s restricts to a non-tile", unpackPattern(joint, h+1, w).Key())
 		}
 		tg.VEdges = append(tg.VEdges, [2]int{si, ni})
 	}

@@ -6,11 +6,22 @@
 // can be done with modern SAT solvers in a matter of seconds"); this
 // package is that solver, and it is also used to decide solvability of
 // LCL tilings on small tori (the Θ(n) brute-force baseline).
+//
+// The hot path is tuned for the tile CSP's clause mix, which is
+// dominated by binary forbidden-pair clauses: binary clauses live in a
+// dedicated implication list (the other literal is stored inline, no
+// clause dereference), long-clause watches carry a blocker literal, and
+// learned clauses are scored by LBD and activity so the database can be
+// periodically reduced. Clauses may be added after a search has run, and
+// SolveAssuming decides satisfiability under assumption literals without
+// committing them, so one solver can be reused incrementally across a
+// sweep of related formulas.
 package sat
 
 import (
 	"context"
 	"fmt"
+	"sort"
 )
 
 // Lit is a literal: variable index v with sign, encoded as 2v (positive)
@@ -46,26 +57,73 @@ const (
 	lFalse int8 = -1
 )
 
+// Reason and conflict sentinels. Non-negative values are clause indices.
+const (
+	reasonNone = -1 // decision or unassigned
+	reasonBin  = -2 // binary clause; the other literal is in reasonLit
+	conflNone  = -1 // no conflict
+	conflBin   = -2 // conflict in a binary clause; literals in binConfl
+)
+
+// clause is a stored clause of length >= 3. Binary clauses are kept
+// inline in the solver's implication lists and never allocate a clause.
+type clause struct {
+	lits   []Lit
+	act    float64 // activity (learnt clauses only)
+	lbd    int32   // literal block distance at learn time
+	learnt bool
+}
+
+// watcher is a watch-list entry for a long clause: the clause reference
+// plus a blocker literal (some other literal of the clause). If the
+// blocker is true the clause is satisfied and need not be dereferenced.
+type watcher struct {
+	cref    int32
+	blocker Lit
+}
+
 // Solver is a CDCL SAT solver. Create with NewSolver, add clauses with
-// AddClause, then call Solve.
+// AddClause, then call Solve, SolveContext or SolveAssuming. The
+// variable space can be grown between solves with AddVars, and AddClause
+// may be called after a search (the solver transparently drops back to
+// decision level 0).
 type Solver struct {
 	nVars   int
-	clauses [][]Lit
-	watches [][]int // for each literal, clause indices watching it
+	clauses []clause    // long clauses; deleted slots are recycled via free
+	free    []int32     // recycled clause slots
+	watches [][]watcher // for each literal, long-clause watches
+	bins    [][]Lit     // for each literal p, literals implied when p is true
 
-	assign []int8 // per variable
-	level  []int
-	reason []int // clause index, or -1 for decisions/unassigned
-	trail  []Lit
-	lim    []int // decision-level boundaries in trail
-	qhead  int
-	unsat  bool // formula already unsatisfiable at level 0
-	phase  []bool
-	seen   []bool
+	numProblem int // live problem clauses of length >= 2
+	numLearnts int // live learnt clauses stored in the clause database
+
+	assign    []int8 // per variable
+	level     []int32
+	reason    []int32 // clause index, reasonNone, or reasonBin
+	reasonLit []Lit   // other literal of a binary reason
+	trail     []Lit
+	lim       []int // decision-level boundaries in trail
+	qhead     int
+	unsat     bool // formula already unsatisfiable at level 0
+	phase     []bool
+	seen      []bool
 
 	activity []float64
 	varInc   float64
 	heap     varHeap
+
+	claInc     float64
+	maxLearnts int // reduceDB threshold; initialized on first solve
+
+	binConfl  [2]Lit   // scratch conflict clause for binary conflicts
+	tmpReason [1]Lit   // scratch reason slice for binary reasons in analyze
+	addSeen   []int8   // per-literal scratch for AddClause deduplication
+	addBuf    []Lit    // reusable AddClause simplification buffer
+	minClear  []Lit    // seen-flag cleanup list for clause minimization
+	minBudget int      // antecedent-visit budget per minimization pass
+	lbdSeen   []uint64 // per-level stamp for LBD computation
+	lbdStamp  uint64
+	reduceBuf []int32 // reusable reduceDB candidate buffer
 
 	Stats Stats
 }
@@ -83,34 +141,59 @@ type Stats struct {
 	// aborted work a first-class outcome, and this is its account: the
 	// other counters still record everything the aborted search burned.
 	Aborts int
+	// Minimized counts literals removed from learned clauses by
+	// self-subsumption over reason clauses.
+	Minimized int
+	// Reductions counts learned-clause database reduction passes;
+	// Deleted counts the clauses those passes removed.
+	Reductions int
+	Deleted    int
 }
 
 // NewSolver creates a solver over nVars variables (indices 0..nVars-1).
 func NewSolver(nVars int) *Solver {
-	s := &Solver{
-		nVars:    nVars,
-		watches:  make([][]int, 2*nVars),
-		assign:   make([]int8, nVars),
-		level:    make([]int, nVars),
-		reason:   make([]int, nVars),
-		phase:    make([]bool, nVars),
-		seen:     make([]bool, nVars),
-		activity: make([]float64, nVars),
-		varInc:   1,
-	}
-	for i := range s.reason {
-		s.reason[i] = -1
-	}
-	s.heap.init(s, nVars)
+	s := &Solver{varInc: 1, claInc: 1}
+	s.heap.init(s)
+	s.AddVars(nVars)
 	return s
+}
+
+// AddVars grows the variable space by n fresh variables and returns the
+// index of the first new variable. It may be called between solves,
+// which is how incremental encodings extend one solver across a sweep of
+// related formulas.
+func (s *Solver) AddVars(n int) int {
+	base := s.nVars
+	s.nVars += n
+	s.watches = append(s.watches, make([][]watcher, 2*n)...)
+	s.bins = append(s.bins, make([][]Lit, 2*n)...)
+	s.addSeen = append(s.addSeen, make([]int8, 2*n)...)
+	s.assign = append(s.assign, make([]int8, n)...)
+	s.level = append(s.level, make([]int32, n)...)
+	s.phase = append(s.phase, make([]bool, n)...)
+	s.seen = append(s.seen, make([]bool, n)...)
+	s.activity = append(s.activity, make([]float64, n)...)
+	for len(s.lbdSeen) < s.nVars+1 {
+		s.lbdSeen = append(s.lbdSeen, 0)
+	}
+	for i := 0; i < n; i++ {
+		s.reason = append(s.reason, reasonNone)
+		s.reasonLit = append(s.reasonLit, 0)
+	}
+	s.heap.grow(s.nVars)
+	for v := base; v < s.nVars; v++ {
+		s.heap.push(v)
+	}
+	return base
 }
 
 // NumVars returns the number of variables.
 func (s *Solver) NumVars() int { return s.nVars }
 
-// NumClauses returns the number of problem clauses added (not counting
-// learned clauses).
-func (s *Solver) NumClauses() int { return len(s.clauses) - s.Stats.Learned }
+// NumClauses returns the number of live problem clauses of length >= 2
+// (units become assignments, learned clauses are not counted, and
+// learned-clause deletion does not disturb the count).
+func (s *Solver) NumClauses() int { return s.numProblem }
 
 // value returns the current value of a literal.
 func (s *Solver) value(l Lit) int8 {
@@ -125,60 +208,120 @@ func (s *Solver) value(l Lit) int8 {
 }
 
 // AddClause adds a clause. Duplicate literals are removed and tautologies
-// are dropped. Must be called before Solve. An empty (or all-false after
-// simplification at level 0) clause makes the formula unsatisfiable.
+// are dropped. It may be called before or after a search: if a search has
+// run, the solver first backtracks to decision level 0 (learned clauses
+// and activities are kept). An empty (or all-false after simplification
+// at level 0) clause makes the formula unsatisfiable.
 func (s *Solver) AddClause(lits ...Lit) {
 	if s.unsat {
 		return
 	}
-	if len(s.trail) > 0 && len(s.lim) > 0 {
-		panic("sat: AddClause after search started")
-	}
-	// Simplify: dedupe, drop tautologies and false-at-level-0 literals.
-	simplified := make([]Lit, 0, len(lits))
-	seen := make(map[Lit]bool, len(lits))
+	// Simplification below must only see level-0 facts.
+	s.backtrack(0)
+	simplified := s.addBuf[:0]
+	taut := false
 	for _, l := range lits {
 		if l.Var() < 0 || l.Var() >= s.nVars {
 			panic(fmt.Sprintf("sat: literal %v out of range", l))
 		}
-		switch {
-		case seen[l]:
+		if s.addSeen[l] != 0 {
 			continue
-		case seen[l.Not()]:
-			return // tautology
-		case s.value(l) == lTrue:
-			return // already satisfied at level 0
-		case s.value(l) == lFalse:
+		}
+		if s.addSeen[l.Not()] != 0 || s.value(l) == lTrue {
+			taut = true // tautology or already satisfied at level 0
+			break
+		}
+		if s.value(l) == lFalse {
 			continue // already false at level 0
 		}
-		seen[l] = true
+		s.addSeen[l] = 1
 		simplified = append(simplified, l)
+	}
+	for _, l := range simplified {
+		s.addSeen[l] = 0
+	}
+	s.addBuf = simplified[:0]
+	if taut {
+		return
 	}
 	switch len(simplified) {
 	case 0:
 		s.unsat = true
 	case 1:
-		if !s.enqueue(simplified[0], -1) {
+		if !s.enqueue(simplified[0], reasonNone) {
 			s.unsat = true
-		} else if s.propagate() >= 0 {
+		} else if s.propagate() != conflNone {
 			s.unsat = true
 		}
+	case 2:
+		s.numProblem++
+		s.addBinary(simplified[0], simplified[1])
 	default:
-		s.attachClause(simplified)
+		s.numProblem++
+		cl := make([]Lit, len(simplified))
+		copy(cl, simplified)
+		s.attachClause(cl, false)
 	}
 }
 
-func (s *Solver) attachClause(lits []Lit) int {
-	idx := len(s.clauses)
-	s.clauses = append(s.clauses, lits)
-	s.watches[lits[0]] = append(s.watches[lits[0]], idx)
-	s.watches[lits[1]] = append(s.watches[lits[1]], idx)
-	return idx
+// addBinary records the binary clause (a ∨ b) in the implication lists.
+// Lists start at capacity 8: encodings in this repo attach several
+// binaries per literal, and skipping the 1→2→4 growth steps measurably
+// cuts encoding time.
+func (s *Solver) addBinary(a, b Lit) {
+	s.appendBin(a.Not(), b)
+	s.appendBin(b.Not(), a)
+}
+
+func (s *Solver) appendBin(watch, imp Lit) {
+	w := s.bins[watch]
+	if cap(w) == 0 {
+		w = make([]Lit, 0, 8)
+	}
+	s.bins[watch] = append(w, imp)
+}
+
+// attachClause stores a clause of length >= 3 and watches its first two
+// literals. Deleted slots are recycled before the arena grows.
+func (s *Solver) attachClause(lits []Lit, learnt bool) int32 {
+	var ci int32
+	if n := len(s.free); n > 0 {
+		ci = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.clauses[ci] = clause{lits: lits, learnt: learnt}
+	} else {
+		ci = int32(len(s.clauses))
+		s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt})
+	}
+	s.watches[lits[0]] = append(s.watches[lits[0]], watcher{ci, lits[1]})
+	s.watches[lits[1]] = append(s.watches[lits[1]], watcher{ci, lits[0]})
+	return ci
+}
+
+// detachClause removes the clause's two watch entries and recycles its
+// slot.
+func (s *Solver) detachClause(ci int32) {
+	c := s.clauses[ci].lits
+	s.removeWatch(c[0], ci)
+	s.removeWatch(c[1], ci)
+	s.clauses[ci] = clause{}
+	s.free = append(s.free, ci)
+}
+
+func (s *Solver) removeWatch(l Lit, ci int32) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].cref == ci {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
 }
 
 // enqueue assigns literal l to true with the given reason clause; it
 // returns false on an immediate conflict with an existing assignment.
-func (s *Solver) enqueue(l Lit, reason int) bool {
+func (s *Solver) enqueue(l Lit, reason int32) bool {
 	switch s.value(l) {
 	case lTrue:
 		return true
@@ -191,31 +334,72 @@ func (s *Solver) enqueue(l Lit, reason int) bool {
 	} else {
 		s.assign[v] = lFalse
 	}
-	s.level[v] = len(s.lim)
+	s.level[v] = int32(len(s.lim))
 	s.reason[v] = reason
 	s.trail = append(s.trail, l)
 	return true
 }
 
+// enqueueBin assigns l to true with a binary reason clause (l ∨ other).
+func (s *Solver) enqueueBin(l, other Lit) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Positive() {
+		s.assign[v] = lTrue
+	} else {
+		s.assign[v] = lFalse
+	}
+	s.level[v] = int32(len(s.lim))
+	s.reason[v] = reasonBin
+	s.reasonLit[v] = other
+	s.trail = append(s.trail, l)
+	return true
+}
+
 // propagate performs unit propagation; it returns the index of a
-// conflicting clause, or -1.
-func (s *Solver) propagate() int {
+// conflicting clause, conflBin for a conflict in a binary clause (the
+// literals are left in binConfl), or conflNone.
+func (s *Solver) propagate() int32 {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
+		// Binary implications first: the other literal is inline, no
+		// clause dereference.
+		for _, imp := range s.bins[p] {
+			switch s.value(imp) {
+			case lTrue:
+			case lFalse:
+				s.binConfl[0], s.binConfl[1] = imp, p.Not()
+				s.qhead = len(s.trail)
+				return conflBin
+			default:
+				s.enqueueBin(imp, p.Not())
+				s.Stats.Propagated++
+			}
+		}
 		falsified := p.Not()
 		ws := s.watches[falsified]
 		kept := ws[:0]
 		for wi := 0; wi < len(ws); wi++ {
-			ci := ws[wi]
-			c := s.clauses[ci]
+			w := ws[wi]
+			// Blocker satisfied: the clause is true, skip the deref.
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := s.clauses[w.cref].lits
 			// Ensure the falsified literal is at position 1.
 			if c[0] == falsified {
 				c[0], c[1] = c[1], c[0]
 			}
-			// Clause satisfied by first watch?
-			if s.value(c[0]) == lTrue {
-				kept = append(kept, ci)
+			first := c[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{w.cref, first})
 				continue
 			}
 			// Find a new literal to watch.
@@ -223,7 +407,7 @@ func (s *Solver) propagate() int {
 			for k := 2; k < len(c); k++ {
 				if s.value(c[k]) != lFalse {
 					c[1], c[k] = c[k], c[1]
-					s.watches[c[1]] = append(s.watches[c[1]], ci)
+					s.watches[c[1]] = append(s.watches[c[1]], watcher{w.cref, first})
 					moved = true
 					break
 				}
@@ -232,37 +416,51 @@ func (s *Solver) propagate() int {
 				continue
 			}
 			// Unit or conflict.
-			kept = append(kept, ci)
-			if !s.enqueue(c[0], ci) {
+			kept = append(kept, w)
+			if !s.enqueue(first, w.cref) {
 				// Conflict: keep remaining watches and bail out.
 				kept = append(kept, ws[wi+1:]...)
 				s.watches[falsified] = kept
 				s.qhead = len(s.trail)
-				return ci
+				return w.cref
 			}
 			s.Stats.Propagated++
 		}
 		s.watches[falsified] = kept
 	}
-	return -1
+	return conflNone
 }
 
 // analyze performs first-UIP conflict analysis, returning the learned
-// clause (asserting literal first) and the backjump level.
-func (s *Solver) analyze(confl int) ([]Lit, int) {
+// clause (asserting literal first, minimized by self-subsumption over
+// reason clauses) and the backjump level.
+func (s *Solver) analyze(confl int32) ([]Lit, int) {
 	learnt := []Lit{0} // placeholder for the asserting literal
 	counter := 0
 	var p Lit = -1
 	index := len(s.trail) - 1
-	curLevel := len(s.lim)
+	curLevel := int32(len(s.lim))
 
 	for {
-		c := s.clauses[confl]
-		start := 0
-		if p != -1 {
-			start = 1 // c[0] is the propagated literal p
+		var cl []Lit
+		if confl == conflBin {
+			if p == -1 {
+				cl = s.binConfl[:]
+			} else {
+				s.tmpReason[0] = s.reasonLit[p.Var()]
+				cl = s.tmpReason[:]
+			}
+		} else {
+			c := &s.clauses[confl]
+			if c.learnt {
+				s.bumpClause(confl)
+			}
+			cl = c.lits
+			if p != -1 {
+				cl = cl[1:] // lits[0] is the propagated literal p
+			}
 		}
-		for _, q := range c[start:] {
+		for _, q := range cl {
 			v := q.Var()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
@@ -290,7 +488,27 @@ func (s *Solver) analyze(confl int) ([]Lit, int) {
 	}
 	learnt[0] = p.Not()
 
-	backLevel := 0
+	// seen is still set exactly for learnt[1:]; minimization relies on it
+	// ("already in the clause" antecedents are free), so record the list
+	// and clear the flags only after minimizing.
+	s.minClear = append(s.minClear[:0], learnt[1:]...)
+	var abstract uint32
+	for _, l := range learnt[1:] {
+		abstract |= 1 << (uint32(s.level[l.Var()]) & 31)
+	}
+	s.minBudget = 1000
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		if s.litRedundant(learnt[i], abstract) {
+			s.Stats.Minimized++
+		} else {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	backLevel := int32(0)
 	for i := 1; i < len(learnt); i++ {
 		if l := s.level[learnt[i].Var()]; l > backLevel {
 			backLevel = l
@@ -304,10 +522,46 @@ func (s *Solver) analyze(confl int) ([]Lit, int) {
 			break
 		}
 	}
-	for _, l := range learnt {
+	for _, l := range s.minClear {
 		s.seen[l.Var()] = false
 	}
-	return learnt, backLevel
+	return learnt, int(backLevel)
+}
+
+// litRedundant reports whether learnt literal l is implied by the rest
+// of the learnt clause through the implication graph, in which case
+// resolving it away is self-subsumption and it can be dropped. The walk
+// is budgeted; running out of budget conservatively keeps the literal.
+func (s *Solver) litRedundant(l Lit, abstract uint32) bool {
+	v := l.Var()
+	r := s.reason[v]
+	if r == reasonNone {
+		return false
+	}
+	if s.minBudget <= 0 {
+		return false
+	}
+	s.minBudget--
+	if r == reasonBin {
+		return s.redundantAntecedent(s.reasonLit[v], abstract)
+	}
+	for _, q := range s.clauses[r].lits[1:] { // lits[0] is ¬l on the trail
+		if !s.redundantAntecedent(q, abstract) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) redundantAntecedent(q Lit, abstract uint32) bool {
+	w := q.Var()
+	if s.level[w] == 0 || s.seen[w] {
+		return true // level-0 fact, or already in the learnt clause
+	}
+	if 1<<(uint32(s.level[w])&31)&abstract == 0 {
+		return false // a level no clause literal shares: cannot be absorbed
+	}
+	return s.litRedundant(q, abstract)
 }
 
 // backtrack undoes assignments above the given decision level.
@@ -320,7 +574,7 @@ func (s *Solver) backtrack(level int) {
 		v := s.trail[i].Var()
 		s.phase[v] = s.assign[v] == lTrue
 		s.assign[v] = lUndef
-		s.reason[v] = -1
+		s.reason[v] = reasonNone
 		s.heap.push(v)
 	}
 	s.trail = s.trail[:bound]
@@ -341,6 +595,83 @@ func (s *Solver) bumpVar(v int) {
 
 func (s *Solver) decayActivities() {
 	s.varInc /= 0.95
+	s.claInc /= 0.999
+}
+
+func (s *Solver) bumpClause(ci int32) {
+	c := &s.clauses[ci]
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for i := range s.clauses {
+			if s.clauses[i].learnt && s.clauses[i].lits != nil {
+				s.clauses[i].act *= 1e-20
+			}
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// computeLBD returns the number of distinct non-zero decision levels
+// among the clause's literals (its "glue").
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	s.lbdStamp++
+	var n int32
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if lv == 0 {
+			continue
+		}
+		if s.lbdSeen[lv] != s.lbdStamp {
+			s.lbdSeen[lv] = s.lbdStamp
+			n++
+		}
+	}
+	return n
+}
+
+// locked reports whether the clause is the reason of its first literal's
+// assignment and therefore must not be deleted.
+func (s *Solver) locked(ci int32) bool {
+	c := s.clauses[ci].lits
+	if len(c) == 0 {
+		return false
+	}
+	v := c[0].Var()
+	return s.assign[v] != lUndef && s.reason[v] == ci
+}
+
+// reduceDB deletes roughly half of the stored learnt clauses, preferring
+// high LBD and low activity. Glue clauses (LBD <= 2) and clauses that are
+// currently the reason for an assignment are always kept.
+func (s *Solver) reduceDB() {
+	cands := s.reduceBuf[:0]
+	for ci := range s.clauses {
+		c := &s.clauses[ci]
+		if !c.learnt || c.lits == nil || c.lbd <= 2 || s.locked(int32(ci)) {
+			continue
+		}
+		cands = append(cands, int32(ci))
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := &s.clauses[cands[i]], &s.clauses[cands[j]]
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd
+		}
+		return a.act < b.act
+	})
+	for _, ci := range cands[:len(cands)/2] {
+		s.detachClause(ci)
+		s.numLearnts--
+		s.Stats.Deleted++
+	}
+	s.reduceBuf = cands[:0]
+	s.Stats.Reductions++
+	// Let the database grow past the survivors before the next pass.
+	next := s.maxLearnts + s.maxLearnts/10
+	if m := s.numLearnts + s.numLearnts/10 + 100; m > next {
+		next = m
+	}
+	s.maxLearnts = next
 }
 
 // pickBranchVar returns the unassigned variable with the highest activity,
@@ -390,24 +721,53 @@ const ctxCheckInterval = 1024
 // safe to call SolveContext again with a live context to resume deciding
 // the same formula. Every aborted call is tallied in Stats.Aborts.
 func (s *Solver) SolveContext(ctx context.Context) (bool, error) {
-	ok, err := s.solveContext(ctx)
+	return s.SolveAssuming(ctx)
+}
+
+// SolveAssuming decides satisfiability under the given assumption
+// literals, treated as forced first decisions. It returns (false, nil)
+// when the formula is satisfiable but contradicts the assumptions; the
+// solver is NOT marked unsatisfiable in that case and later calls with
+// different assumptions see the same formula plus anything learned.
+// Learned clauses never depend on the assumptions themselves, so they
+// remain valid across calls — this is what makes an incremental sweep
+// (solve, add clauses, solve again under new assumptions) cheap.
+func (s *Solver) SolveAssuming(ctx context.Context, assumptions ...Lit) (bool, error) {
+	ok, err := s.solveAssuming(ctx, assumptions)
 	if err != nil {
 		s.Stats.Aborts++
 	}
 	return ok, err
 }
 
-func (s *Solver) solveContext(ctx context.Context) (bool, error) {
+type searchStatus int8
+
+const (
+	statusUndef searchStatus = iota
+	statusSAT
+	statusUNSAT
+	statusAssumpFalse
+)
+
+func (s *Solver) solveAssuming(ctx context.Context, assumps []Lit) (bool, error) {
 	if s.unsat {
 		return false, nil
+	}
+	for _, l := range assumps {
+		if l.Var() < 0 || l.Var() >= s.nVars {
+			panic(fmt.Sprintf("sat: assumption %v out of range", l))
+		}
 	}
 	// A previous aborted call may have left decisions on the trail; drop
 	// to level 0 so the top-level propagation below only ever proves
 	// formula-level unsatisfiability, not refutation of stale decisions.
 	s.backtrack(0)
-	if confl := s.propagate(); confl >= 0 {
+	if s.propagate() != conflNone {
 		s.unsat = true
 		return false, nil
+	}
+	if s.maxLearnts <= 0 {
+		s.maxLearnts = 4000 + s.numProblem/2
 	}
 	restart := 1
 	for {
@@ -415,15 +775,18 @@ func (s *Solver) solveContext(ctx context.Context) (bool, error) {
 			return false, err
 		}
 		budget := 256 * luby(restart)
-		res, err := s.search(ctx, budget)
+		res, err := s.search(ctx, budget, assumps)
 		if err != nil {
 			return false, err
 		}
 		switch res {
-		case lTrue:
+		case statusSAT:
 			return true, nil
-		case lFalse:
+		case statusUNSAT:
 			s.unsat = true
+			return false, nil
+		case statusAssumpFalse:
+			s.backtrack(0)
 			return false, nil
 		}
 		s.backtrack(0)
@@ -432,48 +795,80 @@ func (s *Solver) solveContext(ctx context.Context) (bool, error) {
 	}
 }
 
-// search runs CDCL until a model is found (lTrue), unsatisfiability is
-// proven (lFalse), the conflict budget is exhausted (lUndef), or the
-// context is cancelled (non-nil error).
-func (s *Solver) search(ctx context.Context, budget int) (int8, error) {
+// search runs CDCL until a model is found, unsatisfiability is proven
+// (with or without the assumptions), the conflict budget is exhausted
+// (statusUndef), or the context is cancelled (non-nil error).
+func (s *Solver) search(ctx context.Context, budget int, assumps []Lit) (searchStatus, error) {
 	conflicts := 0
 	steps := 0
 	for {
 		steps++
 		if steps%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
-				return lUndef, err
+				return statusUndef, err
 			}
 		}
 		confl := s.propagate()
-		if confl >= 0 {
+		if confl != conflNone {
 			conflicts++
 			s.Stats.Conflicts++
 			if len(s.lim) == 0 {
-				return lFalse, nil
+				return statusUNSAT, nil
 			}
 			learnt, backLevel := s.analyze(confl)
 			s.backtrack(backLevel)
-			if len(learnt) == 1 {
-				if !s.enqueue(learnt[0], -1) {
-					return lFalse, nil
+			switch len(learnt) {
+			case 1:
+				if !s.enqueue(learnt[0], reasonNone) {
+					return statusUNSAT, nil
 				}
-			} else {
-				ci := s.attachClause(learnt)
+			case 2:
+				s.addBinary(learnt[0], learnt[1])
 				s.Stats.Learned++
+				if !s.enqueueBin(learnt[0], learnt[1]) {
+					return statusUNSAT, nil
+				}
+			default:
+				cl := make([]Lit, len(learnt))
+				copy(cl, learnt)
+				ci := s.attachClause(cl, true)
+				s.clauses[ci].lbd = s.computeLBD(cl)
+				s.numLearnts++
+				s.Stats.Learned++
+				s.bumpClause(ci)
 				if !s.enqueue(learnt[0], ci) {
-					return lFalse, nil
+					return statusUNSAT, nil
 				}
 			}
 			s.decayActivities()
 			if conflicts >= budget {
-				return lUndef, nil
+				return statusUndef, nil
+			}
+			continue
+		}
+		if s.numLearnts >= s.maxLearnts {
+			s.reduceDB()
+		}
+		// Assumptions are consumed as forced decisions, one per level;
+		// an already-true assumption still opens a (possibly empty)
+		// level so the remaining ones line up.
+		if len(s.lim) < len(assumps) {
+			p := assumps[len(s.lim)]
+			switch s.value(p) {
+			case lTrue:
+				s.lim = append(s.lim, len(s.trail))
+			case lFalse:
+				return statusAssumpFalse, nil
+			default:
+				s.Stats.Decisions++
+				s.lim = append(s.lim, len(s.trail))
+				s.enqueue(p, reasonNone)
 			}
 			continue
 		}
 		v := s.pickBranchVar()
 		if v < 0 {
-			return lTrue, nil // all variables assigned, no conflict
+			return statusSAT, nil // all variables assigned, no conflict
 		}
 		s.Stats.Decisions++
 		s.lim = append(s.lim, len(s.trail))
@@ -481,7 +876,7 @@ func (s *Solver) search(ctx context.Context, budget int) (int8, error) {
 		if !s.phase[v] {
 			l = Neg(v)
 		}
-		if !s.enqueue(l, -1) {
+		if !s.enqueue(l, reasonNone) {
 			panic("sat: decision on assigned variable")
 		}
 	}
@@ -500,15 +895,15 @@ type varHeap struct {
 	size int
 }
 
-func (h *varHeap) init(s *Solver, n int) {
+func (h *varHeap) init(s *Solver) {
 	h.s = s
-	h.heap = make([]int, n)
-	h.pos = make([]int, n)
-	for i := 0; i < n; i++ {
-		h.heap[i] = i
-		h.pos[i] = i
+}
+
+// grow extends the position table to cover variables below n.
+func (h *varHeap) grow(n int) {
+	for len(h.pos) < n {
+		h.pos = append(h.pos, -1)
 	}
-	h.size = n
 }
 
 func (h *varHeap) less(a, b int) bool {
@@ -563,8 +958,13 @@ func (h *varHeap) push(v int) {
 	if h.pos[v] >= 0 && h.pos[v] < h.size {
 		return
 	}
-	h.heap[h.size] = v
-	h.pos[v] = h.size
+	if h.size < len(h.heap) {
+		h.heap[h.size] = v
+		h.pos[v] = h.size
+	} else {
+		h.heap = append(h.heap, v)
+		h.pos[v] = len(h.heap) - 1
+	}
 	h.size++
 	h.up(h.size - 1)
 }

@@ -12,6 +12,13 @@
 // backtracking search over the margin (the paper suggests a SAT solver or
 // a tailored backtrack search in the style of Knuth's dancing links).
 //
+// The enumeration is bitset-based: every window and margin cell gets a
+// precomputed 256-bit domination mask (the cells within L1 distance k),
+// so independence checks, undominated-set tracking and the fail-first
+// margin search are word operations with no per-node allocation. All
+// window shapes through k=4 fit in 256 bits; larger geometries fall back
+// to a coordinate-based search.
+//
 // The paper reports 16 tiles for k=1 with 3×2 windows (listed explicitly
 // in §7) and 2079 tiles for k=3 with 7×5 windows; package tests reproduce
 // both counts.
@@ -19,6 +26,8 @@ package tiles
 
 import (
 	"context"
+	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -50,17 +59,31 @@ func (p Pattern) Key() string {
 	return b.String()
 }
 
-// ParsePattern parses the Key format back into a Pattern.
-func ParsePattern(s string) Pattern {
+// ParsePattern parses the Key format back into a Pattern. It returns an
+// error for malformed keys: empty rows, ragged rows (rows of unequal
+// width) or characters other than '0' and '1'.
+func ParsePattern(s string) (Pattern, error) {
 	rows := strings.Split(s, "|")
 	h, w := len(rows), len(rows[0])
+	if w == 0 {
+		return Pattern{}, fmt.Errorf("tiles: empty row in pattern key %q", s)
+	}
 	bits := make([]bool, h*w)
 	for r, row := range rows {
+		if len(row) != w {
+			return Pattern{}, fmt.Errorf("tiles: ragged pattern key %q: row %d has width %d, want %d", s, r, len(row), w)
+		}
 		for c := 0; c < w; c++ {
-			bits[r*w+c] = row[c] == '1'
+			switch row[c] {
+			case '1':
+				bits[r*w+c] = true
+			case '0':
+			default:
+				return Pattern{}, fmt.Errorf("tiles: invalid character %q in pattern key %q", row[c], s)
+			}
 		}
 	}
-	return Pattern{H: h, W: w, Bits: bits}
+	return Pattern{H: h, W: w, Bits: bits}, nil
 }
 
 // Sub extracts the h×w sub-pattern whose north-west corner is at
@@ -90,12 +113,167 @@ func dist(a, b cell) int {
 	return dr + dc
 }
 
-// enumerator holds the fixed geometry for one Enumerate call.
-type enumerator struct {
-	k, h, w int
-	window  []cell
-	margin  []cell
+// --- 256-bit cell sets ----------------------------------------------------
+
+// bs256 is a fixed 256-bit set over cell indices: window cells first
+// (index r*w+c, matching Pattern bit order), margin cells after.
+type bs256 [4]uint64
+
+func (b *bs256) set(i int)     { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bs256) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bs256) or(o bs256) bs256 {
+	return bs256{b[0] | o[0], b[1] | o[1], b[2] | o[2], b[3] | o[3]}
 }
+
+func (b bs256) and(o bs256) bs256 {
+	return bs256{b[0] & o[0], b[1] & o[1], b[2] & o[2], b[3] & o[3]}
+}
+
+func (b bs256) andNot(o bs256) bs256 {
+	return bs256{b[0] &^ o[0], b[1] &^ o[1], b[2] &^ o[2], b[3] &^ o[3]}
+}
+
+func (b bs256) intersects(o bs256) bool {
+	return b[0]&o[0]|b[1]&o[1]|b[2]&o[2]|b[3]&o[3] != 0
+}
+
+func (b bs256) isZero() bool { return b[0]|b[1]|b[2]|b[3] == 0 }
+
+func (b bs256) count() int {
+	return bits.OnesCount64(b[0]) + bits.OnesCount64(b[1]) +
+		bits.OnesCount64(b[2]) + bits.OnesCount64(b[3])
+}
+
+// --- bitset enumerator ----------------------------------------------------
+
+// fastEnum is the bitset enumerator: fixed geometry for one call, with a
+// precomputed domination mask per cell.
+type fastEnum struct {
+	k, h, w int
+	nWin    int     // number of window cells (= h*w)
+	dom     []bs256 // per cell: all cells within L1 distance k (incl. self)
+	winMask bs256
+	marMask bs256
+	steps   int
+	err     error
+}
+
+// newFastEnum builds the bitset enumerator, or returns nil when the
+// window+margin geometry does not fit in 256 bits.
+func newFastEnum(k, h, w int) *fastEnum {
+	cells := make([]cell, 0, (h+2*k)*(w+2*k))
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			cells = append(cells, cell{r, c})
+		}
+	}
+	nWin := len(cells)
+	for r := -k; r < h+k; r++ {
+		for c := -k; c < w+k; c++ {
+			if r >= 0 && r < h && c >= 0 && c < w {
+				continue
+			}
+			if distToWindow(cell{r, c}, h, w) <= k {
+				cells = append(cells, cell{r, c})
+			}
+		}
+	}
+	if len(cells) > 256 {
+		return nil
+	}
+	e := &fastEnum{k: k, h: h, w: w, nWin: nWin, dom: make([]bs256, len(cells))}
+	for i, a := range cells {
+		if i < nWin {
+			e.winMask.set(i)
+		} else {
+			e.marMask.set(i)
+		}
+		for j, b := range cells {
+			if dist(a, b) <= k {
+				e.dom[i].set(j)
+			}
+		}
+	}
+	return e
+}
+
+// run enumerates all tiles in lexicographic bit-string order, calling
+// emit with each tile's anchor set (window bits only are meaningful).
+func (e *fastEnum) run(ctx context.Context, emit func(anchors bs256)) error {
+	e.err = nil
+	e.steps = 0
+	e.rec(ctx, 0, bs256{}, bs256{}, e.marMask, emit)
+	return e.err
+}
+
+func (e *fastEnum) rec(ctx context.Context, idx int, anchors, dominated, cand bs256, emit func(bs256)) {
+	if e.err != nil {
+		return
+	}
+	e.steps++
+	if e.steps%ctxCheckInterval == 0 {
+		if err := ctx.Err(); err != nil {
+			e.err = err
+			return
+		}
+	}
+	if idx == e.nWin {
+		undom := e.winMask.andNot(dominated)
+		if undom.isZero() || e.search(undom, cand) {
+			emit(anchors)
+		}
+		return
+	}
+	// Case 0: cell not an anchor.
+	e.rec(ctx, idx+1, anchors, dominated, cand, emit)
+	// Case 1: cell is an anchor, if independent from previous anchors.
+	if e.dom[idx].intersects(anchors) {
+		return
+	}
+	a := anchors
+	a.set(idx)
+	e.rec(ctx, idx+1, a, dominated.or(e.dom[idx]), cand.andNot(e.dom[idx]), emit)
+}
+
+// search decides condition (b): can the undominated window cells be
+// dominated by an independent subset of the remaining margin candidates?
+// Fail-first: branch on the cell with the fewest available dominators.
+func (e *fastEnum) search(undom, cand bs256) bool {
+	if undom.isZero() {
+		return true
+	}
+	best, bestCnt := -1, 0
+	var bestOpts bs256
+	for wi := 0; wi < 4; wi++ {
+		word := undom[wi]
+		for word != 0 {
+			u := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			opts := e.dom[u].and(cand)
+			cnt := opts.count()
+			if cnt == 0 {
+				return false
+			}
+			if best < 0 || cnt < bestCnt {
+				best, bestCnt, bestOpts = u, cnt, opts
+			}
+		}
+	}
+	for wi := 0; wi < 4; wi++ {
+		word := bestOpts[wi]
+		for word != 0 {
+			m := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if e.search(undom.andNot(e.dom[m]), cand.andNot(e.dom[m])) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- public API -----------------------------------------------------------
 
 // Enumerate returns all tiles for the given power k and window dimensions
 // h×w, in lexicographic order of their bit strings. It is
@@ -117,6 +295,91 @@ func EnumerateContext(ctx context.Context, k, h, w int) ([]Pattern, error) {
 	if k < 1 || h < 1 || w < 1 {
 		panic("tiles: parameters must be positive")
 	}
+	if e := newFastEnum(k, h, w); e != nil {
+		var out []Pattern
+		err := e.run(ctx, func(anchors bs256) {
+			bits := make([]bool, h*w)
+			for i := range bits {
+				bits[i] = anchors.has(i)
+			}
+			out = append(out, Pattern{H: h, W: w, Bits: bits})
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return enumerateSlow(ctx, k, h, w)
+}
+
+// EnumeratePacked returns the tiles for the given parameters as packed
+// uint64 window keys — bit r*w+c is set iff the cell at (r, c) is an
+// anchor — in the same order as Enumerate. It requires h*w <= 64 and
+// performs no per-tile Pattern allocation on the bitset path.
+func EnumeratePacked(ctx context.Context, k, h, w int) ([]uint64, error) {
+	if k < 1 || h < 1 || w < 1 {
+		panic("tiles: parameters must be positive")
+	}
+	if h*w > 64 {
+		return nil, fmt.Errorf("tiles: %dx%d window does not fit a packed uint64 key", h, w)
+	}
+	if e := newFastEnum(k, h, w); e != nil {
+		var out []uint64
+		err := e.run(ctx, func(anchors bs256) {
+			out = append(out, anchors[0])
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	pats, err := enumerateSlow(ctx, k, h, w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(pats))
+	for i, p := range pats {
+		var key uint64
+		for j, b := range p.Bits {
+			if b {
+				key |= 1 << uint(j)
+			}
+		}
+		out[i] = key
+	}
+	return out, nil
+}
+
+// Count returns the number of tiles for the given parameters.
+func Count(k, h, w int) int { return len(Enumerate(k, h, w)) }
+
+// distToWindow returns the L1 distance from a cell to the h×w window
+// rectangle.
+func distToWindow(m cell, h, w int) int {
+	dr, dc := 0, 0
+	if m.r < 0 {
+		dr = -m.r
+	} else if m.r >= h {
+		dr = m.r - h + 1
+	}
+	if m.c < 0 {
+		dc = -m.c
+	} else if m.c >= w {
+		dc = m.c - w + 1
+	}
+	return dr + dc
+}
+
+// --- coordinate-based fallback (geometries beyond 256 cells) --------------
+
+// enumerator holds the fixed geometry for one enumerateSlow call.
+type enumerator struct {
+	k, h, w int
+	window  []cell
+	margin  []cell
+}
+
+func enumerateSlow(ctx context.Context, k, h, w int) ([]Pattern, error) {
 	e := &enumerator{k: k, h: h, w: w}
 	for r := 0; r < h; r++ {
 		for c := 0; c < w; c++ {
@@ -128,7 +391,7 @@ func EnumerateContext(ctx context.Context, k, h, w int) ([]Pattern, error) {
 			if r >= 0 && r < h && c >= 0 && c < w {
 				continue
 			}
-			if e.distToWindow(cell{r, c}) <= k {
+			if distToWindow(cell{r, c}, h, w) <= k {
 				e.margin = append(e.margin, cell{r, c})
 			}
 		}
@@ -177,26 +440,6 @@ func EnumerateContext(ctx context.Context, k, h, w int) ([]Pattern, error) {
 		return nil, ctxErr
 	}
 	return out, nil
-}
-
-// Count returns the number of tiles for the given parameters.
-func Count(k, h, w int) int { return len(Enumerate(k, h, w)) }
-
-// distToWindow returns the L1 distance from a cell to the window
-// rectangle.
-func (e *enumerator) distToWindow(m cell) int {
-	dr, dc := 0, 0
-	if m.r < 0 {
-		dr = -m.r
-	} else if m.r >= e.h {
-		dr = m.r - e.h + 1
-	}
-	if m.c < 0 {
-		dc = -m.c
-	} else if m.c >= e.w {
-		dc = m.c - e.w + 1
-	}
-	return dr + dc
 }
 
 // extendable decides condition (b): the undominated window cells can be

@@ -44,6 +44,41 @@ func TestEnumerateMatchesPaperCountK3(t *testing.T) {
 	}
 }
 
+// TestEnumeratePackedMatchesEnumerate pins the packed fast path to the
+// Pattern-based enumeration across a spread of geometries: same count,
+// same tiles, same (lexicographic) order, with bit i of each key equal
+// to cell i in row-major order.
+func TestEnumeratePackedMatchesEnumerate(t *testing.T) {
+	ctx := t.Context()
+	for _, g := range []struct{ k, h, w int }{
+		{1, 3, 2}, {1, 3, 3}, {2, 5, 4}, {3, 7, 5}, {1, 1, 1}, {2, 8, 8},
+	} {
+		pats := Enumerate(g.k, g.h, g.w)
+		keys, err := EnumeratePacked(ctx, g.k, g.h, g.w)
+		if err != nil {
+			t.Fatalf("k=%d %dx%d: %v", g.k, g.h, g.w, err)
+		}
+		if len(keys) != len(pats) {
+			t.Fatalf("k=%d %dx%d: packed %d tiles, Enumerate %d", g.k, g.h, g.w, len(keys), len(pats))
+		}
+		for i, p := range pats {
+			var want uint64
+			for bit, set := range p.Bits {
+				if set {
+					want |= 1 << bit
+				}
+			}
+			if keys[i] != want {
+				t.Fatalf("k=%d %dx%d tile %d: packed key %064b, want %064b (%s)",
+					g.k, g.h, g.w, i, keys[i], want, p.Key())
+			}
+		}
+	}
+	if _, err := EnumeratePacked(ctx, 1, 9, 8); err == nil {
+		t.Error("9x8 exceeds 64 cells; EnumeratePacked should refuse")
+	}
+}
+
 func TestAllZeroNotATileForTightWindows(t *testing.T) {
 	// §7 analysis: the all-zero 3×2 window cannot be completed, because
 	// the two middle cells force margin anchors that conflict.
@@ -153,7 +188,10 @@ func TestRealizedWindowsAreTiles(t *testing.T) {
 }
 
 func TestSubPattern(t *testing.T) {
-	p := ParsePattern("101|010|001")
+	p, err := ParsePattern("101|010|001")
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := p.Sub(1, 1, 2, 2)
 	if s.Key() != "10|01" {
 		t.Errorf("Sub = %s", s.Key())
@@ -162,9 +200,20 @@ func TestSubPattern(t *testing.T) {
 
 func TestKeyParseRoundTrip(t *testing.T) {
 	for _, p := range Enumerate(2, 4, 3) {
-		q := ParsePattern(p.Key())
+		q, err := ParsePattern(p.Key())
+		if err != nil {
+			t.Fatalf("ParsePattern(%s): %v", p.Key(), err)
+		}
 		if q.Key() != p.Key() || q.H != p.H || q.W != p.W {
 			t.Fatalf("round trip failed for %s", p.Key())
+		}
+	}
+}
+
+func TestParsePatternMalformed(t *testing.T) {
+	for _, bad := range []string{"", "10|1", "1|10", "10||10", "1x|00", "10|0 "} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("ParsePattern(%q): expected error, got nil", bad)
 		}
 	}
 }
