@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,7 @@ type CacheServer struct {
 	maxBlob int64
 	drain   time.Duration
 	now     func() time.Time
+	traces  *TraceBuffer // nil = tracing off
 
 	leaseMu sync.Mutex
 	leases  map[string]*cacheLease
@@ -115,6 +117,7 @@ type cacheServerConfig struct {
 	maxBlob int64
 	drain   time.Duration
 	now     func() time.Time
+	traces  *TraceBuffer
 }
 
 // DefaultMaxBlobBytes caps PUT /cache bodies: far above any real
@@ -139,6 +142,16 @@ func withCacheClock(now func() time.Time) CacheServerOption {
 	return func(c *cacheServerConfig) { c.now = now }
 }
 
+// WithCacheTracing enables request tracing on the blob and lease
+// routes: each request joins its caller's trace via the traceparent
+// header a traced replica sends, echoes X-Trace-Id, and deposits the
+// finished trace into buf — exposed at GET /debug/traces. The health
+// and metrics probes stay untraced (they would drown the buffer in
+// scrape noise).
+func WithCacheTracing(buf *TraceBuffer) CacheServerOption {
+	return func(c *cacheServerConfig) { c.traces = buf }
+}
+
 // NewCacheServer returns a cache service over the given store (nil
 // selects a fresh in-memory store).
 func NewCacheServer(store BlobStore, opts ...CacheServerOption) *CacheServer {
@@ -158,6 +171,7 @@ func NewCacheServer(store BlobStore, opts ...CacheServerOption) *CacheServer {
 		maxBlob: cfg.maxBlob,
 		drain:   cfg.drain,
 		now:     cfg.now,
+		traces:  cfg.traces,
 		leases:  make(map[string]*cacheLease),
 	}
 	s.mux.HandleFunc("GET /cache/{name}", s.handleGet) // HEAD rides along
@@ -172,11 +186,23 @@ func NewCacheServer(store BlobStore, opts ...CacheServerOption) *CacheServer {
 		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
 	})
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.traces != nil {
+		s.mux.Handle("GET /debug/traces", cfg.traces.Handler())
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *CacheServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.traces != nil && (strings.HasPrefix(r.URL.Path, "/cache/") || strings.HasPrefix(r.URL.Path, "/lease/")) {
+		tr := traceForRequest("cachesvc", r.Method+" "+r.URL.Path, r)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set(TraceIDHeader, tr.ID())
+		s.mux.ServeHTTP(sw, r.WithContext(ContextWithSpan(r.Context(), tr.Root())))
+		tr.Root().SetAttr("status", strconv.Itoa(sw.status()))
+		tr.Finish(s.traces)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -245,17 +271,17 @@ func blobName(r *http.Request) (string, bool) {
 func (s *CacheServer) handleGet(w http.ResponseWriter, r *http.Request) {
 	name, ok := blobName(r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
+		httpError(w, r, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
 		return
 	}
 	s.gets.Add(1)
 	data, ok, err := s.store.Get(name)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("lclgrid: no cache entry %q", name))
+		httpError(w, r, http.StatusNotFound, fmt.Errorf("lclgrid: no cache entry %q", name))
 		return
 	}
 	s.getHits.Add(1)
@@ -267,21 +293,21 @@ func (s *CacheServer) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *CacheServer) handlePut(w http.ResponseWriter, r *http.Request) {
 	name, ok := blobName(r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
+		httpError(w, r, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
 		return
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBlob))
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("lclgrid: cache record exceeds %d bytes", mbe.Limit))
+			httpError(w, r, http.StatusRequestEntityTooLarge, fmt.Errorf("lclgrid: cache record exceeds %d bytes", mbe.Limit))
 		} else {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, r, http.StatusBadRequest, err)
 		}
 		return
 	}
 	if err := s.store.Put(name, data); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.puts.Add(1)
@@ -291,16 +317,16 @@ func (s *CacheServer) handlePut(w http.ResponseWriter, r *http.Request) {
 func (s *CacheServer) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name, ok := blobName(r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
+		httpError(w, r, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
 		return
 	}
 	removed, err := s.store.Delete(name)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	if !removed {
-		httpError(w, http.StatusNotFound, fmt.Errorf("lclgrid: no cache entry %q", name))
+		httpError(w, r, http.StatusNotFound, fmt.Errorf("lclgrid: no cache entry %q", name))
 		return
 	}
 	s.deletes.Add(1)
@@ -310,7 +336,7 @@ func (s *CacheServer) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *CacheServer) handleKeys(w http.ResponseWriter, r *http.Request) {
 	names, err := s.store.Keys()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	sort.Strings(names)
@@ -355,12 +381,12 @@ type leaseDoc struct {
 func (s *CacheServer) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
 	name, ok := blobName(r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
+		httpError(w, r, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
 		return
 	}
 	owner, ttl, err := leaseParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	now := s.now()
@@ -397,12 +423,12 @@ func (s *CacheServer) handleLeaseAcquire(w http.ResponseWriter, r *http.Request)
 func (s *CacheServer) handleLeaseHeartbeat(w http.ResponseWriter, r *http.Request) {
 	name, ok := blobName(r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
+		httpError(w, r, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
 		return
 	}
 	owner, ttl, err := leaseParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	now := s.now()
@@ -413,7 +439,7 @@ func (s *CacheServer) handleLeaseHeartbeat(w http.ResponseWriter, r *http.Reques
 		// learns it lost the cluster election; its synthesis continues —
 		// a duplicated synthesis is wasted work, never wrong work.
 		s.leaseMu.Unlock()
-		httpError(w, http.StatusConflict, fmt.Errorf("lclgrid: lease on %q is no longer held by %q", name, owner))
+		httpError(w, r, http.StatusConflict, fmt.Errorf("lclgrid: lease on %q is no longer held by %q", name, owner))
 		return
 	}
 	l.expires = now.Add(ttl)
@@ -424,7 +450,7 @@ func (s *CacheServer) handleLeaseHeartbeat(w http.ResponseWriter, r *http.Reques
 func (s *CacheServer) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
 	name, ok := blobName(r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
+		httpError(w, r, http.StatusBadRequest, errors.New("lclgrid: bad cache key name"))
 		return
 	}
 	owner := r.URL.Query().Get("owner")
@@ -448,6 +474,11 @@ func (s *CacheServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.counter("lclgrid_cachesvc_lease_grants_total", "Synthesis leases granted (renewing acquires included).", st.LeaseGrants)
 	mw.counter("lclgrid_cachesvc_lease_conflicts_total", "Lease acquisitions refused because another replica holds the key.", st.LeaseConflicts)
 	mw.counter("lclgrid_cachesvc_lease_expiries_total", "Leases taken over after their owner's TTL lapsed.", st.LeaseExpiries)
+	if s.traces != nil {
+		added, dropped := s.traces.Stats()
+		mw.counter("lclgrid_cachesvc_traces_total", "Completed traces deposited in the /debug/traces ring.", added)
+		mw.counter("lclgrid_cachesvc_traces_dropped_total", "Traces evicted from the ring by newer ones.", dropped)
+	}
 }
 
 // --- Blob stores ------------------------------------------------------------

@@ -6,11 +6,25 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"strings"
 	"time"
 
 	lclgrid "lclgrid"
 )
+
+// newTraceBuffer builds a process's trace ring from its tracing flags —
+// nil (tracing disabled) when size <= 0 — plus the /debug/traces
+// handler startPprof mounts. The buffer logs through the structured
+// logger so slow requests dump their span tree to stderr.
+func newTraceBuffer(size int, logFormat string, verbose bool, slow time.Duration) (*lclgrid.TraceBuffer, http.Handler) {
+	if size <= 0 {
+		return nil, nil
+	}
+	buf := lclgrid.NewTraceBuffer(size)
+	buf.SetLogger(newLogger(logFormat, verbose), slow)
+	return buf, buf.Handler()
+}
 
 // splitList splits a comma-separated flag value, trimming whitespace
 // and dropping empty elements.
@@ -41,7 +55,17 @@ func cmdCachesvc(ctx context.Context, args []string, out io.Writer) error {
 	dir := fs.String("dir", "", "persist blobs under this directory (empty = in-memory)")
 	maxBlob := fs.Int64("max-blob", lclgrid.DefaultMaxBlobBytes, "largest accepted blob in bytes")
 	drain := fs.Duration("drain", lclgrid.DefaultDrainTimeout, "graceful-shutdown drain window for in-flight requests")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (debug only; e.g. 127.0.0.1:6060)")
+	verbose := fs.Bool("v", false, "log slow-request span trees at debug level too")
+	logFormat := fs.String("log", "text", `structured log format: "text" or "json"`)
+	slowReq := fs.Duration("slow", 0, "log the full span tree of any cache/lease request slower than this (0 = never)")
+	traceBuffer := fs.Int("trace-buffer", lclgrid.DefaultTraceBufferSize, "completed traces kept for GET /debug/traces (0 disables tracing)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	traces, tracesHandler := newTraceBuffer(*traceBuffer, *logFormat, *verbose, *slowReq)
+	if err := startPprof(*pprofAddr, out, tracesHandler); err != nil {
 		return err
 	}
 
@@ -53,10 +77,14 @@ func cmdCachesvc(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	cs := lclgrid.NewCacheServer(store,
+	csOpts := []lclgrid.CacheServerOption{
 		lclgrid.WithMaxBlobBytes(*maxBlob),
 		lclgrid.WithCacheDrainTimeout(*drain),
-	)
+	}
+	if traces != nil {
+		csOpts = append(csOpts, lclgrid.WithCacheTracing(traces))
+	}
+	cs := lclgrid.NewCacheServer(store, csOpts...)
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -92,25 +120,36 @@ func cmdGateway(ctx context.Context, args []string, out io.Writer) error {
 	drain := fs.Duration("drain", lclgrid.DefaultDrainTimeout, "graceful-shutdown drain window for in-flight requests")
 	probe := fs.Duration("probe-interval", 5*time.Second, "shard health probe period")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (debug only; e.g. 127.0.0.1:6060)")
+	verbose := fs.Bool("v", false, "log every routed request at debug level")
+	logFormat := fs.String("log", "text", `structured log format: "text" or "json"`)
+	slowReq := fs.Duration("slow", 0, "log the full span tree of any routed request slower than this (0 = never)")
+	traceBuffer := fs.Int("trace-buffer", lclgrid.DefaultTraceBufferSize, "completed traces kept for GET /debug/traces (0 disables tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards == "" {
 		return fmt.Errorf("gateway: -shards is required (comma-separated shard addresses)")
 	}
-	if err := startPprof(*pprofAddr, out); err != nil {
+	traces, tracesHandler := newTraceBuffer(*traceBuffer, *logFormat, *verbose, *slowReq)
+	if err := startPprof(*pprofAddr, out, tracesHandler); err != nil {
 		return err
 	}
 
 	metrics := lclgrid.NewMetricsObserver()
-	gw, err := lclgrid.NewGateway(splitList(*shards),
+	metrics.SetBuildInfo(buildIdentity())
+	gwOpts := []lclgrid.GatewayOption{
 		lclgrid.WithGatewayMetrics(metrics),
 		lclgrid.WithGatewayMaxInflight(*maxInflight),
 		lclgrid.WithGatewayMaxBodyBytes(*maxBody),
 		lclgrid.WithGatewayRequestTimeout(*timeout),
 		lclgrid.WithGatewayDrainTimeout(*drain),
 		lclgrid.WithGatewayProbeInterval(*probe),
-	)
+	}
+	if traces != nil {
+		metrics.SetTraceStatsFunc(traces.Stats)
+		gwOpts = append(gwOpts, lclgrid.WithGatewayTracing(traces))
+	}
+	gw, err := lclgrid.NewGateway(splitList(*shards), gwOpts...)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,7 @@ func cmdLabels(ctx context.Context, args []string, out io.Writer) error {
 	k := fs.Int("k", 0, "force synthesis with this anchor power (0 = registry hints)")
 	cacheDir := fs.String("cache-dir", "", "directory for the persistent synthesis cache")
 	verbose := fs.Bool("v", false, "log engine events to stderr")
+	logFormat := fs.String("log", "text", `structured log format: "text" or "json"`)
 	jsonOut := fs.Bool("json", false, "print the full LabelResponse as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +55,7 @@ func cmdLabels(ctx context.Context, args []string, out io.Writer) error {
 		}
 		req.Sides, req.N = []int{nx, ny}, 0
 	}
-	eng, err := buildEngine(*verbose, *cacheDir)
+	eng, err := buildEngine(*verbose, *logFormat, *cacheDir)
 	if err != nil {
 		return err
 	}

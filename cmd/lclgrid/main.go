@@ -20,7 +20,8 @@
 //	lclgrid version                  print the module version and VCS revision
 //
 // batch, serve and warm accept -cache-dir to persist synthesized lookup
-// tables across invocations, and -v to log engine events to stderr;
+// tables across invocations, and -v to log engine events to stderr as
+// structured slog lines (-log json switches them to JSON);
 // `batch -explain` prints each request's plan as JSONL instead of
 // solving, and `serve -warm` pre-synthesizes the catalogue before the
 // listener opens.
@@ -33,7 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -115,10 +116,11 @@ func usage() {
 var newEngine = lclgrid.NewEngine
 
 // buildEngine constructs the engine for subcommands with engine flags:
-// an optional disk-persisted synthesis cache, an optional stderr event
-// logger, and any extra engine options the subcommand needs (metrics
-// observers, synthesis worker bounds).
-func buildEngine(verbose bool, cacheDir string, extra ...lclgrid.EngineOption) (*lclgrid.Engine, error) {
+// an optional disk-persisted synthesis cache, an optional structured
+// stderr event logger (-v; -log selects text or json), and any extra
+// engine options the subcommand needs (metrics observers, synthesis
+// worker bounds).
+func buildEngine(verbose bool, logFormat, cacheDir string, extra ...lclgrid.EngineOption) (*lclgrid.Engine, error) {
 	var opts []lclgrid.EngineOption
 	if cacheDir != "" {
 		cache, err := lclgrid.NewDiskCache(cacheDir, lclgrid.NewMemoryCache())
@@ -128,19 +130,37 @@ func buildEngine(verbose bool, cacheDir string, extra ...lclgrid.EngineOption) (
 		opts = append(opts, lclgrid.WithCache(cache))
 	}
 	if verbose {
-		opts = append(opts, lclgrid.WithObserver(newLogObserver(os.Stderr)))
+		opts = append(opts, lclgrid.WithObserver(newSlogObserver(newLogger(logFormat, verbose))))
 	}
 	opts = append(opts, extra...)
 	return newEngine(opts...), nil
 }
 
-// logObserver is the -v observer: one stderr line per engine event.
-type logObserver struct {
-	l *log.Logger
+// newLogger builds the process's structured logger: slog to stderr,
+// "json" for machine-readable lines, anything else the text handler.
+// Verbose invocations log at Debug (every engine event), quiet ones at
+// Info.
+func newLogger(format string, verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
 }
 
-func newLogObserver(w io.Writer) *logObserver {
-	return &logObserver{l: log.New(w, "engine: ", log.Ltime|log.Lmicroseconds)}
+// slogObserver is the -v observer: one structured log line per engine
+// event (the successor of the ad-hoc printf logger — same events, but
+// each field is queryable and `-log json` makes them machine-readable).
+type slogObserver struct {
+	l *slog.Logger
+}
+
+func newSlogObserver(l *slog.Logger) *slogObserver {
+	return &slogObserver{l: l.With(slog.String("component", "engine"))}
 }
 
 func reqLabel(req lclgrid.SolveRequest) string {
@@ -157,39 +177,48 @@ func reqLabel(req lclgrid.SolveRequest) string {
 	return name
 }
 
-func (o *logObserver) RequestStart(req lclgrid.SolveRequest) {
-	o.l.Printf("request start %s", reqLabel(req))
+func (o *slogObserver) RequestStart(req lclgrid.SolveRequest) {
+	o.l.Debug("request start", "req", reqLabel(req))
 }
 
-func (o *logObserver) RequestEnd(req lclgrid.SolveRequest, res *lclgrid.Result, err error) {
+func (o *slogObserver) RequestEnd(req lclgrid.SolveRequest, res *lclgrid.Result, err error) {
 	if err != nil {
-		o.l.Printf("request end   %s error: %v", reqLabel(req), err)
+		o.l.Info("request end", "req", reqLabel(req), "error", err.Error())
 		return
 	}
-	o.l.Printf("request end   %s via %q, %d rounds, %v", reqLabel(req), res.Solver, res.Rounds, res.Elapsed.Round(time.Microsecond))
+	o.l.Debug("request end", "req", reqLabel(req), "solver", res.Solver,
+		"rounds", res.Rounds, "elapsed", res.Elapsed.Round(time.Microsecond).String())
 }
 
-func (o *logObserver) SynthesisStart(key lclgrid.SynthKey) {
-	o.l.Printf("synthesis start %v", key)
+func (o *slogObserver) SynthesisStart(key lclgrid.SynthKey) {
+	o.l.Debug("synthesis start", "key", key.String())
 }
 
-func (o *logObserver) SynthesisEnd(key lclgrid.SynthKey, elapsed time.Duration, err error) {
+func (o *slogObserver) SynthesisEnd(key lclgrid.SynthKey, elapsed time.Duration, err error) {
 	if err != nil {
-		o.l.Printf("synthesis end   %v in %v: %v", key, elapsed.Round(time.Microsecond), err)
+		o.l.Info("synthesis end", "key", key.String(), "elapsed", elapsed.Round(time.Microsecond).String(), "error", err.Error())
 		return
 	}
-	o.l.Printf("synthesis end   %v in %v", key, elapsed.Round(time.Microsecond))
+	o.l.Debug("synthesis end", "key", key.String(), "elapsed", elapsed.Round(time.Microsecond).String())
 }
 
-func (o *logObserver) CacheHit(key lclgrid.SynthKey)   { o.l.Printf("cache hit   %v", key) }
-func (o *logObserver) CacheMiss(key lclgrid.SynthKey)  { o.l.Printf("cache miss  %v", key) }
-func (o *logObserver) CacheEvict(key lclgrid.SynthKey) { o.l.Printf("cache evict %v", key) }
-
-func (o *logObserver) Fallback(req lclgrid.SolveRequest, cause error) {
-	o.l.Printf("fallback to Θ(n) baseline for %s: %v", reqLabel(req), cause)
+func (o *slogObserver) CacheHit(key lclgrid.SynthKey) {
+	o.l.Debug("cache hit", "key", key.String())
 }
 
-func (o *logObserver) PlanBuilt(req lclgrid.SolveRequest, plan *lclgrid.Plan) {
+func (o *slogObserver) CacheMiss(key lclgrid.SynthKey) {
+	o.l.Debug("cache miss", "key", key.String())
+}
+
+func (o *slogObserver) CacheEvict(key lclgrid.SynthKey) {
+	o.l.Debug("cache evict", "key", key.String())
+}
+
+func (o *slogObserver) Fallback(req lclgrid.SolveRequest, cause error) {
+	o.l.Info("fallback to Θ(n) baseline", "req", reqLabel(req), "cause", cause.Error())
+}
+
+func (o *slogObserver) PlanBuilt(req lclgrid.SolveRequest, plan *lclgrid.Plan) {
 	kinds := make([]string, len(plan.Strategies))
 	for i := range plan.Strategies {
 		kinds[i] = string(plan.Strategies[i].Kind)
@@ -197,19 +226,34 @@ func (o *logObserver) PlanBuilt(req lclgrid.SolveRequest, plan *lclgrid.Plan) {
 			kinds[i] += "(skip)"
 		}
 	}
-	o.l.Printf("plan built    %s: %s", reqLabel(req), strings.Join(kinds, " → "))
+	o.l.Debug("plan built", "req", reqLabel(req), "plan", strings.Join(kinds, " → "))
 }
 
-func (o *logObserver) StrategyStart(req lclgrid.SolveRequest, s *lclgrid.PlannedStrategy) {
-	o.l.Printf("strategy start %s %s", reqLabel(req), s.Kind)
+func (o *slogObserver) StrategyStart(req lclgrid.SolveRequest, s *lclgrid.PlannedStrategy) {
+	o.l.Debug("strategy start", "req", reqLabel(req), "kind", string(s.Kind))
 }
 
-func (o *logObserver) StrategyEnd(req lclgrid.SolveRequest, s *lclgrid.PlannedStrategy, res *lclgrid.Result, err error) {
+func (o *slogObserver) StrategyEnd(req lclgrid.SolveRequest, s *lclgrid.PlannedStrategy, res *lclgrid.Result, err error) {
 	if err != nil {
-		o.l.Printf("strategy end   %s %s error: %v", reqLabel(req), s.Kind, err)
+		o.l.Info("strategy end", "req", reqLabel(req), "kind", string(s.Kind), "error", err.Error())
 		return
 	}
-	o.l.Printf("strategy end   %s %s via %q", reqLabel(req), s.Kind, res.Solver)
+	o.l.Debug("strategy end", "req", reqLabel(req), "kind", string(s.Kind), "solver", res.Solver)
+}
+
+// WindowStart implements lclgrid.WindowObserver.
+func (o *slogObserver) WindowStart(req lclgrid.LabelRequest) {
+	o.l.Debug("window start", "key", req.Key)
+}
+
+// WindowEnd implements lclgrid.WindowObserver.
+func (o *slogObserver) WindowEnd(req lclgrid.LabelRequest, stats lclgrid.WindowStats, err error, elapsed time.Duration) {
+	if err != nil {
+		o.l.Info("window end", "key", req.Key, "elapsed", elapsed.Round(time.Microsecond).String(), "error", err.Error())
+		return
+	}
+	o.l.Debug("window end", "key", req.Key, "elapsed", elapsed.Round(time.Microsecond).String(),
+		"window_nodes", stats.WindowNodes, "halo_nodes", stats.HaloNodes)
 }
 
 // lookup resolves a problem key against the engine's registry.
@@ -426,10 +470,11 @@ func cmdWarm(ctx context.Context, args []string, out io.Writer) error {
 	problems := fs.String("problems", "", "comma-separated registry keys (empty = every registered key)")
 	cacheDir := fs.String("cache-dir", "", "persist synthesized tables under this directory")
 	verbose := fs.Bool("v", false, "log engine events to stderr")
+	logFormat := fs.String("log", "text", `structured log format: "text" or "json"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	eng, err := buildEngine(*verbose, *cacheDir)
+	eng, err := buildEngine(*verbose, *logFormat, *cacheDir)
 	if err != nil {
 		return err
 	}
@@ -493,6 +538,7 @@ func cmdBatch(ctx context.Context, args []string, in io.Reader, out io.Writer) e
 	explain := fs.Bool("explain", false, "print each request's ranked plan instead of solving it")
 	cacheDir := fs.String("cache-dir", "", "persist synthesized tables under this directory")
 	verbose := fs.Bool("v", false, "log engine events to stderr")
+	logFormat := fs.String("log", "text", `structured log format: "text" or "json"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -501,7 +547,7 @@ func cmdBatch(ctx context.Context, args []string, in io.Reader, out io.Writer) e
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	eng, err := buildEngine(*verbose, *cacheDir)
+	eng, err := buildEngine(*verbose, *logFormat, *cacheDir)
 	if err != nil {
 		return err
 	}

@@ -13,11 +13,14 @@ import (
 // endpoints on their own mux, so profiling never rides the production
 // listener's port (or its middleware: no admission bound, body cap or
 // request timeout applies here). Callers gate it behind a -pprof flag
-// and should bind loopback; an empty addr is a no-op.
+// and should bind loopback; an empty addr is a no-op. A non-nil traces
+// handler additionally mounts the process's recent-trace buffer at
+// /debug/traces, next to the profiles it contextualises.
 //
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //	curl http://127.0.0.1:6060/debug/pprof/heap > heap.pb.gz
-func startPprof(addr string, out io.Writer) error {
+//	curl http://127.0.0.1:6060/debug/traces?min_ms=50
+func startPprof(addr string, out io.Writer, traces http.Handler) error {
 	if addr == "" {
 		return nil
 	}
@@ -27,6 +30,9 @@ func startPprof(addr string, out io.Writer) error {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if traces != nil {
+		mux.Handle("/debug/traces", traces)
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("pprof: %w", err)

@@ -68,14 +68,23 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 	cacheService := fs.Bool("cache-service", false, "mount the blob/lease cache service under /v1/cache/ (backed by -cache-dir when set)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (debug only; e.g. 127.0.0.1:6060)")
 	verbose := fs.Bool("v", false, "log engine events to stderr")
+	logFormat := fs.String("log", "text", `structured log format: "text" or "json"`)
+	slowReq := fs.Duration("slow", 0, "log the full span tree of any request slower than this (0 = never)")
+	traceBuffer := fs.Int("trace-buffer", lclgrid.DefaultTraceBufferSize, "completed traces kept for GET /debug/traces (0 disables tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := startPprof(*pprofAddr, out); err != nil {
+
+	traces, tracesHandler := newTraceBuffer(*traceBuffer, *logFormat, *verbose, *slowReq)
+	if err := startPprof(*pprofAddr, out, tracesHandler); err != nil {
 		return err
 	}
 
 	metrics := lclgrid.NewMetricsObserver()
+	metrics.SetBuildInfo(buildIdentity())
+	if traces != nil {
+		metrics.SetTraceStatsFunc(traces.Stats)
+	}
 	engineOpts := []lclgrid.EngineOption{
 		lclgrid.WithObserver(metrics), lclgrid.WithSynthWorkers(*synthWorkers),
 	}
@@ -105,7 +114,7 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 		builderCacheDir = ""
 		engineOpts = append(engineOpts, lclgrid.WithCache(remote))
 	}
-	eng, err := buildEngine(*verbose, builderCacheDir, engineOpts...)
+	eng, err := buildEngine(*verbose, *logFormat, builderCacheDir, engineOpts...)
 	if err != nil {
 		return err
 	}
@@ -147,6 +156,9 @@ func cmdServe(ctx context.Context, args []string, out io.Writer) error {
 		lclgrid.WithMaxBodyBytes(*maxBody),
 		lclgrid.WithBatchWorkers(*workers),
 		lclgrid.WithDrainTimeout(*drain),
+	}
+	if traces != nil {
+		serverOpts = append(serverOpts, lclgrid.WithServerTracing(traces))
 	}
 	if problemStore != nil {
 		serverOpts = append(serverOpts, lclgrid.WithProblemStore(problemStore))
@@ -275,6 +287,49 @@ func ownedKeys(eng *lclgrid.Engine, owns func(lclgrid.SynthKey) bool) ([]string,
 	return keys, len(keys) > 0
 }
 
+// vcsRevision extracts the (shortened) VCS revision from embedded build
+// info, with the commit timestamp when recorded and whether the working
+// tree was dirty. Empty rev when the binary was built outside a
+// checkout.
+func vcsRevision(bi *debug.BuildInfo) (rev, vcsTime string, dirty bool) {
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev, vcsTime, dirty
+}
+
+// buildIdentity names this binary for the lclgrid_build_info metric:
+// the module version and VCS revision from debug.ReadBuildInfo, with
+// "unknown" placeholders when the toolchain embedded nothing.
+func buildIdentity() (version, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown", "unknown"
+	}
+	version = bi.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	rev, _, dirty := vcsRevision(bi)
+	if rev == "" {
+		return version, "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return version, rev
+}
+
 // cmdVersion prints the module version and the VCS revision embedded by
 // the Go toolchain (debug.ReadBuildInfo), so a deployed binary can name
 // the commit it was built from.
@@ -288,22 +343,8 @@ func cmdVersion(out io.Writer) error {
 		version = "(devel)"
 	}
 	line := "lclgrid " + version
-	var rev, vcsTime string
-	dirty := false
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.time":
-			vcsTime = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
-		}
-	}
+	rev, vcsTime, dirty := vcsRevision(bi)
 	if rev != "" {
-		if len(rev) > 12 {
-			rev = rev[:12]
-		}
 		line += " rev " + rev
 		if dirty {
 			line += "+dirty"

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -271,6 +272,15 @@ func (e *Engine) Synthesize(ctx context.Context, p *Problem, k, h, w int) (alg *
 // single-threaded caller's fn is never invoked concurrently.
 type synthFn func(ctx context.Context, k, h, w int) (*Synthesized, error)
 
+// synthKeyAttr renders a SynthKey as a span attribute: the stable cache
+// file name when the key is well-formed, the full form otherwise.
+func synthKeyAttr(key SynthKey) string {
+	if name := cacheKeyName(key); name != "" {
+		return name
+	}
+	return key.String()
+}
+
 func (e *Engine) synthesizeWith(ctx context.Context, p *Problem, k, h, w int, fn synthFn) (alg *Synthesized, cached bool, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
@@ -292,16 +302,23 @@ func (e *Engine) synthesizeWith(ctx context.Context, p *Problem, k, h, w int, fn
 		if val, ok := e.cache.Get(key); ok {
 			e.hits.Add(1)
 			e.observeCacheHit(key)
+			traceEvent(ctx, "cache.hit", "synth_key", synthKeyAttr(key))
 			return withProblem(val.Alg, p), true, val.Err
 		}
 		e.mu.Lock()
 		if ent, ok := e.inflight[key]; ok {
 			e.mu.Unlock()
+			_, wsp := StartSpan(ctx, "cache.wait")
+			wsp.SetAttr("synth_key", synthKeyAttr(key))
 			select {
 			case <-ctx.Done():
+				wsp.SetAttr("outcome", "detached")
+				wsp.End()
 				return nil, false, ctx.Err() // detach; the synthesis continues
 			case <-ent.ready:
 			}
+			wsp.SetAttr("outcome", "ready")
+			wsp.End()
 			if isCtxErr(ent.err) {
 				// The owner aborted; its slot is already retired. Re-run
 				// the election (we may become the owner).
@@ -315,6 +332,7 @@ func (e *Engine) synthesizeWith(ctx context.Context, p *Problem, k, h, w int, fn
 			}
 			e.hits.Add(1)
 			e.observeCacheHit(key)
+			traceEvent(ctx, "cache.hit", "synth_key", synthKeyAttr(key))
 			return withProblem(ent.alg, p), true, ent.err
 		}
 		ent := &synthEntry{ready: make(chan struct{})}
@@ -329,6 +347,7 @@ func (e *Engine) synthesizeWith(ctx context.Context, p *Problem, k, h, w int, fn
 			close(ent.ready)
 			e.hits.Add(1)
 			e.observeCacheHit(key)
+			traceEvent(ctx, "cache.hit", "synth_key", synthKeyAttr(key))
 			return withProblem(val.Alg, p), true, val.Err
 		}
 		// Cluster singleflight: having won the local election, contend
@@ -337,8 +356,12 @@ func (e *Engine) synthesizeWith(ctx context.Context, p *Problem, k, h, w int, fn
 		// cluster lease (or degraded to uncoordinated local synthesis —
 		// coordination is an optimisation, never a gate).
 		if lc, ok := e.cache.(leaseCoordinator); ok {
-			val, served, rel := lc.coordinate(ctx, key)
+			cctx, csp := StartSpan(ctx, "lease.coordinate")
+			csp.SetAttr("synth_key", synthKeyAttr(key))
+			val, served, rel := lc.coordinate(cctx, key)
 			if served {
+				csp.SetAttr("outcome", "served")
+				csp.End()
 				e.retire(key)
 				ent.alg, ent.err = val.Alg, val.Err
 				close(ent.ready)
@@ -346,11 +369,20 @@ func (e *Engine) synthesizeWith(ctx context.Context, p *Problem, k, h, w int, fn
 				e.observeCacheHit(key)
 				return withProblem(val.Alg, p), true, val.Err
 			}
+			if rel != nil {
+				csp.SetAttr("outcome", "granted")
+			} else {
+				csp.SetAttr("outcome", "degraded")
+			}
+			csp.End()
 			release = rel
 		}
 		e.misses.Add(1)
 		e.observeCacheMiss(key)
 		e.observeSynthesisStart(key)
+		traceEvent(ctx, "cache.miss", "synth_key", synthKeyAttr(key))
+		sctx, ssp := StartSpan(ctx, "synthesis")
+		ssp.SetAttr("synth_key", synthKeyAttr(key))
 		start := time.Now()
 		func() {
 			// Panic safety: a panic below (user-supplied Problem callbacks
@@ -363,17 +395,29 @@ func (e *Engine) synthesizeWith(ctx context.Context, p *Problem, k, h, w int, fn
 					e.retire(key)
 					ent.err = fmt.Errorf("lclgrid: synthesis panicked: %v", r)
 					ent.failed = true
+					ssp.SetError(ent.err)
+					ssp.End()
 					e.observeSynthesisEnd(key, time.Since(start), ent.err)
 					close(ent.ready)
 					panic(r)
 				}
 			}()
 			if fn != nil {
-				ent.alg, ent.err = fn(ctx, k, h, w)
+				ent.alg, ent.err = fn(sctx, k, h, w)
 			} else {
-				ent.alg, ent.err = core.Synthesize(ctx, p, k, h, w)
+				ent.alg, ent.err = core.Synthesize(sctx, p, k, h, w)
 			}
 		}()
+		ssp.SetError(ent.err)
+		if ent.alg != nil {
+			// Attribute the SAT work so a slow trace names its cost:
+			// conflict/decision/propagation counts straight off the solver.
+			ss := ent.alg.SolverStats
+			ssp.SetAttr("conflicts", strconv.Itoa(ss.Conflicts))
+			ssp.SetAttr("decisions", strconv.Itoa(ss.Decisions))
+			ssp.SetAttr("propagations", strconv.Itoa(ss.Propagated))
+		}
+		ssp.End()
 		e.observeSynthesisEnd(key, time.Since(start), ent.err)
 		if !isCtxErr(ent.err) {
 			// Cache the completed outcome (success, UNSAT or a structural
@@ -700,10 +744,16 @@ func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*Result, error) {
 // solve is the uniform execution path of every request: build the plan,
 // announce it, walk it.
 func (e *Engine) solve(ctx context.Context, req SolveRequest) (*Result, error) {
+	_, psp := StartSpan(ctx, "plan")
 	plan, err := e.Plan(req)
 	if err != nil {
+		psp.SetError(err)
+		psp.End()
 		return nil, err
 	}
+	psp.SetAttr("strategies", strconv.Itoa(len(plan.Strategies)))
+	psp.SetAttr("class", plan.Class.String())
+	psp.End()
 	e.observePlanBuilt(req, plan)
 	return e.executePlan(ctx, req, plan)
 }

@@ -1,0 +1,89 @@
+// Command tracing demonstrates the distributed-tracing subsystem on one
+// process: it boots a traced Server, provokes a cold synthesis over
+// HTTP, and prints the request's span tree — the plan, the ranked
+// strategies, and the synthesis with its SynthKey and SAT-statistics
+// attributes — exactly as GET /debug/traces would serve it, followed by
+// the cheap cached re-solve for contrast.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	lclgrid "lclgrid"
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// A trace buffer shared with the server: every completed request
+	// deposits its span tree here, newest first.
+	traces := lclgrid.NewTraceBuffer(16)
+	srv := lclgrid.NewServer(lclgrid.NewEngine(), lclgrid.WithServerTracing(traces))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, l) }()
+	base := "http://" + l.Addr().String()
+
+	// The cold solve: nothing is cached, so the trace shows the full
+	// pipeline — plan, strategy, cache.miss, and the SAT synthesis.
+	solve := func(label string) {
+		resp, err := http.Post(base+"/v1/solve", "application/json",
+			strings.NewReader(`{"key":"5col","n":12}`))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("solve: status %d", resp.StatusCode)
+		}
+		doc := traces.Snapshot(0)[0]
+		fmt.Printf("%s  trace %s (%s, %.3fms)\n", label, doc.TraceID, doc.Service, doc.ElapsedMS)
+		for _, sp := range doc.Spans {
+			printSpan(sp, 1)
+		}
+		fmt.Println()
+	}
+	solve("cold solve")
+	solve("cached re-solve")
+
+	cancel()
+	if err := <-serveDone; err != nil {
+		log.Fatal(err)
+	}
+}
+
+// printSpan renders one span and its children as an indented tree with
+// the attributes that matter inline.
+func printSpan(sp *lclgrid.SpanDoc, depth int) {
+	fmt.Printf("%s%-16s %8.3fms", strings.Repeat("  ", depth), sp.Name, sp.ElapsedMS)
+	if len(sp.Attrs) > 0 {
+		keys := []string{"status", "class", "strategies", "kind", "synth_key", "conflicts", "decisions", "propagations", "outcome"}
+		var parts []string
+		for _, k := range keys {
+			if v, ok := sp.Attrs[k]; ok {
+				parts = append(parts, k+"="+v)
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Printf("  %s", strings.Join(parts, " "))
+		}
+	}
+	if sp.Error != "" {
+		fmt.Printf("  error=%q", sp.Error)
+	}
+	fmt.Println()
+	for _, child := range sp.Children {
+		printSpan(child, depth+1)
+	}
+}

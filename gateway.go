@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -73,6 +74,7 @@ type Gateway struct {
 	timeout  time.Duration
 	drain    time.Duration
 	probeGap time.Duration
+	traces   *TraceBuffer // nil = tracing off
 
 	healthMu sync.Mutex
 	health   map[string]*shardHealth
@@ -105,6 +107,7 @@ type gatewayConfig struct {
 	timeout     time.Duration
 	drain       time.Duration
 	probeGap    time.Duration
+	traces      *TraceBuffer
 }
 
 // WithGatewayClient sets the HTTP client used for upstream shard
@@ -156,6 +159,14 @@ func WithGatewayDrainTimeout(d time.Duration) GatewayOption {
 // (default 5s).
 func WithGatewayProbeInterval(d time.Duration) GatewayOption {
 	return func(cfg *gatewayConfig) { cfg.probeGap = d }
+}
+
+// WithGatewayTracing enables request tracing: every routed request gets
+// a Trace, the traceparent header is forwarded to the owning shard (so
+// the shard's own spans join the same trace id), X-Trace-Id is echoed,
+// and completed traces land in buf — exposed at GET /debug/traces.
+func WithGatewayTracing(buf *TraceBuffer) GatewayOption {
+	return func(cfg *gatewayConfig) { cfg.traces = buf }
 }
 
 // NewGateway builds a gateway over the given shard base URLs (e.g.
@@ -210,6 +221,7 @@ func NewGateway(shards []string, opts ...GatewayOption) (*Gateway, error) {
 		timeout:  cfg.timeout,
 		drain:    cfg.drain,
 		probeGap: cfg.probeGap,
+		traces:   cfg.traces,
 		health:   make(map[string]*shardHealth),
 		fps:      make(map[string]string),
 	}
@@ -230,6 +242,9 @@ func NewGateway(shards []string, opts ...GatewayOption) (*Gateway, error) {
 	g.mux.Handle("GET /healthz", g.instrument("/healthz", http.HandlerFunc(g.handleHealthz)))
 	g.mux.Handle("GET /readyz", g.instrument("/readyz", http.HandlerFunc(g.handleReadyz)))
 	g.mux.Handle("GET /metrics", g.instrument("/metrics", http.HandlerFunc(g.handleMetrics)))
+	if cfg.traces != nil {
+		g.mux.Handle("GET /debug/traces", cfg.traces.Handler())
+	}
 	return g, nil
 }
 
@@ -366,9 +381,21 @@ func (g *Gateway) Ready() error {
 // --- middleware (admission/metrics parity with Server) ------------------------
 
 func (g *Gateway) instrument(path string, next http.Handler) http.Handler {
+	// Only the /v1/ work endpoints trace — probe and scrape noise would
+	// evict the traces worth keeping (same policy as Server).
+	traced := strings.HasPrefix(path, "/v1/")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		g.metrics.httpStart()
 		sw := &statusWriter{ResponseWriter: w}
+		if g.traces != nil && traced {
+			tr := traceForRequest("gateway", path, r)
+			sw.Header().Set(TraceIDHeader, tr.ID())
+			r = r.WithContext(ContextWithSpan(r.Context(), tr.Root()))
+			defer func() {
+				tr.Root().SetAttr("status", strconv.Itoa(sw.status()))
+				tr.Finish(g.traces)
+			}()
+		}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		g.metrics.httpEnd(path, sw.status(), time.Since(start))
@@ -384,7 +411,7 @@ func (g *Gateway) admit(next http.HandlerFunc) http.Handler {
 			default:
 				g.metrics.httpRejected()
 				w.Header().Set("Retry-After", "1")
-				httpError(w, http.StatusTooManyRequests,
+				httpError(w, r, http.StatusTooManyRequests,
 					errors.New("lclgrid: gateway at capacity; retry after backoff"))
 				return
 			}
@@ -432,9 +459,9 @@ func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("lclgrid: request body exceeds %d bytes", mbe.Limit))
+			httpError(w, r, http.StatusRequestEntityTooLarge, fmt.Errorf("lclgrid: request body exceeds %d bytes", mbe.Limit))
 		} else {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("lclgrid: reading request body: %w", err))
+			httpError(w, r, http.StatusBadRequest, fmt.Errorf("lclgrid: reading request body: %w", err))
 		}
 		return nil, false
 	}
@@ -483,7 +510,7 @@ func (g *Gateway) routed(path string) http.HandlerFunc {
 		}
 		var doc keyDoc
 		if err := json.Unmarshal(body, &doc); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("lclgrid: bad request document: %w", err))
+			httpError(w, r, http.StatusBadRequest, fmt.Errorf("lclgrid: bad request document: %w", err))
 			return
 		}
 		ctx := r.Context()
@@ -528,29 +555,43 @@ func (g *Gateway) routed(path string) http.HandlerFunc {
 		if lastErr == nil {
 			lastErr = errors.New("no shard available")
 		}
-		httpError(w, http.StatusBadGateway, fmt.Errorf("lclgrid: every replica for this key failed: %w", lastErr))
+		httpError(w, r, http.StatusBadGateway, fmt.Errorf("lclgrid: every replica for this key failed: %w", lastErr))
 	}
 }
 
-// forward issues one upstream request with the buffered body.
+// forward issues one upstream request with the buffered body, carrying
+// the request's trace to the shard via traceparent; each retry is its
+// own "forward" span naming the shard it tried.
 func (g *Gateway) forward(ctx context.Context, shard, path, rawQuery string, body []byte) (*http.Response, error) {
 	u := shard + path
 	if rawQuery != "" {
 		u += "?" + rawQuery
 	}
+	ctx, sp := StartSpan(ctx, "forward")
+	sp.SetAttr("shard", shard)
+	sp.SetAttr("path", path)
+	defer sp.End()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return g.client.Do(req)
+	injectTraceparent(ctx, req.Header)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		sp.SetError(err)
+		return nil, err
+	}
+	sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
+	return resp, nil
 }
 
 // relay streams an upstream response to the client verbatim, flushing
 // as it copies so upstream streams (export bands) stay streams.
 func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
-	for _, k := range []string{"Content-Type", "ETag", "Cache-Control", "Retry-After"} {
+	for _, k := range []string{"Content-Type", "ETag", "Cache-Control", "Retry-After", TraceIDHeader} {
 		if v := resp.Header.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
@@ -586,6 +627,7 @@ func (g *Gateway) handleProblems(w http.ResponseWriter, r *http.Request) {
 			lastErr = err
 			continue
 		}
+		injectTraceparent(ctx, req.Header)
 		if v := r.Header.Get("If-None-Match"); v != "" {
 			req.Header.Set("If-None-Match", v)
 		}
@@ -604,7 +646,7 @@ func (g *Gateway) handleProblems(w http.ResponseWriter, r *http.Request) {
 	if lastErr == nil {
 		lastErr = errors.New("no healthy shard")
 	}
-	httpError(w, http.StatusBadGateway, fmt.Errorf("lclgrid: catalogue unavailable: %w", lastErr))
+	httpError(w, r, http.StatusBadGateway, fmt.Errorf("lclgrid: catalogue unavailable: %w", lastErr))
 }
 
 // definedDoc is the slice of a define/get response the gateway reads to
@@ -630,7 +672,7 @@ func (g *Gateway) learnBinding(body []byte) {
 
 // relayBuffered writes an already-read upstream response to the client.
 func relayBuffered(w http.ResponseWriter, resp *http.Response, body []byte) {
-	for _, k := range []string{"Content-Type", "ETag", "Cache-Control", "Retry-After"} {
+	for _, k := range []string{"Content-Type", "ETag", "Cache-Control", "Retry-After", TraceIDHeader} {
 		if v := resp.Header.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
@@ -707,7 +749,7 @@ func (g *Gateway) handleDefineProblem(w http.ResponseWriter, r *http.Request) {
 		if lastErr == nil {
 			lastErr = errors.New("no shard available")
 		}
-		httpError(w, http.StatusBadGateway, fmt.Errorf("lclgrid: every shard refused the registration: %w", lastErr))
+		httpError(w, r, http.StatusBadGateway, fmt.Errorf("lclgrid: every shard refused the registration: %w", lastErr))
 	}
 }
 
@@ -728,6 +770,7 @@ func (g *Gateway) handleProblemGet(w http.ResponseWriter, r *http.Request) {
 			lastErr = err
 			continue
 		}
+		injectTraceparent(ctx, req.Header)
 		if v := r.Header.Get("If-None-Match"); v != "" {
 			req.Header.Set("If-None-Match", v)
 		}
@@ -757,7 +800,7 @@ func (g *Gateway) handleProblemGet(w http.ResponseWriter, r *http.Request) {
 	if lastErr == nil {
 		lastErr = errors.New("no healthy shard")
 	}
-	httpError(w, http.StatusBadGateway, fmt.Errorf("lclgrid: problem lookup unavailable: %w", lastErr))
+	httpError(w, r, http.StatusBadGateway, fmt.Errorf("lclgrid: problem lookup unavailable: %w", lastErr))
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -790,10 +833,11 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // byte-identical to a single-server batch line for line (modulo the
 // elapsed_ns inside the result, which is wall-clock).
 type gwLine struct {
-	Index  *int            `json:"index,omitempty"`
-	Key    string          `json:"key,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	Index   *int            `json:"index,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	TraceID string          `json:"trace_id,omitempty"`
 }
 
 // batchReq is one input line held for dispatch: its global index, its
@@ -923,7 +967,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if decodeErr != nil {
-		_ = enc.Encode(gwLine{Error: fmt.Sprintf("lclgrid: bad batch document: %v", decodeErr)})
+		_ = enc.Encode(gwLine{Error: fmt.Sprintf("lclgrid: bad batch document: %v", decodeErr), TraceID: TraceIDFromContext(ctx)})
 		_ = rc.Flush()
 	}
 }
@@ -953,9 +997,15 @@ func (g *Gateway) pickShardRoute(route string) string {
 // in-band and marks the shard unhealthy; answered lines are never
 // disturbed.
 func (g *Gateway) runShardBatch(ctx context.Context, shard string, reqs []batchReq, publish func(gwLine)) {
+	ctx, sp := StartSpan(ctx, "batch.shard")
+	sp.SetAttr("shard", shard)
+	sp.SetAttr("lines", strconv.Itoa(len(reqs)))
+	defer sp.End()
+	tid := TraceIDFromContext(ctx)
 	// Indexes answered so far; on failure the remainder get error lines.
 	answered := make([]bool, len(reqs))
 	fail := func(err error) {
+		sp.SetError(err)
 		g.setHealth(shard, false, err.Error())
 		g.metrics.gatewayError()
 		for i := range reqs {
@@ -964,9 +1014,10 @@ func (g *Gateway) runShardBatch(ctx context.Context, shard string, reqs []batchR
 			}
 			index := reqs[i].index
 			publish(gwLine{
-				Index: &index,
-				Key:   reqs[i].key,
-				Error: fmt.Sprintf("lclgrid: shard %s failed mid-batch: %v", shard, err),
+				Index:   &index,
+				Key:     reqs[i].key,
+				Error:   fmt.Sprintf("lclgrid: shard %s failed mid-batch: %v", shard, err),
+				TraceID: tid,
 			})
 		}
 	}
@@ -985,6 +1036,7 @@ func (g *Gateway) runShardBatch(ctx context.Context, shard string, reqs []batchR
 		return
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	injectTraceparent(ctx, req.Header)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		fail(err)

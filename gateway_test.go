@@ -134,10 +134,17 @@ func TestGatewayBatchMatchesSingleServer(t *testing.T) {
 		}
 	}
 
-	// Both shards actually served traffic (the ring split the keys).
+	// Every shard the ring routes a document key to actually served
+	// traffic. (The split itself depends on the ephemeral shard
+	// addresses hashed onto the ring, so the expectation is computed
+	// with the gateway's own routing, not assumed to cover all shards.)
+	expected := make(map[string]bool)
+	for _, key := range []string{"5col", "mis", "orient134", "is"} {
+		expected[gw.ring.Sequence(gw.routingKey(key))[0]] = true
+	}
 	var sb strings.Builder
 	gw.Metrics().WritePrometheus(&sb)
-	for _, shard := range gw.Shards() {
+	for shard := range expected {
 		if !strings.Contains(sb.String(), fmt.Sprintf("shard=%q", shard)) {
 			t.Errorf("shard %s served no requests:\n%s", shard, grepMetrics(sb.String(), "gateway"))
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"lclgrid/internal/core"
@@ -308,12 +309,17 @@ func (e *Engine) planLabel(req LabelRequest) (*labelPlan, error) {
 // function of the request and the catalogue.
 func (e *Engine) LabelWindow(ctx context.Context, req LabelRequest) (*LabelResponse, error) {
 	e.observeWindowStart(req)
+	ctx, sp := StartSpan(ctx, "window")
 	start := time.Now()
 	res, err := e.labelWindow(ctx, req)
 	var stats WindowStats
 	if res != nil {
 		stats = res.Stats
+		sp.SetAttr("window_nodes", strconv.Itoa(stats.WindowNodes))
+		sp.SetAttr("halo_nodes", strconv.Itoa(stats.HaloNodes))
 	}
+	sp.SetError(err)
+	sp.End()
 	e.observeWindowEnd(req, stats, err, time.Since(start))
 	return res, err
 }
@@ -495,8 +501,12 @@ func (r *ExportRequest) bandRows(nx, ny int) int {
 func (e *Engine) ExportGrid(ctx context.Context, req ExportRequest, emit func(LabelBand) error) error {
 	lreq := req.labelRequest()
 	e.observeWindowStart(lreq)
+	ctx, sp := StartSpan(ctx, "export")
 	start := time.Now()
 	stats, err := e.exportGrid(ctx, req, emit)
+	sp.SetAttr("window_nodes", strconv.Itoa(stats.WindowNodes))
+	sp.SetError(err)
+	sp.End()
 	e.observeWindowEnd(lreq, stats, err, time.Since(start))
 	return err
 }

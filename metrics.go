@@ -80,6 +80,14 @@ type MetricsObserver struct {
 	gatewayRequests labeledCounter
 	gatewayRetries  atomic.Uint64
 	gatewayErrors   atomic.Uint64
+
+	// traceStats, when set, reports the trace ring's lifetime
+	// added/dropped counts (SetTraceStatsFunc).
+	traceStats atomic.Pointer[func() (uint64, uint64)]
+
+	// buildInfo, when set, renders the lclgrid_build_info gauge
+	// (SetBuildInfo): [version, revision].
+	buildInfo atomic.Pointer[[2]string]
 }
 
 var (
@@ -192,6 +200,35 @@ func (m *MetricsObserver) SetCacheEntriesFunc(fn func() int) {
 	m.cacheEntries.Store(&fn)
 }
 
+// SetTraceStatsFunc installs the live source of the
+// lclgrid_traces_total / lclgrid_traces_dropped_total counters —
+// typically a TraceBuffer's Stats method:
+//
+//	m.SetTraceStatsFunc(buf.Stats)
+//
+// Without it the series are omitted (tracing is off, not idle).
+func (m *MetricsObserver) SetTraceStatsFunc(fn func() (added, dropped uint64)) {
+	if fn == nil {
+		m.traceStats.Store(nil)
+		return
+	}
+	m.traceStats.Store(&fn)
+}
+
+// SetBuildInfo installs the lclgrid_build_info{revision,version} gauge —
+// the binary identity every scrape carries, so a dashboard can correlate
+// a metrics regression with the deploy that shipped it. Empty fields
+// render as "unknown"; without the call the gauge is omitted.
+func (m *MetricsObserver) SetBuildInfo(version, revision string) {
+	if version == "" {
+		version = "unknown"
+	}
+	if revision == "" {
+		revision = "unknown"
+	}
+	m.buildInfo.Store(&[2]string{version, revision})
+}
+
 // --- Gateway recording hooks --------------------------------------------------
 
 func (m *MetricsObserver) gatewayRequest(route, shard string, code int) {
@@ -258,6 +295,16 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 	mw.labeled("lclgrid_gateway_requests_total", "Requests the gateway proxied, by route, shard and upstream status.", "counter", &m.gatewayRequests)
 	mw.counter("lclgrid_gateway_retries_total", "Idempotent requests retried on the next ring replica after a shard failure.", m.gatewayRetries.Load())
 	mw.counter("lclgrid_gateway_errors_total", "Gateway requests that exhausted every replica for their key.", m.gatewayErrors.Load())
+
+	if fn := m.traceStats.Load(); fn != nil {
+		added, dropped := (*fn)()
+		mw.counter("lclgrid_traces_total", "Completed traces deposited in the /debug/traces ring.", added)
+		mw.counter("lclgrid_traces_dropped_total", "Traces evicted from the ring by newer ones.", dropped)
+	}
+	if bi := m.buildInfo.Load(); bi != nil {
+		mw.header("lclgrid_build_info", "Build identity of the running binary; always 1.", "gauge")
+		mw.printf("lclgrid_build_info{revision=%q,version=%q} 1\n", bi[1], bi[0])
+	}
 
 	return mw.err
 }

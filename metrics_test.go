@@ -288,3 +288,46 @@ func TestMetricsGatewaySeries(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsTraceAndBuildInfoSeries pins the observability series added
+// with distributed tracing: the trace deposit/eviction counters read
+// live from a TraceBuffer, and lclgrid_build_info renders the binary
+// identity with alphabetically sorted labels and a constant value of 1.
+func TestMetricsTraceAndBuildInfoSeries(t *testing.T) {
+	m := NewMetricsObserver()
+	text := metricText(t, m)
+	for _, name := range []string{"lclgrid_traces_total", "lclgrid_build_info"} {
+		if strings.Contains(text, name) {
+			t.Fatalf("%s rendered without a provider:\n%s", name, text)
+		}
+	}
+
+	buf := NewTraceBuffer(2)
+	m.SetTraceStatsFunc(buf.Stats)
+	for i := 0; i < 3; i++ {
+		StartTrace("serve", "req").Finish(buf)
+	}
+	text = metricText(t, m)
+	if got := metricValue(t, text, "lclgrid_traces_total"); got != 3 {
+		t.Errorf("lclgrid_traces_total = %v, want 3", got)
+	}
+	if got := metricValue(t, text, "lclgrid_traces_dropped_total"); got != 1 {
+		t.Errorf("lclgrid_traces_dropped_total = %v, want 1", got)
+	}
+
+	m.SetBuildInfo("v1.2.3", "abcdef123456")
+	text = metricText(t, m)
+	want := `lclgrid_build_info{revision="abcdef123456",version="v1.2.3"} 1`
+	if !strings.Contains(text, want) {
+		t.Errorf("build info series missing; want %q in:\n%s", want, text)
+	}
+	if !strings.Contains(text, "# TYPE lclgrid_build_info gauge") {
+		t.Error("lclgrid_build_info lacks its TYPE header")
+	}
+
+	// Empty identity degrades to "unknown", never an empty label.
+	m.SetBuildInfo("", "")
+	if text := metricText(t, m); !strings.Contains(text, `lclgrid_build_info{revision="unknown",version="unknown"} 1`) {
+		t.Errorf("empty identity did not render as unknown:\n%s", text)
+	}
+}

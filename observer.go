@@ -107,6 +107,23 @@ type ObserverCounts struct {
 	Plans          uint64 `json:"plans"`
 	Strategies     uint64 `json:"strategies"`
 	StrategyErrors uint64 `json:"strategy_errors"`
+	// Windows and WindowErrors count WindowStart events and the subset
+	// of WindowEnd events carrying an error; WindowTime is the
+	// cumulative wall-clock time inside windowed evaluation.
+	Windows      uint64        `json:"windows"`
+	WindowErrors uint64        `json:"window_errors"`
+	WindowTime   time.Duration `json:"window_time_ns"`
+	// RemoteOps counts remote-cache interactions, RemoteOpErrors the
+	// subset with outcome "error", and RemoteDegraded the coordination
+	// give-ups that fell back to uncoordinated local synthesis.
+	RemoteOps      uint64 `json:"remote_ops"`
+	RemoteOpErrors uint64 `json:"remote_op_errors"`
+	RemoteDegraded uint64 `json:"remote_degraded"`
+	// GatewayRequests / GatewayRetries / GatewayErrors count the
+	// gateway-side events (see the GatewayRequest mirrors).
+	GatewayRequests uint64 `json:"gateway_requests"`
+	GatewayRetries  uint64 `json:"gateway_retries"`
+	GatewayErrors   uint64 `json:"gateway_errors"`
 }
 
 // CountingObserver is a built-in Observer that tallies every event in
@@ -128,9 +145,22 @@ type CountingObserver struct {
 	plans           atomic.Uint64
 	strategies      atomic.Uint64
 	strategyErrors  atomic.Uint64
+	windows         atomic.Uint64
+	windowErrors    atomic.Uint64
+	windowNanos     atomic.Int64
+	remoteOps       atomic.Uint64
+	remoteOpErrors  atomic.Uint64
+	remoteDegraded  atomic.Uint64
+	gatewayRequests atomic.Uint64
+	gatewayRetries  atomic.Uint64
+	gatewayErrors   atomic.Uint64
 }
 
-var _ Observer = (*CountingObserver)(nil)
+var (
+	_ Observer            = (*CountingObserver)(nil)
+	_ WindowObserver      = (*CountingObserver)(nil)
+	_ RemoteCacheObserver = (*CountingObserver)(nil)
+)
 
 // Counts returns a snapshot of the counters. Like CacheStats, the
 // counters are read independently: a snapshot taken while requests are
@@ -151,6 +181,15 @@ func (c *CountingObserver) Counts() ObserverCounts {
 		Plans:           c.plans.Load(),
 		Strategies:      c.strategies.Load(),
 		StrategyErrors:  c.strategyErrors.Load(),
+		Windows:         c.windows.Load(),
+		WindowErrors:    c.windowErrors.Load(),
+		WindowTime:      time.Duration(c.windowNanos.Load()),
+		RemoteOps:       c.remoteOps.Load(),
+		RemoteOpErrors:  c.remoteOpErrors.Load(),
+		RemoteDegraded:  c.remoteDegraded.Load(),
+		GatewayRequests: c.gatewayRequests.Load(),
+		GatewayRetries:  c.gatewayRetries.Load(),
+		GatewayErrors:   c.gatewayErrors.Load(),
 	}
 }
 
@@ -188,6 +227,41 @@ func (c *CountingObserver) StrategyEnd(_ SolveRequest, _ *PlannedStrategy, _ *Re
 		c.strategyErrors.Add(1)
 	}
 }
+
+// WindowStart implements WindowObserver: windowed label requests
+// (streaming exports count once, like the metrics series).
+func (c *CountingObserver) WindowStart(LabelRequest) { c.windows.Add(1) }
+
+// WindowEnd implements WindowObserver.
+func (c *CountingObserver) WindowEnd(_ LabelRequest, _ WindowStats, err error, elapsed time.Duration) {
+	c.windowNanos.Add(int64(elapsed))
+	if err != nil {
+		c.windowErrors.Add(1)
+	}
+}
+
+// RemoteCacheOp implements RemoteCacheObserver (install with
+// WithRemoteObserver).
+func (c *CountingObserver) RemoteCacheOp(_, outcome string, _ time.Duration) {
+	c.remoteOps.Add(1)
+	if outcome == "error" {
+		c.remoteOpErrors.Add(1)
+	}
+}
+
+// RemoteCacheDegraded implements RemoteCacheObserver.
+func (c *CountingObserver) RemoteCacheDegraded() { c.remoteDegraded.Add(1) }
+
+// GatewayRequest mirrors the MetricsObserver's gateway-request hook for
+// tests and embedders that drive a CountingObserver by hand — the
+// Gateway itself reports to a concrete *MetricsObserver.
+func (c *CountingObserver) GatewayRequest(route, shard string, code int) { c.gatewayRequests.Add(1) }
+
+// GatewayRetry counts a retried idempotent request.
+func (c *CountingObserver) GatewayRetry() { c.gatewayRetries.Add(1) }
+
+// GatewayError counts a request that exhausted every replica.
+func (c *CountingObserver) GatewayError() { c.gatewayErrors.Add(1) }
 
 // --- engine-side fan-out ----------------------------------------------------
 

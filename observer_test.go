@@ -60,6 +60,55 @@ func TestCountingObserver(t *testing.T) {
 	}
 }
 
+// TestCountingObserverFleetParity checks the counters added for
+// event-parity with the MetricsObserver: windowed label requests flow
+// through the real WindowObserver seam, and the remote-cache/gateway
+// mirrors count what they are handed.
+func TestCountingObserverFleetParity(t *testing.T) {
+	var c lclgrid.CountingObserver
+	eng := lclgrid.NewEngine(lclgrid.WithObserver(&c))
+
+	if _, err := eng.LabelWindow(bg, lclgrid.LabelRequest{
+		Key: "mis", Sides: []int{100000, 100000}, X: 42, Y: 7, W: 6, H: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts := c.Counts()
+	if counts.Windows != 1 || counts.WindowErrors != 0 {
+		t.Errorf("windows = %d/%d errors, want 1/0", counts.Windows, counts.WindowErrors)
+	}
+	if counts.WindowTime <= 0 {
+		t.Error("window time not accumulated")
+	}
+
+	// A rejected window (absurd dimensions) is an error event.
+	if _, err := eng.LabelWindow(bg, lclgrid.LabelRequest{
+		Key: "mis", Sides: []int{100000, 100000}, W: 1 << 21, H: 1,
+	}); err == nil {
+		t.Fatal("oversized window succeeded")
+	}
+	if got := c.Counts().WindowErrors; got != 1 {
+		t.Errorf("window errors = %d, want 1", got)
+	}
+
+	// The remote-cache and gateway hooks are direct mirrors.
+	c.RemoteCacheOp("get", "hit", time.Millisecond)
+	c.RemoteCacheOp("get", "error", time.Millisecond)
+	c.RemoteCacheDegraded()
+	c.GatewayRequest("/v1/solve", "shard1:8081", 200)
+	c.GatewayRetry()
+	c.GatewayError()
+	counts = c.Counts()
+	if counts.RemoteOps != 2 || counts.RemoteOpErrors != 1 || counts.RemoteDegraded != 1 {
+		t.Errorf("remote ops = %d/%d errors/%d degraded, want 2/1/1",
+			counts.RemoteOps, counts.RemoteOpErrors, counts.RemoteDegraded)
+	}
+	if counts.GatewayRequests != 1 || counts.GatewayRetries != 1 || counts.GatewayErrors != 1 {
+		t.Errorf("gateway = %d/%d/%d, want 1/1/1",
+			counts.GatewayRequests, counts.GatewayRetries, counts.GatewayErrors)
+	}
+}
+
 // TestObserverLRUEviction: a capacity eviction inside the bounded cache
 // surfaces as a CacheEvict event even though the engine never called
 // Evict.

@@ -528,9 +528,13 @@ func (e *Engine) executePlan(ctx context.Context, req SolveRequest, plan *Plan) 
 			}
 		}
 		e.observeStrategyStart(req, st)
+		sctx, sp := StartSpan(ctx, "strategy")
+		sp.SetAttr("kind", string(st.Kind))
 		start := time.Now()
-		res, err := st.run(ctx)
+		res, err := st.run(sctx)
 		elapsed := time.Since(start)
+		sp.SetError(err)
+		sp.End()
 		e.observeStrategyEnd(req, st, res, err)
 		if err == nil {
 			detail := ""

@@ -215,28 +215,38 @@ func (c *RemoteCache) Get(key SynthKey) (CachedSynthesis, bool) {
 // wait loop layer their own bookkeeping on top.
 func (c *RemoteCache) fetch(ctx context.Context, name string, key SynthKey) (CachedSynthesis, bool) {
 	start := time.Now()
+	ctx, sp := StartSpan(ctx, "remote.get")
+	sp.SetAttr("blob", name)
+	// done settles both telemetry layers in one place: the aggregate
+	// RemoteCacheOp counter and the span's outcome attribute.
+	done := func(outcome string) {
+		c.observeOp("get", outcome, time.Since(start))
+		sp.SetAttr("outcome", outcome)
+		sp.End()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cacheURL(name), nil)
 	if err != nil {
-		c.observeOp("get", "error", time.Since(start))
+		done("error")
 		return CachedSynthesis{}, false
 	}
+	injectTraceparent(ctx, req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.observeOp("get", "error", time.Since(start))
+		done("error")
 		return CachedSynthesis{}, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
-		c.observeOp("get", "miss", time.Since(start))
+		done("miss")
 		return CachedSynthesis{}, false
 	}
 	if resp.StatusCode != http.StatusOK {
-		c.observeOp("get", "error", time.Since(start))
+		done("error")
 		return CachedSynthesis{}, false
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBlobBytes+1))
 	if err != nil || int64(len(data)) > DefaultMaxBlobBytes {
-		c.observeOp("get", "error", time.Since(start))
+		done("error")
 		return CachedSynthesis{}, false
 	}
 	val, err := decodeDiskRecord(data, key)
@@ -244,11 +254,11 @@ func (c *RemoteCache) fetch(ctx context.Context, name string, key SynthKey) (Cac
 		// Corrupt or mismatched: a miss locally, and the record is
 		// removed best-effort so the cluster heals on the next Put
 		// instead of serving the same poison to every replica.
-		c.observeOp("get", "corrupt", time.Since(start))
+		done("corrupt")
 		c.deleteRemote(name)
 		return CachedSynthesis{}, false
 	}
-	c.observeOp("get", "hit", time.Since(start))
+	done("hit")
 	return val, true
 }
 
@@ -525,30 +535,41 @@ func (c *RemoteCache) coordinate(ctx context.Context, key SynthKey) (CachedSynth
 // is the refusing holder's remaining TTL (0 when unknown).
 func (c *RemoteCache) acquireLease(ctx context.Context, name string) (granted bool, holderWait time.Duration, err error) {
 	start := time.Now()
+	ctx, sp := StartSpan(ctx, "lease.acquire")
+	sp.SetAttr("lease", name)
+	done := func(outcome string) {
+		c.observeOp("lease", outcome, time.Since(start))
+		sp.SetAttr("outcome", outcome)
+		sp.End()
+	}
 	u := fmt.Sprintf("%s?owner=%s&ttl=%s", c.leaseURL(name), url.QueryEscape(c.owner), c.ttl)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return false, 0, err
 	}
+	injectTraceparent(ctx, req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.observeOp("lease", "error", time.Since(start))
+		sp.SetError(err)
+		done("error")
 		return false, 0, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		c.observeOp("lease", "granted", time.Since(start))
+		done("granted")
 		return true, 0, nil
 	case http.StatusConflict:
 		var doc struct {
 			TTLMillis int64 `json:"ttl_ms"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&doc)
-		c.observeOp("lease", "conflict", time.Since(start))
+		done("conflict")
 		return false, time.Duration(doc.TTLMillis) * time.Millisecond, nil
 	default:
-		c.observeOp("lease", "error", time.Since(start))
+		done("error")
 		return false, 0, fmt.Errorf("lclgrid: lease acquire: %s", resp.Status)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -76,6 +77,7 @@ type Server struct {
 	drain    time.Duration
 	ready    func() error // nil = always ready
 	problems ProblemStore
+	traces   *TraceBuffer // nil = tracing off
 }
 
 // ServerOption configures NewServer.
@@ -91,6 +93,7 @@ type serverConfig struct {
 	ready       func() error
 	cacheSvc    *CacheServer
 	problems    ProblemStore
+	traces      *TraceBuffer
 }
 
 // Server defaults. They favour a service exposed to real traffic: a
@@ -172,6 +175,16 @@ func WithProblemStore(ps ProblemStore) ServerOption {
 	return func(c *serverConfig) { c.problems = ps }
 }
 
+// WithServerTracing enables request tracing: every request gets a
+// Trace (joining the caller's via a W3C traceparent header when one is
+// present), spans are recorded through the engine's context plumbing,
+// the trace id is echoed as X-Trace-Id, and completed traces land in
+// buf — exposed at GET /debug/traces. Without this option requests are
+// untraced and the endpoint is not mounted.
+func WithServerTracing(buf *TraceBuffer) ServerOption {
+	return func(c *serverConfig) { c.traces = buf }
+}
+
 // WithMetricsObserver shares a MetricsObserver between the server and
 // the engine: install the same observer on the engine with WithObserver
 // so the /metrics endpoint exposes engine events (syntheses, cache
@@ -212,6 +225,7 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 		drain:    cfg.drain,
 		ready:    cfg.ready,
 		problems: cfg.problems,
+		traces:   cfg.traces,
 	}
 	// The cache-entries gauge reads the live engine state at scrape time.
 	cfg.metrics.SetCacheEntriesFunc(func() int { return e.CacheStats().Entries })
@@ -231,6 +245,11 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 	if cfg.cacheSvc != nil {
 		s.mux.Handle("/v1/cache/", http.StripPrefix("/v1/cache", cfg.cacheSvc))
+	}
+	if cfg.traces != nil {
+		// Mounted raw — the trace inspector must not disturb the
+		// request-metrics series it exists to explain.
+		s.mux.Handle("GET /debug/traces", cfg.traces.Handler())
 	}
 	return s
 }
@@ -289,10 +308,26 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 
 // instrument records the HTTP-level metrics for one route: in-flight
 // gauge, per-path/status counters and the handler latency histogram.
+// With tracing enabled it also roots the request's trace here — joining
+// the caller's via traceparent, echoing X-Trace-Id, and depositing the
+// finished trace (status attribute included) into the buffer. Only the
+// /v1/ work endpoints trace: liveness/readiness probes and metric
+// scrapes are high-frequency noise that would evict the traces worth
+// keeping.
 func (s *Server) instrument(path string, next http.Handler) http.Handler {
+	traced := strings.HasPrefix(path, "/v1/")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.httpStart()
 		sw := &statusWriter{ResponseWriter: w}
+		if s.traces != nil && traced {
+			tr := traceForRequest("serve", path, r)
+			sw.Header().Set(TraceIDHeader, tr.ID())
+			r = r.WithContext(ContextWithSpan(r.Context(), tr.Root()))
+			defer func() {
+				tr.Root().SetAttr("status", strconv.Itoa(sw.status()))
+				tr.Finish(s.traces)
+			}()
+		}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		s.metrics.httpEnd(path, sw.status(), time.Since(start))
@@ -312,7 +347,7 @@ func (s *Server) admit(next http.HandlerFunc) http.Handler {
 			default:
 				s.metrics.httpRejected()
 				w.Header().Set("Retry-After", "1")
-				httpError(w, http.StatusTooManyRequests,
+				httpError(w, r, http.StatusTooManyRequests,
 					errors.New("lclgrid: server at capacity (max in-flight solves reached); retry after backoff"))
 				return
 			}
@@ -361,11 +396,25 @@ func (sw *statusWriter) Flush() {
 
 // --- handlers ---------------------------------------------------------------
 
-// httpError writes a JSON error document with the given status.
-func httpError(w http.ResponseWriter, code int, err error) {
+// errorBody is the JSON error document every non-2xx response carries.
+// The trace id (present when the request is traced) lets a client quote
+// the exact failing request — 429/413/504 rejections included — in a
+// bug report an operator can look up in /debug/traces.
+type errorBody struct {
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// httpError writes a JSON error document with the given status,
+// stamping the request's trace id when it has one.
+func httpError(w http.ResponseWriter, r *http.Request, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	body := errorBody{Error: err.Error()}
+	if r != nil {
+		body.TraceID = TraceIDFromContext(r.Context())
+	}
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // decodeDocument reads a single JSON document of any wire type from the
@@ -381,14 +430,14 @@ func (s *Server) decodeDocument(w http.ResponseWriter, r *http.Request, dst any)
 	if err := dec.Decode(dst); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("lclgrid: request body exceeds %d bytes", mbe.Limit))
+			httpError(w, r, http.StatusRequestEntityTooLarge, fmt.Errorf("lclgrid: request body exceeds %d bytes", mbe.Limit))
 		} else {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("lclgrid: bad request document: %w", err))
+			httpError(w, r, http.StatusBadRequest, fmt.Errorf("lclgrid: bad request document: %w", err))
 		}
 		return false
 	}
 	if dec.More() {
-		httpError(w, http.StatusBadRequest, errors.New("lclgrid: request body must be a single JSON document (use /v1/batch for JSONL)"))
+		httpError(w, r, http.StatusBadRequest, errors.New("lclgrid: request body must be a single JSON document (use /v1/batch for JSONL)"))
 		return false
 	}
 	return true
@@ -403,7 +452,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (SolveReq
 		return req, false
 	}
 	if err := req.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return req, false
 	}
 	return req, true
@@ -469,7 +518,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.engine.Solve(ctx, req)
 	if err != nil {
-		httpError(w, errStatus(ctx, err), err)
+		httpError(w, r, errStatus(ctx, err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -485,7 +534,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, err := s.engine.Plan(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -495,11 +544,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // batchLine is one JSONL record of the /v1/batch response: index and key
 // echo the request; exactly one of result and error is set. A terminal
 // {"error": ...} line with no index reports a mid-stream decode failure.
+// TraceID carries the stream's trace id on every line when the server
+// traces requests, so any line can be quoted in a bug report.
 type batchLine struct {
-	Index  *int    `json:"index,omitempty"`
-	Key    string  `json:"key,omitempty"`
-	Result *Result `json:"result,omitempty"`
-	Error  string  `json:"error,omitempty"`
+	Index   *int    `json:"index,omitempty"`
+	Key     string  `json:"key,omitempty"`
+	Result  *Result `json:"result,omitempty"`
+	Error   string  `json:"error,omitempty"`
+	TraceID string  `json:"trace_id,omitempty"`
 }
 
 // handleBatch serves POST /v1/batch: JSONL SolveRequests in, JSONL
@@ -565,13 +617,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+	tid := TraceIDFromContext(ctx)
 	emit := func(it BatchItem) error {
 		keyMu.Lock()
 		key := keys[it.Index]
 		delete(keys, it.Index)
 		keyMu.Unlock()
 		index := it.Index
-		line := batchLine{Index: &index, Key: key}
+		line := batchLine{Index: &index, Key: key, TraceID: tid}
 		if it.Err != nil {
 			line.Error = it.Err.Error()
 		} else {
@@ -605,14 +658,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// a malformed document.
 			msg = fmt.Sprintf("lclgrid: batch truncated before the input was fully read: %v", decodeErr)
 		}
-		_ = enc.Encode(batchLine{Error: msg})
+		_ = enc.Encode(batchLine{Error: msg, TraceID: tid})
 		_ = rc.Flush()
 	case !sawEOF:
 		err := ctx.Err()
 		if err == nil {
 			err = context.Canceled // consumer stopped: the client went away
 		}
-		_ = enc.Encode(batchLine{Error: fmt.Sprintf("lclgrid: batch truncated before the input was fully read: %v", err)})
+		_ = enc.Encode(batchLine{Error: fmt.Sprintf("lclgrid: batch truncated before the input was fully read: %v", err), TraceID: tid})
 		_ = rc.Flush()
 	}
 }
@@ -680,7 +733,7 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := req.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if etag, ok := s.labelETag(req); ok {
@@ -695,7 +748,7 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.engine.LabelWindow(ctx, req)
 	if err != nil {
-		httpError(w, errStatus(ctx, err), err)
+		httpError(w, r, errStatus(ctx, err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -728,7 +781,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := req.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := s.solveCtx(r)
@@ -754,7 +807,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		if err != nil && !headerWritten(w) {
 			// Planning/synthesis failed before the first band: the status
 			// is still ours to set.
-			httpError(w, errStatus(ctx, err), err)
+			httpError(w, r, errStatus(ctx, err), err)
 		}
 		return
 	}
@@ -777,7 +830,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case err != nil && !wroteBand:
-		httpError(w, errStatus(ctx, err), err)
+		httpError(w, r, errStatus(ctx, err), err)
 	case err != nil:
 		_ = enc.Encode(exportLine{Error: fmt.Sprintf("lclgrid: export truncated: %v", err)})
 		_ = rc.Flush()
@@ -840,7 +893,7 @@ func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
 	}
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	sum := sha256.Sum256(buf.Bytes())
@@ -879,16 +932,16 @@ func (s *Server) handleDefineProblem(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, created, err := s.engine.DefineProblem(&def)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.problems.Put(rec); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	plan, err := s.engine.Plan(SolveRequest{Key: rec.Key})
 	if err != nil {
-		httpError(w, errStatus(r.Context(), err), err)
+		httpError(w, r, errStatus(r.Context(), err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -922,20 +975,20 @@ func (s *Server) handleProblemGet(w http.ResponseWriter, r *http.Request) {
 	} else {
 		spec, err := s.engine.Registry().Lookup(key)
 		if err != nil || spec.Problem == nil {
-			httpError(w, http.StatusNotFound, fmt.Errorf("lclgrid: no problem definition for %q (unknown key, or a direct-algorithm entry with no table form)", key))
+			httpError(w, r, http.StatusNotFound, fmt.Errorf("lclgrid: no problem definition for %q (unknown key, or a direct-algorithm entry with no table form)", key))
 			return
 		}
 		p := spec.Problem()
 		def, cerr := NewProblemDef(p).Canonical()
 		if cerr != nil {
-			httpError(w, http.StatusNotFound, fmt.Errorf("lclgrid: problem %q is not representable in the table DSL: %w", key, cerr))
+			httpError(w, r, http.StatusNotFound, fmt.Errorf("lclgrid: problem %q is not representable in the table DSL: %w", key, cerr))
 			return
 		}
 		doc.Fingerprint, doc.Source, doc.Def = p.Fingerprint(), spec.SourceLabel(), def
 	}
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(doc); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	sum := sha256.Sum256(buf.Bytes())
